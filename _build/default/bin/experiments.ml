@@ -1,0 +1,255 @@
+(* Experiment driver: regenerates every table and figure of the paper's
+   evaluation (Section 6, Figure 4) plus the ablation studies listed in
+   DESIGN.md.  See EXPERIMENTS.md for the paper-vs-measured record.
+
+   Usage:
+     experiments table [-c nb|b|h|all]    Figure 4(a) rows
+     experiments fig4b [-c ...]           Figure 4(b) cumulative series
+     experiments fig4c                    Figure 4(c) benchmark counts
+     experiments ablation-dead            dead-state elimination on/off
+     experiments ablation-algebra         BDD vs range-list alphabet algebra
+     experiments states                   lazy vs eager state-space sizes
+     experiments dump-smt2 DIR            write the corpus as .smt2 files
+     experiments all                      everything above (except dump)
+*)
+
+open Sbd_harness
+module I = Sbd_benchgen.Instance
+module Std = Sbd_benchgen.Standard
+
+let fmt = Format.std_formatter
+
+type cat = NB | B | H
+
+let cat_instances = function
+  | NB -> Std.non_boolean ()
+  | B -> Std.boolean ()
+  | H -> Std.handwritten ()
+
+let cat_title = function
+  | NB -> "Figure 4(a): non-Boolean benchmarks"
+  | B -> "Figure 4(a): Boolean benchmarks"
+  | H -> "Figure 4(a): handwritten benchmarks"
+
+let cats_of_string = function
+  | "nb" -> [ NB ]
+  | "b" -> [ B ]
+  | "h" -> [ H ]
+  | "all" -> [ NB; B; H ]
+  | s -> invalid_arg (Printf.sprintf "unknown category %S (use nb|b|h|all)" s)
+
+let labeled ~budget cat =
+  Harness.reset_sessions ();
+  let instances = cat_instances cat in
+  let labeled = Harness.label_all ~budget instances in
+  Harness.reset_sessions ();
+  labeled
+
+let run_rows ~budget ~timeout ~solvers cat =
+  let labeled = labeled ~budget cat in
+  List.map
+    (fun id ->
+      Harness.reset_sessions ();
+      Harness.run_suite ~budget ~timeout id labeled)
+    solvers
+
+let table ~budget ~timeout cats =
+  List.iter
+    (fun cat ->
+      let rows = run_rows ~budget ~timeout ~solvers:Harness.default_solvers cat in
+      Harness.pp_table_header fmt (cat_title cat);
+      List.iter (Harness.pp_row fmt) rows;
+      Format.fprintf fmt "@.")
+    cats
+
+let fig4b ~budget ~timeout cats =
+  List.iter
+    (fun cat ->
+      let rows = run_rows ~budget ~timeout ~solvers:Harness.default_solvers cat in
+      Format.fprintf fmt "== Figure 4(b) cumulative series (%s) ==@."
+        (match cat with NB -> "non-Boolean" | B -> "Boolean" | H -> "handwritten");
+      Harness.pp_cumulative_ascii fmt rows;
+      Format.fprintf fmt "@.-- CSV --@.";
+      Harness.pp_cumulative_csv fmt rows;
+      Format.fprintf fmt "@.")
+    cats
+
+let fig4c () =
+  Format.fprintf fmt "== Figure 4(c): benchmark counts ==@.";
+  let count name l = Format.fprintf fmt "%-20s %5d@." name (List.length l) in
+  count "Kaluza-like" (Std.kaluza ());
+  count "Slog-like" (Std.slog ());
+  count "Norn-like" (Std.norn ());
+  count "SyGuS-qgen-like" (Std.sygus ());
+  count "Total Non-Boolean" (Std.non_boolean ());
+  Format.fprintf fmt "@.";
+  count "RegExLib-Inter" (Std.regexlib_intersection ());
+  count "RegExLib-Subset" (Std.regexlib_subset ());
+  count "Norn-Boolean" (Std.norn_boolean ());
+  count "Total Boolean" (Std.boolean ());
+  Format.fprintf fmt "@.";
+  count "Date" (Sbd_benchgen.Handwritten.date ());
+  count "Password" (Sbd_benchgen.Handwritten.password ());
+  count "Boolean+Loops" (Sbd_benchgen.Handwritten.loops ());
+  count "Determ.-Blowup" (Sbd_benchgen.Handwritten.blowup ());
+  count "Total Handwritten" (Std.handwritten ());
+  Format.fprintf fmt "@."
+
+let ablation_dead ~budget ~timeout =
+  Format.fprintf fmt
+    "== Ablation: dead-state elimination (handwritten, unsat-heavy) ==@.";
+  let labeled = labeled ~budget H in
+  let unsat_only =
+    List.filter (fun ((i : I.t), _) -> i.expected = I.Unsat) labeled
+  in
+  Harness.pp_table_header fmt "unsat handwritten instances";
+  List.iter
+    (fun id ->
+      Harness.reset_sessions ();
+      Harness.pp_row fmt (Harness.run_suite ~budget ~timeout id unsat_only))
+    [ Harness.Dz3; Harness.Dz3_no_dead ];
+  Format.fprintf fmt "@."
+
+let ablation_simplify ~budget ~timeout =
+  Format.fprintf fmt "== Ablation: pre-simplification of the input regex ==@.";
+  let labeled = labeled ~budget H in
+  Harness.pp_table_header fmt "handwritten instances";
+  List.iter
+    (fun id ->
+      Harness.reset_sessions ();
+      Harness.pp_row fmt (Harness.run_suite ~budget ~timeout id labeled))
+    [ Harness.Dz3; Harness.Dz3_simplify ];
+  Format.fprintf fmt "@."
+
+let ablation_algebra ~budget ~timeout =
+  Format.fprintf fmt "== Ablation: BDD vs range-list character algebra ==@.";
+  List.iter
+    (fun cat ->
+      let labeled = labeled ~budget cat in
+      Harness.pp_table_header fmt
+        (match cat with NB -> "non-Boolean" | B -> "Boolean" | H -> "handwritten");
+      List.iter
+        (fun id ->
+          Harness.reset_sessions ();
+          Harness.pp_row fmt (Harness.run_suite ~budget ~timeout id labeled))
+        [ Harness.Dz3; Harness.Dz3_ranges ];
+      Format.fprintf fmt "@.")
+    [ B; H ]
+
+(* Lazy vs eager state spaces on the blowup family: the succinctness story
+   of Sections 1 and 7 in numbers. *)
+let states () =
+  Format.fprintf fmt
+    "== State spaces: lazy derivative exploration vs eager automata ==@.";
+  Format.fprintf fmt "%-28s %14s %14s@." "instance" "dz3-explored" "eager-states";
+  let module E = Sbd_sfa.Eager.Make (Harness.R) in
+  List.iter
+    (fun (inst : I.t) ->
+      match Harness.P.parse inst.pattern with
+      | Error _ -> ()
+      | Ok r ->
+        let session = Harness.S.create_session () in
+        ignore (Harness.S.solve ~budget:2_000_000 session r);
+        let explored = Harness.S.G.num_vertices session.Harness.S.graph in
+        let eager =
+          match E.state_count ~budget:200_000 r with
+          | Some n -> string_of_int n
+          | None -> ">200000"
+        in
+        Format.fprintf fmt "%-28s %14d %14s@." inst.pattern explored eager)
+    (Sbd_benchgen.Handwritten.blowup ());
+  Format.fprintf fmt "@."
+
+let dump_smt2 dir =
+  let module T = Sbd_smtlib.To_smt.Make (Harness.R) in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let written = ref 0 in
+  List.iter
+    (fun (inst : I.t) ->
+      match Harness.P.parse inst.pattern with
+      | Error _ -> ()
+      | Ok r ->
+        let path = Filename.concat dir (inst.id ^ ".smt2") in
+        let oc = open_out path in
+        output_string oc
+          (Printf.sprintf "; suite: %s, expected: %s\n%s" inst.suite
+             (I.string_of_expected inst.expected)
+             (T.script r));
+        close_out oc;
+        incr written)
+    (Std.all ());
+  Format.fprintf fmt "wrote %d .smt2 files to %s@." !written dir
+
+(* -- command line --------------------------------------------------------- *)
+
+open Cmdliner
+
+let budget_t =
+  Arg.(value & opt int 400_000 & info [ "budget" ] ~doc:"Work budget per instance.")
+
+let timeout_t =
+  Arg.(
+    value & opt float 10.0
+    & info [ "timeout" ] ~doc:"Time charged to unsolved instances (seconds).")
+
+let cat_t =
+  Arg.(value & opt string "all" & info [ "c"; "category" ] ~doc:"nb|b|h|all")
+
+let cmd name doc f = Cmd.v (Cmd.info name ~doc) f
+
+let table_cmd =
+  cmd "table" "Figure 4(a) solver comparison table"
+    Term.(
+      const (fun budget timeout c -> table ~budget ~timeout (cats_of_string c))
+      $ budget_t $ timeout_t $ cat_t)
+
+let fig4b_cmd =
+  cmd "fig4b" "Figure 4(b) cumulative plots"
+    Term.(
+      const (fun budget timeout c -> fig4b ~budget ~timeout (cats_of_string c))
+      $ budget_t $ timeout_t $ cat_t)
+
+let fig4c_cmd = cmd "fig4c" "Figure 4(c) benchmark counts" Term.(const fig4c $ const ())
+
+let ablation_simplify_cmd =
+  cmd "ablation-simplify" "pre-simplification ablation"
+    Term.(
+      const (fun b t -> ablation_simplify ~budget:b ~timeout:t) $ budget_t $ timeout_t)
+
+let ablation_dead_cmd =
+  cmd "ablation-dead" "dead-state elimination ablation"
+    Term.(const (fun b t -> ablation_dead ~budget:b ~timeout:t) $ budget_t $ timeout_t)
+
+let ablation_algebra_cmd =
+  cmd "ablation-algebra" "character algebra ablation"
+    Term.(const (fun b t -> ablation_algebra ~budget:b ~timeout:t) $ budget_t $ timeout_t)
+
+let states_cmd = cmd "states" "lazy vs eager state spaces" Term.(const states $ const ())
+
+let dump_cmd =
+  cmd "dump-smt2" "write the benchmark corpus as .smt2 files"
+    Term.(
+      const dump_smt2
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"))
+
+let all_cmd =
+  cmd "all" "run every table, figure and ablation"
+    Term.(
+      const (fun budget timeout ->
+          table ~budget ~timeout [ NB; B; H ];
+          fig4b ~budget ~timeout [ NB; B; H ];
+          fig4c ();
+          ablation_dead ~budget ~timeout;
+          ablation_simplify ~budget ~timeout;
+          ablation_algebra ~budget ~timeout;
+          states ())
+      $ budget_t $ timeout_t)
+
+let () =
+  let info = Cmd.info "experiments" ~doc:"Reproduce the paper's evaluation" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ table_cmd; fig4b_cmd; fig4c_cmd; ablation_dead_cmd
+          ; ablation_simplify_cmd; ablation_algebra_cmd; states_cmd; dump_cmd
+          ; all_cmd ]))

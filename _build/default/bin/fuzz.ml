@@ -1,0 +1,136 @@
+(* Differential fuzzer: generates random extended regexes and words and
+   cross-checks every engine in the repository against the independent
+   dynamic-programming oracle:
+
+     - derivative matching (Sbd_core.Deriv)
+     - classical Brzozowski matching (Sbd_classic.Brzozowski)
+     - SBFA acceptance (Sbd_core.Sbfa)
+     - SRM-style matcher (Sbd_matcher)
+     - solver verdicts + witnesses (Sbd_solver, dz3)
+     - minterm baseline verdicts (Sbd_classic.Minterm_solver)
+     - coinductive equivalence vs complement-based equivalence
+
+   Usage: fuzz [--rounds N] [--seed S] [--size K]
+   Exits non-zero and prints the offending regex on the first mismatch,
+   so it can be used in CI or for long background soaking. *)
+
+module A = Sbd_alphabet.Bdd
+module R = Sbd_regex.Regex.Make (A)
+module D = Sbd_core.Deriv.Make (R)
+module Sbfa = Sbd_core.Sbfa.Make (R)
+module Eq = Sbd_core.Lang_equiv.Make (R)
+module S = Sbd_solver.Solve.Make (R)
+module Ref = Sbd_classic.Refmatch.Make (R)
+module Brz = Sbd_classic.Brzozowski.Make (R)
+module MSolve = Sbd_classic.Minterm_solver.Make (R)
+module Matcher = Sbd_matcher.Matcher.Make (R)
+module Simp = Sbd_regex.Simplify.Make (R)
+
+let alphabet = List.map Char.code [ 'a'; 'b'; '0'; '1'; 'x' ]
+
+let preds =
+  let r lo hi = A.of_ranges [ (Char.code lo, Char.code hi) ] in
+  [ r 'a' 'a'; r 'b' 'b'; r '0' '0'; r '1' '1'; r 'a' 'b'; r '0' '1'
+  ; A.neg (r 'a' 'a'); A.top ]
+
+let gen_regex rand size =
+  let rec go n =
+    if n <= 1 then
+      match Random.State.int rand 8 with
+      | 0 -> R.eps
+      | 1 -> R.empty
+      | _ -> R.pred (List.nth preds (Random.State.int rand (List.length preds)))
+    else
+      let sub () = go (n / 2) in
+      match Random.State.int rand 14 with
+      | 0 | 1 | 2 -> R.concat (sub ()) (sub ())
+      | 3 | 4 | 5 -> R.alt (sub ()) (sub ())
+      | 6 | 7 -> R.star (sub ())
+      | 8 ->
+        let m = Random.State.int rand 3 in
+        R.loop (sub ()) m (Some (m + Random.State.int rand 3))
+      | 9 | 10 -> R.inter (sub ()) (sub ())
+      | 11 | 12 -> R.compl (sub ())
+      | _ -> go 1
+  in
+  go size
+
+let gen_word rand =
+  List.init (Random.State.int rand 7) (fun _ ->
+      List.nth alphabet (Random.State.int rand (List.length alphabet)))
+
+let words_upto n =
+  let rec go n =
+    if n = 0 then [ [] ]
+    else
+      [] :: List.concat_map (fun w -> List.map (fun c -> c :: w) alphabet) (go (n - 1))
+  in
+  List.sort_uniq compare (go n)
+
+let short_words = words_upto 3
+
+exception Mismatch of string
+
+let fail_at round what r =
+  raise
+    (Mismatch (Printf.sprintf "round %d: %s disagrees on %s" round what (R.to_string r)))
+
+let run ~rounds ~seed ~size =
+  let rand = Random.State.make [| seed |] in
+  let session = S.create_session () in
+  for round = 1 to rounds do
+    let r = gen_regex rand size in
+    let w = gen_word rand in
+    let expected = Ref.matches r w in
+    (* matching engines *)
+    if D.matches r w <> expected then fail_at round "derivative matcher" r;
+    if Brz.matches r w <> expected then fail_at round "brzozowski matcher" r;
+    (let m = Matcher.create r in
+     if Matcher.matches m w <> expected then fail_at round "SRM matcher" r);
+    (match Sbfa.build ~max_states:500 r with
+    | Some m -> if Sbfa.accepts m w <> expected then fail_at round "SBFA" r
+    | None -> ());
+    (* simplifier *)
+    let r' = Simp.simplify r in
+    if Ref.matches r' w <> expected then fail_at round "simplifier" r;
+    (* solvers *)
+    (match (S.solve ~budget:20_000 session r, MSolve.solve ~budget:20_000 r) with
+    | S.Sat w', MSolve.Sat _ ->
+      if not (Ref.matches r w') then fail_at round "dz3 witness" r
+    | S.Unsat, MSolve.Unsat ->
+      if List.exists (Ref.matches r) short_words then fail_at round "unsat verdict" r
+    | S.Unknown _, _ | _, MSolve.Unknown _ -> ()
+    | _ -> fail_at round "solver verdicts" r);
+    (* equivalence procedures agree on (r, simplified r) *)
+    (match (Eq.equiv ~max_pairs:10_000 r r', S.equiv ~budget:20_000 session r r') with
+    | Some a, Some b when a <> b -> fail_at round "equivalence procedures" r
+    | Some false, _ -> fail_at round "simplifier equivalence" r
+    | _ -> ());
+    if round mod 500 = 0 then Printf.printf "... %d rounds ok\n%!" round
+  done
+
+open Cmdliner
+
+let main rounds seed size =
+  try
+    run ~rounds ~seed ~size;
+    Printf.printf "fuzz: %d rounds, no discrepancies\n" rounds;
+    0
+  with Mismatch msg ->
+    prerr_endline ("fuzz: " ^ msg);
+    1
+
+let () =
+  let rounds =
+    Arg.(value & opt int 2000 & info [ "rounds" ] ~doc:"Number of fuzz rounds.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let size =
+    Arg.(value & opt int 8 & info [ "size" ] ~doc:"Size bound for generated regexes.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "fuzz" ~doc:"Differential fuzzing of all regex engines")
+      Term.(const main $ rounds $ seed $ size)
+  in
+  exit (Cmd.eval' cmd)

@@ -1,0 +1,45 @@
+(* sbdsolve: a standalone SMT-LIB QF_S solver binary in the style of
+   `z3 file.smt2`, backed by the symbolic-Boolean-derivative decision
+   procedure.  Reads a script from a file (or stdin with "-") and prints
+   sat/unsat/unknown answers plus models on get-model. *)
+
+module R = Sbd_regex.Regex.Make (Sbd_alphabet.Bdd)
+module E = Sbd_smtlib.Eval.Make (R)
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+open Cmdliner
+
+let run file budget =
+  let source =
+    if file = "-" then read_all stdin
+    else begin
+      let ic = open_in file in
+      let s = read_all ic in
+      close_in ic;
+      s
+    end
+  in
+  let result = E.run ~budget source in
+  print_string result.E.output
+
+let () =
+  let file_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.smt2")
+  in
+  let budget_t =
+    Arg.(value & opt int 1_000_000 & info [ "budget" ] ~doc:"Work budget.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "sbdsolve" ~doc:"Solve SMT-LIB QF_S regex constraints")
+      Term.(const run $ file_t $ budget_t)
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/blowup.ml: List Printf Sbd_alphabet Sbd_regex Sbd_sfa Sbd_solver

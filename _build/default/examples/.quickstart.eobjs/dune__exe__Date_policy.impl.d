@@ -1,0 +1,1 @@
+examples/date_policy.ml: Printf Sbd_alphabet Sbd_regex Sbd_solver

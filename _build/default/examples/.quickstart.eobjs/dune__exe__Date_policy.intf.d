@@ -1,0 +1,1 @@
+examples/date_policy.mli:

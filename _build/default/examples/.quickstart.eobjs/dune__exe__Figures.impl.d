@@ -1,0 +1,1 @@
+examples/figures.ml: Array Filename Printf Sbd_alphabet Sbd_core Sbd_regex Sys

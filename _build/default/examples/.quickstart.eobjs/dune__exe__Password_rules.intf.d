@@ -1,0 +1,1 @@
+examples/password_rules.mli:

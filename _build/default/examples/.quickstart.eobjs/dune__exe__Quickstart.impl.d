@@ -1,0 +1,1 @@
+examples/quickstart.ml: Char List Printf Sbd_alphabet Sbd_core Sbd_regex Sbd_solver

@@ -1,0 +1,1 @@
+examples/smt_solving.ml: List Printf Sbd_alphabet Sbd_regex Sbd_smtlib

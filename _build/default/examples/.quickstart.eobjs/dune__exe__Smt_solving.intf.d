@@ -1,0 +1,1 @@
+examples/smt_solving.mli:

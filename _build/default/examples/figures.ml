@@ -1,0 +1,30 @@
+(* Regenerate the paper's automata figures as GraphViz files:
+     - figure2.dot: the derivative graph of the Section 2 complement
+     - figure5.dot: the Example 7.4 SBFA (Figure 5)
+   Render with: dot -Tpdf figure2.dot -o figure2.pdf
+
+   Run with: dune exec examples/figures.exe [output-dir] *)
+
+module A = Sbd_alphabet.Bdd
+module R = Sbd_regex.Regex.Make (A)
+module P = Sbd_regex.Parser.Make (R)
+module Dot = Sbd_core.Dot.Make (R)
+module Sbfa = Sbd_core.Sbfa.Make (R)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  let write name contents =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  in
+  (* Figure 2d: the complemented pattern in DNF, bottom state hidden *)
+  write "figure2.dot" (Dot.derivative_graph (P.parse_exn "~(.*01.*)"));
+  (* Figure 5a: the SBFA of Example 7.4, Boolean transition structure *)
+  let m = Sbfa.build_exn (P.parse_exn ".*[a-z].*&.*\\d.*") in
+  write "figure5.dot" (Dot.sbfa_boolean m);
+  (* the running example of Section 2, for good measure *)
+  write "password.dot"
+    (Dot.derivative_graph (P.parse_exn ".*\\d.*&~(.*01.*)"))

@@ -1,0 +1,1 @@
+lib/alphabet/algebra.ml: Char Format List

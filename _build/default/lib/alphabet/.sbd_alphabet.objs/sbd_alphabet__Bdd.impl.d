@@ -1,0 +1,1 @@
+lib/alphabet/bdd.ml: Algebra Format Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/alphabet/charclass.mli:

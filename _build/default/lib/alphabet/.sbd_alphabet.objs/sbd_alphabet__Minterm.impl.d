@@ -1,0 +1,1 @@
+lib/alphabet/minterm.ml: Algebra List

@@ -1,0 +1,1 @@
+lib/alphabet/ranges.ml: Algebra Format Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/alphabet/utf8.ml: Algebra Buffer Char List Option Printf String

@@ -1,0 +1,1 @@
+lib/alphabet/utf8.mli:

@@ -1,0 +1,152 @@
+(** Effective Boolean algebras of character predicates.
+
+    This is the "alphabet theory" [A] of the paper (Section 3): a Boolean
+    algebra [(D, Psi, [[_]], bot, top, or, and, not)] over a character
+    domain [D], with decidable satisfiability of predicates.  The character
+    domain used throughout this reproduction is the Unicode Basic
+    Multilingual Plane: code points [0 .. 0xFFFF] represented as [int].
+
+    Two implementations are provided: {!Ranges} (canonical sorted interval
+    lists) and {!Bdd} (reduced ordered binary decision diagrams over the 16
+    bits of a code point, mirroring the representation used by dZ3 / the
+    .NET regex engine).  Both are {e extensional}: equivalent predicates are
+    structurally (or physically) equal, so [equiv] coincides with [equal]. *)
+
+(** Maximum character of the domain: the BMP upper bound. *)
+let max_char = 0xFFFF
+
+(** Signature of an effective Boolean algebra over code points
+    [0 .. max_char]. *)
+module type S = sig
+  type pred
+  (** A character predicate, denoting a set of code points. *)
+
+  val name : string
+  (** Short human-readable name of the algebra ("bdd", "ranges"). *)
+
+  val bot : pred
+  (** The unsatisfiable predicate: denotes the empty set. *)
+
+  val top : pred
+  (** The valid predicate: denotes the whole domain. *)
+
+  val conj : pred -> pred -> pred
+  val disj : pred -> pred -> pred
+  val neg : pred -> pred
+
+  val is_bot : pred -> bool
+  (** [is_bot p] decides unsatisfiability of [p].  As the algebra is
+      extensional this is just a comparison with {!bot}. *)
+
+  val is_top : pred -> bool
+
+  val equal : pred -> pred -> bool
+  (** Structural equality; coincides with semantic equivalence. *)
+
+  val compare : pred -> pred -> int
+  val hash : pred -> int
+
+  val mem : int -> pred -> bool
+  (** [mem c p] tests whether code point [c] is in the denotation of [p]. *)
+
+  val choose : pred -> int option
+  (** [choose p] returns a witness code point in the denotation of [p], or
+      [None] when [p] is unsatisfiable.  Witnesses are deterministic and
+      biased towards printable ASCII when possible. *)
+
+  val of_ranges : (int * int) list -> pred
+  (** [of_ranges rs] builds the predicate denoting the union of the
+      inclusive ranges in [rs].  Ranges need not be sorted or disjoint;
+      out-of-domain bounds are clamped. *)
+
+  val ranges : pred -> (int * int) list
+  (** Canonical representation of the denotation as a sorted list of
+      disjoint, non-adjacent inclusive ranges. *)
+
+  val size : pred -> int
+  (** Number of code points in the denotation. *)
+
+  val pp : Format.formatter -> pred -> unit
+end
+
+(* Shared helpers over inclusive range lists, used by both implementations
+   and by the character-class tables. *)
+
+(** Normalize an arbitrary list of inclusive ranges: clamp to the domain,
+    drop empties, sort, and merge overlapping or adjacent ranges. *)
+let normalize_ranges (rs : (int * int) list) : (int * int) list =
+  let clamp (lo, hi) = (max 0 lo, min max_char hi) in
+  let rs = List.filter (fun (lo, hi) -> lo <= hi) (List.map clamp rs) in
+  let rs = List.sort compare rs in
+  let rec merge = function
+    | (l1, h1) :: (l2, h2) :: rest when l2 <= h1 + 1 ->
+      merge ((l1, max h1 h2) :: rest)
+    | r :: rest -> r :: merge rest
+    | [] -> []
+  in
+  merge rs
+
+(** Complement of a normalized range list within the domain. *)
+let complement_ranges (rs : (int * int) list) : (int * int) list =
+  let rec go lo = function
+    | [] -> if lo <= max_char then [ (lo, max_char) ] else []
+    | (l, h) :: rest ->
+      let tail = go (h + 1) rest in
+      if lo <= l - 1 then (lo, l - 1) :: tail else tail
+  in
+  go 0 rs
+
+(** Intersection of two normalized range lists. *)
+let inter_ranges (a : (int * int) list) (b : (int * int) list) :
+    (int * int) list =
+  let rec go a b =
+    match (a, b) with
+    | [], _ | _, [] -> []
+    | (l1, h1) :: ta, (l2, h2) :: tb ->
+      let lo = max l1 l2 and hi = min h1 h2 in
+      let rest = if h1 < h2 then go ta b else go a tb in
+      if lo <= hi then (lo, hi) :: rest else rest
+  in
+  go a b
+
+(** Total size of a normalized range list. *)
+let size_ranges rs =
+  List.fold_left (fun acc (lo, hi) -> acc + (hi - lo + 1)) 0 rs
+
+(** Membership in a normalized range list. *)
+let mem_ranges c rs = List.exists (fun (lo, hi) -> lo <= c && c <= hi) rs
+
+(** Deterministic witness from a normalized range list: prefer a printable
+    ASCII character if the set contains one. *)
+let choose_ranges rs =
+  match rs with
+  | [] -> None
+  | _ ->
+    let printable =
+      List.find_opt (fun (lo, hi) -> lo <= 0x7E && hi >= 0x20) rs
+    in
+    (match printable with
+    | Some (lo, _) -> Some (max lo 0x20)
+    | None ->
+      let lo, _ = List.hd rs in
+      Some lo)
+
+(** Pretty-print a code point in a regex-friendly way. *)
+let pp_char ppf c =
+  if c >= 0x20 && c <= 0x7E then
+    match Char.chr c with
+    | ('.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '&'
+      | '~' | '\\' | '^' | '-' | '$') as ch ->
+      Format.fprintf ppf "\\%c" ch
+    | ch -> Format.fprintf ppf "%c" ch
+  else if c < 0x100 then Format.fprintf ppf "\\x%02X" c
+  else Format.fprintf ppf "\\u{%04X}" c
+
+(** Pretty-print a normalized range list as a character class body. *)
+let pp_ranges ppf rs =
+  List.iter
+    (fun (lo, hi) ->
+      if lo = hi then pp_char ppf lo
+      else if hi = lo + 1 then Format.fprintf ppf "%a%a" pp_char lo pp_char hi
+      else Format.fprintf ppf "%a-%a" pp_char lo pp_char hi)
+    rs

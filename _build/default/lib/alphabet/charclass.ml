@@ -1,0 +1,57 @@
+(** Named character classes, defined once as range lists and convertible
+    into any algebra via [of_ranges].
+
+    ASCII classes are exact.  For the classes that extend beyond ASCII
+    ([\w], letters) we include the principal BMP alphabetic blocks
+    (Latin-1 supplement, Latin extended, Greek, Cyrillic, Hebrew, Arabic,
+    Hiragana/Katakana, CJK).  This is a documented simplification of the
+    full Unicode category tables (see DESIGN.md): it exercises the same
+    symbolic code paths -- predicates denoting large, scattered subsets of
+    the BMP -- without vendoring the Unicode character database. *)
+
+type t =
+  | Digit  (** [\d] = [0-9] *)
+  | Word  (** [\w] = [A-Za-z0-9_] plus BMP letters *)
+  | Space  (** [\s] = ASCII whitespace plus NBSP and Unicode spaces *)
+  | Lower  (** [[a-z]] *)
+  | Upper  (** [[A-Z]] *)
+  | Alpha  (** [[A-Za-z]] plus BMP letters *)
+  | Alnum
+  | Ascii
+  | Printable
+  | Any  (** [.] -- the whole BMP *)
+
+let bmp_letter_blocks =
+  [ (0x00C0, 0x00D6); (0x00D8, 0x00F6); (0x00F8, 0x02AF) (* Latin ext. *)
+  ; (0x0370, 0x0373); (0x0376, 0x0377); (0x037B, 0x037D)
+  ; (0x0386, 0x0386); (0x0388, 0x03FF) (* Greek *)
+  ; (0x0400, 0x0481); (0x048A, 0x052F) (* Cyrillic *)
+  ; (0x05D0, 0x05EA) (* Hebrew *)
+  ; (0x0620, 0x064A) (* Arabic *)
+  ; (0x3041, 0x3096); (0x30A1, 0x30FA) (* Hiragana, Katakana *)
+  ; (0x4E00, 0x9FFF) (* CJK unified ideographs *)
+  ]
+
+let digit_ranges = [ (Char.code '0', Char.code '9') ]
+let lower_ranges = [ (Char.code 'a', Char.code 'z') ]
+let upper_ranges = [ (Char.code 'A', Char.code 'Z') ]
+let ascii_alpha_ranges = lower_ranges @ upper_ranges
+let alpha_ranges = ascii_alpha_ranges @ bmp_letter_blocks
+let word_ranges = digit_ranges @ alpha_ranges @ [ (Char.code '_', Char.code '_') ]
+
+let space_ranges =
+  [ (0x09, 0x0D); (0x20, 0x20); (0x85, 0x85); (0xA0, 0xA0); (0x2000, 0x200A)
+  ; (0x2028, 0x2029); (0x202F, 0x202F); (0x3000, 0x3000)
+  ]
+
+let ranges_of = function
+  | Digit -> digit_ranges
+  | Word -> word_ranges
+  | Space -> space_ranges
+  | Lower -> lower_ranges
+  | Upper -> upper_ranges
+  | Alpha -> alpha_ranges
+  | Alnum -> digit_ranges @ alpha_ranges
+  | Ascii -> [ (0x00, 0x7F) ]
+  | Printable -> [ (0x20, 0x7E) ]
+  | Any -> [ (0, Algebra.max_char) ]

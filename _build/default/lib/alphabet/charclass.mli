@@ -1,0 +1,30 @@
+(** Named character classes, defined once as range lists and convertible
+    into any algebra via [of_ranges].  ASCII classes are exact; classes
+    extending beyond ASCII include the principal BMP alphabetic blocks (a
+    documented simplification of the Unicode category tables, see
+    DESIGN.md). *)
+
+type t =
+  | Digit  (** [\d] *)
+  | Word  (** [\w] *)
+  | Space  (** [\s] *)
+  | Lower
+  | Upper
+  | Alpha
+  | Alnum
+  | Ascii
+  | Printable
+  | Any  (** [.]: the whole BMP *)
+
+val ranges_of : t -> (int * int) list
+(** Inclusive code-point ranges of the class (not necessarily
+    normalized). *)
+
+val digit_ranges : (int * int) list
+val lower_ranges : (int * int) list
+val upper_ranges : (int * int) list
+val ascii_alpha_ranges : (int * int) list
+val alpha_ranges : (int * int) list
+val word_ranges : (int * int) list
+val space_ranges : (int * int) list
+val bmp_letter_blocks : (int * int) list

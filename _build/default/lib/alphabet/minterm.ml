@@ -1,0 +1,32 @@
+(** Minterm generation over an effective Boolean algebra (Section 3 of the
+    paper): given a finite set [S] of predicates, [Minterms(S)] is a set of
+    pairwise-inequivalent satisfiable predicates of the form
+    [/\_{psi in S} psi'] with [psi' in {psi, ~psi}], whose denotations
+    partition the domain.
+
+    The paper's baselines (mintermization-based finite-alphabet solvers,
+    Section 8.3) rely on this construction; its worst-case [2^|S|] output
+    size is precisely the blowup that symbolic derivatives avoid. *)
+
+module Make (A : Algebra.S) = struct
+  (** [minterms preds] returns the satisfiable minterms of [preds].  The
+      result denotations are pairwise disjoint and cover the whole domain;
+      the result is [[A.top]] when [preds] is empty. *)
+  let minterms (preds : A.pred list) : A.pred list =
+    let split parts phi =
+      List.concat_map
+        (fun part ->
+          let pos = A.conj part phi and neg = A.conj part (A.neg phi) in
+          let keep p acc = if A.is_bot p then acc else p :: acc in
+          keep pos (keep neg []))
+        parts
+    in
+    List.fold_left split [ A.top ] preds
+
+  (** [minterm_of preds c] returns the unique minterm of [preds] whose
+      denotation contains code point [c]. *)
+  let minterm_of (preds : A.pred list) (c : int) : A.pred =
+    List.fold_left
+      (fun acc phi -> A.conj acc (if A.mem c phi then phi else A.neg phi))
+      A.top preds
+end

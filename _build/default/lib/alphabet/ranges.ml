@@ -1,0 +1,37 @@
+(** Character-predicate algebra represented as canonical sorted lists of
+    disjoint, non-adjacent inclusive code-point ranges.
+
+    This is the simplest extensional effective Boolean algebra over the BMP
+    and serves both as a production implementation and as the reference
+    oracle against which the {!Bdd} algebra is property-tested. *)
+
+type pred = (int * int) list
+(* Invariant: sorted, disjoint, non-adjacent, within [0, max_char]. *)
+
+let name = "ranges"
+let bot : pred = []
+let top : pred = [ (0, Algebra.max_char) ]
+let of_ranges rs = Algebra.normalize_ranges rs
+let ranges (p : pred) = p
+let neg = Algebra.complement_ranges
+let conj = Algebra.inter_ranges
+
+let disj a b =
+  (* Union via merge of the two sorted lists followed by normalization. *)
+  Algebra.normalize_ranges (List.rev_append a b)
+
+let is_bot p = p = []
+let is_top p = p = top
+let equal (a : pred) b = a = b
+let compare (a : pred) b = Stdlib.compare a b
+let hash (p : pred) = Hashtbl.hash p
+let mem c p = Algebra.mem_ranges c p
+let choose p = Algebra.choose_ranges p
+let size p = Algebra.size_ranges p
+
+let pp ppf (p : pred) =
+  match p with
+  | [] -> Format.pp_print_string ppf "[]"
+  | [ (lo, hi) ] when lo = hi -> Algebra.pp_char ppf lo
+  | _ when is_top p -> Format.pp_print_string ppf "."
+  | _ -> Format.fprintf ppf "[%a]" Algebra.pp_ranges p

@@ -1,0 +1,1 @@
+lib/benchgen/handwritten.ml: Instance List Printf

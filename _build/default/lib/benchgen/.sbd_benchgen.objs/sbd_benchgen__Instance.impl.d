@@ -1,0 +1,1 @@
+lib/benchgen/instance.ml: Char Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/benchgen/patterns.ml: List

@@ -1,0 +1,1 @@
+lib/benchgen/standard.ml: Char Handwritten Instance List Patterns Printf Rng Sbd_alphabet Sbd_core Sbd_regex String

@@ -1,0 +1,203 @@
+(** The four handwritten benchmark families of Section 6 (Q3), at exactly
+    the paper's quantities: Date (20), Password (34), Boolean + Loops
+    (21), and Determinization Blowup (14).  Labels are by construction.
+
+    - {b Date}: strings constrained to look like dates as in Figure 1,
+      with implication/intersection questions (e.g. if the month is Feb
+      the day must not be 30 or 31).
+    - {b Password}: class-requirement and forbidden-substring rules over
+      bounded lengths, as in Section 2.
+    - {b Boolean + Loops}: interactions of Boolean operators with
+      concatenation and iteration producing nontrivial unsatisfiable
+      regexes (these exercise dead-state elimination).
+    - {b Determinization blowup}: variants of [(.*a.{k})&(.*b.{k})] with
+      small nondeterministic but exponential deterministic state
+      spaces. *)
+
+open Instance
+
+(* Assign ids by list position after construction: list elements are
+   built with an effect-free helper, so instance numbering matches the
+   source order regardless of OCaml's expression evaluation order. *)
+let number ~suite items =
+  List.mapi
+    (fun i (expected, pattern) ->
+      make ~suite ~category:Handwritten ~expected (i + 1) pattern)
+    items
+
+let date_re = "\\d{4}-[a-zA-Z]{3}-\\d{2}"
+
+(** 20 date-constraint problems. *)
+let date () : t list =
+  let next expected pattern = (expected, pattern) in
+  number ~suite:"date" @@
+  [ (* the Figure 1 policy and its broken variant *)
+    next Sat (date_re ^ "&(2019.*|2020.*)")
+  ; next Unsat (date_re ^ "&(.*2019|.*2020)")
+  ; (* year windows *)
+    next Sat (date_re ^ "&(19|20)\\d{2}-.*")
+  ; next Unsat (date_re ^ "&[a-z].*")
+  ; next Sat (date_re ^ "&.*-(0[1-9]|[12]\\d|3[01])")
+  ; (* month-name constraints *)
+    next Sat (date_re ^ "&.*-(Jan|Feb|Mar|Apr|May|Jun|Jul|Aug|Sep|Oct|Nov|Dec)-.*")
+  ; next Unsat (date_re ^ "&.*-(JAN1)-.*")
+  ; (* if Feb then day <= 29 *)
+    next Sat (date_re ^ "&(~(.*-Feb-.*)|.*-(0[1-9]|[12]\\d))")
+  ; next Unsat (date_re ^ "&.*-Feb-.*&.*-3[01]&(~(.*-Feb-.*)|.*-(0[1-9]|[12]\\d))")
+  ; (* a Feb 30 is excluded by the rule above *)
+    next Sat (date_re ^ "&.*-Feb-29")
+  ; (* containment questions rendered as emptiness of differences *)
+    next Unsat (Printf.sprintf "(%s&2019.*)&~(%s)" date_re date_re)
+  ; next Sat (Printf.sprintf "(%s)&~(%s&2019.*)" date_re date_re)
+  ; next Unsat (Printf.sprintf "(\\d{4}-Jan-\\d{2})&~(%s)" date_re)
+  ; (* two-digit day range vs loose digits *)
+    next Sat "\\d{4}-[a-zA-Z]{3}-([0-2]\\d|3[01])&.*-3[01]"
+  ; next Unsat "\\d{4}-[a-zA-Z]{3}-([0-2]\\d)&.*-3[01]"
+  ; (* intersections of multiple date shapes *)
+    next Unsat (date_re ^ "&\\d{4}/[a-zA-Z]{3}/\\d{2}")
+  ; next Sat (date_re ^ "&~(\\d{4}/[a-zA-Z]{3}/\\d{2})")
+  ; next Unsat (date_re ^ "&.{10}")
+  ; next Sat (date_re ^ "&.{11}")
+  ; (* every date either starts 20 or does not: tautology-ish but forces search *)
+    next Sat (date_re ^ "&(20.*|~(20.*))")
+  ]
+
+(** 34 password-rule problems. *)
+let password () : t list =
+  let next expected pattern = (expected, pattern) in
+  number ~suite:"password" @@
+  let digit = ".*\\d.*" in
+  let lower = ".*[a-z].*" in
+  let upper = ".*[A-Z].*" in
+  let special = ".*[!#$%&*+,.:;<=>?@^_-].*" in
+  let len lo hi = Printf.sprintf ".{%d,%d}" lo hi in
+  [ (* the Section 2 running example *)
+    next Sat (digit ^ "&~(.*01.*)")
+  ; next Unsat ".*01.*&~(.*0.*)"
+  ; (* increasing numbers of simultaneous requirements *)
+    next Sat (len 8 16 ^ "&" ^ digit)
+  ; next Sat (len 8 16 ^ "&" ^ digit ^ "&" ^ lower)
+  ; next Sat (len 8 16 ^ "&" ^ digit ^ "&" ^ lower ^ "&" ^ upper)
+  ; next Sat (len 8 16 ^ "&" ^ digit ^ "&" ^ lower ^ "&" ^ upper ^ "&" ^ special)
+  ; next Sat (len 8 128 ^ "&" ^ digit ^ "&" ^ lower ^ "&" ^ upper ^ "&" ^ special
+              ^ "&~(.*01.*)")
+  ; (* forbidden substrings *)
+    next Sat (len 8 16 ^ "&" ^ digit ^ "&~(.*123.*)&~(.*abc.*)")
+  ; next Sat (len 8 16 ^ "&" ^ digit ^ "&~(.*password.*)")
+  ; next Unsat (len 4 6 ^ "&\\d*&~(.*\\d.*)")
+  ; (* window conflicts *)
+    next Unsat (len 8 16 ^ "&" ^ len 20 30)
+  ; next Sat (len 8 16 ^ "&" ^ len 16 30)
+  ; next Unsat (len 0 3 ^ "&" ^ digit ^ "&" ^ lower ^ "&" ^ upper ^ "&" ^ special)
+  ; next Sat (len 4 4 ^ "&" ^ digit ^ "&" ^ lower ^ "&" ^ upper ^ "&" ^ special)
+  ; (* all-digits passwords forbidden to contain any digit pair *)
+    next Sat ("\\d{6}&~(.*(00|11|22|33|44|55|66|77|88|99).*)")
+  ; next Unsat ("\\d{2}&~(.*(0|1|2|3|4|5|6|7|8|9)\\d.*)")
+  ; (* no repeated character classes *)
+    next Sat (len 6 10 ^ "&[a-z]*&~(.*aa.*)")
+  ; next Unsat ("[a]{6,10}&~(.*aa.*)")
+  ; (* required literal positions *)
+    next Sat ("X.*&" ^ len 8 12 ^ "&" ^ digit)
+  ; next Unsat ("X.*&[a-w]*")
+  ; (* union of policies *)
+    next Sat ("(" ^ len 8 12 ^ "&" ^ digit ^ ")|(" ^ len 16 20 ^ "&" ^ lower ^ ")")
+  ; next Unsat ("(" ^ len 8 12 ^ "|" ^ len 16 20 ^ ")&" ^ len 13 15)
+  ; (* nested negations *)
+    next Sat ("~(~(" ^ digit ^ ")|~(" ^ lower ^ "))&" ^ len 2 64)
+  ; next Unsat ("~(~(" ^ digit ^ "))&~(" ^ digit ^ ")")
+  ; (* character budget interactions *)
+    next Sat ("[a-zA-Z0-9]{12}&" ^ digit ^ "&" ^ lower ^ "&" ^ upper)
+  ; next Unsat ("[a-z0-9]{12}&" ^ upper)
+  ; next Sat ("([a-z]\\d){4,8}&~(.*11.*)")
+  ; next Unsat ("([a-z]\\d){4,8}&\\d.*")
+  ; (* long windows: the .{8,128} loop from the paper's Section 2 *)
+    next Sat (".{8,128}&" ^ digit ^ "&~(.*01.*)")
+  ; next Sat (".{8,128}&" ^ digit ^ "&" ^ special ^ "&~(.*01.*)&~(.*99.*)")
+  ; next Unsat (".{8,128}&~(.{0,200})")
+  ; next Sat (".{8,128}&~(.{0,100})")
+  ; (* everything at once *)
+    next Sat
+      (".{10,20}&" ^ digit ^ "&" ^ lower ^ "&" ^ upper ^ "&" ^ special
+      ^ "&~(.*(012|123|234|345|456|567|678|789).*)&~(.*qwerty.*)")
+  ; next Unsat
+      (".{10,20}&\\d*&" ^ digit ^ "&~(.*(0|1|2|3|4).*)&~(.*(5|6|7|8|9).*)")
+  ]
+
+(** 21 Boolean-operator / iteration interaction problems. *)
+let loops () : t list =
+  let next expected pattern = (expected, pattern) in
+  number ~suite:"loops" @@
+  [ (* (a{2,3}){2,3} = a{4,9} *)
+    next Unsat "(a{2,3}){2,3}&~(a{4,9})"
+  ; next Unsat "a{4,9}&~((a{2,3}){2,3})"
+  ; next Sat "(a{2,3}){2,3}&a{4,9}"
+  ; (* off-by-one variants are satisfiable *)
+    next Sat "(a{2,3}){2,3}&~(a{5,9})"
+  ; next Sat "(a{2,3}){2,3}&~(a{4,8})"
+  ; (* star unfoldings *)
+    next Unsat "(ab)*&~(()|ab(ab)*)"
+  ; next Unsat "a*&~(a{0,50})&.{0,50}"
+  ; next Sat "a*&~(a{0,50})&.{0,51}"
+  ; next Unsat "(a|b){6}&~((a|b){2}){3}"
+  ; next Sat "(a|b){6}&~(((a|b){2}){2})"
+  ; (* concatenation vs intersection distribution traps *)
+    next Unsat "(a*b)&(b*a)"
+  ; next Sat "(a*b)&(.*b)"
+  ; next Unsat "(ab)+&(ba)+"
+  ; next Unsat "(ab)+&.*aa.*"
+  ; next Sat "(ab|ba)+&.*aa.*"
+  ; (* complement of loops *)
+    next Unsat "~(a{0,10})&a{0,10}"
+  ; next Sat "~(a{0,10})&a{0,11}"
+  ; next Unsat "a{3}{3}&~(a{9})"
+  ; next Sat "a{3}{3}&a{9}"
+  ; (* mixed alphabet loop contradictions *)
+    next Unsat "([ab]{2}){4}&[a]{7}"
+  ; next Sat "([ab]{2}){4}&[a]{8}"
+  ]
+
+(** 14 determinization-blowup problems: small NFAs, huge DFAs. *)
+let blowup () : t list =
+  let next expected pattern = (expected, pattern) in
+  number ~suite:"blowup" @@
+  (* conflicting positions: unsat *)
+  let unsat_ks = [ 8; 12; 16; 20; 24 ] in
+  let sat_ks = [ (10, 9); (16, 15); (22, 21) ] in
+  let compl_ks = [ 20; 30; 40; 50; 60; 80 ] in
+  List.map
+    (fun k -> next Unsat (Printf.sprintf "(.*a.{%d})&(.*b.{%d})" k k))
+    unsat_ks
+  @ List.map
+      (fun (k1, k2) -> next Sat (Printf.sprintf "(.*a.{%d})&(.*b.{%d})" k1 k2))
+      sat_ks
+  @ List.map (fun k -> next Sat (Printf.sprintf "~(.*a.{%d})" k)) compl_ks
+
+(** Extension beyond the paper: constraints over the full BMP character
+    theory -- wide classes, CJK literals, and Boolean combinations that a
+    finite-alphabet (per-character) encoding could not represent
+    compactly.  Kept out of the Figure 4(c) counts; exercised by the
+    algebra ablation and the test suite. *)
+let unicode () : t list =
+  let next expected pattern = (expected, pattern) in
+  number ~suite:"unicode" @@
+  [ (* word characters include BMP letters: CJK passwords are fine *)
+    next Sat "\\w{4,12}&.*\\d.*"
+  ; next Sat "\\w+&~([a-zA-Z0-9_]*)"
+    (* a word-character string that is not ASCII-word needs a BMP letter,
+       so restricting to ASCII makes it unsatisfiable *)
+  ; next Unsat "\\w+&~([a-zA-Z0-9_]*)&[\\x00-\\x7F]*"
+  ; next Sat "[\\u{4E00}-\\u{9FFF}]{2,4}"
+  ; next Unsat "[\\u{4E00}-\\u{9FFF}]+&[a-z]+"
+  ; next Sat "(\\u{4E2D}\\u{6587}|latin)+&.{2,8}"
+  ; (* complement over the whole BMP *)
+    next Sat "~([\\x00-\\x7F]*)&.{1,3}"
+  ; next Unsat "~(.*)"
+  ; (* case-spanning classes with a required Greek letter *)
+    next Sat "[a-zA-Z\\u{0391}-\\u{03A9}\\u{03B1}-\\u{03C9}]{5}&.*\\u{03B2}.*"
+  ; next Unsat "[\\u{0400}-\\u{04FF}]+&\\w+&~(\\w+)"
+  ; (* large-alphabet loops: fine symbolically, hopeless per-character *)
+    next Sat ".{100}&.*\\u{FFFF}.*"
+  ; next Unsat ".{100}&.{0,99}"
+  ]
+
+let all () = date () @ password () @ loops () @ blowup ()

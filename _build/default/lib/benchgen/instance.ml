@@ -1,0 +1,59 @@
+(** Benchmark instances for the experiment harness (Section 6 of the
+    paper; see the substitution notes in DESIGN.md).
+
+    An instance is a single satisfiability problem for an extended regex,
+    carried as {e concrete syntax} so that every solver backend -- and
+    every alphabet algebra -- parses it into its own representation.
+    Boolean combinations of membership constraints have already been
+    folded into the ERE, exactly as dZ3's preprocessing does; the
+    [to_smtlib] rendering re-exposes the top-level Boolean structure as
+    separate assertions, which is the form the original benchmark files
+    take. *)
+
+type category = Non_boolean | Boolean | Handwritten
+
+type expected = Sat | Unsat | Unlabeled
+
+type t = {
+  id : string;
+  suite : string;  (** "kaluza", "date", ... (Figure 4c row) *)
+  category : category;
+  pattern : string;  (** ERE in the concrete syntax of [Sbd_regex.Parser] *)
+  expected : expected;
+}
+
+let make ~suite ~category ~expected idx pattern =
+  { id = Printf.sprintf "%s-%03d" suite idx; suite; category; pattern; expected }
+
+let string_of_category = function
+  | Non_boolean -> "non-boolean"
+  | Boolean -> "boolean"
+  | Handwritten -> "handwritten"
+
+let string_of_expected = function
+  | Sat -> "sat"
+  | Unsat -> "unsat"
+  | Unlabeled -> "unlabeled"
+
+(* A tiny deterministic linear congruential generator, so benchmark
+   generation is reproducible without touching the global [Random]
+   state. *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int (seed * 2 + 1) }
+
+  let next rng =
+    (* Knuth's MMIX multiplier *)
+    rng.state <-
+      Int64.add (Int64.mul rng.state 6364136223846793005L) 1442695040888963407L;
+    Int64.to_int (Int64.shift_right_logical rng.state 33)
+
+  let int rng bound = next rng mod bound
+
+  let pick rng lst = List.nth lst (int rng (List.length lst))
+
+  let letter rng = Char.chr (Char.code 'a' + int rng 26)
+
+  let word rng len = String.init len (fun _ -> letter rng)
+end

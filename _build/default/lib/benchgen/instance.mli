@@ -1,0 +1,42 @@
+(** Benchmark instances for the experiment harness (Section 6 of the
+    paper; see DESIGN.md §3 for the corpus substitutions).
+
+    An instance is one ERE satisfiability problem, carried as concrete
+    syntax so every solver backend -- and every alphabet algebra --
+    parses it into its own representation. *)
+
+type category = Non_boolean | Boolean | Handwritten
+
+type expected =
+  | Sat
+  | Unsat
+  | Unlabeled  (** label resolved by the harness baseline, as the paper
+                   does for suites without ground truth *)
+
+type t = {
+  id : string;
+  suite : string;  (** Figure 4(c) row this instance belongs to *)
+  category : category;
+  pattern : string;  (** ERE in the concrete syntax of [Sbd_regex.Parser] *)
+  expected : expected;
+}
+
+val make :
+  suite:string -> category:category -> expected:expected -> int -> string -> t
+
+val string_of_category : category -> string
+val string_of_expected : expected -> string
+
+(** Deterministic linear congruential generator, so benchmark generation
+    is reproducible and independent of the global [Random] state. *)
+module Rng : sig
+  type t
+
+  val create : int -> t
+  val next : t -> int
+  val int : t -> int -> int
+  val pick : t -> 'a list -> 'a
+  val letter : t -> char  (** uniform lowercase letter *)
+
+  val word : t -> int -> string  (** lowercase word of the given length *)
+end

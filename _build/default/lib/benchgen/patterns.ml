@@ -1,0 +1,25 @@
+(** A library of realistic regex patterns in the spirit of regexlib.com,
+    used to generate the RegExLib intersection and subset suites
+    (Figure 4c).  Patterns are written in the concrete syntax of
+    [Sbd_regex.Parser]. *)
+
+let all : (string * string) list =
+  [ ("email", "\\w+(\\.\\w+)*@\\w+(\\.\\w+)+")
+  ; ("url", "(http|https)://[a-zA-Z0-9._/-]+")
+  ; ("phone", "\\(\\d{3}\\) ?\\d{3}-\\d{4}|\\d{3}-\\d{3}-\\d{4}")
+  ; ("zip", "\\d{5}(-\\d{4})?")
+  ; ("ipv4", "\\d{1,3}(\\.\\d{1,3}){3}")
+  ; ("time24", "([01]\\d|2[0-3]):[0-5]\\d")
+  ; ("hexcolor", "#[0-9a-fA-F]{6}")
+  ; ("username", "[a-zA-Z][a-zA-Z0-9_]{2,15}")
+  ; ("slug", "[a-z0-9]+(-[a-z0-9]+)*")
+  ; ("isodate", "\\d{4}-(0\\d|1[0-2])-([0-2]\\d|3[01])")
+  ; ("usdate", "(0\\d|1[0-2])/([0-2]\\d|3[01])/\\d{4}")
+  ; ("float", "-?\\d+(\\.\\d+)?([eE][+-]?\\d+)?")
+  ; ("identifier", "[a-zA-Z_]\\w*")
+  ; ("guid",
+     "[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}")
+  ; ("digits", "\\d+")
+  ]
+
+let find name = List.assoc name all

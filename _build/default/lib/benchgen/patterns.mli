@@ -1,0 +1,12 @@
+(** A library of realistic regex patterns in the spirit of regexlib.com,
+    used to generate the RegExLib intersection and subset suites of
+    Figure 4(c).  Patterns are in the concrete syntax of
+    [Sbd_regex.Parser]. *)
+
+val all : (string * string) list
+(** [(name, pattern)] pairs: email, url, phone, zip, ipv4, time24,
+    hexcolor, username, slug, isodate, usdate, float, identifier, guid,
+    digits. *)
+
+val find : string -> string
+(** Pattern by name.  Raises [Not_found]. *)

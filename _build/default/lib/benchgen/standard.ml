@@ -1,0 +1,193 @@
+(** Synthetic stand-ins for the standard benchmark suites of Figure 4(c)
+    (Kaluza, Slog, Norn, SyGuS-qgen, RegExLib), generated deterministically
+    with the constraint {e shapes} of the originals (see DESIGN.md,
+    substitutions).  Counts are scaled down from the paper's corpus sizes;
+    the handwritten suites in [Handwritten] are at exact paper
+    quantities. *)
+
+open Instance
+
+(* Labels for the Kaluza-style ground instances are computed with the
+   derivative matcher, which is itself validated against the independent
+   oracle in the test suite. *)
+module R = Sbd_regex.Regex.Make (Sbd_alphabet.Bdd)
+module P = Sbd_regex.Parser.Make (R)
+module D = Sbd_core.Deriv.Make (R)
+
+(** Kaluza-style: word-equation-easy instances -- a concrete string
+    constrained against a pattern, i.e. ground membership re-expressed as
+    the intersection of a literal language with a pattern.  These dominate
+    the paper's non-Boolean set and are trivial for all solvers.
+
+    The instance pattern is [w & rest], so it is satisfiable exactly when
+    the literal [w] matches [rest]; the label is computed by the
+    derivative matcher (validated against the independent oracle in the
+    test suite).  Generated words use lowercase letters only, so no
+    escaping is needed when splicing them into patterns. *)
+let kaluza ?(count = 500) () : t list =
+  let rng = Rng.create 101 in
+  List.init count (fun i ->
+      let w = Rng.word rng (1 + Rng.int rng 6) in
+      let shape = Rng.int rng 5 in
+      let pattern =
+        match shape with
+        | 0 ->
+          let p = String.sub w 0 (1 + Rng.int rng (String.length w)) in
+          Printf.sprintf "%s&%s.*" w p
+        | 1 -> Printf.sprintf "%s&.*%s" w (Rng.word rng 2)
+        | 2 -> Printf.sprintf "%s&.*%s.*" w (Rng.word rng (1 + Rng.int rng 2))
+        | 3 ->
+          let lo = Rng.int rng 5 in
+          Printf.sprintf "%s&.{%d,%d}" w lo (lo + 2)
+        | _ -> Printf.sprintf "%s&[a-m]*" w
+      in
+      let expected =
+        match P.parse pattern with
+        | Ok r -> if D.matches_string r w then Sat else Unsat
+        | Error _ -> Unlabeled
+      in
+      make ~suite:"kaluza" ~category:Non_boolean ~expected (i + 1) pattern)
+
+(** Slog-style: sanitizer patterns -- single membership constraints with
+    character classes and concatenations (from string transformation
+    benchmarks).  Mostly satisfiable; some have empty languages by
+    construction. *)
+let slog ?(count = 200) () : t list =
+  let rng = Rng.create 202 in
+  let classes = [ "[a-z]"; "[A-Z]"; "\\d"; "\\w"; "[aeiou]"; "[<>&\"']" ] in
+  List.init count (fun i ->
+      let len = 2 + Rng.int rng 4 in
+      let parts =
+        List.init len (fun _ ->
+            let c = Rng.pick rng classes in
+            match Rng.int rng 4 with
+            | 0 -> c
+            | 1 -> c ^ "*"
+            | 2 -> c ^ "+"
+            | _ -> c ^ Printf.sprintf "{%d,%d}" (Rng.int rng 3) (2 + Rng.int rng 3))
+      in
+      let base = String.concat "" parts in
+      let expected, pattern =
+        if Rng.int rng 10 = 0 then
+          (* inject an impossible class conjunction *)
+          (Unsat, Printf.sprintf "(%s)&[a-m]+&[n-z]+&.{1}" base)
+        else (Sat, base)
+      in
+      make ~suite:"slog" ~category:Non_boolean ~expected (i + 1) pattern)
+
+(** Norn-style: star/union-heavy single constraints with length windows
+    (the shape of Norn's generated verification conditions). *)
+let norn ?(count = 120) () : t list =
+  let rng = Rng.create 303 in
+  List.init count (fun i ->
+      let a = Rng.letter rng and b = Rng.letter rng in
+      let block = Printf.sprintf "(%c|%c%c)*" a a b in
+      let k = 1 + Rng.int rng 6 in
+      let shape = Rng.int rng 3 in
+      let pattern, expected =
+        match shape with
+        | 0 -> (Printf.sprintf "%s&.{%d,}" block k, Sat)
+        | 1 ->
+          (* block constrained to a window incompatible with its alphabet *)
+          let c = Char.chr ((Char.code a - Char.code 'a' + 13) mod 26 + Char.code 'a') in
+          (Printf.sprintf "%s&%c+" block c, if c = a then Sat else Unsat)
+        | _ -> (Printf.sprintf "%s&~(%c*)" block a, if a = b then Unsat else Sat)
+      in
+      make ~suite:"norn" ~category:Non_boolean ~expected (i + 1) pattern)
+
+(** SyGuS-qgen style: alternation-heavy single memberships. *)
+let sygus ?(count = 80) () : t list =
+  let rng = Rng.create 404 in
+  List.init count (fun i ->
+      let words = List.init (2 + Rng.int rng 3) (fun _ -> Rng.word rng (1 + Rng.int rng 3)) in
+      let union = String.concat "|" words in
+      let pattern = Printf.sprintf "(%s)*&.{2,8}" union in
+      make ~suite:"sygus" ~category:Non_boolean ~expected:Sat (i + 1) pattern)
+
+(* -- Boolean suites ----------------------------------------------------- *)
+
+(** RegExLib intersection: is the intersection of two (or three) realistic
+    patterns satisfiable?  Labels are left to the harness baseline, as in
+    the paper's methodology for unlabeled suites. *)
+let regexlib_intersection ?(count = 55) () : t list =
+  let pats = Patterns.all in
+  let rng = Rng.create 606 in
+  let pairs =
+    List.concat_map
+      (fun (n1, p1) ->
+        List.filter_map
+          (fun (n2, p2) ->
+            if n1 < n2 then Some (Printf.sprintf "(%s)&(%s)" p1 p2) else None)
+          pats)
+      pats
+  in
+  (* 30 plain pairs, then windowed triples with a complemented third
+     pattern: the shape that stresses complement handling *)
+  let plain = List.filteri (fun i _ -> i < min 30 count) pairs in
+  let triples =
+    List.init (max 0 (count - List.length plain)) (fun _ ->
+        let _, p1 = Rng.pick rng pats and _, p2 = Rng.pick rng pats in
+        let lo = 4 + Rng.int rng 8 in
+        Printf.sprintf "(%s)&.{%d,%d}&~(%s)" p1 lo (lo + 12) p2)
+  in
+  List.mapi
+    (fun i pattern ->
+      make ~suite:"regexlib-inter" ~category:Boolean ~expected:Unlabeled (i + 1) pattern)
+    (plain @ triples)
+
+(** RegExLib subset: containment questions [r1 subset r2], rendered as
+    emptiness of [r1 & ~r2].  Reflexive pairs are unsat by construction;
+    the rest are labeled by the harness baseline. *)
+let regexlib_subset ?(count = 100) () : t list =
+  let pats = Patterns.all in
+  let pairs =
+    List.concat_map
+      (fun (n1, p1) ->
+        List.map
+          (fun (n2, p2) ->
+            let expected = if n1 = n2 then Unsat else Unlabeled in
+            (Printf.sprintf "(%s)&~(%s)" p1 p2, expected))
+          pats)
+      pats
+  in
+  List.mapi
+    (fun i (pattern, expected) ->
+      make ~suite:"regexlib-subset" ~category:Boolean ~expected (i + 1) pattern)
+    (List.filteri (fun i _ -> i < count) pairs)
+
+(** Boolean-ized Norn: conjunctions of several constraints on the same
+    string, with one negated -- the "multiple memberships on one
+    variable" shape that classifies a benchmark as Boolean in Section 6's
+    methodology. *)
+let norn_boolean ?(count = 60) () : t list =
+  let rng = Rng.create 505 in
+  List.init count (fun i ->
+      let a = Rng.letter rng in
+      let b = Char.chr (Char.code 'a' + ((Char.code a - Char.code 'a' + 1) mod 26)) in
+      let k = 6 + Rng.int rng 8 in
+      let shape = Rng.int rng 4 in
+      let pattern, expected =
+        match shape with
+        | 0 ->
+          (* deep witness inside a complement-heavy space *)
+          ( Printf.sprintf "(%c|%c)*&.*%c.{%d}&~(.*%c.{%d})" a b a k b k,
+            Sat )
+        | 1 ->
+          (* the positive bound is subsumed by the complemented one *)
+          ( Printf.sprintf "(%c|%c)*&.*%c.{%d}&~(.*[%c%c].{%d})" a b a k a b k,
+            Unsat )
+        | 2 ->
+          ( Printf.sprintf "(%c%c)*&~((%c%c){0,%d})&.{0,%d}" a b a b (4 + Rng.int rng 4) 30,
+            Sat )
+        | _ ->
+          ( Printf.sprintf "(%c|%c)*&.*%c%c.*&~(.*%c.*)" a b a b b,
+            Unsat )
+      in
+      make ~suite:"norn-bool" ~category:Boolean ~expected (i + 1) pattern)
+
+(* -- collections --------------------------------------------------------- *)
+
+let non_boolean () = kaluza () @ slog () @ norn () @ sygus ()
+let boolean () = regexlib_intersection () @ regexlib_subset () @ norn_boolean ()
+let handwritten () = Handwritten.all ()
+let all () = non_boolean () @ boolean () @ handwritten ()

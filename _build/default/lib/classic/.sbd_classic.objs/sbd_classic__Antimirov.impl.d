@@ -1,0 +1,1 @@
+lib/classic/antimirov.ml: List Sbd_regex

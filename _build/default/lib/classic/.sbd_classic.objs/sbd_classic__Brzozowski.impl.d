@@ -1,0 +1,1 @@
+lib/classic/brzozowski.ml: Char List Sbd_regex String

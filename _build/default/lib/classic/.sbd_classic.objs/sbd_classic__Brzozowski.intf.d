@@ -1,0 +1,1 @@
+lib/classic/brzozowski.mli: Sbd_regex

@@ -1,0 +1,1 @@
+lib/classic/minterm_solver.ml: Brzozowski Hashtbl List Option Queue Sbd_alphabet Sbd_regex

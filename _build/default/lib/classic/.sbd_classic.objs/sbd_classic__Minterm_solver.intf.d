@@ -1,0 +1,1 @@
+lib/classic/minterm_solver.mli: Sbd_regex

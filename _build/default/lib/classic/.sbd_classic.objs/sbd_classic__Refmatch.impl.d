@@ -1,0 +1,1 @@
+lib/classic/refmatch.ml: Array Char Fun Hashtbl List Sbd_regex String

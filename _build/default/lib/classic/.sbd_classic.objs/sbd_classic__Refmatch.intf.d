@@ -1,0 +1,1 @@
+lib/classic/refmatch.mli: Sbd_regex

@@ -1,0 +1,108 @@
+(** Antimirov partial derivatives (Section 8.1), classical and extended.
+
+    For a classical regex, [partial a r] is the finite set of partial
+    derivatives of [r] w.r.t. the concrete character [a] ([6, Def 2.8]):
+    viewing regexes as states, each element is a separate NFA successor,
+    and the union of the set denotes [D_a(L(r))].
+
+    For extended regexes restricted to the positive fragment (no
+    complement), [partial_pos] returns the Caron-Champarnaud-Mignot style
+    |-set of &-sets ([17]): a disjunction of conjunctions of regexes.
+    Complement is not supported here -- that limitation is intrinsic to
+    the approach (the paper's Section 8.4 notes it is "essentially out of
+    scope" for the solvers built on it) and is what the symbolic Boolean
+    derivatives of [Sbd_core] remove. *)
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module A = R.A
+
+  exception Unsupported of string
+
+  (* Concatenate every element of a set with [r] on the right. *)
+  let set_concat (s : R.Set.t) (r : R.t) : R.Set.t =
+    R.Set.map (fun x -> R.concat x r) s
+
+  (** Partial derivatives of a classical regex ([Unsupported] on [&]/[~]). *)
+  let rec partial (a : int) (r : R.t) : R.Set.t =
+    match r.R.node with
+    | Eps -> R.Set.empty
+    | Pred p -> if A.mem a p then R.Set.singleton R.eps else R.Set.empty
+    | Concat (r1, r2) ->
+      let d1 = set_concat (partial a r1) r2 in
+      if R.nullable r1 then R.Set.union d1 (partial a r2) else d1
+    | Star body -> set_concat (partial a body) r
+    | Loop (body, m, n) ->
+      let n' = match n with None -> None | Some x -> Some (x - 1) in
+      set_concat (partial a body) (R.loop body (max (m - 1) 0) n')
+    | Or xs ->
+      List.fold_left (fun acc x -> R.Set.union acc (partial a x)) R.Set.empty xs
+    | And _ -> raise (Unsupported "intersection in classical partial derivative")
+    | Not _ -> raise (Unsupported "complement in classical partial derivative")
+
+  (* -- extended (positive fragment): |-sets of &-sets ----------------- *)
+
+  (** A conjunct: a set of regexes denoting their intersection. *)
+  type conj = R.Set.t
+
+  (** A disjunction of conjunctions, as in [17, Definition 2]. *)
+  type dnf = conj list
+
+  let conj_nullable (c : conj) = R.Set.for_all R.nullable c
+
+  let conj_regex (c : conj) : R.t = R.inter_list (R.Set.elements c)
+
+  let dnf_union (a : dnf) (b : dnf) : dnf =
+    List.fold_left
+      (fun acc c -> if List.exists (R.Set.equal c) acc then acc else c :: acc)
+      a b
+
+  let dnf_product (a : dnf) (b : dnf) : dnf =
+    List.concat_map (fun c1 -> List.map (fun c2 -> R.Set.union c1 c2) b) a
+    |> List.fold_left
+         (fun acc c -> if List.exists (R.Set.equal c) acc then acc else c :: acc)
+         []
+
+  let dnf_concat (d : dnf) (r : R.t) : dnf =
+    List.map (fun c -> R.Set.singleton (R.concat (conj_regex c) r)) d
+
+  (** Partial derivatives of a positive (complement-free) extended regex,
+      as a disjunction of conjunctions.  Raises [Unsupported] on [~]. *)
+  let rec partial_pos (a : int) (r : R.t) : dnf =
+    match r.R.node with
+    | Eps -> []
+    | Pred p -> if A.mem a p then [ R.Set.singleton R.eps ] else []
+    | Concat (r1, r2) ->
+      let d1 = dnf_concat (partial_pos a r1) r2 in
+      if R.nullable r1 then dnf_union d1 (partial_pos a r2) else d1
+    | Star body -> dnf_concat (partial_pos a body) r
+    | Loop (body, m, n) ->
+      let n' = match n with None -> None | Some x -> Some (x - 1) in
+      dnf_concat (partial_pos a body) (R.loop body (max (m - 1) 0) n')
+    | Or xs ->
+      List.fold_left (fun acc x -> dnf_union acc (partial_pos a x)) [] xs
+    | And xs ->
+      List.fold_left
+        (fun acc x -> dnf_product acc (partial_pos a x))
+        [ R.Set.empty ] xs
+    | Not _ -> raise (Unsupported "complement in partial derivative")
+
+  (** NFA-style matching with partial derivatives (classical regexes). *)
+  let matches (r : R.t) (w : int list) : bool =
+    let step states a =
+      R.Set.fold (fun s acc -> R.Set.union acc (partial a s)) states R.Set.empty
+    in
+    let final = List.fold_left step (R.Set.singleton r) w in
+    R.Set.exists R.nullable final
+
+  (** Alternating matching with conjunction sets (positive EREs). *)
+  let matches_pos (r : R.t) (w : int list) : bool =
+    let step (d : dnf) a =
+      List.concat_map
+        (fun c ->
+          R.Set.fold (fun s acc -> dnf_product acc (partial_pos a s)) c
+            [ R.Set.empty ])
+        d
+    in
+    let final = List.fold_left step [ R.Set.singleton r ] w in
+    List.exists conj_nullable final
+end

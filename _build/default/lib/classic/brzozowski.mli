@@ -1,0 +1,11 @@
+(** Classical Brzozowski derivatives of EREs w.r.t. concrete characters
+    (Section 8.1).  Theorem 4.3 equates these with the symbolic
+    derivative applied to a character; the property suite checks it. *)
+
+module Make (R : Sbd_regex.Regex.S) : sig
+  val derive : int -> R.t -> R.t
+  (** [derive a r = D^Brz_a(r)]. *)
+
+  val matches : R.t -> int list -> bool
+  val matches_string : R.t -> string -> bool
+end

@@ -1,0 +1,71 @@
+(** Baseline solver: upfront mintermization + classical derivatives
+    (the finite-alphabet school; Sections 1 and 8.3 of the paper).
+
+    The alphabet is finitized by computing [Minterms(Psi_r)] -- worst case
+    [2^n] predicates for [n] distinct predicates in [r] -- and the state
+    space is then explored with classical Brzozowski derivatives, one
+    successor per minterm.  This is sound and complete for full ERE, but
+    pays the minterm blowup on every state expansion, which is exactly
+    the cost profile the paper attributes to mintermization-based
+    approaches (e.g. the next-literal computation of [36]).
+
+    Used as a stand-in for the finite-alphabet competitors in the
+    experiment harness (see DESIGN.md, substitutions). *)
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module A = R.A
+  module Brz = Brzozowski.Make (R)
+  module M = Sbd_alphabet.Minterm.Make (A)
+
+  type result = Sat of int list | Unsat | Unknown of string
+
+  (** Decide satisfiability of [r] by BFS over Brzozowski derivatives with
+      one representative character per minterm of [Psi_r].  [budget]
+      bounds the number of state-times-minterm steps. *)
+  let solve ?(budget = 200_000) (r : R.t) : result =
+    if R.nullable r then Sat []
+    else begin
+      let minterm_preds = M.minterms (R.preds r) in
+      (* One concrete representative character per minterm: classical
+         derivatives only see concrete characters. *)
+      let letters =
+        List.filter_map
+          (fun p -> Option.map (fun c -> (p, c)) (A.choose p))
+          minterm_preds
+      in
+      let visited : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+      let queue : (R.t * int list) Queue.t = Queue.create () in
+      let push r path =
+        if not (Hashtbl.mem visited r.R.id) then begin
+          Hashtbl.add visited r.R.id ();
+          Queue.add (r, path) queue
+        end
+      in
+      push r [];
+      let steps = ref 0 in
+      let result = ref None in
+      while !result = None && not (Queue.is_empty queue) do
+        let q, path = Queue.pop queue in
+        List.iter
+          (fun (_, c) ->
+            incr steps;
+            if !result = None then begin
+              if !steps > budget then result := Some (Unknown "budget exhausted")
+              else
+                let d = Brz.derive c q in
+                if not (R.is_empty d) then begin
+                  if R.nullable d then result := Some (Sat (List.rev (c :: path)))
+                  else push d (c :: path)
+                end
+            end)
+          letters
+      done;
+      match !result with Some res -> res | None -> Unsat
+    end
+
+  let is_empty_lang ?budget r =
+    match solve ?budget r with
+    | Unsat -> Some true
+    | Sat _ -> Some false
+    | Unknown _ -> None
+end

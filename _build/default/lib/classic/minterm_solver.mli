@@ -1,0 +1,11 @@
+(** Baseline solver of the finite-alphabet school (Sections 1 and 8.3):
+    upfront mintermization of the regex's predicates (worst case [2^n]),
+    then BFS with classical Brzozowski derivatives, one representative
+    character per minterm. *)
+
+module Make (R : Sbd_regex.Regex.S) : sig
+  type result = Sat of int list | Unsat | Unknown of string
+
+  val solve : ?budget:int -> R.t -> result
+  val is_empty_lang : ?budget:int -> R.t -> bool option
+end

@@ -1,0 +1,95 @@
+(** Reference semantics of extended regular expressions, implemented by
+    direct dynamic programming over the definition of [L(r)] (Section 3).
+
+    This matcher shares {e no} code with the derivative machinery -- no
+    smart-constructor algebra, no transition regexes -- and is therefore
+    used as the independent oracle in the property-based test suite:
+    derivative-based matching, SBFA acceptance, classical derivatives and
+    solver witnesses are all checked against it.
+
+    Complexity is exponential in the worst case (complement forces full
+    subproblem tabulation); it is only intended for short words. *)
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module A = R.A
+
+  (** [matches r w]: does the word [w] (code points) belong to [L(r)]? *)
+  let matches (r : R.t) (w : int list) : bool =
+    let w = Array.of_list w in
+    let n = Array.length w in
+    (* memo on (regex id, start, stop) *)
+    let memo : (int * int * int, bool) Hashtbl.t = Hashtbl.create 256 in
+    let rec mat (r : R.t) i j =
+      let key = (r.R.id, i, j) in
+      match Hashtbl.find_opt memo key with
+      | Some b -> b
+      | None ->
+        let b = compute r i j in
+        Hashtbl.add memo key b;
+        b
+    and compute r i j =
+      match r.R.node with
+      | Pred p -> j = i + 1 && A.mem w.(i) p
+      | Eps -> i = j
+      | Concat (a, b) ->
+        let ok = ref false in
+        let k = ref i in
+        while (not !ok) && !k <= j do
+          if mat a i !k && mat b !k j then ok := true;
+          incr k
+        done;
+        !ok
+      | Star a ->
+        if i = j then true
+        else begin
+          (* split off a non-empty first iteration *)
+          let ok = ref false in
+          let k = ref (i + 1) in
+          while (not !ok) && !k <= j do
+            if mat a i !k && mat r !k j then ok := true;
+            incr k
+          done;
+          !ok
+        end
+      | Loop (a, m, n) -> loop_mat a m n i j
+      | Or xs -> List.exists (fun x -> mat x i j) xs
+      | And xs -> List.for_all (fun x -> mat x i j) xs
+      | Not a -> not (mat a i j)
+    and loop_mat a m n i j =
+      (* Membership in a{m,n} on w[i..j).  An empty-word iteration never
+         helps except to satisfy the lower bound, which it can do exactly
+         when [a] accepts the empty word. *)
+      let eps_a = mat a i i in
+      if i = j then m = 0 || eps_a
+      else if n = Some 0 then false
+      else begin
+        (* Recursion is well-founded: a non-empty first iteration strictly
+           shrinks the span.  No regex construction is involved, keeping
+           the oracle independent of the smart-constructor algebra. *)
+        let n' = match n with None -> None | Some x -> Some (x - 1) in
+        let ok = ref false in
+        let k = ref (i + 1) in
+        while (not !ok) && !k <= j do
+          if mat a i !k && loop_mat a (max (m - 1) 0) n' !k j then ok := true;
+          incr k
+        done;
+        !ok
+      end
+    in
+    mat r 0 n
+
+  let matches_string r s =
+    matches r (List.init (String.length s) (fun i -> Char.code s.[i]))
+
+  (** Enumerate all words up to length [max_len] over the given sample
+      alphabet that match [r].  For oracle-based language comparisons. *)
+  let language ~alphabet ~max_len (r : R.t) : int list list =
+    let rec words len =
+      if len = 0 then [ [] ]
+      else
+        let shorter = words (len - 1) in
+        List.concat_map (fun w -> List.map (fun c -> c :: w) alphabet) shorter
+    in
+    let all = List.concat_map words (List.init (max_len + 1) Fun.id) in
+    List.filter (matches r) all
+end

@@ -1,0 +1,12 @@
+(** Reference semantics of EREs by direct dynamic programming over the
+    definition of [L(r)] (Section 3).  Shares no code with the derivative
+    machinery: this is the independent oracle the whole test suite checks
+    every engine against.  Exponential worst case; short words only. *)
+
+module Make (R : Sbd_regex.Regex.S) : sig
+  val matches : R.t -> int list -> bool
+  val matches_string : R.t -> string -> bool
+
+  val language : alphabet:int list -> max_len:int -> R.t -> int list list
+  (** All words over [alphabet] up to [max_len] in [L(r)]. *)
+end

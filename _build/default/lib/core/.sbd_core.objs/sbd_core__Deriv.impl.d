@@ -1,0 +1,1 @@
+lib/core/deriv.ml: Char Hashtbl List Sbd_regex String Tregex

@@ -1,0 +1,1 @@
+lib/core/deriv.mli: Sbd_alphabet Sbd_regex Tregex

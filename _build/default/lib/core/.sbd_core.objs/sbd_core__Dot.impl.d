@@ -1,0 +1,1 @@
+lib/core/dot.ml: Buffer Deriv Format Hashtbl List Printf Queue Sbd_regex Sbfa String

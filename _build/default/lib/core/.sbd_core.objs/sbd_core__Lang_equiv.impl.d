@@ -1,0 +1,1 @@
+lib/core/lang_equiv.ml: Deriv Hashtbl List Queue Sbd_alphabet Sbd_regex

@@ -1,0 +1,1 @@
+lib/core/lang_equiv.mli: Sbd_regex

@@ -1,0 +1,1 @@
+lib/core/safa.ml: Array Deriv Hashtbl List Queue Sbd_alphabet Sbd_regex

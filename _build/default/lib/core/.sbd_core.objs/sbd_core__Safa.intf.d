@@ -1,0 +1,1 @@
+lib/core/safa.mli: Hashtbl Sbd_alphabet Sbd_regex

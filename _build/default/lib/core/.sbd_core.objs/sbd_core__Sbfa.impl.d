@@ -1,0 +1,1 @@
+lib/core/sbfa.ml: Deriv List Queue Sbd_regex

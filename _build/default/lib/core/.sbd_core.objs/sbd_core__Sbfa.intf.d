@@ -1,0 +1,1 @@
+lib/core/sbfa.mli: Deriv Sbd_alphabet Sbd_regex

@@ -1,0 +1,1 @@
+lib/core/tregex.ml: Format Hashtbl List Sbd_regex

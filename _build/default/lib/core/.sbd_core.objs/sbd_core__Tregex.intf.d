@@ -1,0 +1,1 @@
+lib/core/tregex.mli: Format Sbd_alphabet Sbd_regex

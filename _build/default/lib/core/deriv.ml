@@ -1,0 +1,100 @@
+(** Symbolic derivatives of extended regular expressions (Section 4).
+
+    [delta r] is the transition regex denoting, for each character [c], the
+    Brzozowski derivative of [r] with respect to [c] (Theorem 4.3):
+
+    {v L(delta(r)(c)) = { w | c w in L(r) } v}
+
+    computed symbolically, before the character is known.  [delta_dnf] is
+    the clean disjunctive normal form used by the decision procedure
+    (Section 5).  Both are memoized per regex: derivation explores the
+    state space of the corresponding SBFA lazily, and hash-consed regexes
+    make the memo table a map from state to out-transitions. *)
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module A = R.A
+  module Tr = Tregex.Make (R)
+
+  let delta_table : (int, Tr.t) Hashtbl.t = Hashtbl.create 256
+  let dnf_table : (int, Tr.t) Hashtbl.t = Hashtbl.create 256
+
+  (* Decrement an upper loop bound; unbounded stays unbounded. *)
+  let pred_bound = function None -> None | Some n -> Some (n - 1)
+
+  (** The symbolic derivative [delta : ERE -> TR] (Section 4).  Complements
+      are pushed eagerly through [Tr.neg] (sound by Lemma 4.2), which keeps
+      intermediate transition regexes negation-free. *)
+  let rec delta (r : R.t) : Tr.t =
+    match Hashtbl.find_opt delta_table r.R.id with
+    | Some t -> t
+    | None ->
+      let t = compute r in
+      Hashtbl.add delta_table r.R.id t;
+      t
+
+  and compute (r : R.t) : Tr.t =
+    match r.R.node with
+    | Eps -> Tr.bot
+    | Pred p ->
+      if A.is_bot p then Tr.bot else Tr.ite p (Tr.leaf R.eps) Tr.bot
+    | Concat (r1, r2) ->
+      let d1 = Tr.concat_right (delta r1) r2 in
+      if R.nullable r1 then Tr.union d1 (delta r2) else d1
+    | Star body -> Tr.concat_right (delta body) r
+    | Loop (body, m, n) ->
+      (* delta(r{m,n}) = delta(r) . r{m-1, n-1}; the smart constructor has
+         already ensured m = 0 whenever the body is nullable, making the
+         plain concatenation rule apply (see regex.ml). *)
+      let rest = R.loop body (max (m - 1) 0) (pred_bound n) in
+      Tr.concat_right (delta body) rest
+    | Or rs ->
+      List.fold_left (fun acc x -> Tr.union acc (delta x)) Tr.bot rs
+    | And rs ->
+      List.fold_left (fun acc x -> Tr.inter acc (delta x)) Tr.top rs
+    | Not body -> Tr.neg (delta body)
+
+  (** [delta_dnf r]: the derivative in clean disjunctive normal form
+      (Section 5, "Transition Regex Normal Form"). *)
+  let delta_dnf (r : R.t) : Tr.t =
+    match Hashtbl.find_opt dnf_table r.R.id with
+    | Some t -> t
+    | None ->
+      let t = Tr.dnf (delta r) in
+      Hashtbl.add dnf_table r.R.id t;
+      t
+
+  let transitions_table : (int, (A.pred * R.t) list) Hashtbl.t =
+    Hashtbl.create 256
+
+  (** The guarded out-edges of [r] in the derivative graph: the
+      transitions of [delta_dnf r], memoized (the decision procedure
+      re-visits states at several search depths). *)
+  let transitions (r : R.t) : (A.pred * R.t) list =
+    match Hashtbl.find_opt transitions_table r.R.id with
+    | Some ts -> ts
+    | None ->
+      let ts = Tr.transitions (delta_dnf r) in
+      Hashtbl.add transitions_table r.R.id ts;
+      ts
+
+  (** One-character derivation: [derive c r = delta(r)(c)]. *)
+  let derive c r = Tr.apply (delta r) c
+
+  (** [matches r w]: derivative-based matching of the concrete word [w]
+      (a list of code points) against [r]. *)
+  let matches (r : R.t) (w : int list) : bool =
+    R.nullable (List.fold_left (fun r c -> derive c r) r w)
+
+  (** [matches_string r s] matches the bytes of an OCaml string (i.e.
+      Latin-1 code points). *)
+  let matches_string r s =
+    matches r (List.init (String.length s) (fun i -> Char.code s.[i]))
+
+  (** Statistics about the memo tables, for the experiment harness. *)
+  let stats () = (Hashtbl.length delta_table, Hashtbl.length dnf_table)
+
+  let clear_tables () =
+    Hashtbl.reset delta_table;
+    Hashtbl.reset dnf_table;
+    Hashtbl.reset transitions_table
+end

@@ -1,0 +1,36 @@
+(** Symbolic derivatives of extended regular expressions (Section 4):
+    [delta r] is the transition regex with
+    [L(delta(r)(c)) = { w | c w ∈ L(r) }] for every character [c]
+    (Theorem 4.3), computed before the character is known.  All
+    computations are memoized per hash-consed regex. *)
+
+module Make (R : Sbd_regex.Regex.S) : sig
+  module A : Sbd_alphabet.Algebra.S with type pred = R.A.pred
+  module Tr : module type of Tregex.Make (R)
+
+  val delta : R.t -> Tr.t
+  (** The symbolic derivative [δ : ERE → TR] (Section 4).  Complements
+      are pushed eagerly through [Tr.neg] (sound by Lemma 4.2). *)
+
+  val delta_dnf : R.t -> Tr.t
+  (** The derivative in clean disjunctive normal form (Section 5,
+      "Transition Regex Normal Form"). *)
+
+  val transitions : R.t -> (A.pred * R.t) list
+  (** Guarded out-edges of [r] in the derivative graph: the transitions
+      of [delta_dnf r], memoized. *)
+
+  val derive : int -> R.t -> R.t
+  (** One-character derivation: [derive c r = delta(r)(c)]. *)
+
+  val matches : R.t -> int list -> bool
+  (** Derivative-based matching of a concrete word (code points). *)
+
+  val matches_string : R.t -> string -> bool
+  (** Match the bytes of an OCaml string (Latin-1 code points). *)
+
+  val stats : unit -> int * int
+  (** Sizes of the (delta, dnf) memo tables, for the harness. *)
+
+  val clear_tables : unit -> unit
+end

@@ -1,0 +1,21 @@
+(** Language equivalence and containment of extended regexes by
+    coinduction on symbolic derivatives (the Hopcroft-Karp / Pous [53]
+    style lifted to the symbolic Boolean setting): no complements or
+    products are ever constructed, and inequivalence comes with a
+    distinguishing word. *)
+
+module Make (R : Sbd_regex.Regex.S) : sig
+  type result =
+    | Equivalent
+    | Counterexample of int list
+        (** a word accepted by exactly one of the two regexes *)
+
+  val check : ?max_pairs:int -> R.t -> R.t -> result option
+  (** Decide [L(r1) = L(r2)]; [None] when the bisimulation exceeds
+      [max_pairs] (default 100k) symbolic state pairs. *)
+
+  val equiv : ?max_pairs:int -> R.t -> R.t -> bool option
+
+  val subset : ?max_pairs:int -> R.t -> R.t -> bool option
+  (** [L(r1) ⊆ L(r2)], via [r1 | r2 ≡ r2]. *)
+end

@@ -1,0 +1,41 @@
+(** Symbolic Alternating Finite Automata and their relationship to SBFAs
+    (Section 8.3, Propositions 8.2 and 8.3).  Complement-free: negation
+    is eliminated upfront by doubling the state space with negated
+    states, and conditionals are expanded over local minterms -- the
+    worst-case-exponential translation that motivates working with SBFAs
+    directly. *)
+
+module Make (R : Sbd_regex.Regex.S) : sig
+  module A : Sbd_alphabet.Algebra.S with type pred = R.A.pred
+
+  (** Positive Boolean formulas over states. *)
+  type 'q formula =
+    | True
+    | False
+    | State of 'q
+    | And of 'q formula * 'q formula
+    | Or of 'q formula * 'q formula
+
+  type state = { regex : R.t; negated : bool }
+  (** A derivative regex or its negated twin [q̄]. *)
+
+  type t = {
+    states : state list;
+    initial : state formula;
+    finals : state -> bool;
+    transitions : (state, (A.pred * state formula) list) Hashtbl.t;
+  }
+
+  val eval_formula : ('q -> bool) -> 'q formula -> bool
+  val map_formula : ('q -> 'r formula) -> 'q formula -> 'r formula
+
+  val of_sbfa_regex : ?max_states:int -> R.t -> t option
+  (** Build a SAFA equivalent to [r]'s SBFA (Proposition 8.3); [None]
+      when the (worst-case exponential) state space exceeds
+      [max_states]. *)
+
+  val accepts : t -> int list -> bool
+  (** Alternating acceptance, evaluated top-down with memoization. *)
+
+  val num_states : t -> int
+end

@@ -1,0 +1,37 @@
+(** Symbolic Boolean Finite Automata (Section 7): the automaton whose
+    states are the symbolic derivatives of a regex.  Theorem 7.1
+    (finiteness), Theorem 7.2 (language correctness) and Theorem 7.3
+    (linear state bound on B(RE)) are all exercised against this
+    construction in the test suite. *)
+
+module Make (R : Sbd_regex.Regex.S) : sig
+  module A : Sbd_alphabet.Algebra.S with type pred = R.A.pred
+  module D : module type of Deriv.Make (R)
+  module Tr : module type of D.Tr
+
+  type t = {
+    initial : R.t;
+    states : R.Set.t;  (** [δ⁺(r) ∪ {r, ⊥, .*}], at the Section 7 state
+                           granularity (Boolean atoms of derivative
+                           terminals) *)
+    transitions : Tr.t R.Map.t;  (** symbolic derivative of each state *)
+    finals : R.Set.t;  (** nullable states *)
+  }
+
+  val build : ?max_states:int -> R.t -> t option
+  (** Fixpoint construction of [δ⁺(r)]; [None] when [max_states] is
+      exceeded (possible only outside B(RE), by Theorem 7.3). *)
+
+  val build_exn : ?max_states:int -> R.t -> t
+  val num_states : t -> int
+
+  val accepts : t -> int list -> bool
+  (** Run the SBFA on a word (Theorem 7.2 semantics). *)
+
+  val edges : t -> (R.t * (A.pred * R.t) list) list
+  (** The reachability graph at DNF-leaf granularity. *)
+
+  val linear_bound_holds : t -> bool
+  (** The statement of Theorem 7.3: [|Q| ≤ ♯(R) + 3], with [♯] counting
+      loop bodies as their classical unfolding.  Meaningful for B(RE). *)
+end

@@ -1,0 +1,298 @@
+(** Transition regexes (Section 4 of the paper).
+
+    A transition regex [TR] augments extended regexes with a symbolic
+    conditional and Boolean structure:
+
+    {v TR ::= ERE | if(phi, TR, TR) | TR '|' TR | TR & TR | ~TR v}
+
+    A transition regex denotes a function from characters to EREs
+    ({!apply}).  Transition regexes are the key device that makes
+    derivatives of EREs closed under complement and intersection without
+    enumerating the alphabet: the conditional keeps {e both} outcomes of a
+    character test, so negation can swap them ({!neg}, Lemma 4.2) and
+    intersection can be pushed into the leaves ({!dnf}, Section 4.1).
+
+    This module provides the smart constructors (with the unit/absorbing
+    simplifications of Section 4), application, concatenation lifting
+    [tau . R], negation, NNF, the lift-based disjunctive normal form of
+    Section 5 with on-the-fly pruning of unsatisfiable branches (clean
+    conditionals), and extraction of transitions [(psi, target)] used by
+    the SBFA construction and the decision procedure. *)
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module A = R.A
+
+  type t =
+    | Leaf of R.t
+    | Ite of A.pred * t * t
+    | Union of t * t
+    | Inter of t * t
+    | Compl of t
+
+  let bot = Leaf R.empty
+  let top = Leaf R.full
+  let leaf r = Leaf r
+
+  let rec equal a b =
+    match (a, b) with
+    | Leaf x, Leaf y -> R.equal x y
+    | Ite (p, t1, f1), Ite (q, t2, f2) ->
+      A.equal p q && equal t1 t2 && equal f1 f2
+    | Union (a1, b1), Union (a2, b2) | Inter (a1, b1), Inter (a2, b2) ->
+      equal a1 a2 && equal b1 b2
+    | Compl x, Compl y -> equal x y
+    | _ -> false
+
+  (** [if(phi, t, f)] with the simplifications [if(top,t,f) = t],
+      [if(bot,t,f) = f] and [if(phi,t,t) = t]. *)
+  let ite phi t f =
+    if A.is_top phi then t
+    else if A.is_bot phi then f
+    else if equal t f then t
+    else Ite (phi, t, f)
+
+  (** Union with ⊥ as unit and [.*] as absorbing element.  Leaves are
+      deliberately {e not} merged: keeping unions of leaves apart preserves
+      the Antimirov-style state granularity that Theorem 7.3's linear
+      bound relies on. *)
+  let union a b =
+    match (a, b) with
+    | Leaf x, _ when R.is_empty x -> b
+    | _, Leaf y when R.is_empty y -> a
+    | Leaf x, _ when R.is_full x -> a
+    | _, Leaf y when R.is_full y -> b
+    | _ -> if equal a b then a else Union (a, b)
+
+  (** Intersection with [.*] as unit and ⊥ as absorbing element.  Two
+      leaves {e are} merged into an intersection regex: leaves of a DNF may
+      be conjunctions of states (Section 5, "Transition Regex Normal
+      Form"). *)
+  let inter a b =
+    match (a, b) with
+    | Leaf x, _ when R.is_empty x -> bot
+    | _, Leaf y when R.is_empty y -> bot
+    | Leaf x, _ when R.is_full x -> b
+    | _, Leaf y when R.is_full y -> a
+    | Leaf x, Leaf y -> Leaf (R.inter x y)
+    | _ -> if equal a b then a else Inter (a, b)
+
+  (** Structural complement constructor; complement over a leaf is pushed
+      into the regex. *)
+  let compl = function
+    | Compl t -> t
+    | Leaf r -> Leaf (R.compl r)
+    | t -> Compl t
+
+  (** Negation [neg tau] is the syntactic dual of the paper (the "bar"
+      operation): it pushes complement all the way to the leaves.
+      Lemma 4.2: [neg tau ≡ ~tau]. *)
+  let rec neg = function
+    | Leaf r -> Leaf (R.compl r)
+    | Ite (p, t, f) -> ite p (neg t) (neg f)
+    | Union (a, b) -> inter (neg a) (neg b)
+    | Inter (a, b) -> union (neg a) (neg b)
+    | Compl t -> nnf t
+
+  (** Negation normal form: eliminates [Compl] nodes, leaving complements
+      only inside leaf regexes (Section 4.1, NNF rules). *)
+  and nnf = function
+    | Leaf r -> Leaf r
+    | Ite (p, t, f) -> ite p (nnf t) (nnf f)
+    | Union (a, b) -> union (nnf a) (nnf b)
+    | Inter (a, b) -> inter (nnf a) (nnf b)
+    | Compl t -> neg t
+
+  (** [apply tau c]: the ERE denoted by [tau] at character [c]
+      (the semantics [tau : Sigma -> B(Q)] of Section 4). *)
+  let rec apply t c =
+    match t with
+    | Leaf r -> r
+    | Ite (p, t, f) -> if A.mem c p then apply t c else apply f c
+    | Union (a, b) -> R.alt (apply a c) (apply b c)
+    | Inter (a, b) -> R.inter (apply a c) (apply b c)
+    | Compl t -> R.compl (apply t c)
+
+  (* -- lift and DNF --------------------------------------------------- *)
+
+  (* Pure conditional trees: transition regexes built from [Leaf] and
+     [Ite] only.  The DNF of Section 5 is a union of such trees.  We reuse
+     the [t] type and maintain purity as an invariant of [norm]. *)
+
+  (** Apply [f] to every leaf of a pure conditional tree. *)
+  let rec map_leaves f = function
+    | Leaf r -> Leaf (f r)
+    | Ite (p, a, b) -> ite p (map_leaves f a) (map_leaves f b)
+    | _ -> invalid_arg "map_leaves: not a conditional tree"
+
+  (* [restrict psi f cond]: map [f] over the leaves of a conditional tree
+     while pruning branches whose path condition (relative to [psi])
+     is unsatisfiable -- the branch-condition threading of the
+     Section 4.1 lift rules. *)
+  let rec restrict ?(clean = true) psi f = function
+    | Leaf r -> Leaf (f r)
+    | Ite (phi, a, b) ->
+      let psi_t = if clean then A.conj psi phi else A.top
+      and psi_f = if clean then A.conj psi (A.neg phi) else A.top in
+      if clean && A.is_bot psi_t then restrict ~clean psi f b
+      else if clean && A.is_bot psi_f then restrict ~clean psi f a
+      else ite phi (restrict ~clean psi_t f a) (restrict ~clean psi_f f b)
+    | _ -> invalid_arg "restrict: not a conditional tree"
+
+  (* [meet psi x y]: the pure conditional tree equivalent to [x & y] under
+     the satisfiable path condition [psi].  Implements the lift rules of
+     Section 4.1 for conjunctions, pruning branches whose path condition
+     becomes unsatisfiable (keeping the result "clean"). *)
+  let rec meet ?(clean = true) psi x y =
+    match (x, y) with
+    | Leaf r, other | other, Leaf r -> restrict ~clean psi (R.inter r) other
+    | Ite (phi, a, b), _ ->
+      let psi_t = if clean then A.conj psi phi else A.top
+      and psi_f = if clean then A.conj psi (A.neg phi) else A.top in
+      if clean && A.is_bot psi_t then meet ~clean psi b y
+      else if clean && A.is_bot psi_f then meet ~clean psi a y
+      else ite phi (meet ~clean psi_t a y) (meet ~clean psi_f b y)
+    | _ -> invalid_arg "meet: not a conditional tree"
+
+  (* [norm psi tau]: list of pure conditional trees whose union is
+     equivalent to [tau] under path condition [psi].  [tau] must be in
+     NNF.  When [clean] is false, path conditions are not tracked and no
+     branch pruning happens -- the ablation baseline quantifying what the
+     satisfiability-check-integrated simplification rules of Section 4
+     buy. *)
+  let rec norm ?(clean = true) psi t =
+    match t with
+    | Leaf r -> if R.is_empty r then [] else [ Leaf r ]
+    | Ite (phi, a, b) ->
+      let psi_t = if clean then A.conj psi phi else A.top
+      and psi_f = if clean then A.conj psi (A.neg phi) else A.top in
+      if clean && A.is_bot psi_t then norm ~clean psi b
+      else if clean && A.is_bot psi_f then norm ~clean psi a
+      else
+        let ts = norm ~clean psi_t a and fs = norm ~clean psi_f b in
+        (match (ts, fs) with
+        | [], [] -> []
+        | [ t' ], [ f' ] -> [ ite phi t' f' ]
+        | _ ->
+          List.map (fun c -> ite phi c bot) ts
+          @ List.map (fun c -> ite phi bot c) fs)
+    | Union (a, b) -> norm ~clean psi a @ norm ~clean psi b
+    | Inter (a, b) ->
+      let xs = norm ~clean psi a and ys = norm ~clean psi b in
+      let products =
+        List.concat_map (fun x -> List.map (fun y -> meet ~clean psi x y) ys) xs
+      in
+      List.filter (fun c -> not (equal c bot)) products
+    | Compl _ -> invalid_arg "norm: input not in NNF"
+
+  let rec union_list = function
+    | [] -> bot
+    | [ c ] -> c
+    | c :: rest -> union c (union_list rest)
+
+  (** Number of nodes of a transition regex (for the ablation studies). *)
+  let rec size = function
+    | Leaf _ -> 1
+    | Ite (_, a, b) | Union (a, b) | Inter (a, b) -> 1 + size a + size b
+    | Compl a -> 1 + size a
+
+  (** Disjunctive normal form (Section 5): a union of clean conditional
+      trees whose leaves are all EREs.  Unsatisfiable branches are pruned
+      using the alphabet theory's decision procedure; pass [clean:false]
+      to skip the pruning (ablation A1 in DESIGN.md). *)
+  let dnf ?(clean = true) t =
+    let conds = norm ~clean A.top (nnf t) in
+    (* dedupe structurally equal disjuncts *)
+    let conds =
+      List.fold_left
+        (fun acc c -> if List.exists (equal c) acc then acc else c :: acc)
+        [] conds
+      |> List.rev
+    in
+    if List.exists (equal top) conds then top else union_list conds
+
+  let is_dnf t =
+    let rec pure = function
+      | Leaf _ -> true
+      | Ite (_, a, b) -> pure a && pure b
+      | _ -> false
+    in
+    let rec disj = function
+      | Union (a, b) -> disj a && disj b
+      | t -> pure t
+    in
+    disj t
+
+  (* -- concatenation lifting: tau . R --------------------------------- *)
+
+  (** [concat_right tau r] is the transition regex [tau . r] of Section 4:
+      concatenation distributes over conditionals and unions, complements
+      are first removed via negation ([~tau . R = neg(tau) . R]), and
+      intersections are first lifted to conditional form. *)
+  let rec concat_right t r =
+    match t with
+    | Leaf x -> Leaf (R.concat x r)
+    | Ite (p, a, b) -> ite p (concat_right a r) (concat_right b r)
+    | Union (a, b) -> union (concat_right a r) (concat_right b r)
+    | Compl t' -> concat_right (neg t') r
+    | Inter _ -> concat_right (dnf t) r
+
+  (* -- observers ------------------------------------------------------ *)
+
+  (** All leaf regexes of [t] (for a DNF: the terminals).  With
+      [~trivial:false] (the default for SBFA state collection) the trivial
+      terminals ⊥ and [.*] are excluded, following Section 7. *)
+  let leaves ?(trivial = true) t =
+    let acc = ref R.Set.empty in
+    let rec go = function
+      | Leaf r ->
+        if trivial || (not (R.is_empty r)) && not (R.is_full r) then
+          acc := R.Set.add r !acc
+      | Ite (_, a, b) | Union (a, b) | Inter (a, b) ->
+        go a;
+        go b
+      | Compl a -> go a
+    in
+    go t;
+    R.Set.elements !acc
+
+  (** [transitions tau]: the outgoing symbolic transitions of a DNF
+      transition regex, as a list of [(guard, target)] pairs with
+      satisfiable guards and non-⊥ targets.  Guards for the same target
+      are merged by disjunction.  For a clean DNF the guards of each
+      conditional tree partition the alphabet, so this is exactly the edge
+      relation of the corresponding SBFA. *)
+  let transitions t =
+    let table : (int, A.pred * R.t) Hashtbl.t = Hashtbl.create 16 in
+    let emit psi r =
+      if not (R.is_empty r) then
+        match Hashtbl.find_opt table r.R.id with
+        | Some (psi0, _) -> Hashtbl.replace table r.R.id (A.disj psi0 psi, r)
+        | None -> Hashtbl.add table r.R.id (psi, r)
+    in
+    let rec go psi = function
+      | Leaf r -> emit psi r
+      | Ite (p, a, b) ->
+        let psi_t = A.conj psi p and psi_f = A.conj psi (A.neg p) in
+        if not (A.is_bot psi_t) then go psi_t a;
+        if not (A.is_bot psi_f) then go psi_f b
+      | Union (a, b) ->
+        go psi a;
+        go psi b
+      | (Inter _ | Compl _) as t -> go psi (dnf t)
+    in
+    go A.top t;
+    Hashtbl.fold (fun _ edge acc -> edge :: acc) table []
+    |> List.sort (fun (_, r1) (_, r2) -> R.compare r1 r2)
+
+  (* -- printing -------------------------------------------------------- *)
+
+  let rec pp ppf = function
+    | Leaf r -> R.pp ppf r
+    | Ite (p, t, f) ->
+      Format.fprintf ppf "if(%a, %a, %a)" A.pp p pp t pp f
+    | Union (a, b) -> Format.fprintf ppf "(%a | %a)" pp a pp b
+    | Inter (a, b) -> Format.fprintf ppf "(%a & %a)" pp a pp b
+    | Compl a -> Format.fprintf ppf "~(%a)" pp a
+
+  let to_string t = Format.asprintf "%a" pp t
+end

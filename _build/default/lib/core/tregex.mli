@@ -1,0 +1,85 @@
+(** Transition regexes (Section 4 of the paper): extended regexes
+    augmented with symbolic conditionals and Boolean structure,
+
+    {v TR ::= ERE | if(phi, TR, TR) | TR '|' TR | TR & TR | ~TR v}
+
+    denoting functions from characters to EREs.  See the implementation
+    for the full narrative; this interface is the module's public API. *)
+
+module Make (R : Sbd_regex.Regex.S) : sig
+  module A : Sbd_alphabet.Algebra.S with type pred = R.A.pred
+
+  type t =
+    | Leaf of R.t
+    | Ite of A.pred * t * t
+    | Union of t * t
+    | Inter of t * t
+    | Compl of t
+
+  val bot : t
+  (** [Leaf ⊥] *)
+
+  val top : t
+  (** [Leaf .*] *)
+
+  val leaf : R.t -> t
+
+  val equal : t -> t -> bool
+  (** Structural equality (modulo hash-consed leaves/predicates). *)
+
+  val ite : A.pred -> t -> t -> t
+  (** Conditional with the simplifications [if(⊤,t,f) = t],
+      [if(⊥,t,f) = f], [if(φ,t,t) = t]. *)
+
+  val union : t -> t -> t
+  (** Union with ⊥ unit and [.*] absorbing.  Leaves are not merged
+      (Antimirov-style granularity, relied on by Theorem 7.3). *)
+
+  val inter : t -> t -> t
+  (** Intersection with [.*] unit and ⊥ absorbing; two leaves merge into
+      an intersection regex (DNF leaves may be conjunctions of states). *)
+
+  val compl : t -> t
+  (** Structural complement; pushed into leaf regexes immediately. *)
+
+  val neg : t -> t
+  (** The paper's syntactic dual ("bar"): pushes complement to the
+      leaves.  Lemma 4.2: [neg tau ≡ ~tau]. *)
+
+  val nnf : t -> t
+  (** Negation normal form: eliminates [Compl] nodes (Section 4.1). *)
+
+  val apply : t -> int -> R.t
+  (** [apply tau c]: the ERE denoted by [tau] at character [c]. *)
+
+  val map_leaves : (R.t -> R.t) -> t -> t
+  (** Map over the leaves of a pure conditional tree (no [Union]/[Inter]/
+      [Compl]); raises [Invalid_argument] otherwise. *)
+
+  val size : t -> int
+  (** Node count (used by the DNF-cleanliness ablation). *)
+
+  val dnf : ?clean:bool -> t -> t
+  (** Disjunctive normal form (Section 5): a union of conditional trees
+      whose leaves are EREs, with unsatisfiable branches pruned.
+      [clean:false] skips the pruning (ablation A1). *)
+
+  val is_dnf : t -> bool
+
+  val concat_right : t -> R.t -> t
+  (** [tau . r] (Section 4): distributes over conditionals and unions;
+      complements are removed via {!neg}; intersections are lifted via
+      {!dnf} first. *)
+
+  val leaves : ?trivial:bool -> t -> R.t list
+  (** All leaf regexes.  With [~trivial:false], the trivial terminals ⊥
+      and [.*] are excluded (the [Q(tau)] of Section 7). *)
+
+  val transitions : t -> (A.pred * R.t) list
+  (** The guarded out-edges of a DNF transition regex: satisfiable
+      guards, non-⊥ targets, guards merged per target.  This is the edge
+      relation of the corresponding SBFA. *)
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end

@@ -1,0 +1,1 @@
+lib/harness/harness.ml: Format List Printf Sbd_alphabet Sbd_benchgen Sbd_classic Sbd_core Sbd_regex Sbd_sfa Sbd_solver Unix

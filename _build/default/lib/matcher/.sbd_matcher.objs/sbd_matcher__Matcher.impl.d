@@ -1,0 +1,1 @@
+lib/matcher/matcher.ml: Array Char Hashtbl List Sbd_alphabet Sbd_classic Sbd_regex String

@@ -1,0 +1,1 @@
+lib/matcher/matcher.mli: Sbd_regex

@@ -1,0 +1,151 @@
+(** A symbolic regex {e matcher} in the style of SRM (Symbolic Regex
+    Matcher, Section 8.5 of the paper).
+
+    Matching is the dual situation to solving: the next character is
+    always {e known}, so no transition regexes are needed -- classical
+    Brzozowski derivatives apply directly -- and building the minterms of
+    the regex's predicates upfront is profitable rather than harmful,
+    because every input character can be classified once into a small
+    number of equivalence classes.
+
+    The matcher lazily compiles a DFA whose states are derivative regexes
+    (hash-consed, so state identity is O(1)) and whose alphabet is the
+    minterm set of the pattern: transitions are computed on first use and
+    memoized.  This supports full ERE including intersection and
+    complement, and amortizes to one array lookup (character
+    classification) plus one table lookup per input character. *)
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module A = R.A
+  module Brz = Sbd_classic.Brzozowski.Make (R)
+  module M = Sbd_alphabet.Minterm.Make (A)
+
+  type t = {
+    pattern : R.t;
+    classify : int -> int;  (** code point -> minterm index *)
+    representatives : int array;  (** one concrete character per minterm *)
+    mutable num_states : int;
+    delta : (int * int, R.t) Hashtbl.t;  (** (state id, minterm) -> state *)
+    ids : (int, unit) Hashtbl.t;  (** distinct state ids seen (for stats) *)
+  }
+
+  (** Compile a matcher for [pattern].  The minterm computation is
+      [O(2^n)] in the number of distinct predicates in the worst case,
+      but patterns in practice have few, mostly-disjoint predicates. *)
+  let create (pattern : R.t) : t =
+    let minterm_preds = M.minterms (R.preds pattern) in
+    (* flatten the minterms into a sorted range table for classification *)
+    let ranges =
+      List.concat
+        (List.mapi
+           (fun idx p -> List.map (fun (lo, hi) -> (lo, hi, idx)) (A.ranges p))
+           minterm_preds)
+    in
+    let table = Array.of_list (List.sort compare ranges) in
+    let classify (c : int) : int =
+      let lo = ref 0 and hi = ref (Array.length table - 1) in
+      let result = ref 0 in
+      while !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let l, h, idx = table.(mid) in
+        if c < l then hi := mid - 1
+        else if c > h then lo := mid + 1
+        else begin
+          result := idx;
+          lo := !hi + 1
+        end
+      done;
+      !result
+    in
+    let representatives =
+      Array.of_list
+        (List.map
+           (fun p -> match A.choose p with Some c -> c | None -> 0)
+           minterm_preds)
+    in
+    let ids = Hashtbl.create 16 in
+    Hashtbl.add ids pattern.R.id ();
+    {
+      pattern;
+      classify;
+      representatives;
+      num_states = 1;
+      delta = Hashtbl.create 64;
+      ids;
+    }
+
+  (* One DFA step: classify the character, then look up / compute the
+     derivative by the minterm's representative (sound by Theorem 7.1's
+     argument: characters in the same minterm have identical
+     derivatives). *)
+  let step (m : t) (state : R.t) (c : int) : R.t =
+    let mt = m.classify c in
+    let key = (state.R.id, mt) in
+    match Hashtbl.find_opt m.delta key with
+    | Some next -> next
+    | None ->
+      let next = Brz.derive m.representatives.(mt) state in
+      Hashtbl.add m.delta key next;
+      if not (Hashtbl.mem m.ids next.R.id) then begin
+        Hashtbl.add m.ids next.R.id ();
+        m.num_states <- m.num_states + 1
+      end;
+      next
+
+  (** Full-match of a word against the pattern. *)
+  let matches (m : t) (w : int list) : bool =
+    R.nullable (List.fold_left (step m) m.pattern w)
+
+  let matches_string (m : t) (s : string) : bool =
+    let state = ref m.pattern in
+    String.iter (fun c -> state := step m !state (Char.code c)) s;
+    R.nullable !state
+
+  (** [count_matches m s] counts positions [i] such that some prefix of
+      [s.[i..]] matches -- a simple scan API exercising the DFA cache the
+      way a real matcher would. *)
+  let count_matching_prefixes (m : t) (s : string) : int =
+    let n = String.length s in
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      let state = ref m.pattern in
+      let j = ref i in
+      let hit = ref (R.nullable !state) in
+      while (not !hit) && !j < n && not (R.is_empty !state) do
+        state := step m !state (Char.code s.[!j]);
+        incr j;
+        if R.nullable !state then hit := true
+      done;
+      if !hit then incr count
+    done;
+    !count
+
+  (** [find m s] returns the span [(start, stop)] of the leftmost-
+      earliest substring of [s] matching the pattern ([stop] exclusive),
+      or [None].  Matches of the empty word are reported when the pattern
+      is nullable. *)
+  let find (m : t) (s : string) : (int * int) option =
+    let n = String.length s in
+    let result = ref None in
+    let i = ref 0 in
+    while !result = None && !i <= n do
+      let state = ref m.pattern in
+      if R.nullable !state then result := Some (!i, !i)
+      else begin
+        let j = ref !i in
+        while !result = None && !j < n && not (R.is_empty !state) do
+          state := step m !state (Char.code s.[!j]);
+          incr j;
+          if R.nullable !state then result := Some (!i, !j)
+        done
+      end;
+      incr i
+    done;
+    !result
+
+  (** Number of distinct DFA states materialized so far. *)
+  let state_count (m : t) = m.num_states
+
+  (** Number of minterms (the compiled alphabet size). *)
+  let alphabet_size (m : t) = Array.length m.representatives
+end

@@ -1,0 +1,29 @@
+(** SRM-style symbolic regex matcher (Section 8.5): lazy DFA over the
+    pattern's minterm alphabet, with Brzozowski-derivative states.
+    Supports full ERE including intersection and complement. *)
+
+module Make (R : Sbd_regex.Regex.S) : sig
+  type t
+
+  val create : R.t -> t
+  (** Compile a matcher: computes the pattern's minterms and the
+      character classifier; DFA transitions are filled lazily. *)
+
+  val matches : t -> int list -> bool
+  (** Full match of a word of code points. *)
+
+  val matches_string : t -> string -> bool
+  (** Full match of the bytes of an OCaml string (Latin-1). *)
+
+  val find : t -> string -> (int * int) option
+  (** Leftmost-earliest match span ([stop] exclusive), if any. *)
+
+  val count_matching_prefixes : t -> string -> int
+  (** Number of positions from which some prefix matches. *)
+
+  val state_count : t -> int
+  (** Distinct DFA states materialized so far. *)
+
+  val alphabet_size : t -> int
+  (** Number of minterms (compiled alphabet size). *)
+end

@@ -1,0 +1,1 @@
+lib/regex/casefold.ml: Char List Regex Sbd_alphabet

@@ -1,0 +1,1 @@
+lib/regex/parser.ml: Char List Option Printf Regex Sbd_alphabet String

@@ -1,0 +1,1 @@
+lib/regex/regex.ml: Char Format Hashtbl Int List Map Printf Sbd_alphabet Set String

@@ -1,0 +1,1 @@
+lib/regex/simplify.ml: List Regex

@@ -1,0 +1,39 @@
+(** ASCII case-insensitivity as a predicate transformation.
+
+    Real-world regex dialects (e.g. the .NET standard the paper's regexes
+    come from) support a case-insensitive mode.  In the symbolic setting
+    this is {e not} a new operator: it is a homomorphism on predicates --
+    each predicate's denotation is closed under case folding -- which is
+    exactly the kind of alphabet-theory-level transformation the symbolic
+    design makes trivial.  Only ASCII letters are folded here; full
+    Unicode simple folding would extend the table the same way. *)
+
+module Make (R : Regex.S) = struct
+  module A = R.A
+
+  let a_up = Char.code 'A'
+  let z_up = Char.code 'Z'
+  let a_lo = Char.code 'a'
+  let z_lo = Char.code 'z'
+  let delta = a_lo - a_up
+
+  (* Close a predicate's denotation under ASCII case folding. *)
+  let fold_pred (p : A.pred) : A.pred =
+    let shift d (lo, hi) = (lo + d, hi + d) in
+    let uppers = Sbd_alphabet.Algebra.inter_ranges (A.ranges p) [ (a_up, z_up) ] in
+    let lowers = Sbd_alphabet.Algebra.inter_ranges (A.ranges p) [ (a_lo, z_lo) ] in
+    let extra = List.map (shift delta) uppers @ List.map (shift (-delta)) lowers in
+    if extra = [] then p else A.disj p (A.of_ranges extra)
+
+  (** Rewrite [r] so it matches case-insensitively (over ASCII). *)
+  let rec case_insensitive (r : R.t) : R.t =
+    match r.R.node with
+    | Pred p -> R.pred (fold_pred p)
+    | Eps -> r
+    | Concat (a, b) -> R.concat (case_insensitive a) (case_insensitive b)
+    | Star a -> R.star (case_insensitive a)
+    | Loop (a, m, n) -> R.loop (case_insensitive a) m n
+    | Or xs -> R.alt_list (List.map case_insensitive xs)
+    | And xs -> R.inter_list (List.map case_insensitive xs)
+    | Not a -> R.compl (case_insensitive a)
+end

@@ -1,0 +1,288 @@
+(** Recursive-descent parser for the concrete ERE syntax used throughout
+    the paper and this repository.
+
+    Grammar (lowest to highest precedence):
+
+    {v alt    ::= inter ('|' inter)*
+       inter  ::= cat ('&' cat)*
+       cat    ::= prefix+
+       prefix ::= '~' prefix | postfix
+       postfix::= atom ('*' | '+' | '?' | '{m}' | '{m,}' | '{m,n}')*
+       atom   ::= '(' alt? ')' | '.' | class | escape | literal char v}
+
+    Character classes support ranges, negation ([^...]) and the escapes
+    [\d \D \w \W \s \S \t \n \r \f \v \xHH \u{H+} \\ \<punct>].  An empty
+    group [()] denotes the empty string; an empty class [[]] denotes the
+    empty language.  [~] is prefix complement, [&] is intersection.
+
+    The parser is total on its input: errors are reported as
+    [Error (position, message)]. *)
+
+module Make (R : Regex.S) = struct
+  exception Parse_error of int * string
+
+  type state = { input : string; mutable pos : int }
+
+  let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+  let advance st = st.pos <- st.pos + 1
+  let error st msg = raise (Parse_error (st.pos, msg))
+
+  let expect st c =
+    match peek st with
+    | Some c' when c' = c -> advance st
+    | _ -> error st (Printf.sprintf "expected '%c'" c)
+
+  let is_digit c = c >= '0' && c <= '9'
+
+  let parse_int st =
+    let start = st.pos in
+    while match peek st with Some c when is_digit c -> true | _ -> false do
+      advance st
+    done;
+    if st.pos = start then error st "expected integer";
+    int_of_string (String.sub st.input start (st.pos - start))
+
+  let hex_value c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> -1
+
+  let parse_hex st count =
+    let v = ref 0 in
+    for _ = 1 to count do
+      match peek st with
+      | Some c when hex_value c >= 0 ->
+        v := (!v * 16) + hex_value c;
+        advance st
+      | _ -> error st "expected hex digit"
+    done;
+    !v
+
+  let parse_hex_braced st =
+    expect st '{';
+    let v = ref 0 and n = ref 0 in
+    while match peek st with Some c when hex_value c >= 0 -> true | _ -> false do
+      v := (!v * 16) + hex_value (Option.get (peek st));
+      incr n;
+      advance st
+    done;
+    if !n = 0 then error st "expected hex digits";
+    expect st '}';
+    if !v > Sbd_alphabet.Algebra.max_char then error st "code point beyond BMP";
+    !v
+
+  (* An escape denotes either a single code point or a character class. *)
+  type escape = Point of int | Class of (int * int) list
+
+  let class_ranges name =
+    Sbd_alphabet.Charclass.ranges_of name |> Sbd_alphabet.Algebra.normalize_ranges
+
+  let negate_ranges rs =
+    Sbd_alphabet.Algebra.(complement_ranges (normalize_ranges rs))
+
+  let parse_escape st =
+    match peek st with
+    | None -> error st "dangling backslash"
+    | Some c ->
+      advance st;
+      (match c with
+      | 'd' -> Class (class_ranges Digit)
+      | 'D' -> Class (negate_ranges (class_ranges Digit))
+      | 'w' -> Class (class_ranges Word)
+      | 'W' -> Class (negate_ranges (class_ranges Word))
+      | 's' -> Class (class_ranges Space)
+      | 'S' -> Class (negate_ranges (class_ranges Space))
+      | 't' -> Point 0x09
+      | 'n' -> Point 0x0A
+      | 'r' -> Point 0x0D
+      | 'f' -> Point 0x0C
+      | 'v' -> Point 0x0B
+      | '0' -> Point 0x00
+      | 'x' -> Point (parse_hex st 2)
+      | 'u' -> Point (parse_hex_braced st)
+      | c -> Point (Char.code c))
+
+  (* -- character classes ------------------------------------------- *)
+
+  let parse_class st =
+    (* called after consuming '['. *)
+    let negated =
+      match peek st with
+      | Some '^' ->
+        advance st;
+        true
+      | _ -> false
+    in
+    let ranges = ref [] in
+    let rec item () =
+      match peek st with
+      | None -> error st "unterminated character class"
+      | Some ']' -> advance st
+      | Some c ->
+        advance st;
+        let lo =
+          if c = '\\' then
+            match parse_escape st with
+            | Point p -> Some p
+            | Class rs ->
+              ranges := rs @ !ranges;
+              None
+          else Some (Char.code c)
+        in
+        (match lo with
+        | None -> item ()
+        | Some lo ->
+          (match peek st with
+          | Some '-' when st.pos + 1 < String.length st.input
+                          && st.input.[st.pos + 1] <> ']' ->
+            advance st;
+            let hi =
+              match peek st with
+              | Some '\\' ->
+                advance st;
+                (match parse_escape st with
+                | Point p -> p
+                | Class _ -> error st "character class in range bound")
+              | Some c ->
+                advance st;
+                Char.code c
+              | None -> error st "unterminated range"
+            in
+            if hi < lo then error st "inverted range";
+            ranges := (lo, hi) :: !ranges;
+            item ()
+          | _ ->
+            ranges := (lo, lo) :: !ranges;
+            item ()))
+    in
+    item ();
+    let rs = Sbd_alphabet.Algebra.normalize_ranges !ranges in
+    if negated then negate_ranges rs else rs
+
+  (* -- expression grammar ------------------------------------------ *)
+
+  let stop_chars = [ ')'; '|'; '&' ]
+
+  let rec parse_alt st =
+    let first = parse_inter st in
+    let rec loop acc =
+      match peek st with
+      | Some '|' ->
+        advance st;
+        loop (parse_inter st :: acc)
+      | _ -> List.rev acc
+    in
+    R.alt_list (loop [ first ])
+
+  and parse_inter st =
+    let first = parse_cat st in
+    let rec loop acc =
+      match peek st with
+      | Some '&' ->
+        advance st;
+        loop (parse_cat st :: acc)
+      | _ -> List.rev acc
+    in
+    R.inter_list (loop [ first ])
+
+  and parse_cat st =
+    let rec loop acc =
+      match peek st with
+      | None -> List.rev acc
+      | Some c when List.mem c stop_chars -> List.rev acc
+      | _ -> loop (parse_prefix st :: acc)
+    in
+    match loop [] with [] -> R.eps | rs -> R.concat_list rs
+
+  and parse_prefix st =
+    match peek st with
+    | Some '~' ->
+      advance st;
+      R.compl (parse_prefix st)
+    | _ -> parse_postfix st
+
+  and parse_postfix st =
+    let atom = parse_atom st in
+    let rec loop r =
+      match peek st with
+      | Some '*' ->
+        advance st;
+        loop (R.star r)
+      | Some '+' ->
+        advance st;
+        loop (R.plus r)
+      | Some '?' ->
+        advance st;
+        loop (R.opt r)
+      | Some '{' ->
+        advance st;
+        let m = parse_int st in
+        let n =
+          match peek st with
+          | Some ',' ->
+            advance st;
+            (match peek st with
+            | Some '}' -> None
+            | _ -> Some (parse_int st))
+          | _ -> Some m
+        in
+        expect st '}';
+        loop (R.loop r m n)
+      | _ -> r
+    in
+    loop atom
+
+  and parse_atom st =
+    match peek st with
+    | None -> error st "expected atom"
+    | Some '(' ->
+      advance st;
+      (match peek st with
+      | Some ')' ->
+        advance st;
+        R.eps
+      | _ ->
+        let r = parse_alt st in
+        expect st ')';
+        r)
+    | Some '[' ->
+      advance st;
+      (match peek st with
+      | Some ']' ->
+        advance st;
+        R.empty
+      | _ -> R.pred (R.A.of_ranges (parse_class st)))
+    | Some '.' ->
+      advance st;
+      R.any
+    | Some '\\' ->
+      advance st;
+      (match parse_escape st with
+      | Point p -> R.chr p
+      | Class rs -> R.pred (R.A.of_ranges rs))
+    | Some (('*' | '+' | '?' | '{' | '}' | ']' | '|' | '&' | ')') as c) ->
+      error st (Printf.sprintf "unexpected '%c'" c)
+    | Some c ->
+      advance st;
+      R.chr (Char.code c)
+
+  (** Parse a complete regex; the whole input must be consumed. *)
+  let parse (input : string) : (R.t, int * string) result =
+    let st = { input; pos = 0 } in
+    try
+      let r = parse_alt st in
+      if st.pos < String.length input then
+        Error (st.pos, "trailing characters")
+      else Ok r
+    with Parse_error (pos, msg) -> Error (pos, msg)
+
+  (** Parse a regex, raising [Invalid_argument] on malformed input.
+      Intended for literals in tests, examples and benchmarks. *)
+  let parse_exn input =
+    match parse input with
+    | Ok r -> r
+    | Error (pos, msg) ->
+      invalid_arg (Printf.sprintf "regex %S: at %d: %s" input pos msg)
+end

@@ -1,0 +1,190 @@
+(** Language-preserving rewriting of extended regexes, beyond the
+    similarity algebra built into the smart constructors.
+
+    The smart constructors of {!Regex.Make} already work modulo the
+    paper's similarity relation (associativity, commutativity,
+    idempotence, unit and absorbing elements): that is what keeps the set
+    of derivatives finite (Theorem 7.1).  This module adds the deeper --
+    still linear-time and language-preserving -- rewrites in the spirit
+    of Antimirov & Mosses' "Rewriting extended regular expressions"
+    (reference [7] of the paper, Section 8.6):
+
+    - absorption: [r & (r | s) = r] and [r | (r & s) = r];
+    - subsumption of predicates: [p | q = q] when [[[p]] ⊆ [[q]]]
+      (and dually for [&]);
+    - star flattening: star of [r*|s] is star of [r|s], star of
+      [r* s*] is star of [r|s], star of [r*] is [r*];
+    - loop fusion: [r{a,b} · r{c,d} = r{a+c, b+d}], and un-nesting
+      [(r{m,n}){p,q} = r{m·p, n·q}] when the iteration intervals tile
+      contiguously (i.e. [m·(i+1) <= n·i + 1] for all [p <= i < q],
+      which is hardest at [i = p]);
+    - [eps | r·r* = r*] and its mirror.
+
+    Every rule is property-tested against the independent semantics
+    oracle.  Simplification is exposed as a separate pass (rather than
+    being folded into the constructors) so its effect on the decision
+    procedure can be measured in isolation -- see the ablation benches. *)
+
+module Make (R : Regex.S) = struct
+  module A = R.A
+
+  let pred_subsumes p q = A.is_bot (A.conj p (A.neg q))
+  (* [[p]] ⊆ [[q]] *)
+
+  let subsumes_in_or (x : R.t) (y : R.t) =
+    (* does y make x redundant inside a union, i.e. L(x) ⊆ L(y)? *)
+    match (x.R.node, y.R.node) with
+    | Pred p, Pred q -> pred_subsumes p q
+    | And xs, _ -> List.memq y xs (* (y & s) | y = y: the conjunction is smaller *)
+    | _ -> false
+
+  let subsumes_in_and (x : R.t) (y : R.t) =
+    (* does y make x redundant inside an intersection, i.e. L(y) ⊆ L(x)? *)
+    match (x.R.node, y.R.node) with
+    | Pred p, Pred q -> pred_subsumes q p
+    | Or xs, _ -> List.memq y xs (* (y | s) & y = y: the disjunction is larger *)
+    | _ -> false
+
+  (* One bottom-up pass.  All recursive results go back through the smart
+     constructors, so the similarity normal form is maintained. *)
+  let rec pass (t : R.t) : R.t =
+    match t.R.node with
+    | Pred _ | Eps -> t
+    | Star body -> star_rule (pass body)
+    | Loop (body, m, n) -> R.loop (pass body) m n
+    | Not body -> R.compl (pass body)
+    | Or xs ->
+      let xs = List.map pass xs in
+      let survivors =
+        List.filter
+          (fun x ->
+            not (List.exists (fun y -> (not (R.equal x y)) && subsumes_in_or x y) xs))
+          xs
+      in
+      let survivors = drop_eps_before_star survivors in
+      R.alt_list survivors
+    | And xs ->
+      let xs = List.map pass xs in
+      let survivors =
+        List.filter
+          (fun x ->
+            not
+              (List.exists (fun y -> (not (R.equal x y)) && subsumes_in_and x y) xs))
+          xs
+      in
+      R.inter_list survivors
+    | Concat (a, b) -> concat_rule (pass a) (pass b)
+
+  (* eps | r·r* = r*, and the mirrored eps | r*·r = r* *)
+  and drop_eps_before_star xs =
+    if not (List.memq R.eps xs) then xs
+    else
+      let star_of (x : R.t) =
+        match x.R.node with
+        | Concat (h, t) -> (
+          match (h.R.node, t.R.node) with
+          | _, Star s when R.equal s h -> Some (R.star h)
+          | Star s, _ when R.equal s t -> Some (R.star t)
+          | _ -> None)
+        | Loop (body, 1, None) -> Some (R.star body)
+        | _ -> None
+      in
+      let found = ref false in
+      let xs' =
+        List.map
+          (fun x ->
+            match star_of x with
+            | Some s ->
+              found := true;
+              s
+            | None -> x)
+          xs
+      in
+      if !found then List.filter (fun x -> x != R.eps) xs' else xs
+
+  (* star flattening: under a star, strip inner stars, flatten unions,
+     and collapse all-nullable concatenation chains to unions *)
+  and star_rule (body : R.t) : R.t =
+    let rec strip (x : R.t) : R.t =
+      match x.R.node with
+      | Star s -> strip s
+      | Loop (s, 0, None) -> strip s
+      | Or xs -> R.alt_list (List.map strip xs)
+      | Concat _ when all_nullable_chain x ->
+        (* a concatenation of nullable pieces under a star equals the
+           star of the union of the pieces *)
+        R.alt_list (List.map strip (chain x))
+      | _ -> x
+    and chain (x : R.t) =
+      match x.R.node with Concat (a, b) -> a :: chain b | _ -> [ x ]
+    and all_nullable_chain (x : R.t) =
+      List.for_all (fun (p : R.t) -> p.R.nullable) (chain x)
+    in
+    R.star (strip body)
+
+  (* r{a,b} · r{c,d} = r{a+c,b+d}; also merges bare r and r*. *)
+  and concat_rule (a : R.t) (b : R.t) : R.t =
+    let bounds (x : R.t) : (R.t * int * int option) option =
+      match x.R.node with
+      | Loop (body, m, n) -> Some (body, m, n)
+      | Star body -> Some (body, 0, None)
+      | _ -> Some (x, 1, Some 1)
+    in
+    let head, tail =
+      match b.R.node with Concat (h, t) -> (h, Some t) | _ -> (b, None)
+    in
+    let fused =
+      match (bounds a, bounds head) with
+      | Some (r1, m1, n1), Some (r2, m2, n2) when R.equal r1 r2 ->
+        let n =
+          match (n1, n2) with Some x, Some y -> Some (x + y) | _ -> None
+        in
+        Some (R.loop r1 (m1 + m2) n)
+      | _ -> None
+    in
+    match (fused, tail) with
+    | Some f, Some t -> concat_rule f t
+    | Some f, None -> f
+    | None, _ -> R.concat a b
+
+  (* (r{m,n}){p,q} = r{m·p, n·q} when the intervals tile: for every
+     iteration count i in [p, q), the next block [m(i+1), n(i+1)] must
+     connect to [m·i, n·i], i.e. m(i+1) <= n·i + 1; the constraint is
+     hardest at i = p (for m <= n). *)
+  let unnest_loop (t : R.t) : R.t =
+    match t.R.node with
+    | Loop ({ R.node = Loop (body, m, Some n); _ }, p, q) ->
+      let tiles =
+        match q with
+        | Some q -> p >= q || m * (p + 1) <= (n * p) + 1
+        | None -> m * (p + 1) <= (n * p) + 1
+      in
+      if m <= n && tiles then
+        let outer_n = match q with Some q -> Some (n * q) | None -> None in
+        if p = 0 && q = None && m <= 1 then R.star body
+        else R.loop body (m * p) outer_n
+      else t
+    | _ -> t
+
+  let rec simplify_unnest (t : R.t) : R.t =
+    let t = unnest_loop t in
+    match t.R.node with
+    | Pred _ | Eps -> t
+    | Star b -> R.star (simplify_unnest b)
+    | Loop (b, m, n) -> unnest_loop (R.loop (simplify_unnest b) m n)
+    | Not b -> R.compl (simplify_unnest b)
+    | Or xs -> R.alt_list (List.map simplify_unnest xs)
+    | And xs -> R.inter_list (List.map simplify_unnest xs)
+    | Concat (a, b) -> R.concat (simplify_unnest a) (simplify_unnest b)
+
+  (** Simplify to a fixpoint (the pass shrinks the term, so this
+      terminates). *)
+  let simplify (t : R.t) : R.t =
+    let rec fix t n =
+      if n = 0 then t
+      else
+        let t' = pass (simplify_unnest t) in
+        if R.equal t' t then t else fix t' (n - 1)
+    in
+    fix t 16
+end

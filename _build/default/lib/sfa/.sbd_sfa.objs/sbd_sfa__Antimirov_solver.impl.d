@@ -1,0 +1,1 @@
+lib/sfa/antimirov_solver.ml: Array Either Hashtbl Int List Nfa Queue Sbd_alphabet Sbd_regex

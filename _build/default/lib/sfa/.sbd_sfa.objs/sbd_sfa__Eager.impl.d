@@ -1,0 +1,1 @@
+lib/sfa/eager.ml: Nfa Sbd_regex

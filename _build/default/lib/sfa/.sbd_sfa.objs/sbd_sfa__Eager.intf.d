@@ -1,0 +1,1 @@
+lib/sfa/eager.mli: Sbd_regex

@@ -1,0 +1,1 @@
+lib/sfa/minimize.ml: Array Fun Hashtbl Int List Nfa Sbd_regex

@@ -1,0 +1,1 @@
+lib/sfa/nfa.ml: Array Hashtbl Int List Option Queue Sbd_alphabet Sbd_regex Set

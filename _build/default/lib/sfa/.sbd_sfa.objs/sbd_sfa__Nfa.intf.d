@@ -1,0 +1,1 @@
+lib/sfa/nfa.mli: Sbd_alphabet Sbd_regex

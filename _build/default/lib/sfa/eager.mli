@@ -1,0 +1,15 @@
+(** Baseline solver: eager symbolic-automata pipeline ("approach 1" of
+    the paper's introduction): compile the whole ERE to an automaton
+    upfront (product for [&], determinize+flip for [~]), then check
+    reachability.  Exhibits the state-space blowup the symbolic
+    derivatives avoid; the [budget] turns blowup into [Unknown]. *)
+
+module Make (R : Sbd_regex.Regex.S) : sig
+  type result = Sat of int list | Unsat | Unknown of string
+
+  val solve : ?budget:int -> R.t -> result
+  val is_empty_lang : ?budget:int -> R.t -> bool option
+
+  val state_count : ?budget:int -> R.t -> int option
+  (** States of the compiled automaton; [None] on blowup. *)
+end

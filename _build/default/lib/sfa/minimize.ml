@@ -1,0 +1,121 @@
+(** Moore-style minimization of deterministic symbolic automata.
+
+    The paper's introduction notes that the superfluous states built by
+    eager product/complement constructions "can be eliminated through
+    minimization of automata, but only after the fact" -- this module
+    makes that baseline concrete, so the experiment harness can show both
+    the blowup and what post-hoc minimization recovers (at full
+    construction cost).
+
+    Works on the output of {!Nfa.determinize}: a DFA whose out-guards
+    partition the alphabet.  Partition refinement compares states by
+    their {e successor-block functions}: for each state, the map from
+    partition block to the union of guards leading into it, in canonical
+    range form.  Because guards partition the alphabet, two states with
+    equal maps behave identically on every character. *)
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module A = R.A
+  module Nfa = Nfa.Make (R)
+
+  (* Restrict a DFA to its reachable states (eager constructions produce
+     plenty of unreachable ones). *)
+  let reachable_part (m : Nfa.t) : Nfa.t =
+    let visited = Array.make (max m.Nfa.num_states 1) false in
+    let order = ref [] in
+    let rec go s =
+      if not visited.(s) then begin
+        visited.(s) <- true;
+        order := s :: !order;
+        List.iter (fun (_, v) -> go v) m.Nfa.trans.(s)
+      end
+    in
+    List.iter go m.Nfa.initials;
+    let old_states = List.rev !order in
+    let rename = Hashtbl.create 64 in
+    List.iteri (fun i s -> Hashtbl.add rename s i) old_states;
+    let n = List.length old_states in
+    let finals = Array.make (max n 1) false in
+    let trans = Array.make (max n 1) [] in
+    List.iteri
+      (fun i s ->
+        finals.(i) <- m.Nfa.finals.(s);
+        trans.(i) <-
+          List.map (fun (p, v) -> (p, Hashtbl.find rename v)) m.Nfa.trans.(s))
+      old_states;
+    { Nfa.num_states = n
+    ; initials = List.map (Hashtbl.find rename) m.Nfa.initials
+    ; finals
+    ; trans }
+
+  (* Canonical successor-block map of a state under the current
+     partition: sorted list of (block, canonical guard ranges). *)
+  let signature (m : Nfa.t) (block : int array) (s : int) :
+      (int * (int * int) list) list =
+    let by_block = Hashtbl.create 8 in
+    List.iter
+      (fun (p, v) ->
+        let b = block.(v) in
+        let cur = try Hashtbl.find by_block b with Not_found -> A.bot in
+        Hashtbl.replace by_block b (A.disj cur p))
+      m.Nfa.trans.(s);
+    Hashtbl.fold (fun b p acc -> (b, A.ranges p) :: acc) by_block []
+    |> List.sort compare
+
+  (** Minimize a DFA.  The result accepts the same language with the
+      minimal number of reachable states. *)
+  let minimize (m : Nfa.t) : Nfa.t =
+    let m = reachable_part m in
+    let n = m.Nfa.num_states in
+    if n = 0 then m
+    else begin
+      let block = Array.make n 0 in
+      Array.iteri (fun s f -> block.(s) <- if f then 1 else 0) m.Nfa.finals;
+      let has_final = Array.exists Fun.id m.Nfa.finals in
+      let has_nonfinal = Array.exists not m.Nfa.finals in
+      let num_blocks = ref (if has_final && has_nonfinal then 2 else 1) in
+      let continue_ = ref true in
+      while !continue_ do
+        let assignment : (int * (int * (int * int) list) list, int) Hashtbl.t =
+          Hashtbl.create 64
+        in
+        let next = Array.make n 0 in
+        for s = 0 to n - 1 do
+          let key = (block.(s), signature m block s) in
+          let b =
+            match Hashtbl.find_opt assignment key with
+            | Some b -> b
+            | None ->
+              let b = Hashtbl.length assignment in
+              Hashtbl.add assignment key b;
+              b
+          in
+          next.(s) <- b
+        done;
+        let blocks_now = Hashtbl.length assignment in
+        Array.blit next 0 block 0 n;
+        if blocks_now = !num_blocks then continue_ := false
+        else num_blocks := blocks_now
+      done;
+      (* quotient automaton: one state per block, transitions from any
+         representative, guards merged per target block *)
+      let reps = Array.make !num_blocks (-1) in
+      for s = n - 1 downto 0 do
+        reps.(block.(s)) <- s
+      done;
+      let finals = Array.make !num_blocks false in
+      let trans = Array.make !num_blocks [] in
+      for b = 0 to !num_blocks - 1 do
+        let s = reps.(b) in
+        finals.(b) <- m.Nfa.finals.(s);
+        trans.(b) <-
+          List.map (fun (blk, ranges) -> (A.of_ranges ranges, blk)) (signature m block s)
+          |> List.map (fun (p, blk) -> (p, blk))
+      done;
+      { Nfa.num_states = !num_blocks
+      ; initials =
+          List.sort_uniq Int.compare (List.map (fun i -> block.(i)) m.Nfa.initials)
+      ; finals
+      ; trans }
+    end
+end

@@ -1,0 +1,415 @@
+(** Classical symbolic finite automata (SFAs): nondeterministic automata
+    whose transitions are labelled with character predicates.
+
+    This library implements "approach 1" of the paper's introduction: the
+    eager automata pipeline used by pre-derivative solvers.  A regex is
+    compiled to an SFA upfront (bounded loops unfolded), Boolean structure
+    is propagated into automata operations -- union of NFAs, product for
+    intersection, subset-construction determinization followed by final-
+    state flip for complement -- and satisfiability becomes reachability.
+
+    The eager state-space construction is exactly what the symbolic
+    derivatives of [Sbd_core] avoid: determinizing [.*a.{k}] costs
+    [2^k] states here, and the experiment harness uses this module as the
+    automata-school baseline exhibiting that blowup.  A state [budget]
+    turns the blowup into an explicit [Blowup] exception rather than an
+    out-of-memory condition. *)
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module A = R.A
+
+  exception Blowup of string
+
+  type t = {
+    num_states : int;
+    initials : int list;
+    finals : bool array;
+    trans : (A.pred * int) list array;  (** outgoing edges per state *)
+  }
+
+  (* -- construction of classical automata (RE only) -------------------- *)
+
+  (* Internal mutable builder with epsilon transitions. *)
+  type builder = {
+    mutable n : int;
+    mutable edges : (int * A.pred * int) list;
+    mutable eps : (int * int) list;
+    budget : int;
+  }
+
+  let new_state b =
+    if b.n >= b.budget then raise (Blowup "state budget exceeded (construction)");
+    let s = b.n in
+    b.n <- b.n + 1;
+    s
+
+  (* Compile [r] between fresh entry/exit states; returns (entry, exit).
+     Bounded loops are unfolded, as eager pipelines must. *)
+  let rec compile_re b (r : R.t) : int * int =
+    match r.R.node with
+    | Pred p ->
+      let i = new_state b and f = new_state b in
+      b.edges <- (i, p, f) :: b.edges;
+      (i, f)
+    | Eps ->
+      let i = new_state b in
+      (i, i)
+    | Concat (x, y) ->
+      let i1, f1 = compile_re b x in
+      let i2, f2 = compile_re b y in
+      b.eps <- (f1, i2) :: b.eps;
+      (i1, f2)
+    | Star x ->
+      let i = new_state b in
+      let i1, f1 = compile_re b x in
+      b.eps <- (i, i1) :: (f1, i) :: b.eps;
+      (i, i)
+    | Loop (x, m, n) ->
+      (* unfold: m mandatory copies, then (n - m) optional ones or a star *)
+      let entry = new_state b in
+      let cursor = ref entry in
+      for _ = 1 to m do
+        let i, f = compile_re b x in
+        b.eps <- (!cursor, i) :: b.eps;
+        cursor := f
+      done;
+      (match n with
+      | None ->
+        let i, f = compile_re b x in
+        b.eps <- (!cursor, i) :: (f, !cursor) :: b.eps;
+        (entry, !cursor)
+      | Some n ->
+        let exits = ref [ !cursor ] in
+        for _ = m + 1 to n do
+          let i, f = compile_re b x in
+          b.eps <- (!cursor, i) :: b.eps;
+          cursor := f;
+          exits := f :: !exits
+        done;
+        let final = new_state b in
+        List.iter (fun e -> b.eps <- (e, final) :: b.eps) !exits;
+        (entry, final))
+    | Or xs ->
+      let i = new_state b and f = new_state b in
+      List.iter
+        (fun x ->
+          let ix, fx = compile_re b x in
+          b.eps <- (i, ix) :: (fx, f) :: b.eps)
+        xs;
+      (i, f)
+    | And _ | Not _ ->
+      invalid_arg "Nfa.compile_re: extended operators need automata ops"
+
+  (* Eliminate epsilon transitions: compute epsilon closures and saturate
+     edges and final states. *)
+  let of_builder b ~initial ~final : t =
+    let closure = Array.make b.n [] in
+    for s = 0 to b.n - 1 do
+      (* DFS over eps edges *)
+      let seen = Hashtbl.create 8 in
+      let rec go u =
+        if not (Hashtbl.mem seen u) then begin
+          Hashtbl.add seen u ();
+          List.iter (fun (x, y) -> if x = u then go y) b.eps
+        end
+      in
+      go s;
+      closure.(s) <- Hashtbl.fold (fun k () acc -> k :: acc) seen []
+    done;
+    let finals = Array.make b.n false in
+    for s = 0 to b.n - 1 do
+      if List.mem final closure.(s) then finals.(s) <- true
+    done;
+    (* an edge from u is available in any state whose closure contains u *)
+    let trans = Array.make b.n [] in
+    for s = 0 to b.n - 1 do
+      let out = ref [] in
+      List.iter
+        (fun u ->
+          List.iter (fun (x, p, v) -> if x = u then out := (p, v) :: !out) b.edges)
+        closure.(s);
+      trans.(s) <- !out
+    done;
+    { num_states = b.n; initials = [ initial ]; finals; trans }
+
+  (** Compile a classical regex (no [&]/[~]) to an epsilon-free SFA. *)
+  let of_re ?(budget = 100_000) (r : R.t) : t =
+    let b = { n = 0; edges = []; eps = []; budget } in
+    let i, f = compile_re b r in
+    of_builder b ~initial:i ~final:f
+
+  (* -- automata operations -------------------------------------------- *)
+
+  (** Union: disjoint sum of the state spaces. *)
+  let union (m1 : t) (m2 : t) : t =
+    let off = m1.num_states in
+    let n = m1.num_states + m2.num_states in
+    let finals = Array.make n false in
+    Array.blit m1.finals 0 finals 0 m1.num_states;
+    Array.iteri (fun i f -> finals.(off + i) <- f) m2.finals;
+    let trans = Array.make n [] in
+    Array.iteri (fun i e -> trans.(i) <- e) m1.trans;
+    Array.iteri
+      (fun i e -> trans.(off + i) <- List.map (fun (p, v) -> (p, v + off)) e)
+      m2.trans;
+    { num_states = n
+    ; initials = m1.initials @ List.map (fun i -> i + off) m2.initials
+    ; finals
+    ; trans }
+
+  (** Product: synchronized pairs; the state space is the (reachable part
+      of the) Cartesian product, with edge guards conjoined. *)
+  let product ?(budget = 100_000) (m1 : t) (m2 : t) : t =
+    let index : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+    let states = ref [] in
+    let count = ref 0 in
+    let queue = Queue.create () in
+    let state_of (u, v) =
+      match Hashtbl.find_opt index (u, v) with
+      | Some s -> s
+      | None ->
+        if !count >= budget then raise (Blowup "state budget exceeded (product)");
+        let s = !count in
+        incr count;
+        Hashtbl.add index (u, v) s;
+        states := (u, v) :: !states;
+        Queue.add (u, v) queue;
+        s
+    in
+    let edges = ref [] in
+    let initials =
+      List.concat_map
+        (fun i1 -> List.map (fun i2 -> state_of (i1, i2)) m2.initials)
+        m1.initials
+    in
+    while not (Queue.is_empty queue) do
+      let u, v = Queue.pop queue in
+      let s = Hashtbl.find index (u, v) in
+      List.iter
+        (fun (p1, u') ->
+          List.iter
+            (fun (p2, v') ->
+              let p = A.conj p1 p2 in
+              if not (A.is_bot p) then edges := (s, p, state_of (u', v')) :: !edges)
+            m2.trans.(v))
+        m1.trans.(u)
+    done;
+    let n = !count in
+    let finals = Array.make n false in
+    Hashtbl.iter
+      (fun (u, v) s -> finals.(s) <- m1.finals.(u) && m2.finals.(v))
+      index;
+    let trans = Array.make n [] in
+    List.iter (fun (s, p, t) -> trans.(s) <- (p, t) :: trans.(s)) !edges;
+    { num_states = n; initials; finals; trans }
+
+  (** Subset-construction determinization with local minterms: per state
+      set, the outgoing guards are split into their minterms so each
+      input character selects exactly one successor.  Exponential in the
+      worst case -- the classical bottleneck. *)
+  let determinize ?(budget = 100_000) (m : t) : t =
+    let module M = Sbd_alphabet.Minterm.Make (A) in
+    let module ISet = Set.Make (Int) in
+    let index : (ISet.t, int) Hashtbl.t = Hashtbl.create 256 in
+    let count = ref 0 in
+    let queue = Queue.create () in
+    let members = ref [] in
+    let state_of set =
+      match Hashtbl.find_opt index set with
+      | Some s -> s
+      | None ->
+        if !count >= budget then
+          raise (Blowup "state budget exceeded (determinization)");
+        let s = !count in
+        incr count;
+        Hashtbl.add index set s;
+        members := set :: !members;
+        Queue.add set queue;
+        s
+    in
+    let edges = ref [] in
+    let init = state_of (ISet.of_list m.initials) in
+    while not (Queue.is_empty queue) do
+      let set = Queue.pop queue in
+      let s = Hashtbl.find index set in
+      let out = ISet.fold (fun u acc -> m.trans.(u) @ acc) set [] in
+      let guards =
+        List.sort_uniq A.compare (List.map fst out)
+      in
+      let minterms = M.minterms guards in
+      List.iter
+        (fun mt ->
+          if not (A.is_bot mt) then begin
+            let target =
+              List.fold_left
+                (fun acc (p, v) ->
+                  if A.is_bot (A.conj mt p) then acc else ISet.add v acc)
+                ISet.empty out
+            in
+            (* the empty successor set is a sink; keep it explicit so the
+               complement has somewhere to accept *)
+            edges := (s, mt, state_of target) :: !edges
+          end)
+        minterms
+    done;
+    let n = !count in
+    let finals = Array.make n false in
+    Hashtbl.iter
+      (fun set s -> finals.(s) <- ISet.exists (fun u -> m.finals.(u)) set)
+      index;
+    let trans = Array.make n [] in
+    List.iter (fun (s, p, t) -> trans.(s) <- (p, t) :: trans.(s)) !edges;
+    { num_states = n; initials = [ init ]; finals; trans }
+
+  (** Complement: determinize (making the automaton total over the minterm
+      alphabet) and flip final states. *)
+  let complement ?budget (m : t) : t =
+    let d = determinize ?budget m in
+    { d with finals = Array.map not d.finals }
+
+  (* -- compilation of full ERE ----------------------------------------- *)
+
+  (** Compile an extended regex by structural recursion, using [product]
+      for intersection and [complement] for negation (the eager
+      pipeline). *)
+  let rec of_ere ?(budget = 100_000) (r : R.t) : t =
+    match r.R.node with
+    | And xs ->
+      let ms = List.map (of_ere ~budget) xs in
+      (match ms with
+      | [] -> invalid_arg "of_ere: empty And"
+      | m :: rest -> List.fold_left (fun acc m -> product ~budget acc m) m rest)
+    | Not x -> complement ~budget (of_ere ~budget x)
+    | Or xs when not (R.in_re r) ->
+      let ms = List.map (of_ere ~budget) xs in
+      (match ms with
+      | [] -> invalid_arg "of_ere: empty Or"
+      | m :: rest -> List.fold_left union m rest)
+    | Concat (x, y) when not (R.in_re r) ->
+      (* concatenation over extended operands: compile operands and join
+         with an epsilon-style bridge (quadratic but simple) *)
+      let m1 = of_ere ~budget x and m2 = of_ere ~budget y in
+      concat_nfa m1 m2
+    | Star x when not (R.in_re r) -> star_nfa (of_ere ~budget x)
+    | Loop (x, m, n) when not (R.in_re r) ->
+      let copies =
+        match n with
+        | Some k ->
+          let mandatory = List.init m (fun _ -> of_ere ~budget x) in
+          let optional = List.init (k - m) (fun _ -> opt_nfa (of_ere ~budget x)) in
+          mandatory @ optional
+        | None ->
+          List.init m (fun _ -> of_ere ~budget x) @ [ star_nfa (of_ere ~budget x) ]
+      in
+      (match copies with
+      | [] -> of_re ~budget R.eps
+      | c :: rest -> List.fold_left concat_nfa c rest)
+    | _ -> of_re ~budget r
+
+  and concat_nfa (m1 : t) (m2 : t) : t =
+    let off = m1.num_states in
+    let n = m1.num_states + m2.num_states in
+    let finals = Array.make n false in
+    Array.iteri (fun i f -> finals.(off + i) <- f) m2.finals;
+    (* if m2 accepts the empty word, m1's finals stay accepting *)
+    let m2_nullable = List.exists (fun i -> m2.finals.(i)) m2.initials in
+    if m2_nullable then Array.iteri (fun i f -> if f then finals.(i) <- true) m1.finals;
+    let trans = Array.make n [] in
+    Array.iteri (fun i e -> trans.(i) <- e) m1.trans;
+    Array.iteri
+      (fun i e -> trans.(off + i) <- List.map (fun (p, v) -> (p, v + off)) e)
+      m2.trans;
+    (* bridge: from every m1-final state, add m2's initial out-edges *)
+    let bridge =
+      List.concat_map (fun i -> List.map (fun (p, v) -> (p, v + off)) m2.trans.(i))
+        m2.initials
+    in
+    Array.iteri (fun i f -> if f then trans.(i) <- bridge @ trans.(i)) m1.finals;
+    let initials =
+      if List.exists (fun i -> m1.finals.(i)) m1.initials then
+        m1.initials @ List.map (fun i -> i + off) m2.initials
+      else m1.initials
+    in
+    { num_states = n; initials; finals; trans }
+
+  and star_nfa (m : t) : t =
+    (* add a fresh accepting initial state; loop final back to initial *)
+    let n = m.num_states + 1 in
+    let fresh = m.num_states in
+    let finals = Array.make n false in
+    Array.blit m.finals 0 finals 0 m.num_states;
+    finals.(fresh) <- true;
+    let init_out = List.concat_map (fun i -> m.trans.(i)) m.initials in
+    let trans = Array.make n [] in
+    Array.iteri (fun i e -> trans.(i) <- e) m.trans;
+    trans.(fresh) <- init_out;
+    Array.iteri (fun i f -> if f then trans.(i) <- init_out @ trans.(i)) m.finals;
+    { num_states = n; initials = [ fresh ]; finals; trans }
+
+  and opt_nfa (m : t) : t =
+    let n = m.num_states + 1 in
+    let fresh = m.num_states in
+    let finals = Array.make n false in
+    Array.blit m.finals 0 finals 0 m.num_states;
+    finals.(fresh) <- true;
+    let trans = Array.make n [] in
+    Array.iteri (fun i e -> trans.(i) <- e) m.trans;
+    trans.(fresh) <- List.concat_map (fun i -> m.trans.(i)) m.initials;
+    { num_states = n; initials = [ fresh ]; finals; trans }
+
+  (* -- queries ---------------------------------------------------------- *)
+
+  (** Reachability-based emptiness with witness extraction. *)
+  let find_word (m : t) : int list option =
+    let visited = Array.make (max m.num_states 1) false in
+    let parent = Array.make (max m.num_states 1) None in
+    let queue = Queue.create () in
+    List.iter
+      (fun i ->
+        if not visited.(i) then begin
+          visited.(i) <- true;
+          Queue.add i queue
+        end)
+      m.initials;
+    let result = ref None in
+    while !result = None && not (Queue.is_empty queue) do
+      let s = Queue.pop queue in
+      if m.finals.(s) then result := Some s
+      else
+        List.iter
+          (fun (p, v) ->
+            if (not visited.(v)) && not (A.is_bot p) then begin
+              visited.(v) <- true;
+              parent.(v) <- Some (s, p);
+              Queue.add v queue
+            end)
+          m.trans.(s)
+    done;
+    Option.map
+      (fun final ->
+        let rec back s acc =
+          match parent.(s) with
+          | None -> acc
+          | Some (prev, p) ->
+            let c = match A.choose p with Some c -> c | None -> assert false in
+            back prev (c :: acc)
+        in
+        back final [])
+      !result
+
+  let is_empty m = find_word m = None
+
+  (** NFA run on a concrete word. *)
+  let accepts (m : t) (w : int list) : bool =
+    let module ISet = Set.Make (Int) in
+    let step states c =
+      ISet.fold
+        (fun s acc ->
+          List.fold_left
+            (fun acc (p, v) -> if A.mem c p then ISet.add v acc else acc)
+            acc m.trans.(s))
+        states ISet.empty
+    in
+    let final = List.fold_left step (ISet.of_list m.initials) w in
+    ISet.exists (fun s -> m.finals.(s)) final
+end

@@ -1,0 +1,38 @@
+(** Classical symbolic finite automata: predicate-labelled NFAs with the
+    eager operations of the pre-derivative pipeline -- union, product,
+    subset-construction determinization over local minterms, and
+    complement.  This is the "approach 1" baseline of the paper's
+    introduction, with a state [budget] that reports blowup as an
+    exception instead of exhausting memory. *)
+
+module Make (R : Sbd_regex.Regex.S) : sig
+  module A : Sbd_alphabet.Algebra.S with type pred = R.A.pred
+
+  exception Blowup of string
+
+  type t = {
+    num_states : int;
+    initials : int list;
+    finals : bool array;
+    trans : (A.pred * int) list array;  (** outgoing edges per state *)
+  }
+
+  val of_re : ?budget:int -> R.t -> t
+  (** Compile a classical regex (no [&]/[~]); bounded loops unfolded.
+      Raises [Invalid_argument] on extended operators. *)
+
+  val of_ere : ?budget:int -> R.t -> t
+  (** Compile a full ERE: product for intersection, determinize-and-flip
+      for complement.  Raises {!Blowup} past the budget. *)
+
+  val union : t -> t -> t
+  val product : ?budget:int -> t -> t -> t
+  val determinize : ?budget:int -> t -> t
+  val complement : ?budget:int -> t -> t
+
+  val accepts : t -> int list -> bool
+  val find_word : t -> int list option
+  (** A member of the language, via BFS reachability; [None] if empty. *)
+
+  val is_empty : t -> bool
+end

@@ -1,0 +1,1 @@
+lib/smtlib/eval.ml: Buffer Char Format Hashtbl List Printf Sbd_core Sbd_regex Sbd_solver Sexp String

@@ -1,0 +1,1 @@
+lib/smtlib/eval.mli: Sbd_regex Sexp

@@ -1,0 +1,1 @@
+lib/smtlib/sexp.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/smtlib/sexp.mli: Format

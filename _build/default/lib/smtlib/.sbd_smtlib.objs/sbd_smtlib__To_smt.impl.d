@@ -1,0 +1,1 @@
+lib/smtlib/to_smt.ml: Buffer Char List Printf Sbd_regex String

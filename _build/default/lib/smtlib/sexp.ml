@@ -1,0 +1,131 @@
+(** Minimal S-expression reader for the SMT-LIB subset used by the
+    benchmark files: parenthesized lists, symbols, numerals, and SMT-LIB
+    string literals (double quotes, doubled-quote escape, and the
+    [\u{...}] / [\uXXXX] escapes of the Unicode strings theory).
+    Line comments start with [;]. *)
+
+type t = Atom of string | Str of string | List of t list
+
+let rec pp ppf = function
+  | Atom s -> Format.pp_print_string ppf s
+  | Str s -> Format.fprintf ppf "%S" s
+  | List xs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+      xs
+
+exception Error of int * string
+
+type state = { input : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let is_symbol_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '~' | '!' | '@' | '$' | '%' | '^' | '&' | '*' | '_' | '-' | '+' | '='
+  | '<' | '>' | '.' | '?' | '/' ->
+    true
+  | _ -> false
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    st.pos <- st.pos + 1;
+    skip_ws st
+  | Some ';' ->
+    while peek st <> None && peek st <> Some '\n' do
+      st.pos <- st.pos + 1
+    done;
+    skip_ws st
+  | _ -> ()
+
+(* SMT-LIB string literal: [""] escapes a double quote; we additionally
+   decode [\u{H+}] and [\uHHHH] escapes into UTF-8-agnostic code points
+   clamped to the BMP, encoded here as Latin-1-extended bytes when < 256
+   and as the private marker sequence otherwise (the evaluator works on
+   code point lists, so it re-parses the escapes itself).  At this level
+   we keep the raw contents unmodified except for the quote escape. *)
+let parse_string_lit st =
+  let buf = Buffer.create 16 in
+  let fin = ref false in
+  while not !fin do
+    match peek st with
+    | None -> raise (Error (st.pos, "unterminated string literal"))
+    | Some '"' ->
+      st.pos <- st.pos + 1;
+      if peek st = Some '"' then begin
+        Buffer.add_char buf '"';
+        st.pos <- st.pos + 1
+      end
+      else fin := true
+    | Some c ->
+      Buffer.add_char buf c;
+      st.pos <- st.pos + 1
+  done;
+  Buffer.contents buf
+
+let rec parse_one st : t =
+  skip_ws st;
+  match peek st with
+  | None -> raise (Error (st.pos, "unexpected end of input"))
+  | Some '(' ->
+    st.pos <- st.pos + 1;
+    let items = ref [] in
+    let rec loop () =
+      skip_ws st;
+      match peek st with
+      | Some ')' -> st.pos <- st.pos + 1
+      | None -> raise (Error (st.pos, "unterminated list"))
+      | _ ->
+        items := parse_one st :: !items;
+        loop ()
+    in
+    loop ();
+    List (List.rev !items)
+  | Some ')' -> raise (Error (st.pos, "unexpected ')'"))
+  | Some '"' ->
+    st.pos <- st.pos + 1;
+    Str (parse_string_lit st)
+  | Some '|' ->
+    (* quoted symbol *)
+    st.pos <- st.pos + 1;
+    let start = st.pos in
+    while peek st <> None && peek st <> Some '|' do
+      st.pos <- st.pos + 1
+    done;
+    if peek st = None then raise (Error (st.pos, "unterminated quoted symbol"));
+    let s = String.sub st.input start (st.pos - start) in
+    st.pos <- st.pos + 1;
+    Atom s
+  | Some ':' ->
+    (* keyword *)
+    st.pos <- st.pos + 1;
+    let start = st.pos in
+    while (match peek st with Some c when is_symbol_char c -> true | _ -> false) do
+      st.pos <- st.pos + 1
+    done;
+    Atom (":" ^ String.sub st.input start (st.pos - start))
+  | Some c when is_symbol_char c ->
+    let start = st.pos in
+    while (match peek st with Some c when is_symbol_char c -> true | _ -> false) do
+      st.pos <- st.pos + 1
+    done;
+    Atom (String.sub st.input start (st.pos - start))
+  | Some c -> raise (Error (st.pos, Printf.sprintf "unexpected character %C" c))
+
+(** Parse a whole script (sequence of top-level s-expressions). *)
+let parse_all (input : string) : (t list, int * string) result =
+  let st = { input; pos = 0 } in
+  let items = ref [] in
+  try
+    let rec loop () =
+      skip_ws st;
+      if st.pos < String.length input then begin
+        items := parse_one st :: !items;
+        loop ()
+      end
+    in
+    loop ();
+    Ok (List.rev !items)
+  with Error (pos, msg) -> Error (pos, msg)

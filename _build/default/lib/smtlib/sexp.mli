@@ -1,0 +1,19 @@
+(** Minimal S-expression reader for the SMT-LIB subset used by the
+    benchmark files.  See {!parse_all}. *)
+
+type t =
+  | Atom of string  (** symbols, numerals, keywords *)
+  | Str of string  (** string literals, quote-unescaped but with
+                       [\u]-escapes left for the evaluator *)
+  | List of t list
+
+val pp : Format.formatter -> t -> unit
+
+exception Error of int * string
+(** Byte position and message of a lexical error. *)
+
+val parse_all : string -> (t list, int * string) result
+(** Parse a whole script: a sequence of top-level s-expressions.
+    Line comments start with [;]; quoted symbols [|...|], keywords
+    [:kw] and SMT-LIB string literals (with [""] escaping) are
+    supported. *)

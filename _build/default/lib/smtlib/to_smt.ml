@@ -1,0 +1,86 @@
+(** Rendering of extended regexes back into SMT-LIB 2.6 terms and
+    scripts.  Used to materialize the generated benchmark corpus as
+    [.smt2] files a third-party solver could consume.
+
+    [script] re-exposes the top-level Boolean structure of the ERE as
+    separate assertions (conjuncts become individual [assert]s and
+    complements become [(not (str.in_re ...))]), which is the shape the
+    original benchmark suites take. *)
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module A = R.A
+
+  let quote_char c =
+    if c = Char.code '"' then "\"\""
+    else if c >= 0x20 && c < 0x7F then String.make 1 (Char.chr c)
+    else Printf.sprintf "\\u{%X}" c
+
+  let string_lit (w : int list) =
+    Printf.sprintf "\"%s\"" (String.concat "" (List.map quote_char w))
+
+  let pred_term (p : A.pred) : string =
+    if A.is_top p then "re.allchar"
+    else if A.is_bot p then "re.none"
+    else
+      let ranges = A.ranges p in
+      let range_term (lo, hi) =
+        if lo = hi then Printf.sprintf "(str.to_re %s)" (string_lit [ lo ])
+        else
+          Printf.sprintf "(re.range %s %s)" (string_lit [ lo ]) (string_lit [ hi ])
+      in
+      match ranges with
+      | [] -> "re.none"
+      | [ r ] -> range_term r
+      | rs -> Printf.sprintf "(re.union %s)" (String.concat " " (List.map range_term rs))
+
+  let rec term (r : R.t) : string =
+    if R.is_full r then "re.all"
+    else if R.is_empty r then "re.none"
+    else
+      match r.R.node with
+      | Pred p -> pred_term p
+      | Eps -> "(str.to_re \"\")"
+      | Concat _ ->
+        let rec flatten (r : R.t) =
+          match r.R.node with
+          | Concat (a, b) -> a :: flatten b
+          | _ -> [ r ]
+        in
+        Printf.sprintf "(re.++ %s)"
+          (String.concat " " (List.map term (flatten r)))
+      | Star x -> Printf.sprintf "(re.* %s)" (term x)
+      | Loop (x, m, Some n) ->
+        Printf.sprintf "((_ re.loop %d %d) %s)" m n (term x)
+      | Loop (x, 1, None) -> Printf.sprintf "(re.+ %s)" (term x)
+      | Loop (x, m, None) ->
+        Printf.sprintf "(re.++ ((_ re.loop %d %d) %s) (re.* %s))" m m (term x) (term x)
+      | Or xs ->
+        Printf.sprintf "(re.union %s)" (String.concat " " (List.map term xs))
+      | And xs ->
+        Printf.sprintf "(re.inter %s)" (String.concat " " (List.map term xs))
+      | Not x -> Printf.sprintf "(re.comp %s)" (term x)
+
+  (** A complete script asserting [s ∈ L(r)], with top-level Boolean
+      structure split into separate assertions. *)
+  let script ?(var = "s") (r : R.t) : string =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "(set-logic QF_S)\n";
+    Buffer.add_string buf (Printf.sprintf "(declare-fun %s () String)\n" var);
+    let assert_membership polarity (x : R.t) =
+      let inner = Printf.sprintf "(str.in_re %s %s)" var (term x) in
+      let body = if polarity then inner else Printf.sprintf "(not %s)" inner in
+      Buffer.add_string buf (Printf.sprintf "(assert %s)\n" body)
+    in
+    (match r.R.node with
+    | And xs ->
+      List.iter
+        (fun (x : R.t) ->
+          match x.R.node with
+          | Not y -> assert_membership false y
+          | _ -> assert_membership true x)
+        xs
+    | Not y -> assert_membership false y
+    | _ -> assert_membership true r);
+    Buffer.add_string buf "(check-sat)\n";
+    Buffer.contents buf
+end

@@ -1,0 +1,1 @@
+lib/solver/graph.ml: Hashtbl Int List

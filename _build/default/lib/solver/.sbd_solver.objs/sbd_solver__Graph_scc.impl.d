@@ -1,0 +1,1 @@
+lib/solver/graph_scc.ml: Array Hashtbl Int List Scc

@@ -1,0 +1,1 @@
+lib/solver/rules.ml: Array Format Graph List Sbd_core Sbd_regex

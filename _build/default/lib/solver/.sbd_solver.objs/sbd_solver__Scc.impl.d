@@ -1,0 +1,1 @@
+lib/solver/scc.ml: Array Hashtbl Int List

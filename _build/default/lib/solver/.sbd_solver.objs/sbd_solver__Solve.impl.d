@@ -1,0 +1,1 @@
+lib/solver/solve.ml: Buffer Char Format Graph Hashtbl List Printf Sbd_core Sbd_regex

@@ -1,0 +1,1 @@
+lib/solver/solve.mli: Format Graph Sbd_alphabet Sbd_core Sbd_regex

@@ -1,0 +1,183 @@
+(** Alternative implementation of the derivative graph [G = (V,E,F,C)]
+    built on the incremental SCC structure of {!Scc}, following the
+    paper's Section 5 description literally: a DAG of strongly connected
+    components maintained by union-find with incremental cycle detection,
+    and Dead/Alive marking at component granularity.
+
+    Exposes the same interface as {!Graph.Make}; the test suite runs both
+    implementations against random update sequences and checks they agree
+    (differential testing), and the solver can be pointed at either.
+
+    Component-level facts used here:
+    - a component is {e alive} as soon as one member vertex reaches a
+      final vertex (vertex-level back-propagation, as in {!Graph});
+    - a component is {e dead} iff all member vertices are closed, none is
+      alive, and every successor component is dead.  Deadness is stable
+      for the same reason as in {!Graph}: a fully-closed downward closure
+      can never gain edges or final vertices. *)
+
+module Make (N : sig
+  type t
+
+  val id : t -> int
+end) =
+struct
+  type vertex = {
+    node : N.t;
+    dense : int;  (** index into the SCC structure *)
+    mutable succs : int list;  (** dense ids *)
+    mutable preds : int list;
+    mutable final : bool;
+    mutable closed : bool;
+    mutable alive : bool;
+  }
+
+  type t = {
+    vertices : (int, vertex) Hashtbl.t;  (** by [N.id] *)
+    by_dense : (int, vertex) Hashtbl.t;
+    scc : Scc.t;
+    (* per-component aggregates, valid at representatives *)
+    mutable members : int array;
+    mutable closed_members : int array;
+    mutable comp_alive : bool array;
+    mutable comp_dead : bool array;
+    mutable next_dense : int;
+    mutable num_edges : int;
+    mutable num_closed : int;
+  }
+
+  let create () =
+    let t =
+      { vertices = Hashtbl.create 256
+      ; by_dense = Hashtbl.create 256
+      ; scc = Scc.create ()
+      ; members = Array.make 16 0
+      ; closed_members = Array.make 16 0
+      ; comp_alive = Array.make 16 false
+      ; comp_dead = Array.make 16 false
+      ; next_dense = 0
+      ; num_edges = 0
+      ; num_closed = 0 }
+    in
+    Scc.on_merge t.scc (fun ~winner ~loser ->
+        t.members.(winner) <- t.members.(winner) + t.members.(loser);
+        t.closed_members.(winner) <- t.closed_members.(winner) + t.closed_members.(loser);
+        t.comp_alive.(winner) <- t.comp_alive.(winner) || t.comp_alive.(loser));
+    t
+
+  let grow t =
+    let n = Array.length t.members in
+    if t.next_dense >= n then begin
+      let cap = 2 * n in
+      let extend a fill =
+        let a' = Array.make cap fill in
+        Array.blit a 0 a' 0 n;
+        a'
+      in
+      t.members <- extend t.members 0;
+      t.closed_members <- extend t.closed_members 0;
+      t.comp_alive <- extend t.comp_alive false;
+      t.comp_dead <- extend t.comp_dead false
+    end
+
+  let find_opt t n = Hashtbl.find_opt t.vertices (N.id n)
+  let mem t n = Hashtbl.mem t.vertices (N.id n)
+
+  let rec mark_alive t v =
+    if not v.alive then begin
+      v.alive <- true;
+      let rep = Scc.find t.scc v.dense in
+      t.comp_alive.(rep) <- true;
+      List.iter
+        (fun pd ->
+          match Hashtbl.find_opt t.by_dense pd with
+          | Some p -> mark_alive t p
+          | None -> ())
+        v.preds
+    end
+
+  let add_vertex t n ~final =
+    match find_opt t n with
+    | Some v -> v
+    | None ->
+      grow t;
+      let dense = t.next_dense in
+      t.next_dense <- dense + 1;
+      Scc.add_vertex t.scc dense;
+      let v =
+        { node = n; dense; succs = []; preds = []; final; closed = false;
+          alive = final }
+      in
+      t.members.(dense) <- 1;
+      t.comp_alive.(dense) <- final;
+      Hashtbl.add t.vertices (N.id n) v;
+      Hashtbl.add t.by_dense dense v;
+      v
+
+  let close t n ~final ~targets =
+    let v = add_vertex t n ~final in
+    if not v.closed then begin
+      let denses =
+        List.map
+          (fun (tgt, t_final) ->
+            let tv = add_vertex t tgt ~final:t_final in
+            tv.preds <- v.dense :: tv.preds;
+            if tv.alive then mark_alive t v;
+            ignore (Scc.add_edge t.scc v.dense tv.dense);
+            (* a merge may have united an alive component with ours *)
+            let rep = Scc.find t.scc v.dense in
+            if t.comp_alive.(rep) then mark_alive t v;
+            tv.dense)
+          targets
+      in
+      v.succs <- List.sort_uniq Int.compare denses;
+      v.closed <- true;
+      let rep = Scc.find t.scc v.dense in
+      t.closed_members.(rep) <- t.closed_members.(rep) + 1;
+      t.num_edges <- t.num_edges + List.length v.succs;
+      t.num_closed <- t.num_closed + 1
+    end
+
+  let is_closed t n = match find_opt t n with Some v -> v.closed | None -> false
+  let is_alive t n = match find_opt t n with Some v -> v.alive | None -> false
+
+  (* Component-level dead check with caching, mirroring Graph.is_dead. *)
+  let is_dead t n =
+    match find_opt t n with
+    | None -> false
+    | Some v ->
+      let visited = Hashtbl.create 32 in
+      let exception Not_dead in
+      let rec dfs rep =
+        let rep = Scc.find t.scc rep in
+        if not (Hashtbl.mem visited rep) then begin
+          Hashtbl.add visited rep ();
+          if t.comp_dead.(rep) then ()
+          else if t.comp_alive.(rep) || t.closed_members.(rep) < t.members.(rep)
+          then raise Not_dead
+          else List.iter dfs (Scc.succ_components t.scc rep)
+        end
+      in
+      let rep = Scc.find t.scc v.dense in
+      if t.comp_dead.(rep) then true
+      else if v.alive then false
+      else
+        (try
+           dfs rep;
+           Hashtbl.iter (fun r () -> t.comp_dead.(r) <- true) visited;
+           true
+         with Not_dead -> false)
+
+  let num_vertices t = Hashtbl.length t.vertices
+  let num_edges t = t.num_edges
+  let num_closed t = t.num_closed
+
+  let num_dead t =
+    Hashtbl.fold
+      (fun _ v acc ->
+        if t.comp_dead.(Scc.find t.scc v.dense) then acc + 1 else acc)
+      t.vertices 0
+
+  let num_alive t =
+    Hashtbl.fold (fun _ v acc -> if v.alive then acc + 1 else acc) t.vertices 0
+end

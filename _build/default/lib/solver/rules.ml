@@ -1,0 +1,176 @@
+(** The membership propagation rules of Figure 3, as an explicit
+    single-step rewriting system.
+
+    The production decision procedure in {!Solve} implements these rules
+    operationally (fused into a graph search); this module exposes them
+    one inference at a time over a first-order constraint syntax, so the
+    paper's derivations -- e.g. the Section 2 unfolding of the password
+    constraint -- can be replayed and checked rule by rule, and so the
+    rules' metatheory (equivalence preservation, termination of
+    saturation) is testable in isolation.
+
+    Constraints speak about suffixes [s_{i..}] of a single string
+    variable [s]:
+
+    {v in(i, r)        s_{i..} ∈ L(r)
+       in_tr(i, t)     s_{i..} ∈ t      (only under |s_{i..}| > 0)
+       len0(i)         |s_{i..}| = 0
+       lenpos(i)       |s_{i..}| > 0
+       char(i, φ)      φ(s_i) v} *)
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module A = R.A
+  module D = Sbd_core.Deriv.Make (R)
+  module Tr = D.Tr
+
+  module G = Graph.Make (struct
+    type t = R.t
+
+    let id (r : R.t) = r.R.id
+  end)
+
+  type atom =
+    | In of int * R.t
+    | In_tr of int * Tr.t
+    | Len0 of int
+    | Lenpos of int
+    | Char of int * A.pred
+
+  type formula =
+    | FTrue
+    | FFalse
+    | FAtom of atom
+    | FAnd of formula list
+    | FOr of formula list
+
+  (* smart constructors keep the outputs readable *)
+  let fand fs =
+    if List.mem FFalse fs then FFalse
+    else
+      match List.filter (fun f -> f <> FTrue) fs with
+      | [] -> FTrue
+      | [ f ] -> f
+      | fs -> FAnd fs
+
+  let for_ fs =
+    if List.mem FTrue fs then FTrue
+    else
+      match List.filter (fun f -> f <> FFalse) fs with
+      | [] -> FFalse
+      | [ f ] -> f
+      | fs -> FOr fs
+
+  (** One application of the Figure 3 rules to an atom, in the context of
+      the persistent graph [g].  Returns [None] when no rule applies (the
+      atom is already primitive: lengths and character constraints). *)
+  let step (g : G.t) (atom : atom) : formula option =
+    match atom with
+    | In (i, r) ->
+      if G.is_dead g r then
+        (* bot: in(s, r) with r ∈ G.Dead rewrites to false *)
+        Some FFalse
+      else begin
+        (* der: case split on |s_{i..}|; in the non-empty case take the
+           derivative in DNF and update the graph (upd) *)
+        let d = D.delta_dnf r in
+        G.close g r ~final:(R.nullable r)
+          ~targets:
+            (List.map (fun (_, t) -> (t, R.nullable t)) (Tr.transitions d));
+        Some
+          (for_
+             [ fand [ FAtom (Len0 i); (if R.nullable r then FTrue else FFalse) ]
+             ; fand [ FAtom (Lenpos i); FAtom (In_tr (i, d)) ] ])
+      end
+    | In_tr (i, Tr.Ite (p, t, f)) ->
+      (* ite: split on the conditional's predicate at position i *)
+      Some
+        (for_
+           [ fand [ FAtom (Char (i, p)); FAtom (In_tr (i, t)) ]
+           ; fand [ FAtom (Char (i, A.neg p)); FAtom (In_tr (i, f)) ] ])
+    | In_tr (i, Tr.Union (a, b)) ->
+      (* or *)
+      Some (for_ [ FAtom (In_tr (i, a)); FAtom (In_tr (i, b)) ])
+    | In_tr (i, Tr.Leaf r) ->
+      (* ere: recurse on the suffix *)
+      Some (if R.is_empty r then FFalse else FAtom (In (i + 1, r)))
+    | In_tr (i, (Tr.Inter _ | Tr.Compl _)) ->
+      (* Figure 3a deliberately has no rules for conjunction or
+         complement of transition regexes -- propagating them separately
+         is incomplete (Section 5, "Transition Regex Normal Form").  A
+         DNF is required first. *)
+      ignore i;
+      None
+    | Len0 _ | Lenpos _ | Char _ -> None
+
+  (** Saturate: apply {!step} to every reducible atom, repeatedly, until
+      only primitive atoms remain or [fuel] runs out.  Terminating by
+      Theorem 7.1 for any fuel covering the derivative depth; each step
+      preserves the constraint's semantics. *)
+  let rec saturate ?(fuel = 64) (g : G.t) (f : formula) : formula =
+    if fuel = 0 then f
+    else
+      let progressed = ref false in
+      let rec go f =
+        match f with
+        | FTrue | FFalse -> f
+        | FAnd fs -> fand (List.map go fs)
+        | FOr fs -> for_ (List.map go fs)
+        | FAtom a -> (
+          match step g a with
+          | Some f' ->
+            progressed := true;
+            f'
+          | None -> f)
+      in
+      let f' = go f in
+      if !progressed then saturate ~fuel:(fuel - 1) g f' else f'
+
+  (** Semantics of a saturated (or any) formula for a concrete word,
+      used to check that rule applications are equivalence-preserving. *)
+  let rec eval (w : int array) (f : formula) : bool =
+    match f with
+    | FTrue -> true
+    | FFalse -> false
+    | FAnd fs -> List.for_all (eval w) fs
+    | FOr fs -> List.exists (eval w) fs
+    | FAtom (In (i, r)) ->
+      let suffix = Array.to_list (Array.sub w i (Array.length w - i)) in
+      D.matches r suffix
+    | FAtom (In_tr (i, t)) ->
+      (* only meaningful under |s_{i..}| > 0, as in the paper *)
+      i < Array.length w
+      &&
+      let suffix =
+        Array.to_list (Array.sub w (i + 1) (Array.length w - i - 1))
+      in
+      D.matches (Tr.apply t w.(i)) suffix
+    | FAtom (Len0 i) -> i >= Array.length w
+    | FAtom (Lenpos i) -> i < Array.length w
+    | FAtom (Char (i, p)) -> i < Array.length w && A.mem w.(i) p
+
+  (* -- pretty printing, for the replayed derivations ------------------- *)
+
+  let pp_atom ppf = function
+    | In (i, r) -> Format.fprintf ppf "in(s%d.., %a)" i R.pp r
+    | In_tr (i, t) -> Format.fprintf ppf "in_tr(s%d.., %a)" i Tr.pp t
+    | Len0 i -> Format.fprintf ppf "|s%d..| = 0" i
+    | Lenpos i -> Format.fprintf ppf "|s%d..| > 0" i
+    | Char (i, p) -> Format.fprintf ppf "%a(s%d)" A.pp p i
+
+  let rec pp ppf = function
+    | FTrue -> Format.pp_print_string ppf "true"
+    | FFalse -> Format.pp_print_string ppf "false"
+    | FAtom a -> pp_atom ppf a
+    | FAnd fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ∧ ")
+           pp)
+        fs
+    | FOr fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ∨ ")
+           pp)
+        fs
+end

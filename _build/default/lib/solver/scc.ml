@@ -1,0 +1,159 @@
+(** Incremental strongly-connected-component maintenance with union-find,
+    as sketched in Section 5 of the paper ("Alive and Dead State
+    Detection"): the derivative graph maintains a DAG of SCCs using
+    union-find, runs incremental cycle detection when edges are added,
+    and recursively marks Dead and Alive components -- a simplified
+    variant of the Bender-Fineman-Gilbert-Tarjan approach, as the paper's
+    implementation also is.
+
+    Vertices are dense small integers assigned by the caller.  When an
+    inserted edge closes a cycle, the components on every path between
+    its endpoints are merged (computed as the intersection of the forward
+    reachable set of the target and the backward reachable set of the
+    source, over the condensation). *)
+
+type t = {
+  mutable parent : int array;  (** union-find parents *)
+  mutable rank : int array;
+  mutable succs : (int, unit) Hashtbl.t array;  (** condensation out-edges *)
+  mutable preds : (int, unit) Hashtbl.t array;  (** condensation in-edges *)
+  mutable size : int;
+  mutable merge_hook : (winner:int -> loser:int -> unit) option;
+      (** invoked after two component representatives merge, so callers
+          can combine per-component aggregates *)
+}
+
+let create () =
+  { parent = Array.make 16 0
+  ; rank = Array.make 16 0
+  ; succs = Array.init 16 (fun _ -> Hashtbl.create 4)
+  ; preds = Array.init 16 (fun _ -> Hashtbl.create 4)
+  ; size = 0
+  ; merge_hook = None }
+
+let on_merge t f = t.merge_hook <- Some f
+
+let ensure t n =
+  if n >= Array.length t.parent then begin
+    let cap = max (n + 1) (2 * Array.length t.parent) in
+    let parent = Array.init cap (fun i -> if i < t.size then t.parent.(i) else i) in
+    let rank = Array.make cap 0 in
+    Array.blit t.rank 0 rank 0 t.size;
+    let succs = Array.init cap (fun i -> if i < t.size then t.succs.(i) else Hashtbl.create 4) in
+    let preds = Array.init cap (fun i -> if i < t.size then t.preds.(i) else Hashtbl.create 4) in
+    t.parent <- parent;
+    t.rank <- rank;
+    t.succs <- succs;
+    t.preds <- preds
+  end
+
+(** Register vertex [v] (idempotent). *)
+let add_vertex t v =
+  ensure t v;
+  if v >= t.size then begin
+    for i = t.size to v do
+      t.parent.(i) <- i
+    done;
+    t.size <- v + 1
+  end
+
+let rec find t v =
+  let p = t.parent.(v) in
+  if p = v then v
+  else begin
+    let root = find t p in
+    t.parent.(v) <- root;
+    root
+  end
+
+(** Are [u] and [v] in the same strongly connected component? *)
+let same_scc t u v = find t u = find t v
+
+(* Merge the union-find classes of [a] and [b]; the survivor inherits the
+   union of both condensation adjacency sets. *)
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else begin
+    let winner, loser =
+      if t.rank.(ra) >= t.rank.(rb) then (ra, rb) else (rb, ra)
+    in
+    if t.rank.(winner) = t.rank.(loser) then t.rank.(winner) <- t.rank.(winner) + 1;
+    t.parent.(loser) <- winner;
+    Hashtbl.iter (fun s () -> Hashtbl.replace t.succs.(winner) s ()) t.succs.(loser);
+    Hashtbl.iter (fun p () -> Hashtbl.replace t.preds.(winner) p ()) t.preds.(loser);
+    Hashtbl.reset t.succs.(loser);
+    Hashtbl.reset t.preds.(loser);
+    (match t.merge_hook with Some f -> f ~winner ~loser | None -> ());
+    winner
+  end
+
+(* Forward reachability over the condensation from [start] (inclusive),
+   with path compression of stale adjacency entries on the fly. *)
+let reachable t ~forward start =
+  let seen = Hashtbl.create 32 in
+  let rec go r =
+    let r = find t r in
+    if not (Hashtbl.mem seen r) then begin
+      Hashtbl.add seen r ();
+      let adj = if forward then t.succs.(r) else t.preds.(r) in
+      Hashtbl.iter (fun n () -> go n) adj
+    end
+  in
+  go start;
+  seen
+
+(** Insert edge [u -> v], merging SCCs if this closes a cycle.  Returns
+    [true] when a merge happened. *)
+let add_edge t u v =
+  add_vertex t u;
+  add_vertex t v;
+  let ru = find t u and rv = find t v in
+  if ru = rv then false
+  else begin
+    Hashtbl.replace t.succs.(ru) rv ();
+    Hashtbl.replace t.preds.(rv) ru ();
+    (* cycle check: does v reach u? *)
+    let fwd = reachable t ~forward:true rv in
+    if not (Hashtbl.mem fwd ru) then false
+    else begin
+      (* merge every component lying on a v ->* u path: the intersection
+         of {reachable from v} and {reaching u} *)
+      let bwd = reachable t ~forward:false ru in
+      let to_merge = ref [] in
+      Hashtbl.iter (fun x () -> if Hashtbl.mem bwd x then to_merge := x :: !to_merge) fwd;
+      let rep =
+        List.fold_left (fun acc x -> union t acc x) ru !to_merge
+      in
+      (* drop the self-loop the merge may have created *)
+      Hashtbl.remove t.succs.(rep) rep;
+      Hashtbl.remove t.preds.(rep) rep;
+      (* compress stale adjacency entries *)
+      let compress tbl =
+        let entries = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
+        Hashtbl.reset tbl;
+        List.iter
+          (fun k ->
+            let k = find t k in
+            if k <> rep then Hashtbl.replace tbl k ())
+          entries
+      in
+      compress t.succs.(rep);
+      compress t.preds.(rep);
+      true
+    end
+  end
+
+(** Successor component representatives of the component of [v]. *)
+let succ_components t v =
+  let r = find t v in
+  Hashtbl.fold (fun s () acc -> find t s :: acc) t.succs.(r) []
+  |> List.sort_uniq Int.compare
+  |> List.filter (fun s -> s <> r)
+
+let num_components t =
+  let reps = Hashtbl.create 32 in
+  for v = 0 to t.size - 1 do
+    Hashtbl.replace reps (find t v) ()
+  done;
+  Hashtbl.length reps

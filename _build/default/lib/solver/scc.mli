@@ -1,0 +1,33 @@
+(** Incremental strongly-connected-component maintenance with union-find
+    (Section 5 of the paper, "Alive and Dead State Detection"): a DAG of
+    SCCs kept up to date as edges are inserted, merging components when a
+    cycle appears.  Vertices are dense small integers assigned by the
+    caller. *)
+
+type t
+
+val create : unit -> t
+
+val on_merge : t -> (winner:int -> loser:int -> unit) -> unit
+(** Register a callback invoked after two component representatives
+    merge, so callers can combine per-component aggregates. *)
+
+val add_vertex : t -> int -> unit
+(** Register a vertex (idempotent).  Implicitly registers every smaller
+    unregistered vertex as a singleton component. *)
+
+val find : t -> int -> int
+(** Representative of the vertex's component (with path compression). *)
+
+val same_scc : t -> int -> int -> bool
+
+val add_edge : t -> int -> int -> bool
+(** [add_edge t u v] inserts the edge [u -> v]; if this closes a cycle,
+    every component on a [v ->* u] path is merged.  Returns [true] when a
+    merge happened. *)
+
+val succ_components : t -> int -> int list
+(** Representatives of the distinct successor components of the
+    component of the given vertex (excluding itself). *)
+
+val num_components : t -> int

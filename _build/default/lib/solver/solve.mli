@@ -1,0 +1,88 @@
+(** The decision procedure for extended regular expression constraints
+    (Section 5): lazy unfolding of symbolic derivatives over a persistent
+    graph with dead-state detection, witness generation, side
+    constraints, and a formula layer for Boolean combinations of
+    membership constraints on one string variable. *)
+
+module Make (R : Sbd_regex.Regex.S) : sig
+  module A : Sbd_alphabet.Algebra.S with type pred = R.A.pred
+  module D : module type of Sbd_core.Deriv.Make (R)
+  module Tr : module type of D.Tr
+
+  module G : module type of Graph.Make (struct
+    type t = R.t
+
+    let id (r : R.t) = r.R.id
+  end)
+
+  type result =
+    | Sat of int list  (** witness word, as code points *)
+    | Unsat
+    | Unknown of string  (** work budget exhausted *)
+
+  val string_of_witness : int list -> string
+  val pp_result : Format.formatter -> result -> unit
+
+  (** Side constraints from the surrounding solver context (Section 2's
+      example: a blocked first character). *)
+  type side = {
+    min_len : int;
+    max_len : int option;
+    char_at : (int * A.pred) list;  (** predicate on position [i] *)
+  }
+
+  val no_side : side
+
+  (** A solver session: the persistent derivative graph shared across
+      queries, plus work counters. *)
+  type session = {
+    graph : G.t;
+    mutable expansions : int;
+    mutable dead_hits : int;
+    mutable queries : int;
+  }
+
+  val create_session : unit -> session
+
+  type strategy = Dfs | Bfs
+
+  val solve :
+    ?budget:int ->
+    ?dead_state_elim:bool ->
+    ?side:side ->
+    ?strategy:strategy ->
+    session ->
+    R.t ->
+    result
+  (** Decide satisfiability of [in(s, r)].  [Dfs] (default) mirrors
+      dZ3's CDCL-style search; [Bfs] returns a shortest witness.
+      [dead_state_elim:false] disables the bot rule (ablation A2). *)
+
+  val is_empty_lang : ?budget:int -> session -> R.t -> bool option
+  val subset : ?budget:int -> session -> R.t -> R.t -> bool option
+  val equiv : ?budget:int -> session -> R.t -> R.t -> bool option
+
+  val enumerate :
+    ?budget:int -> ?strategy:strategy -> session -> R.t -> int -> int list list
+  (** Up to [n] distinct members of [L(r)], via blocking constraints. *)
+
+  (** Formulas about one string variable: memberships under Boolean
+      connectives, length bounds, positional character predicates. *)
+  type formula =
+    | In of R.t
+    | Len_eq of int
+    | Len_ge of int
+    | Len_le of int
+    | Char_at of int * A.pred
+    | FAnd of formula list
+    | FOr of formula list
+    | FNot of formula
+    | FTrue
+    | FFalse
+
+  val solve_formula :
+    ?budget:int -> ?dead_state_elim:bool -> session -> formula -> result
+  (** Boolean structure is compiled away: per DNF clause, memberships
+      fold into one ERE (negation becoming complement, conjunction
+      intersection) and the rest become side constraints. *)
+end

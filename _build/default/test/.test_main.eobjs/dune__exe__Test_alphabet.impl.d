@@ -1,0 +1,1 @@
+test/test_alphabet.ml: Alcotest Algebra Bdd Char Charclass Format List Minterm Printf Random Ranges Sbd_alphabet Utf8

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Char List Printf Sbd_alphabet Sbd_classic Sbd_core Sbd_regex

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Char List Printf Sbd_alphabet Sbd_classic Sbd_core Sbd_matcher Sbd_regex Sbd_solver String

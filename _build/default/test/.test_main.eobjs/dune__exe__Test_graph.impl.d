@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest List Random Sbd_solver

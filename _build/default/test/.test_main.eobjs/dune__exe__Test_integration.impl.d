@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Printf Sbd_alphabet Sbd_benchgen Sbd_core Sbd_regex Sbd_smtlib

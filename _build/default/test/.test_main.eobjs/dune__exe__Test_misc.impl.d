@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Char List Printf Sbd_alphabet Sbd_benchgen Sbd_classic Sbd_core Sbd_regex Sbd_solver

@@ -1,0 +1,1 @@
+test/test_props.ml: Char List Printf QCheck2 QCheck_alcotest Sbd_alphabet Sbd_classic Sbd_core Sbd_matcher Sbd_regex Sbd_solver String

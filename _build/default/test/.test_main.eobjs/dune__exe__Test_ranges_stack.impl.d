@@ -1,0 +1,1 @@
+test/test_ranges_stack.ml: Alcotest Char List Sbd_alphabet Sbd_classic Sbd_core Sbd_matcher Sbd_regex Sbd_solver String

@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Char List Printf Sbd_alphabet Sbd_regex

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Array Char Format List Printf Sbd_alphabet Sbd_classic Sbd_regex Sbd_solver String

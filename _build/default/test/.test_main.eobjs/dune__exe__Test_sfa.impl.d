@@ -1,0 +1,1 @@
+test/test_sfa.ml: Alcotest Char List Printf Sbd_alphabet Sbd_classic Sbd_regex Sbd_sfa String

@@ -1,0 +1,1 @@
+test/test_smtlib.ml: Alcotest Format List Printf Sbd_alphabet Sbd_regex Sbd_smtlib String

@@ -1,0 +1,246 @@
+(* Tests for the effective Boolean algebras: the interval-list algebra, the
+   BDD algebra, their agreement, and minterm generation. *)
+
+open Sbd_alphabet
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ranges_testable =
+  Alcotest.testable
+    (fun ppf rs ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list (fun ppf (a, b) -> Format.fprintf ppf "(%d,%d)" a b))
+        rs)
+    ( = )
+
+(* -- range-list helpers ------------------------------------------------ *)
+
+let test_normalize () =
+  Alcotest.check ranges_testable "merge overlapping"
+    [ (1, 10) ]
+    (Algebra.normalize_ranges [ (5, 10); (1, 6) ]);
+  Alcotest.check ranges_testable "merge adjacent"
+    [ (1, 10) ]
+    (Algebra.normalize_ranges [ (1, 5); (6, 10) ]);
+  Alcotest.check ranges_testable "keep gaps"
+    [ (1, 5); (7, 10) ]
+    (Algebra.normalize_ranges [ (7, 10); (1, 5) ]);
+  Alcotest.check ranges_testable "drop empty" []
+    (Algebra.normalize_ranges [ (5, 4) ]);
+  Alcotest.check ranges_testable "clamp to domain"
+    [ (0, 10) ]
+    (Algebra.normalize_ranges [ (-5, 10) ])
+
+let test_complement () =
+  Alcotest.check ranges_testable "complement of middle range"
+    [ (0, 9); (21, Algebra.max_char) ]
+    (Algebra.complement_ranges [ (10, 20) ]);
+  Alcotest.check ranges_testable "complement of empty"
+    [ (0, Algebra.max_char) ]
+    (Algebra.complement_ranges []);
+  Alcotest.check ranges_testable "complement of full" []
+    (Algebra.complement_ranges [ (0, Algebra.max_char) ])
+
+let test_inter () =
+  Alcotest.check ranges_testable "overlap"
+    [ (5, 10) ]
+    (Algebra.inter_ranges [ (1, 10) ] [ (5, 20) ]);
+  Alcotest.check ranges_testable "disjoint" []
+    (Algebra.inter_ranges [ (1, 4) ] [ (5, 20) ]);
+  Alcotest.check ranges_testable "multi"
+    [ (2, 3); (8, 9) ]
+    (Algebra.inter_ranges [ (2, 3); (8, 9) ] [ (0, 20) ])
+
+(* -- per-algebra law tests, shared via a functor ----------------------- *)
+
+module Laws (A : Algebra.S) = struct
+  let digit = A.of_ranges Charclass.digit_ranges
+  let lower = A.of_ranges Charclass.lower_ranges
+  let word = A.of_ranges Charclass.word_ranges
+
+  let sample_points =
+    [ 0; 1; Char.code '0'; Char.code '5'; Char.code '9'; Char.code 'a'
+    ; Char.code 'z'; Char.code 'A'; Char.code '_'; 0x7F; 0x100; 0x4E2D
+    ; Algebra.max_char ]
+
+  let agree msg p q =
+    List.iter
+      (fun c -> check (Printf.sprintf "%s (char %d)" msg c) (A.mem c p) (A.mem c q))
+      sample_points
+
+  let test_bounds () =
+    check "bot is bot" true (A.is_bot A.bot);
+    check "top is top" true (A.is_top A.top);
+    check "digit not bot" false (A.is_bot digit);
+    List.iter (fun c -> check "mem top" true (A.mem c A.top)) sample_points;
+    List.iter (fun c -> check "mem bot" false (A.mem c A.bot)) sample_points
+
+  let test_ops () =
+    check "digit /\\ lower unsat" true (A.is_bot (A.conj digit lower));
+    check "digit <= word" true (A.is_bot (A.conj digit (A.neg word)));
+    agree "de morgan" (A.neg (A.disj digit lower)) (A.conj (A.neg digit) (A.neg lower));
+    agree "involution" digit (A.neg (A.neg digit));
+    check "extensional: a|b = b|a" true
+      (A.equal (A.disj digit lower) (A.disj lower digit));
+    check "a /\\ ~a = bot" true (A.is_bot (A.conj digit (A.neg digit)));
+    check "a \\/ ~a = top" true (A.is_top (A.disj digit (A.neg digit)))
+
+  let test_sizes () =
+    check_int "digits" 10 (A.size digit);
+    check_int "lower" 26 (A.size lower);
+    check_int "top" 0x10000 (A.size A.top);
+    check_int "bot" 0 (A.size A.bot)
+
+  let test_choose () =
+    (match A.choose digit with
+    | Some c -> check "witness in denotation" true (A.mem c digit)
+    | None -> Alcotest.fail "no witness for digit");
+    check "no witness for bot" true (A.choose A.bot = None);
+    (* The witness is biased to printable ASCII when possible. *)
+    (match A.choose A.top with
+    | Some c -> check "printable witness" true (c >= 0x20 && c <= 0x7E)
+    | None -> Alcotest.fail "no witness for top")
+
+  let test_ranges_roundtrip () =
+    let cases =
+      [ Charclass.digit_ranges; Charclass.word_ranges; Charclass.space_ranges
+      ; [ (0, 0) ]; [ (Algebra.max_char, Algebra.max_char) ]
+      ; [ (0x41, 0x5A); (0x61, 0x7A) ] ]
+    in
+    List.iter
+      (fun rs ->
+        let normalized = Algebra.normalize_ranges rs in
+        Alcotest.check ranges_testable "of_ranges/ranges roundtrip" normalized
+          (A.ranges (A.of_ranges rs)))
+      cases
+
+  let tests name =
+    [ Alcotest.test_case (name ^ " bounds") `Quick test_bounds
+    ; Alcotest.test_case (name ^ " operations") `Quick test_ops
+    ; Alcotest.test_case (name ^ " sizes") `Quick test_sizes
+    ; Alcotest.test_case (name ^ " choose") `Quick test_choose
+    ; Alcotest.test_case (name ^ " ranges roundtrip") `Quick test_ranges_roundtrip
+    ]
+end
+
+module Ranges_laws = Laws (Ranges)
+module Bdd_laws = Laws (Bdd)
+
+(* -- BDD vs ranges agreement ------------------------------------------- *)
+
+let random_ranges rand =
+  let n = 1 + Random.State.int rand 4 in
+  List.init n (fun _ ->
+      let lo = Random.State.int rand 0x10000 in
+      let hi = min Algebra.max_char (lo + Random.State.int rand 300) in
+      (lo, hi))
+
+let test_bdd_matches_ranges () =
+  let rand = Random.State.make [| 42 |] in
+  for _ = 1 to 200 do
+    let rs1 = random_ranges rand and rs2 = random_ranges rand in
+    let b1 = Bdd.of_ranges rs1 and b2 = Bdd.of_ranges rs2 in
+    let r1 = Ranges.of_ranges rs1 and r2 = Ranges.of_ranges rs2 in
+    let pairs =
+      [ (Bdd.conj b1 b2, Ranges.conj r1 r2)
+      ; (Bdd.disj b1 b2, Ranges.disj r1 r2)
+      ; (Bdd.neg b1, Ranges.neg r1) ]
+    in
+    List.iter
+      (fun (b, r) ->
+        Alcotest.check ranges_testable "bdd op = ranges op" (Ranges.ranges r)
+          (Bdd.ranges b);
+        check_int "sizes agree" (Ranges.size r) (Bdd.size b))
+      pairs
+  done
+
+(* -- minterms ----------------------------------------------------------- *)
+
+module M = Minterm.Make (Bdd)
+
+let test_minterms_partition () =
+  let preds =
+    List.map Bdd.of_ranges
+      [ Charclass.digit_ranges; Charclass.lower_ranges; Charclass.word_ranges ]
+  in
+  let mts = M.minterms preds in
+  (* Pairwise disjoint. *)
+  List.iteri
+    (fun i p ->
+      List.iteri
+        (fun j q -> if i < j then check "disjoint" true (Bdd.is_bot (Bdd.conj p q)))
+        mts)
+    mts;
+  (* Cover the domain. *)
+  let union = List.fold_left Bdd.disj Bdd.bot mts in
+  check "covers domain" true (Bdd.is_top union);
+  (* All satisfiable. *)
+  List.iter (fun p -> check "satisfiable" false (Bdd.is_bot p)) mts;
+  check "at most 2^n" true (List.length mts <= 8)
+
+let test_minterms_empty () =
+  match M.minterms [] with
+  | [ p ] -> check "single top minterm" true (Bdd.is_top p)
+  | _ -> Alcotest.fail "expected exactly one minterm"
+
+let test_minterm_of () =
+  let preds = List.map Bdd.of_ranges [ Charclass.digit_ranges; Charclass.word_ranges ] in
+  let m = M.minterm_of preds (Char.code '7') in
+  check "contains the char" true (Bdd.mem (Char.code '7') m);
+  check "inside digit" true (Bdd.is_bot (Bdd.conj m (Bdd.neg (List.hd preds))))
+
+let test_minterms_blowup_count () =
+  (* n pairwise-overlapping predicates can give 2^n minterms: witness the
+     exponential behaviour the paper's Section 8.3 baselines suffer from. *)
+  let bit i = Bdd.of_ranges (List.init 128 (fun c -> if c land (1 lsl i) <> 0 then (c, c) else (-1, -2))) in
+  let preds = List.init 5 bit in
+  let mts = M.minterms preds in
+  (* 2^5 minterms within [0,127] plus the rest of the BMP merged in. *)
+  check "exponential minterms" true (List.length mts >= 32)
+
+(* BDD structural edge cases *)
+let test_bdd_edges () =
+  let module B = Bdd in
+  (* single-point predicates at the domain extremes *)
+  let zero = B.of_ranges [ (0, 0) ] in
+  let top_cp = B.of_ranges [ (Algebra.max_char, Algebra.max_char) ] in
+  check "mem 0" true (B.mem 0 zero);
+  check "not mem 1" false (B.mem 1 zero);
+  check "mem max" true (B.mem Algebra.max_char top_cp);
+  check_int "size 1" 1 (B.size zero);
+  (* alternating bit pattern: worst case for the range view *)
+  let evens = B.of_ranges (List.init 128 (fun i -> (2 * i, 2 * i))) in
+  check_int "128 evens" 128 (B.size evens);
+  check "mem 4" true (B.mem 4 evens);
+  check "not mem 5" false (B.mem 5 evens);
+  Alcotest.(check int) "ranges count" 128 (List.length (B.ranges evens));
+  (* hash-consing: equal denotations are physically equal *)
+  let a = B.of_ranges [ (10, 20) ] and b = B.of_ranges [ (10, 15); (16, 20) ] in
+  check "hash-consed equal" true (B.equal a b);
+  check "xor-style identity" true
+    (B.is_bot (B.conj (B.disj a (B.neg a)) B.bot))
+
+let test_utf8_boundaries () =
+  (* encode/decode exactly at the 1/2/3-byte boundaries *)
+  List.iter
+    (fun cp ->
+      match Utf8.decode (Utf8.encode [ cp ]) with
+      | Ok [ cp' ] -> check_int "boundary roundtrip" cp cp'
+      | _ -> Alcotest.failf "failed at U+%04X" cp)
+    [ 0x00; 0x7F; 0x80; 0x7FF; 0x800; 0xD7FF; 0xE000; 0xFFFF ]
+
+let suite =
+  ( "alphabet",
+    [ Alcotest.test_case "normalize_ranges" `Quick test_normalize
+    ; Alcotest.test_case "complement_ranges" `Quick test_complement
+    ; Alcotest.test_case "inter_ranges" `Quick test_inter ]
+    @ Ranges_laws.tests "ranges"
+    @ Bdd_laws.tests "bdd"
+    @ [ Alcotest.test_case "bdd agrees with ranges" `Quick test_bdd_matches_ranges
+      ; Alcotest.test_case "minterms partition" `Quick test_minterms_partition
+      ; Alcotest.test_case "minterms of empty set" `Quick test_minterms_empty
+      ; Alcotest.test_case "minterm_of" `Quick test_minterm_of
+      ; Alcotest.test_case "minterm blowup" `Quick test_minterms_blowup_count
+      ; Alcotest.test_case "bdd edge cases" `Quick test_bdd_edges
+      ; Alcotest.test_case "utf8 boundaries" `Quick test_utf8_boundaries ] )

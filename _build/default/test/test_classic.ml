@@ -1,0 +1,137 @@
+(* Tests for the classical machinery: the DP reference matcher itself,
+   Brzozowski derivatives, Antimirov partial derivatives, and the
+   mintermization-based baseline solver. *)
+
+module A = Sbd_alphabet.Bdd
+module R = Sbd_regex.Regex.Make (A)
+module P = Sbd_regex.Parser.Make (R)
+module Ref = Sbd_classic.Refmatch.Make (R)
+module Brz = Sbd_classic.Brzozowski.Make (R)
+module Ant = Sbd_classic.Antimirov.Make (R)
+module MSolve = Sbd_classic.Minterm_solver.Make (R)
+module D = Sbd_core.Deriv.Make (R)
+
+let re = P.parse_exn
+let check = Alcotest.(check bool)
+
+let word s = List.init (String.length s) (fun i -> Char.code s.[i])
+
+(* Hand-labelled (regex, word, expected) fixtures; every engine must agree. *)
+let fixtures =
+  [ ("abc", "abc", true); ("abc", "ab", false); ("abc", "abcd", false)
+  ; ("a*", "", true); ("a*", "aaaa", true); ("a*", "aab", false)
+  ; ("(ab)*", "abab", true); ("(ab)*", "aba", false)
+  ; ("a|b", "a", true); ("a|b", "b", true); ("a|b", "c", false)
+  ; ("a{2,3}", "a", false); ("a{2,3}", "aa", true); ("a{2,3}", "aaa", true)
+  ; ("a{2,3}", "aaaa", false); ("a{2,}", "aaaaa", true); ("a{0,2}", "", true)
+  ; ("(a?){3}", "aa", true); ("(a?){3}", "aaaa", false)
+  ; (".*ab.*", "xxabyy", true); (".*ab.*", "xxayy", false)
+  ; ("\\d+", "0571", true); ("\\d+", "05a71", false)
+  ; ("[a-c]x[0-9]", "bx7", true); ("[a-c]x[0-9]", "dx7", false)
+  ; ("a*b*", "aabb", true); ("a*b*", "aba", false)
+  ]
+
+let ere_fixtures =
+  [ ("a*&b*", "", true); ("a*&b*", "a", false)
+  ; (".*a.*&.*b.*", "ab", true); (".*a.*&.*b.*", "aa", false)
+  ; ("~(ab)", "", true); ("~(ab)", "ab", false); ("~(ab)", "abc", true)
+  ; ("~(a*)", "b", true); ("~(a*)", "aa", false)
+  ; (".*\\d.*&~(.*01.*)", "0", true); (".*\\d.*&~(.*01.*)", "01", false)
+  ; (".*\\d.*&~(.*01.*)", "10", true); (".*\\d.*&~(.*01.*)", "xyz", false)
+  ; ("(a|b)*&~(.*aa.*)", "abab", true); ("(a|b)*&~(.*aa.*)", "abaa", false)
+  ; ("~(~a&~b)", "a", true); ("~(~a&~b)", "c", false)
+  ]
+
+let test_refmatch () =
+  List.iter
+    (fun (r, w, expected) ->
+      check (Printf.sprintf "ref %s on %S" r w) expected (Ref.matches (re r) (word w)))
+    (fixtures @ ere_fixtures)
+
+let test_brzozowski_matches () =
+  List.iter
+    (fun (r, w, expected) ->
+      check (Printf.sprintf "brz %s on %S" r w) expected (Brz.matches (re r) (word w)))
+    (fixtures @ ere_fixtures)
+
+let test_antimirov_matches () =
+  (* classical partial derivatives: RE fixtures only *)
+  List.iter
+    (fun (r, w, expected) ->
+      check (Printf.sprintf "ant %s on %S" r w) expected (Ant.matches (re r) (word w)))
+    fixtures
+
+let test_antimirov_pos () =
+  (* positive ERE fragment *)
+  let pos = List.filter (fun (r, _, _) -> not (String.contains r '~')) ere_fixtures in
+  List.iter
+    (fun (r, w, expected) ->
+      check
+        (Printf.sprintf "ant+ %s on %S" r w)
+        expected
+        (Ant.matches_pos (re r) (word w)))
+    (fixtures @ pos)
+
+let test_antimirov_unsupported () =
+  (try
+     ignore (Ant.partial (Char.code 'a') (re "~(ab)"));
+     Alcotest.fail "expected Unsupported"
+   with Ant.Unsupported _ -> ());
+  try
+    ignore (Ant.partial_pos (Char.code 'a') (re "a&~b"));
+    Alcotest.fail "expected Unsupported"
+  with Ant.Unsupported _ -> ()
+
+let test_antimirov_linear () =
+  (* Antimirov: number of partial derivatives of a union is bounded by the
+     sum, no product blowup on RE *)
+  let r = re "(ab|cd|ef)*" in
+  let d = Ant.partial (Char.code 'a') r in
+  Alcotest.(check int) "single partial derivative" 1 (R.Set.cardinal d)
+
+let test_minterm_solver () =
+  let sat = [ "abc"; "a*&~b"; ".*\\d.*&~(.*01.*)"; "(ab|ba){2}" ] in
+  let unsat = [ "[]"; "[a-c]&[x-z]"; "a{2}&a{3}"; "(a*)&(.*b.*)" ] in
+  List.iter
+    (fun s ->
+      match MSolve.solve (re s) with
+      | MSolve.Sat w ->
+        check (Printf.sprintf "minterm witness for %s" s) true (Ref.matches (re s) w)
+      | _ -> Alcotest.failf "minterm solver: expected sat for %s" s)
+    sat;
+  List.iter
+    (fun s ->
+      match MSolve.solve (re s) with
+      | MSolve.Unsat -> ()
+      | _ -> Alcotest.failf "minterm solver: expected unsat for %s" s)
+    unsat
+
+let test_engines_agree () =
+  (* all matching engines agree on all fixtures *)
+  List.iter
+    (fun (r, w, _) ->
+      let r = re r and w = word w in
+      let reference = Ref.matches r w in
+      check "brz agrees" reference (Brz.matches r w);
+      check "deriv agrees" reference (D.matches r w))
+    (fixtures @ ere_fixtures)
+
+let test_language_enumeration () =
+  let ab = [ Char.code 'a'; Char.code 'b' ] in
+  let lang r = Ref.language ~alphabet:ab ~max_len:4 (re r) in
+  Alcotest.(check int) "(a|b){2} has 4 words" 4 (List.length (lang "(a|b){2}"));
+  Alcotest.(check int) "a* words up to 4" 5 (List.length (lang "a*"));
+  (* 2^0+...+2^4 = 31 words total, 5 of which are a^k with 0 <= k <= 4 *)
+  Alcotest.(check int) "~(a*) over {a,b} up to len 4" 26 (List.length (lang "~(a*)"))
+
+let suite =
+  ( "classic",
+    [ Alcotest.test_case "reference matcher" `Quick test_refmatch
+    ; Alcotest.test_case "brzozowski matcher" `Quick test_brzozowski_matches
+    ; Alcotest.test_case "antimirov matcher" `Quick test_antimirov_matches
+    ; Alcotest.test_case "antimirov positive ERE" `Quick test_antimirov_pos
+    ; Alcotest.test_case "antimirov unsupported" `Quick test_antimirov_unsupported
+    ; Alcotest.test_case "antimirov granularity" `Quick test_antimirov_linear
+    ; Alcotest.test_case "minterm solver" `Quick test_minterm_solver
+    ; Alcotest.test_case "engines agree" `Quick test_engines_agree
+    ; Alcotest.test_case "language enumeration" `Quick test_language_enumeration ] )

@@ -1,0 +1,266 @@
+(* Tests for transition regexes and symbolic derivatives: the paper's
+   running example (Section 2), Examples 4.5, 5.1 and 7.4, DNF shape,
+   Theorem 4.3 spot checks, SBFA construction, and Theorem 7.3. *)
+
+module A = Sbd_alphabet.Bdd
+module R = Sbd_regex.Regex.Make (A)
+module P = Sbd_regex.Parser.Make (R)
+module D = Sbd_core.Deriv.Make (R)
+module Tr = D.Tr
+module Sbfa = Sbd_core.Sbfa.Make (R)
+
+let re = P.parse_exn
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let eq msg a b = check msg true (R.equal a b)
+let c0 = Char.code '0'
+let c1 = Char.code '1'
+let ca = Char.code 'a'
+let cx = Char.code 'x'
+
+(* -- base cases of the derivative ----------------------------------- *)
+
+let test_delta_base () =
+  eq "delta(eps)(a) = bot" R.empty (D.derive ca R.eps);
+  eq "delta(bot)(a) = bot" R.empty (D.derive ca R.empty);
+  eq "delta(a)(a) = eps" R.eps (D.derive ca (re "a"));
+  eq "delta(a)(x) = bot" R.empty (D.derive cx (re "a"));
+  eq "delta(\\d)(5) = eps" R.eps (D.derive (Char.code '5') (re "\\d"));
+  eq "delta(.*)(a) = .*" R.full (D.derive ca R.full);
+  eq "delta(ab)(a) = b" (re "b") (D.derive ca (re "ab"));
+  eq "delta(a*)(a) = a*" (re "a*") (D.derive ca (re "a*"));
+  eq "delta(a{3})(a) = a{2}" (re "a{2}") (D.derive ca (re "a{3}"));
+  eq "delta(a{1,3})(a) = a{0,2}" (re "a{0,2}") (D.derive ca (re "a{1,3}"));
+  eq "delta(a{0,3})(a) = a{0,2}" (re "a{0,2}") (D.derive ca (re "a{0,3}"));
+  eq "delta(a|b)(b) = eps" R.eps (D.derive (Char.code 'b') (re "a|b"));
+  eq "delta(~a)(a) = ~eps" (R.compl R.eps) (D.derive ca (re "~a"))
+
+(* -- the running example of Section 2 -------------------------------- *)
+
+let r1 () = re ".*\\d.*"
+let r2 () = re "~(.*01.*)"
+let r () = R.inter (r1 ()) (r2 ())
+let r3 () = R.inter (r2 ()) (re "~(1.*)")
+
+let test_running_example () =
+  (* delta(R1) ≡ if(\d, .*, R1) *)
+  eq "delta(R1)(digit) = .*" R.full (D.derive (Char.code '7') (r1 ()));
+  eq "delta(R1)(x) = R1" (r1 ()) (D.derive cx (r1 ()));
+  (* delta(R2) = if(0, R2 and not(1..), R2) *)
+  eq "delta(R2)(0) = R2 & ~(1.*)" (r3 ()) (D.derive c0 (r2 ()));
+  eq "delta(R2)(x) = R2" (r2 ()) (D.derive cx (r2 ()));
+  eq "delta(R2)(1) = R2" (r2 ()) (D.derive c1 (r2 ()));
+  (* delta(R) ≡ if(0, R3, if(\d, R2, R)): 0 is also a digit *)
+  eq "delta(R)(0) = R3" (r3 ()) (D.derive c0 (r ()));
+  eq "delta(R)(5) = R2" (r2 ()) (D.derive (Char.code '5') (r ()));
+  eq "delta(R)(x) = R" (r ()) (D.derive cx (r ()));
+  (* R3 is nullable, hence "0" is a witness for R (Section 2). *)
+  check "R3 nullable" true (R.nullable (r3 ()));
+  check "matches \"0\"" true (D.matches_string (r ()) "0");
+  check "does not match \"01\"" false (D.matches_string (r ()) "01");
+  check "matches \"10\"" true (D.matches_string (r ()) "10");
+  check "does not match empty" false (D.matches_string (r ()) "");
+  check "does not match \"ab\"" false (D.matches_string (r ()) "ab");
+  check "matches \"a5b01\"? no" false (D.matches_string (r ()) "a5b01");
+  check "matches \"a5b0\"" true (D.matches_string (r ()) "a5b0")
+
+(* -- Example 4.5 / 5.1: delta-dnf of not(.*01..) ------------------------ *)
+
+let test_example_5_1 () =
+  let r = re "~(.*01.*)" in
+  let d = D.delta_dnf r in
+  check "dnf shape" true (Tr.is_dnf d);
+  (* delta_dnf(not .*01..) = if(0, r and not(1..), r) *)
+  let trans = Tr.transitions d in
+  check_int "two transitions" 2 (List.length trans);
+  let phi0 = A.of_ranges [ (c0, c0) ] in
+  List.iter
+    (fun (guard, target) ->
+      if R.equal target (r3 ()) then check "guard for R3 is 0" true (A.equal guard phi0)
+      else if R.equal target r then check "guard for r is ~0" true (A.equal guard (A.neg phi0))
+      else Alcotest.failf "unexpected target %s" (R.to_string target))
+    trans;
+  (* delta_dnf(r and not 1..) = if(0, r and not(1..), if(1, bot, r)) *)
+  let d3 = D.delta_dnf (r3 ()) in
+  check "dnf shape r3" true (Tr.is_dnf d3);
+  let trans3 = Tr.transitions d3 in
+  check_int "two live transitions from R3" 2 (List.length trans3);
+  let phi1 = A.of_ranges [ (c1, c1) ] in
+  List.iter
+    (fun (guard, target) ->
+      if R.equal target (r3 ()) then check "R3 self loop on 0" true (A.equal guard phi0)
+      else if R.equal target r then
+        check "back to r on ~0 and ~1" true (A.equal guard (A.conj (A.neg phi0) (A.neg phi1)))
+      else Alcotest.failf "unexpected target %s" (R.to_string target))
+    trans3
+
+(* -- negation and NNF (Lemma 4.2) ------------------------------------ *)
+
+let test_negation () =
+  let samples = [ c0; c1; ca; cx; Char.code '5' ] in
+  let regexes = [ re ".*01.*"; re "a|b*"; re "(ab)*&(a|b)"; re "~(ab)c" ] in
+  List.iter
+    (fun r ->
+      let t = D.delta r in
+      List.iter
+        (fun c ->
+          eq "apply(neg tau) = compl(apply tau)"
+            (R.compl (Tr.apply t c))
+            (Tr.apply (Tr.neg t) c);
+          eq "nnf preserves semantics" (Tr.apply t c) (Tr.apply (Tr.nnf t) c);
+          eq "dnf preserves semantics (modulo language)"
+            (Tr.apply t c)
+            (Tr.apply (Tr.dnf t) c))
+        samples)
+    regexes
+
+let test_dnf_shape () =
+  let regexes =
+    [ ".*\\d.*&~(.*01.*)"; "~(ab|cd)&(a|c)*"; "(.*a.{3})&(.*b.{3})"
+    ; "~(~a|~b)"; "\\d{4}-[a-zA-Z]{3}-\\d{2}&(2019.*|2020.*)" ]
+  in
+  List.iter
+    (fun s ->
+      let d = D.delta_dnf (re s) in
+      check (Printf.sprintf "is_dnf %s" s) true (Tr.is_dnf d))
+    regexes
+
+(* dnf-apply agrees with delta-apply on every regex/char pair above *)
+let test_dnf_apply_agreement () =
+  let samples = [ c0; c1; ca; Char.code 'b'; Char.code '2'; cx ] in
+  let regexes =
+    [ ".*\\d.*&~(.*01.*)"; "~(ab|cd)&(a|c)*"; "(.*a.{3})&(.*b.{3})"
+    ; "~(~a|~b)c*"; "(a&(b|a))*x" ]
+  in
+  List.iter
+    (fun s ->
+      let r = re s in
+      let t = D.delta r and d = D.delta_dnf r in
+      List.iter
+        (fun c ->
+          (* leaves may differ structurally (e.g. unions kept apart), so
+             compare the regex languages via matching on small words *)
+          let x = Tr.apply t c and y = Tr.apply d c in
+          let words =
+            [ []; [ c0 ]; [ c1 ]; [ ca ]; [ c0; c1 ]; [ ca; c0 ]; [ ca; ca ]
+            ; [ c1; c0; c1 ]; [ Char.code 'b'; ca ] ]
+          in
+          List.iter
+            (fun w ->
+              check "dnf-apply language agreement" (D.matches x w) (D.matches y w))
+            words)
+        samples)
+    regexes
+
+(* -- Theorem 4.3 spot checks (full property test in test_props) ------- *)
+
+let test_thm_4_3_spot () =
+  let module Brz = Sbd_classic.Brzozowski.Make (R) in
+  let module Ref = Sbd_classic.Refmatch.Make (R) in
+  let regexes =
+    [ "ab*"; ".*01.*"; "~(.*01.*)"; "(a|b)*&~(ab)"; "a{2,5}&(ab|aa)+" ]
+  in
+  let chars = [ ca; Char.code 'b'; c0; c1 ] in
+  let rec words n =
+    if n = 0 then [ [] ]
+    else
+      [] :: List.concat_map (fun w -> List.map (fun c -> c :: w) chars) (words (n - 1))
+  in
+  let sample_words = words 4 in
+  List.iter
+    (fun s ->
+      let r = re s in
+      List.iter
+        (fun c ->
+          (* Theorem 4.3 is a language equality; the two sides may differ
+             syntactically (e.g. factored vs distributed unions), so
+             compare languages on all words up to length 4. *)
+          let lhs = D.derive c r and rhs = Brz.derive c r in
+          List.iter
+            (fun w ->
+              check
+                (Printf.sprintf "delta(%s)(%c) = Brz on word" s (Char.chr c))
+                (Ref.matches rhs w) (Ref.matches lhs w))
+            sample_words)
+        chars)
+    regexes
+
+(* -- SBFA ------------------------------------------------------------ *)
+
+let test_sbfa_example_7_4 () =
+  (* rl & rd from Example 7.4: states {r, rl, rd} plus bot and .* *)
+  let rl = re ".*[a-z].*" and rd = re ".*\\d.*" in
+  let r = R.inter rl rd in
+  let m = Sbfa.build_exn r in
+  check_int "five states" 5 (Sbfa.num_states m);
+  check "contains rl" true (R.Set.mem rl m.Sbfa.states);
+  check "contains rd" true (R.Set.mem rd m.Sbfa.states);
+  check "contains r" true (R.Set.mem r m.Sbfa.states);
+  check "linear bound" true (Sbfa.linear_bound_holds m);
+  (* acceptance *)
+  check "accepts a1" true (Sbfa.accepts m [ ca; c1 ]);
+  check "accepts 1a" true (Sbfa.accepts m [ c1; ca ]);
+  check "rejects aa" false (Sbfa.accepts m [ ca; ca ]);
+  check "rejects 11" false (Sbfa.accepts m [ c1; c1 ]);
+  check "rejects eps" false (Sbfa.accepts m [])
+
+let test_sbfa_password () =
+  let r = re ".*\\d.*&~(.*01.*)" in
+  let m = Sbfa.build_exn r in
+  check "accepts 0" true (Sbfa.accepts m [ c0 ]);
+  check "rejects 01" false (Sbfa.accepts m [ c0; c1 ]);
+  check "accepts 10" true (Sbfa.accepts m [ c1; c0 ]);
+  check "rejects ab" false (Sbfa.accepts m [ ca; Char.code 'b' ]);
+  (* the state space stays small *)
+  check "small state space" true (Sbfa.num_states m <= 8)
+
+let test_thm_7_3 () =
+  (* Theorem 7.3: clean normalized B(RE) regexes have <= #(R) + 3 states. *)
+  let bre_corpus =
+    [ "ab|cd"; "(a|b)*c"; "~(ab)&~(cd)"; ".*a.*&.*b.*&.*c.*"
+    ; "\\d{4}-[a-zA-Z]{3}-\\d{2}"; "(.*a.{5})&(.*b.{5})"
+    ; "~(.*01.*)&.*\\d.*"; "(ab)*&~((ba)*)"; "a{3,7}b{2}|~(c*)"
+    ; "(a|b|c)*&~(.*aa.*)&~(.*bb.*)" ]
+  in
+  List.iter
+    (fun s ->
+      let r = re s in
+      check (Printf.sprintf "%s in B(RE)" s) true (R.in_bre r);
+      let m = Sbfa.build_exn r in
+      check
+        (Printf.sprintf "linear bound for %s: %d <= %d + 3" s (Sbfa.num_states m)
+           (R.num_preds_unfolded r))
+        true (Sbfa.linear_bound_holds m))
+    bre_corpus
+
+let test_sbfa_budget () =
+  (* the budget guard reports blowup rather than diverging *)
+  match Sbfa.build ~max_states:4 (re "(.*a.{8})&(.*b.{8})") with
+  | None -> ()
+  | Some m ->
+    Alcotest.failf "expected budget exhaustion, got %d states" (Sbfa.num_states m)
+
+let test_delta_finiteness () =
+  (* Theorem 7.1: derivative exploration reaches a fixpoint. *)
+  let corpus = [ "(a|b)*abb"; "~(.*ab.*)"; "(ab|ba){2,6}"; "a*b*c*&~(b*)" ] in
+  List.iter
+    (fun s ->
+      match Sbfa.build ~max_states:500 (re s) with
+      | Some _ -> ()
+      | None -> Alcotest.failf "unexpected blowup for %s" s)
+    corpus
+
+let suite =
+  ( "core",
+    [ Alcotest.test_case "delta base cases" `Quick test_delta_base
+    ; Alcotest.test_case "running example (Section 2)" `Quick test_running_example
+    ; Alcotest.test_case "Example 5.1 DNF" `Quick test_example_5_1
+    ; Alcotest.test_case "negation and NNF (Lemma 4.2)" `Quick test_negation
+    ; Alcotest.test_case "DNF shape" `Quick test_dnf_shape
+    ; Alcotest.test_case "DNF apply agreement" `Quick test_dnf_apply_agreement
+    ; Alcotest.test_case "Theorem 4.3 spot checks" `Quick test_thm_4_3_spot
+    ; Alcotest.test_case "SBFA Example 7.4" `Quick test_sbfa_example_7_4
+    ; Alcotest.test_case "SBFA password" `Quick test_sbfa_password
+    ; Alcotest.test_case "Theorem 7.3 linear bound" `Quick test_thm_7_3
+    ; Alcotest.test_case "SBFA budget guard" `Quick test_sbfa_budget
+    ; Alcotest.test_case "Theorem 7.1 finiteness" `Quick test_delta_finiteness ] )

@@ -1,0 +1,314 @@
+(* Tests for the extension modules: GraphViz rendering, coinductive
+   language equivalence, the deep simplifier, and the SRM-style matcher. *)
+
+module A = Sbd_alphabet.Bdd
+module R = Sbd_regex.Regex.Make (A)
+module P = Sbd_regex.Parser.Make (R)
+module D = Sbd_core.Deriv.Make (R)
+module Dot = Sbd_core.Dot.Make (R)
+module Sbfa = Sbd_core.Sbfa.Make (R)
+module Eq = Sbd_core.Lang_equiv.Make (R)
+module Simp = Sbd_regex.Simplify.Make (R)
+module Ref = Sbd_classic.Refmatch.Make (R)
+module Matcher = Sbd_matcher.Matcher.Make (R)
+module S = Sbd_solver.Solve.Make (R)
+module Safa = Sbd_core.Safa.Make (R)
+
+let re = P.parse_exn
+let check = Alcotest.(check bool)
+let eq msg a b = check msg true (R.equal a b)
+let word s = List.init (String.length s) (fun i -> Char.code s.[i])
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* -- dot rendering ------------------------------------------------------ *)
+
+let test_dot_derivative_graph () =
+  (* Figure 2d: the derivative graph of the complemented pattern has two live states *)
+  let dot = Dot.derivative_graph (re "~(.*01.*)") in
+  check "digraph" true (contains_sub dot "digraph");
+  check "has initial marker" true (contains_sub dot "init ->");
+  check "complement state present" true (contains_sub dot "~(.*01.*)");
+  check "R3 state present" true (contains_sub dot "~(1.*)");
+  (* nullable states are double circles *)
+  check "final shape" true (contains_sub dot "doublecircle")
+
+let test_dot_sbfa () =
+  let m = Sbfa.build_exn (re ".*[a-z].*&.*\\d.*") in
+  let dot = Dot.sbfa_boolean m in
+  check "digraph" true (contains_sub dot "digraph");
+  check "transition notes" true (contains_sub dot "shape=note")
+
+(* -- coinductive equivalence -------------------------------------------- *)
+
+let test_equiv_positive () =
+  let cases =
+    [ ("a*", "()|aa*"); ("(a|b)*", "(a*b*)*"); ("~(a|b)", "~a&~b")
+    ; ("a{2,4}", "aa(a?){2}"); ("(ab)*a", "a(ba)*")
+    ; (".*01.*", ".*01.*|01"); ("~(~(ab))", "ab")
+    ; ("a*&b*", "()"); ("(a|b)*&~(.*aa.*)&~(.*bb.*)", "(ab)*(a?)|(ba)*(b?)")
+    ]
+  in
+  List.iter
+    (fun (x, y) ->
+      match Eq.check (re x) (re y) with
+      | Some Eq.Equivalent -> ()
+      | Some (Eq.Counterexample w) ->
+        Alcotest.failf "%s ~ %s: counterexample %s" x y
+          (String.concat "" (List.map (fun c -> String.make 1 (Char.chr c)) w))
+      | None -> Alcotest.failf "%s ~ %s: budget exceeded" x y)
+    cases
+
+let test_equiv_negative () =
+  let cases =
+    [ ("a*", "a+"); ("(ab)*", "(ba)*"); ("~(ab)", "~(ba)")
+    ; (".*0.*", ".*01.*"); ("a{2,4}", "a{2,5}") ]
+  in
+  List.iter
+    (fun (x, y) ->
+      let rx = re x and ry = re y in
+      match Eq.check rx ry with
+      | Some (Eq.Counterexample w) ->
+        (* the witness really distinguishes the two languages *)
+        check
+          (Printf.sprintf "cex for %s vs %s" x y)
+          true
+          (Ref.matches rx w <> Ref.matches ry w)
+      | Some Eq.Equivalent -> Alcotest.failf "%s and %s wrongly equivalent" x y
+      | None -> Alcotest.failf "%s vs %s: budget exceeded" x y)
+    cases
+
+let test_equiv_agrees_with_solver () =
+  let session = S.create_session () in
+  let pairs =
+    [ ("a*b", "a*b"); ("a?b?", "(a|b)?"); ("(a&b)c", "[]"); ("~([])", ".*")
+    ; ("(ab|a)*", "(a|ab)*"); ("a{3}{3}", "a{9}"); ("a{3,4}{2}", "a{6,8}") ]
+  in
+  List.iter
+    (fun (x, y) ->
+      let rx = re x and ry = re y in
+      let coinductive = Eq.equiv rx ry in
+      let via_complement = S.equiv session rx ry in
+      check
+        (Printf.sprintf "agree on %s vs %s" x y)
+        true
+        (coinductive = via_complement))
+    pairs
+
+(* -- simplifier ---------------------------------------------------------- *)
+
+let test_simplify_shapes () =
+  let simp s = Simp.simplify (re s) in
+  eq "absorption or" (re "ab") (simp "ab|(ab&cd)");
+  eq "absorption and" (re "ab") (simp "ab&(ab|cd)");
+  eq "pred subsumption or" (re "\\w") (simp "[a-c]|\\w");
+  eq "pred subsumption and" (re "[a-c]") (simp "[a-c]&\\w");
+  eq "star of star" (re "a*") (simp "(a*)*");
+  eq "star union flatten" (re "(a|b)*") (simp "(a*|b)*");
+  eq "star concat flatten" (re "(a|b)*") (simp "(a*b*)*");
+  eq "eps or rr*" (re "a*") (simp "()|aa*");
+  eq "loop fusion" (re "a{6,8}") (simp "a{2,3}a{4,5}");
+  eq "a then a star" (re "a+") (simp "aa*");
+  eq "loop unnest" (re "a{9}") (simp "a{3}{3}");
+  eq "loop unnest tiling" (re "a{6,12}") (simp "a{3,4}{2,3}");
+  (* non-tiling nested loops must NOT be merged: (a{2,3}){0,2} has a gap *)
+  let nested = simp "(a{2,2}){0,2}" in
+  check "gap preserved" false (R.equal nested (re "a{0,4}"))
+
+let test_simplify_preserves_language () =
+  let corpus =
+    [ "ab|(ab&cd)"; "(a*|b)*"; "(a*b*)*"; "a{2,3}a{4,5}"; "a{3,4}{2,3}"
+    ; "(a{2,2}){0,2}"; "~((a*)*)&(ab)*"; "[a-c]|\\w|[x-z]"; "()|aa*|b"
+    ; "((a|b)*&~(.*aa.*))|(a?){3}" ]
+  in
+  let alphabet = List.map Char.code [ 'a'; 'b'; 'c'; 'x' ] in
+  let rec words n =
+    if n = 0 then [ [] ]
+    else
+      [] :: List.concat_map (fun w -> List.map (fun c -> c :: w) alphabet) (words (n - 1))
+  in
+  let ws = words 5 in
+  List.iter
+    (fun s ->
+      let r = re s in
+      let r' = Simp.simplify r in
+      check (Printf.sprintf "%s does not grow" s) true (R.size r' <= R.size r);
+      List.iter
+        (fun w ->
+          check
+            (Printf.sprintf "simplify %s language" s)
+            (Ref.matches r w) (Ref.matches r' w))
+        ws)
+    corpus
+
+(* -- matcher -------------------------------------------------------------- *)
+
+let test_matcher_basic () =
+  let cases =
+    [ (".*\\d.*&~(.*01.*)", [ ("0", true); ("01", false); ("a5b0", true); ("", false) ])
+    ; ("(a|b)*abb", [ ("aabb", true); ("abab", false); ("abb", true) ])
+    ; ("~((ab)*)", [ ("ab", false); ("aba", true); ("", false) ])
+    ; ("\\w+@\\w+", [ ("me@here", true); ("me@", false) ])
+    ]
+  in
+  List.iter
+    (fun (pat, words) ->
+      let m = Matcher.create (re pat) in
+      List.iter
+        (fun (s, expected) ->
+          check (Printf.sprintf "%s on %S" pat s) expected (Matcher.matches_string m s))
+        words)
+    cases
+
+let test_matcher_agrees_with_oracle () =
+  let patterns =
+    [ "a*b*"; "(ab|ba)*"; ".*aa.*"; "~(.*aa.*)"; "a{2,4}&(a|b)*"; "[ab]{3}"
+    ; "(a|b)*&~(b*)" ]
+  in
+  let alphabet = List.map Char.code [ 'a'; 'b'; 'c' ] in
+  let rec words n =
+    if n = 0 then [ [] ]
+    else
+      [] :: List.concat_map (fun w -> List.map (fun c -> c :: w) alphabet) (words (n - 1))
+  in
+  List.iter
+    (fun pat ->
+      let r = re pat in
+      let m = Matcher.create r in
+      List.iter
+        (fun w -> check ("matcher " ^ pat) (Ref.matches r w) (Matcher.matches m w))
+        (words 5))
+    patterns
+
+let test_matcher_dfa_reuse () =
+  let m = Matcher.create (re ".*\\d.*") in
+  ignore (Matcher.matches_string m "abc123");
+  let states_after_first = Matcher.state_count m in
+  ignore (Matcher.matches_string m "xyz789");
+  check "no new states on repeat input" true
+    (Matcher.state_count m = states_after_first);
+  (* the pattern has 1 predicate -> 2 minterms *)
+  Alcotest.(check int) "alphabet size" 2 (Matcher.alphabet_size m);
+  check "few states" true (Matcher.state_count m <= 3)
+
+let test_matcher_scan () =
+  let m = Matcher.create (re "ab") in
+  (* positions with a prefix matching "ab": indices of 'a' followed by 'b' *)
+  Alcotest.(check int) "prefix matches" 2 (Matcher.count_matching_prefixes m "abxab")
+
+let test_matcher_find () =
+  let m = Matcher.create (re "ab+") in
+  (* leftmost-earliest semantics: the shortest match at position 2 *)
+  (match Matcher.find m "xxabbby" with
+  | Some (2, 4) -> ()
+  | Some (i, j) -> Alcotest.failf "expected (2,4), got (%d,%d)" i j
+  | None -> Alcotest.fail "expected a match");
+  check "no match" true (Matcher.find m "xxay" = None);
+  (* leftmost-earliest: shortest match at the first viable position *)
+  (match Matcher.find (Matcher.create (re "a+")) "baaa" with
+  | Some (1, 2) -> ()
+  | other ->
+    Alcotest.failf "expected (1,2), got %s"
+      (match other with Some (i, j) -> Printf.sprintf "(%d,%d)" i j | None -> "none"));
+  (* nullable pattern matches at position 0 *)
+  match Matcher.find (Matcher.create (re "a*")) "bbb" with
+  | Some (0, 0) -> ()
+  | _ -> Alcotest.fail "nullable pattern should match empty at 0"
+
+let test_coinductive_subset () =
+  let cases =
+    [ ("a+", "a*", true); ("a*", "a+", false); ("a{2,4}", "a{1,5}", true)
+    ; ("(ab)*", "(a|b)*", true); ("(a|b)*", "(ab)*", false)
+    ; (".*01.*", ".*0.*", true) ]
+  in
+  List.iter
+    (fun (x, y, expected) ->
+      Alcotest.(check (option bool))
+        (Printf.sprintf "%s subset %s" x y)
+        (Some expected)
+        (Eq.subset (re x) (re y)))
+    cases
+
+let test_matcher_unicode () =
+  let m = Matcher.create (re "\\w+") in
+  check "CJK word chars" true (Matcher.matches m [ 0x4E2D; 0x6587 ]);
+  check "punctuation is not a word char" false (Matcher.matches m [ Char.code '!' ])
+
+(* -- SAFA (Section 8.3) --------------------------------------------------- *)
+
+let test_safa_acceptance () =
+  let cases =
+    [ (".*\\d.*&~(.*01.*)", [ ("0", true); ("01", false); ("10", true); ("", false) ])
+    ; ("(a|b)*abb", [ ("aabb", true); ("abab", false) ])
+    ; ("~(a*)", [ ("b", true); ("aa", false); ("", false) ])
+    ; ("~(~a&~b)", [ ("a", true); ("b", true); ("c", false) ])
+    ; ("(.*a.{3})&(.*b.{2})", [ ("abxxx", false); ("abxx", true); ("baxxx", false)
+                              ; ("xabxx", true) ])
+    ]
+  in
+  List.iter
+    (fun (pat, words) ->
+      match Safa.of_sbfa_regex (re pat) with
+      | None -> Alcotest.failf "SAFA budget exceeded for %s" pat
+      | Some m ->
+        List.iter
+          (fun (s, expected) ->
+            check (Printf.sprintf "safa %s on %S" pat s) expected
+              (Safa.accepts m (word s)))
+          words)
+    cases
+
+let test_safa_vs_oracle () =
+  let patterns =
+    [ "a*b*"; "~(.*aa.*)"; "(ab|b)*&~(b*)"; ".*0.*&.*1.*"; "~((a|b){2})"
+    ; "a{1,3}&~(aa)" ]
+  in
+  let alphabet = List.map Char.code [ 'a'; 'b'; '0'; '1' ] in
+  let rec words n =
+    if n = 0 then [ [] ]
+    else
+      [] :: List.concat_map (fun w -> List.map (fun c -> c :: w) alphabet) (words (n - 1))
+  in
+  List.iter
+    (fun pat ->
+      let r = re pat in
+      match Safa.of_sbfa_regex r with
+      | None -> Alcotest.failf "SAFA budget exceeded for %s" pat
+      | Some m ->
+        List.iter
+          (fun w ->
+            check
+              (Printf.sprintf "safa oracle %s" pat)
+              (Ref.matches r w) (Safa.accepts m w))
+          (words 4))
+    patterns
+
+let test_safa_negated_states () =
+  (* complement handling doubles states with q-bar: check the count stays
+     finite and small for B(RE) *)
+  match Safa.of_sbfa_regex (re "~(.*01.*)&.*\\d.*") with
+  | None -> Alcotest.fail "budget exceeded"
+  | Some m -> check "bounded state count" true (Safa.num_states m <= 16)
+
+let suite =
+  ( "extensions",
+    [ Alcotest.test_case "dot: derivative graph" `Quick test_dot_derivative_graph
+    ; Alcotest.test_case "dot: SBFA" `Quick test_dot_sbfa
+    ; Alcotest.test_case "equiv: positive" `Quick test_equiv_positive
+    ; Alcotest.test_case "equiv: negative" `Quick test_equiv_negative
+    ; Alcotest.test_case "equiv: agrees with solver" `Quick test_equiv_agrees_with_solver
+    ; Alcotest.test_case "simplify: shapes" `Quick test_simplify_shapes
+    ; Alcotest.test_case "simplify: language preserved" `Quick test_simplify_preserves_language
+    ; Alcotest.test_case "matcher: basics" `Quick test_matcher_basic
+    ; Alcotest.test_case "matcher: agrees with oracle" `Quick test_matcher_agrees_with_oracle
+    ; Alcotest.test_case "matcher: DFA reuse" `Quick test_matcher_dfa_reuse
+    ; Alcotest.test_case "matcher: scan" `Quick test_matcher_scan
+    ; Alcotest.test_case "matcher: unicode" `Quick test_matcher_unicode
+    ; Alcotest.test_case "safa: acceptance" `Quick test_safa_acceptance
+    ; Alcotest.test_case "safa: oracle agreement" `Quick test_safa_vs_oracle
+    ; Alcotest.test_case "safa: negated states" `Quick test_safa_negated_states
+    ; Alcotest.test_case "matcher: find" `Quick test_matcher_find
+    ; Alcotest.test_case "equiv: coinductive subset" `Quick test_coinductive_subset ] )

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "sbd"
+    [ Test_alphabet.suite
+    ; Test_regex.suite
+    ; Test_core.suite
+    ; Test_solver.suite
+    ; Test_classic.suite
+    ; Test_sfa.suite
+    ; Test_smtlib.suite
+    ; Test_props.suite
+    ; Test_extensions.suite
+    ; Test_integration.suite
+    ; Test_graph.suite
+    ; Test_misc.suite
+    ; Test_rules.suite
+    ; Test_ranges_stack.suite ]

@@ -1,0 +1,176 @@
+(* Tests for the hash-consed ERE representation: smart-constructor
+   identities (the paper's "similarity" algebra), nullability, metrics,
+   the parser and the printer. *)
+
+module R = Sbd_regex.Regex.Make (Sbd_alphabet.Bdd)
+module P = Sbd_regex.Parser.Make (R)
+
+let re = P.parse_exn
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let eq msg a b = check msg true (R.equal a b)
+let neq msg a b = check msg false (R.equal a b)
+
+(* -- smart constructors -------------------------------------------- *)
+
+let test_units () =
+  let a = R.chr (Char.code 'a') and b = R.chr (Char.code 'b') in
+  eq "eps . r = r" a (R.concat R.eps a);
+  eq "r . eps = r" a (R.concat a R.eps);
+  eq "bot . r = bot" R.empty (R.concat R.empty a);
+  eq "r . bot = bot" R.empty (R.concat a R.empty);
+  eq "r | bot = r" a (R.alt a R.empty);
+  eq "r | full = full" R.full (R.alt a R.full);
+  eq "r & full = r" a (R.inter a R.full);
+  eq "r & bot = bot" R.empty (R.inter a R.empty);
+  eq "concat assoc" (R.concat a (R.concat b a)) (R.concat (R.concat a b) a)
+
+let test_boolean_algebra () =
+  let a = re "ab" and b = re "cd" and c = re "e*" in
+  eq "or comm" (R.alt a b) (R.alt b a);
+  eq "and comm" (R.inter a b) (R.inter b a);
+  eq "or idemp" a (R.alt a a);
+  eq "and idemp" a (R.inter a a);
+  eq "or assoc" (R.alt a (R.alt b c)) (R.alt (R.alt a b) c);
+  eq "and assoc" (R.inter a (R.inter b c)) (R.inter (R.inter a b) c);
+  eq "double complement" a (R.compl (R.compl a));
+  eq "~bot = .*" R.full (R.compl R.empty);
+  eq "~.* = bot" R.empty (R.compl R.full);
+  eq "r | ~r = .*" R.full (R.alt a (R.compl a));
+  eq "r & ~r = bot" R.empty (R.inter a (R.compl a));
+  neq "or is not and" (R.alt a b) (R.inter a b)
+
+let test_star () =
+  let a = re "ab" in
+  eq "star idempotent" (R.star a) (R.star (R.star a));
+  eq "eps* = eps" R.eps (R.star R.eps);
+  eq "bot* = eps" R.eps (R.star R.empty);
+  eq "(eps|r)* = r*" (R.star a) (R.star (R.alt R.eps a));
+  eq ".*.* = .*" R.full (R.concat R.full R.full);
+  eq ".*(.*r) = .*r" (R.concat R.full a) (R.concat R.full (R.concat R.full a))
+
+let test_loop () =
+  let a = R.chr (Char.code 'a') in
+  eq "r{0,0} = eps" R.eps (R.loop a 0 (Some 0));
+  eq "r{1,1} = r" a (R.loop a 1 (Some 1));
+  eq "r{0,} = r*" (R.star a) (R.loop a 0 None);
+  eq "r{2,1} = bot" R.empty (R.loop a 2 (Some 1));
+  eq "eps{3,7} = eps" R.eps (R.loop R.eps 3 (Some 7));
+  eq "bot{2} = bot" R.empty (R.loop R.empty 2 (Some 2));
+  eq "bot{0,3} = eps" R.eps (R.loop R.empty 0 (Some 3));
+  (* nullable body: r{m,n} = r{0,n}, r{m,} = r* *)
+  let n = R.opt a in
+  eq "nullable body drops lower bound" (R.loop n 0 (Some 5)) (R.loop n 3 (Some 5));
+  eq "nullable body unbounded is star" (R.star n) (R.loop n 3 None)
+
+let test_nullability () =
+  let cases =
+    [ ("a", false); ("a*", true); ("()", true); ("[]", false); ("a|()", true)
+    ; ("ab", false); ("a?b?", true); ("~a", true); ("~()", false)
+    ; ("~(a*)", false); ("a&b", false); ("a*&b*", true); ("a{0,3}", true)
+    ; ("a{2,3}", false); ("(a?){2,3}", true); (".*", true)
+    ; ("~(.*)", false); ("(ab)*|c", true) ]
+  in
+  List.iter
+    (fun (s, expected) ->
+      check (Printf.sprintf "nullable %S" s) expected (R.nullable (re s)))
+    cases
+
+(* -- parser --------------------------------------------------------- *)
+
+let test_parser_structure () =
+  let a = R.chr (Char.code 'a') and b = R.chr (Char.code 'b') in
+  eq "literal concat" (R.concat a b) (re "ab");
+  eq "alternation" (R.alt a b) (re "a|b");
+  eq "intersection" (R.inter a b) (re "a&b");
+  eq "complement binds prefix" (R.concat (R.compl a) b) (re "~ab");
+  eq "complement of group" (R.compl (R.concat a b)) (re "~(ab)");
+  eq "star on atom" (R.concat a (R.star b)) (re "ab*");
+  eq "group star" (R.star (R.concat a b)) (re "(ab)*");
+  eq "precedence | vs &" (R.alt (R.inter a b) b) (re "a&b|b");
+  eq "dot is top" R.any (re ".");
+  eq "dotstar is full" R.full (re ".*");
+  eq "empty group" R.eps (re "()");
+  eq "empty class" R.empty (re "[]");
+  eq "class" (R.pred (Sbd_alphabet.Bdd.of_ranges [ (97, 99) ])) (re "[a-c]");
+  eq "negated class"
+    (R.pred (Sbd_alphabet.Bdd.of_ranges (Sbd_alphabet.Algebra.complement_ranges [ (97, 99) ])))
+    (re "[^a-c]");
+  eq "digit class" (R.of_class Sbd_alphabet.Charclass.Digit) (re "\\d");
+  eq "loop" (R.loop a 2 (Some 4)) (re "a{2,4}");
+  eq "loop exact" (R.loop a 3 (Some 3)) (re "a{3}");
+  eq "loop unbounded" (R.loop a 2 None) (re "a{2,}");
+  eq "plus" (R.loop a 1 None) (re "a+");
+  eq "opt" (R.loop a 0 (Some 1)) (re "a?");
+  eq "escaped star" (R.chr (Char.code '*')) (re "\\*");
+  eq "hex escape" (R.chr 0xAB) (re "\\xAB");
+  eq "unicode escape" (R.chr 0x4E2D) (re "\\u{4E2D}")
+
+let test_parser_errors () =
+  let bad = [ "("; "a)"; "a{"; "a{2"; "[a"; "a**{"; "\\u{110000}"; "*a" ] in
+  List.iter
+    (fun s ->
+      match P.parse s with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" s
+      | Error _ -> ())
+    bad;
+  (* Empty branches are permitted, as in most practical regex dialects. *)
+  eq "empty alternation branch" (R.alt R.eps (R.chr (Char.code 'a'))) (re "a|")
+
+let test_print_parse_roundtrip () =
+  let corpus =
+    [ "ab|cd"; "a&b&c"; "~(ab)~(cd)"; "(a|b)*"; "a{2,4}b{3}"; "[a-z0-9]*"
+    ; "\\d{4}-[a-zA-Z]{3}-\\d{2}"; ".*\\d.*&~(.*01.*)"; "(.*a.{5})&(.*b.{5})"
+    ; "~(~a|~b)"; "a?b+c*"; "()|a"; "\\.\\*\\\\"; "[^a-z]" ]
+  in
+  List.iter
+    (fun s ->
+      let r = re s in
+      let printed = R.to_string r in
+      match P.parse printed with
+      | Ok r' -> eq (Printf.sprintf "roundtrip %S -> %S" s printed) r r'
+      | Error (pos, msg) ->
+        Alcotest.failf "roundtrip %S: printed %S fails at %d: %s" s printed pos msg)
+    corpus
+
+(* -- metrics --------------------------------------------------------- *)
+
+let test_metrics () =
+  (* \d, '-', [a-zA-Z], '-', \d: loop bodies count their predicates once *)
+  check_int "num_preds date" 5 (R.num_preds (re "\\d{4}-[a-zA-Z]{3}-\\d{2}"));
+  check_int "preds distinct" 2 (List.length (R.preds (re "\\d\\d[a-z]\\d")));
+  check "in_re positive" true (R.in_re (re "(ab|c)*d{2,3}"));
+  check "in_re negative" false (R.in_re (re "a&b"));
+  check "in_bre positive" true (R.in_bre (re "~(ab)&(c|~d)"));
+  check "in_bre negative" false (R.in_bre (re "(a&b)c"));
+  check "in_bre star over not" false (R.in_bre (re "(~a)*"))
+
+let test_hash_consing () =
+  let r1 = re ".*\\d.*&~(.*01.*)" and r2 = re ".*\\d.*&~(.*01.*)" in
+  check "physically equal" true (r1 == r2);
+  check_int "same id via compare" 0 (R.compare r1 r2)
+
+let test_printer_shapes () =
+  (* And/Or arguments print in canonical (id) order, so either source
+     order is acceptable; parenthesization must be preserved. *)
+  let printed = R.to_string (re "(a|b)&c") in
+  check "or/and parens" true (printed = "(a|b)&c" || printed = "c&(a|b)");
+  check_str "concat under star" "(ab)*" (R.to_string (re "(ab)*"));
+  check_str "full" ".*" (R.to_string R.full);
+  check_str "empty" "[]" (R.to_string R.empty);
+  check_str "eps" "()" (R.to_string R.eps)
+
+let suite =
+  ( "regex",
+    [ Alcotest.test_case "units and absorbing elements" `Quick test_units
+    ; Alcotest.test_case "boolean algebra" `Quick test_boolean_algebra
+    ; Alcotest.test_case "star rules" `Quick test_star
+    ; Alcotest.test_case "loop rules" `Quick test_loop
+    ; Alcotest.test_case "nullability" `Quick test_nullability
+    ; Alcotest.test_case "parser structure" `Quick test_parser_structure
+    ; Alcotest.test_case "parser errors" `Quick test_parser_errors
+    ; Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip
+    ; Alcotest.test_case "metrics" `Quick test_metrics
+    ; Alcotest.test_case "hash consing" `Quick test_hash_consing
+    ; Alcotest.test_case "printer shapes" `Quick test_printer_shapes ] )

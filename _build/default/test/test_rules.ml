@@ -1,0 +1,162 @@
+(* Tests for the Figure 3 rules as a single-step rewriting system:
+   replaying the paper's derivations rule by rule, the bot rule through
+   the persistent graph, and equivalence preservation of saturation. *)
+
+module A = Sbd_alphabet.Bdd
+module R = Sbd_regex.Regex.Make (A)
+module P = Sbd_regex.Parser.Make (R)
+module Rules = Sbd_solver.Rules.Make (R)
+module Ref = Sbd_classic.Refmatch.Make (R)
+
+let re = P.parse_exn
+let check = Alcotest.(check bool)
+
+let word s = Array.init (String.length s) (fun i -> Char.code s.[i])
+
+(* -- individual rules ---------------------------------------------------- *)
+
+let test_der_rule () =
+  let g = Rules.G.create () in
+  (* non-nullable regex: the empty-string branch vanishes *)
+  let r = re ".*\\d.*&~(.*01.*)" in
+  (match Rules.step g (Rules.In (0, r)) with
+  | Some (Rules.FAnd [ Rules.FAtom (Rules.Lenpos 0); Rules.FAtom (Rules.In_tr (0, _)) ])
+    -> ()
+  | Some f -> Alcotest.failf "unexpected der result: %s" (Format.asprintf "%a" Rules.pp f)
+  | None -> Alcotest.fail "der rule did not apply");
+  (* the upd rule ran: r is now closed in the graph *)
+  check "closed by upd" true (Rules.G.is_closed g r);
+  (* nullable regex: the empty-string branch remains *)
+  match Rules.step g (Rules.In (0, re "a*")) with
+  | Some (Rules.FOr [ Rules.FAtom (Rules.Len0 0); _ ]) -> ()
+  | Some f -> Alcotest.failf "unexpected der result: %s" (Format.asprintf "%a" Rules.pp f)
+  | None -> Alcotest.fail "der rule did not apply"
+
+let test_ite_rule () =
+  let g = Rules.G.create () in
+  let phi = A.of_ranges [ (Char.code '0', Char.code '0') ] in
+  let t = Rules.Tr.Ite (phi, Rules.Tr.leaf (re "1.*"), Rules.Tr.bot) in
+  match Rules.step g (Rules.In_tr (3, t)) with
+  | Some
+      (Rules.FOr
+        [ Rules.FAnd [ Rules.FAtom (Rules.Char (3, p1)); Rules.FAtom (Rules.In_tr (3, _)) ]
+        ; Rules.FAnd [ Rules.FAtom (Rules.Char (3, p2)); Rules.FAtom (Rules.In_tr (3, _)) ]
+        ]) ->
+    check "positive guard" true (A.equal p1 phi);
+    check "negative guard" true (A.equal p2 (A.neg phi))
+  | Some f -> Alcotest.failf "unexpected ite result: %s" (Format.asprintf "%a" Rules.pp f)
+  | None -> Alcotest.fail "ite rule did not apply"
+
+let test_or_and_ere_rules () =
+  let g = Rules.G.create () in
+  let t = Rules.Tr.Union (Rules.Tr.leaf (re "ab"), Rules.Tr.leaf (re "cd")) in
+  (match Rules.step g (Rules.In_tr (1, t)) with
+  | Some (Rules.FOr [ Rules.FAtom (Rules.In_tr (1, _)); Rules.FAtom (Rules.In_tr (1, _)) ])
+    -> ()
+  | _ -> Alcotest.fail "or rule did not apply");
+  (* ere: a leaf becomes membership of the next suffix *)
+  (match Rules.step g (Rules.In_tr (1, Rules.Tr.leaf (re "ab"))) with
+  | Some (Rules.FAtom (Rules.In (2, r))) -> check "same regex" true (R.equal r (re "ab"))
+  | _ -> Alcotest.fail "ere rule did not apply");
+  (* ere on bottom is false *)
+  match Rules.step g (Rules.In_tr (1, Rules.Tr.bot)) with
+  | Some Rules.FFalse -> ()
+  | _ -> Alcotest.fail "ere on bottom should be false"
+
+let test_no_rule_for_inter_compl () =
+  (* Figure 3a has no propagation rules for & / ~ of transition regexes:
+     propagating them separately would be incomplete (Section 5) *)
+  let g = Rules.G.create () in
+  let t = Rules.Tr.Inter (Rules.Tr.leaf (re ".*a"), Rules.Tr.leaf (re ".*b")) in
+  (match Rules.step g (Rules.In_tr (0, t)) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "no rule should apply to a conjunction");
+  match Rules.step g (Rules.In_tr (0, Rules.Tr.Compl (Rules.Tr.leaf (re "a")))) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "no rule should apply to a complement"
+
+let test_bot_rule () =
+  let g = Rules.G.create () in
+  let r = re "[a-c]&[x-z]" in
+  (* first unfolding closes r with no successors *)
+  (match Rules.step g (Rules.In (0, r)) with
+  | Some f ->
+    (* saturating the remainder yields false *)
+    check "saturates to false" true (Rules.saturate g f = Rules.FFalse)
+  | None -> Alcotest.fail "der did not apply");
+  (* now r is provably dead: the bot rule answers directly *)
+  check "dead in graph" true (Rules.G.is_dead g r);
+  match Rules.step g (Rules.In (0, r)) with
+  | Some Rules.FFalse -> ()
+  | _ -> Alcotest.fail "bot rule did not fire"
+
+(* -- the Section 2 derivation, rule by rule ------------------------------ *)
+
+let test_section_2_replay () =
+  let g = Rules.G.create () in
+  let r = re ".*\\d.*&~(.*01.*)" in
+  let r2 = re "~(.*01.*)" in
+  let r3 = R.inter r2 (re "~(1.*)") in
+  (* der: R is not nullable, so the case split reduces to the non-empty
+     branch with delta_dnf(R) *)
+  let inner =
+    match Rules.step g (Rules.In (0, r)) with
+    | Some (Rules.FAnd [ _; Rules.FAtom (Rules.In_tr (0, t)) ]) -> t
+    | _ -> Alcotest.fail "unexpected der shape"
+  in
+  (* delta_dnf(R) ≡ if(0, R3, if(\d, R2, R)): check by applying ite
+     steps and collecting the reachable leaf regexes *)
+  let rec leaves t acc =
+    match Rules.step g (Rules.In_tr (0, t)) with
+    | Some f -> collect f acc
+    | None -> acc
+  and collect f acc =
+    match f with
+    | Rules.FAtom (Rules.In_tr (_, t)) -> leaves t acc
+    | Rules.FAtom (Rules.In (_, r)) -> r :: acc
+    | Rules.FAnd fs | Rules.FOr fs -> List.fold_left (fun acc f -> collect f acc) acc fs
+    | _ -> acc
+  in
+  let reached = leaves inner [] in
+  check "reaches R3" true (List.exists (R.equal r3) reached);
+  check "reaches R2" true (List.exists (R.equal r2) reached);
+  check "reaches R" true (List.exists (R.equal r) reached);
+  (* R3 is nullable: one more der step can accept the empty suffix,
+     witnessing the model "0" of Section 2 *)
+  match Rules.step g (Rules.In (1, r3)) with
+  | Some (Rules.FOr (Rules.FAtom (Rules.Len0 1) :: _)) -> ()
+  | Some f -> Alcotest.failf "unexpected: %s" (Format.asprintf "%a" Rules.pp f)
+  | None -> Alcotest.fail "der on R3 did not apply"
+
+(* -- saturation preserves semantics --------------------------------------- *)
+
+let test_saturation_equivalence () =
+  let g = Rules.G.create () in
+  let regexes =
+    [ "ab|cd"; "a*b"; ".*\\d.*&~(.*01.*)"; "~(ab)"; "(a|b){2}&~(aa)" ]
+  in
+  let words = [ ""; "a"; "ab"; "cd"; "0"; "01"; "10"; "aa"; "ba"; "a5b0" ] in
+  List.iter
+    (fun pat ->
+      let r = re pat in
+      let saturated = Rules.saturate ~fuel:16 g (Rules.FAtom (Rules.In (0, r))) in
+      List.iter
+        (fun w ->
+          let arr = word w in
+          check
+            (Printf.sprintf "saturate %s on %S" pat w)
+            (Ref.matches r (Array.to_list arr))
+            (Rules.eval arr saturated))
+        words)
+    regexes
+
+let suite =
+  ( "rules",
+    [ Alcotest.test_case "der rule" `Quick test_der_rule
+    ; Alcotest.test_case "ite rule" `Quick test_ite_rule
+    ; Alcotest.test_case "or and ere rules" `Quick test_or_and_ere_rules
+    ; Alcotest.test_case "no rule for & / ~" `Quick test_no_rule_for_inter_compl
+    ; Alcotest.test_case "bot rule" `Quick test_bot_rule
+    ; Alcotest.test_case "Section 2 replay" `Quick test_section_2_replay
+    ; Alcotest.test_case "saturation preserves semantics" `Quick
+        test_saturation_equivalence ] )

@@ -1,0 +1,196 @@
+(* Tests for the eager symbolic-automata pipeline: NFA compilation,
+   product, determinization, complement, and the two baseline solvers
+   built on it. *)
+
+module A = Sbd_alphabet.Bdd
+module R = Sbd_regex.Regex.Make (A)
+module P = Sbd_regex.Parser.Make (R)
+module Nfa = Sbd_sfa.Nfa.Make (R)
+module Eager = Sbd_sfa.Eager.Make (R)
+module AntS = Sbd_sfa.Antimirov_solver.Make (R)
+module Ref = Sbd_classic.Refmatch.Make (R)
+module Min = Sbd_sfa.Minimize.Make (R)
+
+let re = P.parse_exn
+let check = Alcotest.(check bool)
+let word s = List.init (String.length s) (fun i -> Char.code s.[i])
+
+let accepts_fixtures =
+  [ ("abc", "abc", true); ("abc", "abd", false); ("a*", "aaa", true)
+  ; ("a*", "ab", false); ("(ab)*", "abab", true); ("(ab)*", "aab", false)
+  ; ("a|bc", "bc", true); ("a|bc", "b", false)
+  ; ("a{2,4}", "aaa", true); ("a{2,4}", "a", false); ("a{2,4}", "aaaaa", false)
+  ; ("a{2,}", "aaaa", true); ("a?b", "b", true); ("a?b", "ab", true)
+  ; ("[a-c]+\\d", "abc5", true); ("[a-c]+\\d", "5", false) ]
+
+let test_nfa_accepts () =
+  List.iter
+    (fun (r, w, expected) ->
+      let m = Nfa.of_re (re r) in
+      check (Printf.sprintf "nfa %s on %S" r w) expected (Nfa.accepts m (word w)))
+    accepts_fixtures
+
+let test_nfa_matches_oracle () =
+  (* NFA semantics equals the DP oracle on classical regexes *)
+  let corpus = [ "(a|b)*abb"; "a{0,3}b{1,2}"; "(ab|ba)*"; "a*b*a*"; "\\d{2}-\\d{2}" ] in
+  let alphabet = List.map Char.code [ 'a'; 'b'; '0'; '1'; '-' ] in
+  let rec words n =
+    if n = 0 then [ [] ]
+    else
+      [] :: List.concat_map (fun w -> List.map (fun c -> c :: w) alphabet) (words (n - 1))
+  in
+  List.iter
+    (fun r ->
+      let r = re r in
+      let m = Nfa.of_re r in
+      List.iter
+        (fun w ->
+          check "nfa = oracle" (Ref.matches r w) (Nfa.accepts m w))
+        (words 4))
+    corpus
+
+let test_product () =
+  let m1 = Nfa.of_re (re ".*a.*") and m2 = Nfa.of_re (re ".*b.*") in
+  let p = Nfa.product m1 m2 in
+  check "product accepts ab" true (Nfa.accepts p (word "ab"));
+  check "product accepts ba" true (Nfa.accepts p (word "ba"));
+  check "product rejects aa" false (Nfa.accepts p (word "aa"));
+  check "product rejects empty" false (Nfa.accepts p [])
+
+let test_determinize_complement () =
+  let m = Nfa.of_re (re "(a|b)*ab") in
+  let d = Nfa.determinize m in
+  check "dfa accepts ab" true (Nfa.accepts d (word "ab"));
+  check "dfa accepts aab" true (Nfa.accepts d (word "aab"));
+  check "dfa rejects ba" false (Nfa.accepts d (word "ba"));
+  let c = Nfa.complement m in
+  check "complement rejects ab" false (Nfa.accepts c (word "ab"));
+  check "complement accepts ba" true (Nfa.accepts c (word "ba"));
+  check "complement accepts empty" true (Nfa.accepts c []);
+  (* outside the ASCII sample too: BMP characters *)
+  check "complement accepts CJK" true (Nfa.accepts c [ 0x4E2D ])
+
+let test_determinization_blowup () =
+  (* .*a.{k} determinizes to ~2^k states: the classical bottleneck *)
+  let m = Nfa.of_re (re ".*a.{12}") in
+  (match Nfa.determinize ~budget:1000 m with
+  | exception Nfa.Blowup _ -> ()
+  | d -> Alcotest.failf "expected blowup, got %d states" d.Nfa.num_states);
+  (* small k fits *)
+  let d = Nfa.determinize ~budget:1000 (Nfa.of_re (re ".*a.{5}")) in
+  check "2^6 states at least" true (d.Nfa.num_states >= 64)
+
+let test_eager_solver () =
+  let sat = [ "abc"; "(ab)*"; ".*a.*&.*b.*"; "~(ab)"; "(.*a.{4})&(.*b.{3})" ] in
+  let unsat =
+    [ "[]"; "[a-c]&[x-z]"; "(.*a.{4})&(.*b.{4})"; "(ab)*&~((ab)*)"; "a{2}&a{3}" ]
+  in
+  List.iter
+    (fun s ->
+      match Eager.solve (re s) with
+      | Eager.Sat w ->
+        check (Printf.sprintf "eager witness %s" s) true (Ref.matches (re s) w)
+      | _ -> Alcotest.failf "eager: expected sat for %s" s)
+    sat;
+  List.iter
+    (fun s ->
+      match Eager.solve (re s) with
+      | Eager.Unsat -> ()
+      | _ -> Alcotest.failf "eager: expected unsat for %s" s)
+    unsat
+
+let test_eager_blowup () =
+  match Eager.solve ~budget:2000 (re "~(.*a.{16})") with
+  | Eager.Unknown _ -> ()
+  | Eager.Sat _ -> Alcotest.fail "expected blowup for eager complement"
+  | Eager.Unsat -> Alcotest.fail "wrong answer"
+
+let test_antimirov_solver () =
+  let sat =
+    [ "abc"; ".*a.*&.*b.*"; "~(ab)"; ".*\\d.*&~(.*01.*)"; "(ab|ba){2}&.*aa.*" ]
+  in
+  let unsat = [ "[a-c]&[x-z]"; "(.*a.{4})&(.*b.{4})"; "a{2}&a{3}"; "(ab)*&~((ab)*)" ] in
+  List.iter
+    (fun s ->
+      match AntS.solve (re s) with
+      | AntS.Sat w ->
+        check (Printf.sprintf "antimirov witness %s" s) true (Ref.matches (re s) w)
+      | AntS.Unsat -> Alcotest.failf "antimirov: expected sat for %s" s
+      | AntS.Unknown why -> Alcotest.failf "antimirov: unknown for %s (%s)" s why)
+    sat;
+  List.iter
+    (fun s ->
+      match AntS.solve (re s) with
+      | AntS.Unsat -> ()
+      | AntS.Sat _ -> Alcotest.failf "antimirov: expected unsat for %s" s
+      | AntS.Unknown why -> Alcotest.failf "antimirov: unknown for %s (%s)" s why)
+    unsat
+
+let test_antimirov_unsupported () =
+  (* nested Boolean structure is out of this baseline's fragment *)
+  match AntS.solve (re "(~(ab)|c)d") with
+  | AntS.Unknown _ -> ()
+  | _ -> Alcotest.fail "expected unknown for nested Boolean structure"
+
+let test_antimirov_complement_blowup () =
+  (* complement of a loop-heavy regex forces eager determinization *)
+  match AntS.solve ~budget:500 (re "~(.*a.{16})") with
+  | AntS.Unknown _ -> ()
+  | _ -> Alcotest.fail "expected blowup on complement elimination"
+
+let test_minimize () =
+  let alphabet = List.map Char.code [ 'a'; 'b'; 'c' ] in
+  let rec words n =
+    if n = 0 then [ [] ]
+    else
+      [] :: List.concat_map (fun w -> List.map (fun c -> c :: w) alphabet) (words (n - 1))
+  in
+  let ws = words 5 in
+  let cases = [ "(a|b)*abb"; "a{0,3}"; ".*ab.*"; "(ab|ba)+"; "a*b*" ] in
+  List.iter
+    (fun pat ->
+      let r = re pat in
+      let dfa = Nfa.determinize (Nfa.of_re r) in
+      let m = Min.minimize dfa in
+      check (Printf.sprintf "%s: no growth" pat) true (m.Nfa.num_states <= dfa.Nfa.num_states);
+      (* language preserved *)
+      List.iter
+        (fun w ->
+          check (Printf.sprintf "%s minimized language" pat) (Ref.matches r w)
+            (Nfa.accepts m w))
+        ws;
+      (* idempotent *)
+      let m2 = Min.minimize m in
+      Alcotest.(check int) (pat ^ ": idempotent") m.Nfa.num_states m2.Nfa.num_states)
+    cases;
+  (* (a|b)*abb: 4 live states plus the non-{a,b} sink *)
+  let m = Min.minimize (Nfa.determinize (Nfa.of_re (re "(a|b)*abb"))) in
+  Alcotest.(check int) "abb minimal size" 5 m.Nfa.num_states
+
+let test_minimize_collapses_blowup () =
+  (* .*a.{3} determinizes to ~2^4 states and that DFA is already minimal
+     (the language genuinely needs the subsets); but union duplicates
+     collapse: r|r determinizes to more states than r alone, minimize
+     brings them back *)
+  let r = re "(a|b)*abb" in
+  let doubled = Nfa.union (Nfa.of_re r) (Nfa.of_re r) in
+  let dfa = Nfa.determinize doubled in
+  let m = Min.minimize dfa in
+  Alcotest.(check int) "duplicates collapse" 5 m.Nfa.num_states
+
+let suite =
+  ( "sfa",
+    [ Alcotest.test_case "nfa acceptance" `Quick test_nfa_accepts
+    ; Alcotest.test_case "nfa = oracle" `Quick test_nfa_matches_oracle
+    ; Alcotest.test_case "product" `Quick test_product
+    ; Alcotest.test_case "determinize and complement" `Quick test_determinize_complement
+    ; Alcotest.test_case "determinization blowup" `Quick test_determinization_blowup
+    ; Alcotest.test_case "eager solver" `Quick test_eager_solver
+    ; Alcotest.test_case "eager blowup" `Quick test_eager_blowup
+    ; Alcotest.test_case "antimirov solver" `Quick test_antimirov_solver
+    ; Alcotest.test_case "antimirov unsupported" `Quick test_antimirov_unsupported
+    ; Alcotest.test_case "antimirov complement blowup" `Quick test_antimirov_complement_blowup
+    ; Alcotest.test_case "minimization" `Quick test_minimize
+    ; Alcotest.test_case "minimization collapses duplicates" `Quick
+        test_minimize_collapses_blowup
+    ] )
