@@ -21,10 +21,41 @@
 open Sbd_harness
 module I = Sbd_benchgen.Instance
 module Std = Sbd_benchgen.Standard
+module Obs = Harness.Obs
 
 let fmt = Format.std_formatter
-let budget = 150_000
+
+(* Minimal flag parsing: [--budget N] scales the per-instance work
+   budget (smaller = quicker smoke runs), [--skip-bechamel] drops the
+   micro-benchmark pass, [--out FILE] overrides the trajectory file
+   path. *)
+let budget = ref 150_000
 let timeout = 10.0
+let skip_bechamel = ref false
+let out_path = ref None
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--budget" :: n :: rest ->
+      budget := int_of_string n;
+      parse rest
+    | "--skip-bechamel" :: rest ->
+      skip_bechamel := true;
+      parse rest
+    | "--out" :: path :: rest ->
+      out_path := Some path;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf
+        "usage: bench [--budget N] [--skip-bechamel] [--out FILE]\n\
+         unknown argument: %s\n"
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let budget = !budget
 
 (* -- table / figure regeneration ---------------------------------------- *)
 
@@ -52,11 +83,29 @@ let rows_per_category =
            List.map
              (fun id ->
                Harness.reset_sessions ();
-               Harness.run_suite ~budget ~timeout id labeled)
+               Harness.run_suite ~budget ~timeout ~suite:name id labeled)
              Harness.default_solvers
          in
          (name, rows))
        (Lazy.force labeled_suites))
+
+(* The machine-readable perf trajectory: one BENCH_<date>.json per run,
+   so successive PRs leave a comparable series of solved counts and
+   times (see DESIGN.md for the schema). *)
+let write_trajectory () =
+  let date =
+    let tm = Unix.localtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+  in
+  let path =
+    match !out_path with
+    | Some p -> p
+    | None -> Printf.sprintf "BENCH_%s.json" date
+  in
+  Harness.write_bench_json ~path ~date ~budget ~timeout
+    (Lazy.force rows_per_category);
+  Format.fprintf fmt "trajectory written to %s@." path
 
 let fig4c () =
   Format.fprintf fmt "== Figure 4(c): benchmark counts ==@.";
@@ -291,9 +340,10 @@ let () =
   fig4c ();
   fig4a ();
   fig4b ();
+  write_trajectory ();
   ablation_dead ();
   ablation_dnf ();
   ablation_simplify ();
   ablation_algebra ();
   states_table ();
-  run_bechamel ()
+  if not !skip_bechamel then run_bechamel ()

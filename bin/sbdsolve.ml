@@ -1,10 +1,26 @@
-(* sbdsolve: a standalone SMT-LIB QF_S solver binary in the style of
-   `z3 file.smt2`, backed by the symbolic-Boolean-derivative decision
-   procedure.  Reads a script from a file (or stdin with "-") and prints
-   sat/unsat/unknown answers plus models on get-model. *)
+(* sbdsolve: a standalone solver binary backed by the
+   symbolic-Boolean-derivative decision procedure.
 
-module R = Sbd_regex.Regex.Make (Sbd_alphabet.Bdd)
+   Two input modes:
+   - SMT-LIB QF_S script (`sbdsolve file.smt2`, or "-" for stdin), in
+     the style of `z3 file.smt2`: prints sat/unsat/unknown answers plus
+     models on get-model;
+   - a single ERE pattern (`sbdsolve 'a{2,3}&~(.*b)'`): decides
+     satisfiability of the pattern and prints the result with a witness.
+     Selected automatically when the argument is not an existing file;
+     forced with --re.
+
+   Observability: --stats prints the counter/timer snapshot of the run
+   (machine-readable names, see DESIGN.md); --json switches the whole
+   output to one JSON document; --deadline bounds each query by wall
+   clock (seconds), enforced inside the derivative/DNF machinery. *)
+
+module A = Sbd_alphabet.Bdd
+module R = Sbd_regex.Regex.Make (A)
+module P = Sbd_regex.Parser.Make (R)
+module S = Sbd_solver.Solve.Make (R)
 module E = Sbd_smtlib.Eval.Make (R)
+module Obs = Sbd_obs.Obs
 
 let read_all ic =
   let buf = Buffer.create 4096 in
@@ -15,9 +31,78 @@ let read_all ic =
    with End_of_file -> ());
   Buffer.contents buf
 
-open Cmdliner
+let json_of_stats (stats : (string * float) list) : Obs.Json.t =
+  Obs.Json.Obj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           if Float.is_integer v && Float.abs v < 1e15 then
+             Obs.Json.Int (int_of_float v)
+           else Obs.Json.Float v ))
+       stats)
 
-let run file budget =
+(* Counters with observed activity; silent ones only add noise. *)
+let active_counters () = List.filter (fun (_, v) -> v <> 0.0) (Obs.snapshot ())
+
+let print_stats_text stats =
+  List.iter (fun (name, v) -> Printf.eprintf "%-32s %.6g\n" name v) stats
+
+(* -- single-pattern mode ------------------------------------------------- *)
+
+let run_pattern ~budget ~deadline ~stats ~json pattern =
+  match P.parse pattern with
+  | Error (pos, msg) ->
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("result", Obs.Json.Str "error");
+                ( "error",
+                  Obs.Json.Str (Printf.sprintf "parse error at %d: %s" pos msg)
+                );
+              ]))
+    else Printf.printf "(error \"parse error at %d: %s\")\n" pos msg;
+    2
+  | Ok r ->
+    let session = S.create_session () in
+    let t0 = Obs.now () in
+    let result = S.solve ~budget ?deadline session r in
+    let wall = Obs.now () -. t0 in
+    let all_stats =
+      S.session_stats session @ active_counters ()
+      @ [ ("query.wall_time_s", wall) ]
+    in
+    if json then begin
+      let base =
+        match result with
+        | S.Sat w ->
+          [
+            ("result", Obs.Json.Str "sat");
+            ("witness", Obs.Json.Str (S.string_of_witness w));
+          ]
+        | S.Unsat -> [ ("result", Obs.Json.Str "unsat") ]
+        | S.Unknown why ->
+          [
+            ("result", Obs.Json.Str "unknown"); ("reason", Obs.Json.Str why);
+          ]
+      in
+      let doc =
+        base
+        @ [ ("pattern", Obs.Json.Str pattern); ("wall_s", Obs.Json.Float wall) ]
+        @ if stats then [ ("stats", json_of_stats all_stats) ] else []
+      in
+      print_endline (Obs.Json.to_string (Obs.Json.Obj doc))
+    end
+    else begin
+      Format.printf "%a@." S.pp_result result;
+      if stats then print_stats_text all_stats
+    end;
+    0
+
+(* -- SMT-LIB script mode ------------------------------------------------- *)
+
+let run_script ~budget ~deadline ~stats ~json file =
   let source =
     if file = "-" then read_all stdin
     else begin
@@ -27,19 +112,94 @@ let run file budget =
       s
     end
   in
-  let result = E.run ~budget source in
-  print_string result.E.output
+  let t0 = Obs.now () in
+  let result = E.run ~budget ?deadline source in
+  let wall = Obs.now () -. t0 in
+  if json then begin
+    let answers =
+      List.map
+        (fun (o : E.outcome) ->
+          match o with
+          | E.Sat _ -> Obs.Json.Str "sat"
+          | E.Unsat -> Obs.Json.Str "unsat"
+          | E.Unknown why ->
+            Obs.Json.Obj
+              [
+                ("result", Obs.Json.Str "unknown"); ("reason", Obs.Json.Str why);
+              ])
+        result.E.outcomes
+    in
+    let doc =
+      [
+        ("answers", Obs.Json.Arr answers);
+        ("output", Obs.Json.Str result.E.output);
+        ("wall_s", Obs.Json.Float wall);
+      ]
+      @
+      if stats then
+        [ ("stats", json_of_stats (active_counters () @ [ ("script.wall_time_s", wall) ])) ]
+      else []
+    in
+    print_endline (Obs.Json.to_string (Obs.Json.Obj doc))
+  end
+  else begin
+    print_string result.E.output;
+    if stats then
+      print_stats_text (active_counters () @ [ ("script.wall_time_s", wall) ])
+  end;
+  0
+
+open Cmdliner
+
+let run input budget deadline force_re stats json =
+  let pattern_mode = force_re || (input <> "-" && not (Sys.file_exists input)) in
+  if pattern_mode then run_pattern ~budget ~deadline ~stats ~json input
+  else run_script ~budget ~deadline ~stats ~json input
 
 let () =
-  let file_t =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.smt2")
+  let input_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE.smt2|PATTERN"
+          ~doc:
+            "SMT-LIB script ($(b,-) for stdin), or an ERE pattern when the \
+             argument is not an existing file (see $(b,--re)).")
   in
   let budget_t =
-    Arg.(value & opt int 1_000_000 & info [ "budget" ] ~doc:"Work budget.")
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "budget" ] ~doc:"Work budget (der-rule applications).")
+  in
+  let deadline_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock deadline per query, enforced inside the \
+             derivative/DNF machinery; expiry answers unknown.")
+  in
+  let re_t =
+    Arg.(
+      value & flag
+      & info [ "re" ] ~doc:"Force the argument to be read as an ERE pattern.")
+  in
+  let stats_t =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Report solver counters and timers (JSON under $(b,--json)).")
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable JSON output on stdout.")
   in
   let cmd =
     Cmd.v
-      (Cmd.info "sbdsolve" ~doc:"Solve SMT-LIB QF_S regex constraints")
-      Term.(const run $ file_t $ budget_t)
+      (Cmd.info "sbdsolve" ~doc:"Solve regex (ERE / SMT-LIB QF_S) constraints")
+      Term.(
+        const run $ input_t $ budget_t $ deadline_t $ re_t $ stats_t $ json_t)
   in
-  exit (Cmd.eval cmd)
+  exit (Cmd.eval' cmd)

@@ -14,6 +14,20 @@
 module Make (R : Sbd_regex.Regex.S) = struct
   module A = R.A
   module Tr = Tregex.Make (R)
+  module Obs = Sbd_obs.Obs
+
+  (* Memo-table telemetry.  Counters are process-global (shared across
+     functor instantiations): they describe the workload of the whole
+     process, which is what the harness and the --stats surface report. *)
+  let c_delta_hit = Obs.Counter.make "deriv.delta.memo_hit"
+  let c_delta_miss = Obs.Counter.make "deriv.delta.memo_miss"
+  let c_dnf_hit = Obs.Counter.make "deriv.dnf.memo_hit"
+  let c_dnf_miss = Obs.Counter.make "deriv.dnf.memo_miss"
+  let c_trans_hit = Obs.Counter.make "deriv.transitions.memo_hit"
+  let c_trans_miss = Obs.Counter.make "deriv.transitions.memo_miss"
+  let c_dnf_size = Obs.Counter.make "deriv.dnf.size_total"
+  let c_dnf_size_max = Obs.Counter.make "deriv.dnf.size_max"
+  let sp_dnf = Obs.Span.make "deriv.dnf"
 
   let delta_table : (int, Tr.t) Hashtbl.t = Hashtbl.create 256
   let dnf_table : (int, Tr.t) Hashtbl.t = Hashtbl.create 256
@@ -23,16 +37,27 @@ module Make (R : Sbd_regex.Regex.S) = struct
 
   (** The symbolic derivative [delta : ERE -> TR] (Section 4).  Complements
       are pushed eagerly through [Tr.neg] (sound by Lemma 4.2), which keeps
-      intermediate transition regexes negation-free. *)
-  let rec delta (r : R.t) : Tr.t =
+      intermediate transition regexes negation-free.
+
+      [deadline] bounds the work of a single derivation: the recursion
+      (and, downstream, the DNF expansion) raises
+      [Sbd_obs.Obs.Deadline_exceeded] when it expires, leaving the memo
+      tables consistent (entries are added only for completed
+      subcomputations). *)
+  let rec delta ?(deadline = Obs.Deadline.none) (r : R.t) : Tr.t =
     match Hashtbl.find_opt delta_table r.R.id with
-    | Some t -> t
+    | Some t ->
+      Obs.Counter.incr c_delta_hit;
+      t
     | None ->
-      let t = compute r in
+      Obs.Counter.incr c_delta_miss;
+      Obs.Deadline.check deadline;
+      let t = compute ~deadline r in
       Hashtbl.add delta_table r.R.id t;
       t
 
-  and compute (r : R.t) : Tr.t =
+  and compute ~deadline (r : R.t) : Tr.t =
+    let delta = delta ~deadline in
     match r.R.node with
     | Eps -> Tr.bot
     | Pred p ->
@@ -54,12 +79,25 @@ module Make (R : Sbd_regex.Regex.S) = struct
     | Not body -> Tr.neg (delta body)
 
   (** [delta_dnf r]: the derivative in clean disjunctive normal form
-      (Section 5, "Transition Regex Normal Form"). *)
-  let delta_dnf (r : R.t) : Tr.t =
+      (Section 5, "Transition Regex Normal Form").  The normalization is
+      the worst-case exponential step of the procedure; [deadline] is
+      checked at every node it visits. *)
+  let delta_dnf ?(deadline = Obs.Deadline.none) (r : R.t) : Tr.t =
     match Hashtbl.find_opt dnf_table r.R.id with
-    | Some t -> t
+    | Some t ->
+      Obs.Counter.incr c_dnf_hit;
+      t
     | None ->
-      let t = Tr.dnf (delta r) in
+      Obs.Counter.incr c_dnf_miss;
+      let check () = Obs.Deadline.check deadline in
+      let t =
+        Obs.Span.time sp_dnf (fun () -> Tr.dnf ~check (delta ~deadline r))
+      in
+      if Obs.enabled () then begin
+        let size = Tr.size t in
+        Obs.Counter.add c_dnf_size size;
+        Obs.Counter.max_to c_dnf_size_max size
+      end;
       Hashtbl.add dnf_table r.R.id t;
       t
 
@@ -69,11 +107,16 @@ module Make (R : Sbd_regex.Regex.S) = struct
   (** The guarded out-edges of [r] in the derivative graph: the
       transitions of [delta_dnf r], memoized (the decision procedure
       re-visits states at several search depths). *)
-  let transitions (r : R.t) : (A.pred * R.t) list =
+  let transitions ?(deadline = Obs.Deadline.none) (r : R.t) :
+      (A.pred * R.t) list =
     match Hashtbl.find_opt transitions_table r.R.id with
-    | Some ts -> ts
+    | Some ts ->
+      Obs.Counter.incr c_trans_hit;
+      ts
     | None ->
-      let ts = Tr.transitions (delta_dnf r) in
+      Obs.Counter.incr c_trans_miss;
+      let check () = Obs.Deadline.check deadline in
+      let ts = Tr.transitions ~check (delta_dnf ~deadline r) in
       Hashtbl.add transitions_table r.R.id ts;
       ts
 
@@ -90,8 +133,12 @@ module Make (R : Sbd_regex.Regex.S) = struct
   let matches_string r s =
     matches r (List.init (String.length s) (fun i -> Char.code s.[i]))
 
-  (** Statistics about the memo tables, for the experiment harness. *)
-  let stats () = (Hashtbl.length delta_table, Hashtbl.length dnf_table)
+  (** Statistics about the memo tables, for the experiment harness:
+      sizes of the (delta, dnf, transitions) tables. *)
+  let stats () =
+    ( Hashtbl.length delta_table,
+      Hashtbl.length dnf_table,
+      Hashtbl.length transitions_table )
 
   let clear_tables () =
     Hashtbl.reset delta_table;

@@ -8,17 +8,23 @@ module Make (R : Sbd_regex.Regex.S) : sig
   module A : Sbd_alphabet.Algebra.S with type pred = R.A.pred
   module Tr : module type of Tregex.Make (R)
 
-  val delta : R.t -> Tr.t
+  val delta : ?deadline:Sbd_obs.Obs.Deadline.t -> R.t -> Tr.t
   (** The symbolic derivative [δ : ERE → TR] (Section 4).  Complements
-      are pushed eagerly through [Tr.neg] (sound by Lemma 4.2). *)
+      are pushed eagerly through [Tr.neg] (sound by Lemma 4.2).
+      [deadline] bounds the work of one derivation: on expiry the
+      recursion raises [Sbd_obs.Obs.Deadline_exceeded] (memo tables stay
+      consistent -- only completed results are cached). *)
 
-  val delta_dnf : R.t -> Tr.t
+  val delta_dnf : ?deadline:Sbd_obs.Obs.Deadline.t -> R.t -> Tr.t
   (** The derivative in clean disjunctive normal form (Section 5,
-      "Transition Regex Normal Form"). *)
+      "Transition Regex Normal Form").  The normalization is the
+      worst-case exponential step; [deadline] is checked at every node
+      it visits. *)
 
-  val transitions : R.t -> (A.pred * R.t) list
+  val transitions :
+    ?deadline:Sbd_obs.Obs.Deadline.t -> R.t -> (A.pred * R.t) list
   (** Guarded out-edges of [r] in the derivative graph: the transitions
-      of [delta_dnf r], memoized. *)
+      of [delta_dnf r], memoized.  [deadline] as in {!delta_dnf}. *)
 
   val derive : int -> R.t -> R.t
   (** One-character derivation: [derive c r = delta(r)(c)]. *)
@@ -29,8 +35,9 @@ module Make (R : Sbd_regex.Regex.S) : sig
   val matches_string : R.t -> string -> bool
   (** Match the bytes of an OCaml string (Latin-1 code points). *)
 
-  val stats : unit -> int * int
-  (** Sizes of the (delta, dnf) memo tables, for the harness. *)
+  val stats : unit -> int * int * int
+  (** Sizes of the (delta, dnf, transitions) memo tables, for the
+      harness. *)
 
   val clear_tables : unit -> unit
 end

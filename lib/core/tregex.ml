@@ -127,30 +127,40 @@ module Make (R : Sbd_regex.Regex.S) = struct
   (* [restrict psi f cond]: map [f] over the leaves of a conditional tree
      while pruning branches whose path condition (relative to [psi])
      is unsatisfiable -- the branch-condition threading of the
-     Section 4.1 lift rules. *)
-  let rec restrict ?(clean = true) psi f = function
+     Section 4.1 lift rules.
+
+     [check] is a resource-governance hook (see Sbd_obs.Obs.Deadline):
+     it is invoked once per visited node of the normalization recursions
+     and may raise to abort a pathological expansion; the default is
+     free. *)
+  let rec restrict ?(clean = true) ?(check = ignore) psi f = function
     | Leaf r -> Leaf (f r)
     | Ite (phi, a, b) ->
+      check ();
       let psi_t = if clean then A.conj psi phi else A.top
       and psi_f = if clean then A.conj psi (A.neg phi) else A.top in
-      if clean && A.is_bot psi_t then restrict ~clean psi f b
-      else if clean && A.is_bot psi_f then restrict ~clean psi f a
-      else ite phi (restrict ~clean psi_t f a) (restrict ~clean psi_f f b)
+      if clean && A.is_bot psi_t then restrict ~clean ~check psi f b
+      else if clean && A.is_bot psi_f then restrict ~clean ~check psi f a
+      else
+        ite phi
+          (restrict ~clean ~check psi_t f a)
+          (restrict ~clean ~check psi_f f b)
     | _ -> invalid_arg "restrict: not a conditional tree"
 
   (* [meet psi x y]: the pure conditional tree equivalent to [x & y] under
      the satisfiable path condition [psi].  Implements the lift rules of
      Section 4.1 for conjunctions, pruning branches whose path condition
      becomes unsatisfiable (keeping the result "clean"). *)
-  let rec meet ?(clean = true) psi x y =
+  let rec meet ?(clean = true) ?(check = ignore) psi x y =
     match (x, y) with
-    | Leaf r, other | other, Leaf r -> restrict ~clean psi (R.inter r) other
+    | Leaf r, other | other, Leaf r -> restrict ~clean ~check psi (R.inter r) other
     | Ite (phi, a, b), _ ->
+      check ();
       let psi_t = if clean then A.conj psi phi else A.top
       and psi_f = if clean then A.conj psi (A.neg phi) else A.top in
-      if clean && A.is_bot psi_t then meet ~clean psi b y
-      else if clean && A.is_bot psi_f then meet ~clean psi a y
-      else ite phi (meet ~clean psi_t a y) (meet ~clean psi_f b y)
+      if clean && A.is_bot psi_t then meet ~clean ~check psi b y
+      else if clean && A.is_bot psi_f then meet ~clean ~check psi a y
+      else ite phi (meet ~clean ~check psi_t a y) (meet ~clean ~check psi_f b y)
     | _ -> invalid_arg "meet: not a conditional tree"
 
   (* [norm psi tau]: list of pure conditional trees whose union is
@@ -159,27 +169,30 @@ module Make (R : Sbd_regex.Regex.S) = struct
      branch pruning happens -- the ablation baseline quantifying what the
      satisfiability-check-integrated simplification rules of Section 4
      buy. *)
-  let rec norm ?(clean = true) psi t =
+  let rec norm ?(clean = true) ?(check = ignore) psi t =
+    check ();
     match t with
     | Leaf r -> if R.is_empty r then [] else [ Leaf r ]
     | Ite (phi, a, b) ->
       let psi_t = if clean then A.conj psi phi else A.top
       and psi_f = if clean then A.conj psi (A.neg phi) else A.top in
-      if clean && A.is_bot psi_t then norm ~clean psi b
-      else if clean && A.is_bot psi_f then norm ~clean psi a
+      if clean && A.is_bot psi_t then norm ~clean ~check psi b
+      else if clean && A.is_bot psi_f then norm ~clean ~check psi a
       else
-        let ts = norm ~clean psi_t a and fs = norm ~clean psi_f b in
+        let ts = norm ~clean ~check psi_t a and fs = norm ~clean ~check psi_f b in
         (match (ts, fs) with
         | [], [] -> []
         | [ t' ], [ f' ] -> [ ite phi t' f' ]
         | _ ->
           List.map (fun c -> ite phi c bot) ts
           @ List.map (fun c -> ite phi bot c) fs)
-    | Union (a, b) -> norm ~clean psi a @ norm ~clean psi b
+    | Union (a, b) -> norm ~clean ~check psi a @ norm ~clean ~check psi b
     | Inter (a, b) ->
-      let xs = norm ~clean psi a and ys = norm ~clean psi b in
+      let xs = norm ~clean ~check psi a and ys = norm ~clean ~check psi b in
       let products =
-        List.concat_map (fun x -> List.map (fun y -> meet ~clean psi x y) ys) xs
+        List.concat_map
+          (fun x -> List.map (fun y -> meet ~clean ~check psi x y) ys)
+          xs
       in
       List.filter (fun c -> not (equal c bot)) products
     | Compl _ -> invalid_arg "norm: input not in NNF"
@@ -199,8 +212,8 @@ module Make (R : Sbd_regex.Regex.S) = struct
       trees whose leaves are all EREs.  Unsatisfiable branches are pruned
       using the alphabet theory's decision procedure; pass [clean:false]
       to skip the pruning (ablation A1 in DESIGN.md). *)
-  let dnf ?(clean = true) t =
-    let conds = norm ~clean A.top (nnf t) in
+  let dnf ?(clean = true) ?(check = ignore) t =
+    let conds = norm ~clean ~check A.top (nnf t) in
     (* dedupe structurally equal disjuncts *)
     let conds =
       List.fold_left
@@ -261,7 +274,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       are merged by disjunction.  For a clean DNF the guards of each
       conditional tree partition the alphabet, so this is exactly the edge
       relation of the corresponding SBFA. *)
-  let transitions t =
+  let transitions ?(check = ignore) t =
     let table : (int, A.pred * R.t) Hashtbl.t = Hashtbl.create 16 in
     let emit psi r =
       if not (R.is_empty r) then
@@ -272,13 +285,14 @@ module Make (R : Sbd_regex.Regex.S) = struct
     let rec go psi = function
       | Leaf r -> emit psi r
       | Ite (p, a, b) ->
+        check ();
         let psi_t = A.conj psi p and psi_f = A.conj psi (A.neg p) in
         if not (A.is_bot psi_t) then go psi_t a;
         if not (A.is_bot psi_f) then go psi_f b
       | Union (a, b) ->
         go psi a;
         go psi b
-      | (Inter _ | Compl _) as t -> go psi (dnf t)
+      | (Inter _ | Compl _) as t -> go psi (dnf ~check t)
     in
     go A.top t;
     Hashtbl.fold (fun _ edge acc -> edge :: acc) table []

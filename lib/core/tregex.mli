@@ -59,10 +59,13 @@ module Make (R : Sbd_regex.Regex.S) : sig
   val size : t -> int
   (** Node count (used by the DNF-cleanliness ablation). *)
 
-  val dnf : ?clean:bool -> t -> t
+  val dnf : ?clean:bool -> ?check:(unit -> unit) -> t -> t
   (** Disjunctive normal form (Section 5): a union of conditional trees
       whose leaves are EREs, with unsatisfiable branches pruned.
-      [clean:false] skips the pruning (ablation A1). *)
+      [clean:false] skips the pruning (ablation A1).  [check] is called
+      once per node visited by the normalization and may raise to abort
+      a pathological (worst-case exponential) expansion -- the deadline
+      hook of [Sbd_obs.Obs.Deadline.check]. *)
 
   val is_dnf : t -> bool
 
@@ -75,10 +78,10 @@ module Make (R : Sbd_regex.Regex.S) : sig
   (** All leaf regexes.  With [~trivial:false], the trivial terminals ⊥
       and [.*] are excluded (the [Q(tau)] of Section 7). *)
 
-  val transitions : t -> (A.pred * R.t) list
+  val transitions : ?check:(unit -> unit) -> t -> (A.pred * R.t) list
   (** The guarded out-edges of a DNF transition regex: satisfiable
       guards, non-⊥ targets, guards merged per target.  This is the edge
-      relation of the corresponding SBFA. *)
+      relation of the corresponding SBFA.  [check] as in {!dnf}. *)
 
   val pp : Format.formatter -> t -> unit
   val to_string : t -> string

@@ -14,12 +14,15 @@
       eager complement elimination (the CVC4 architecture).
 
     Each instance is a single ERE satisfiability problem (Boolean
-    combinations already folded, as dZ3's preprocessing does).  Instead of
-    a wall-clock timeout the harness gives every solver a deterministic
-    work budget calibrated to ~1s of work, and -- following the paper's
-    methodology -- counts wrong answers, unsupported cases and budget
-    exhaustion as timeouts, charged at the [timeout] value in the time
-    statistics. *)
+    combinations already folded, as dZ3's preprocessing does).  Every
+    solver gets a deterministic work budget calibrated to ~1s of work;
+    the dz3 backends additionally run under a {e real} wall-clock
+    deadline of [timeout] seconds (enforced inside the derivative/DNF
+    machinery, see [Sbd_obs.Obs.Deadline]), so a pathological instance
+    stops near the deadline instead of overshooting its budget
+    unboundedly.  Following the paper's methodology, wrong answers,
+    unsupported cases and budget/deadline exhaustion count as timeouts,
+    charged at the [timeout] value in the time statistics. *)
 
 module A = Sbd_alphabet.Bdd
 module R = Sbd_regex.Regex.Make (A)
@@ -75,8 +78,10 @@ let reset_sessions () =
   dz3_session := S.create_session ();
   dz3_ranges_session := Sr.create_session ()
 
-(** Run one solver on one pattern, returning its raw answer. *)
-let raw_answer ~budget (id : solver_id) (pattern : string) : answer =
+(** Run one solver on one pattern, returning its raw answer.
+    [deadline] (wall-clock seconds) is honored by the dz3 backends; the
+    comparison baselines only understand work budgets. *)
+let raw_answer ~budget ?deadline (id : solver_id) (pattern : string) : answer =
   match id with
   | Dz3 | Dz3_no_dead | Dz3_simplify -> (
     match P.parse pattern with
@@ -84,7 +89,8 @@ let raw_answer ~budget (id : solver_id) (pattern : string) : answer =
     | Ok r -> (
       let r = if id = Dz3_simplify then Simp.simplify r else r in
       match
-        S.solve ~budget ~dead_state_elim:(id <> Dz3_no_dead) !dz3_session r
+        S.solve ~budget ?deadline ~dead_state_elim:(id <> Dz3_no_dead)
+          !dz3_session r
       with
       | S.Sat _ -> Ans_sat
       | S.Unsat -> Ans_unsat
@@ -93,7 +99,7 @@ let raw_answer ~budget (id : solver_id) (pattern : string) : answer =
     match Pr.parse pattern with
     | Error _ -> Ans_unknown
     | Ok r -> (
-      match Sr.solve ~budget !dz3_ranges_session r with
+      match Sr.solve ~budget ?deadline !dz3_ranges_session r with
       | Sr.Sat _ -> Ans_sat
       | Sr.Unsat -> Ans_unsat
       | Sr.Unknown _ -> Ans_unknown))
@@ -139,7 +145,7 @@ let resolve_label ~budget (inst : Sbd_benchgen.Instance.t) :
 let run_one ~budget ~timeout (id : solver_id) (inst : Sbd_benchgen.Instance.t)
     ~(label : Sbd_benchgen.Instance.expected) : outcome =
   let t0 = now () in
-  let answer = raw_answer ~budget id inst.pattern in
+  let answer = raw_answer ~budget ~deadline:timeout id inst.pattern in
   let elapsed = now () -. t0 in
   let solved =
     match (answer, label) with
@@ -164,15 +170,37 @@ type row = {
 
 let percent row = 100.0 *. float_of_int row.solved /. float_of_int (max row.total 1)
 
+(** Median with the usual convention: for even-length lists, the average
+    of the two middle elements (the upper-middle alone would bias the
+    Figure 4(a) [med(s)] column upward). *)
 let median xs =
   match List.sort compare xs with
   | [] -> 0.0
   | sorted ->
     let n = List.length sorted in
-    List.nth sorted (n / 2)
+    if n mod 2 = 1 then List.nth sorted (n / 2)
+    else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
 
-(** Run a solver over a labeled instance list. *)
-let run_suite ~budget ~timeout (id : solver_id)
+module Obs = Sbd_obs.Obs
+
+(** One row as a JSON object, for the [BENCH_*.json] trajectory files
+    and the emit sink. *)
+let row_json ~(suite : string) (row : row) : Obs.Json.t =
+  Obs.Json.Obj
+    [
+      ("suite", Obs.Json.Str suite);
+      ("solver", Obs.Json.Str (solver_name row.solver));
+      ("total", Obs.Json.Int row.total);
+      ("solved", Obs.Json.Int row.solved);
+      ("percent", Obs.Json.Float (percent row));
+      ("avg_s", Obs.Json.Float row.avg_time);
+      ("median_s", Obs.Json.Float row.median_time);
+    ]
+
+(** Run a solver over a labeled instance list.  When [suite] is given,
+    the finished row is also emitted as one JSON line through the
+    [Obs] sink. *)
+let run_suite ~budget ~timeout ?suite (id : solver_id)
     (instances : (Sbd_benchgen.Instance.t * Sbd_benchgen.Instance.expected) list) : row
     =
   let outcomes =
@@ -182,15 +210,22 @@ let run_suite ~budget ~timeout (id : solver_id)
   let solved_times =
     List.filter_map (fun (o : outcome) -> if o.solved then Some o.time else None) outcomes
   in
-  {
-    solver = id;
-    total = List.length outcomes;
-    solved = List.length solved_times;
-    avg_time =
-      List.fold_left ( +. ) 0.0 charged /. float_of_int (max 1 (List.length charged));
-    median_time = median charged;
-    times = solved_times;
-  }
+  let row =
+    {
+      solver = id;
+      total = List.length outcomes;
+      solved = List.length solved_times;
+      avg_time =
+        List.fold_left ( +. ) 0.0 charged
+        /. float_of_int (max 1 (List.length charged));
+      median_time = median charged;
+      times = solved_times;
+    }
+  in
+  (match suite with
+  | Some name -> Obs.emit (Obs.Json.to_string (row_json ~suite:name row))
+  | None -> ());
+  row
 
 (** Label a raw instance list once (shared across solvers). *)
 let label_all ~budget instances =
@@ -262,3 +297,32 @@ let dz3_work ~budget ~dead_state_elim
   let first = session.S.expansions in
   run_all ();
   (first, session.S.expansions - first, session.S.dead_hits)
+
+(* -- machine-readable trajectory files ----------------------------------- *)
+
+(** The [BENCH_*.json] document: one object per (suite, solver) row plus
+    run metadata.  Schema documented in DESIGN.md ("BENCH_*.json
+    schema"). *)
+let bench_json ~(date : string) ~(budget : int) ~(timeout : float)
+    (suites : (string * row list) list) : Obs.Json.t =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "sbd-bench/1");
+      ("date", Obs.Json.Str date);
+      ("budget", Obs.Json.Int budget);
+      ("timeout_s", Obs.Json.Float timeout);
+      ( "suites",
+        Obs.Json.Arr
+          (List.concat_map
+             (fun (name, rows) -> List.map (row_json ~suite:name) rows)
+             suites) );
+    ]
+
+(** Write the per-suite solver rows of a bench run to [path] (the
+    [BENCH_<date>.json] perf-trajectory file). *)
+let write_bench_json ~(path : string) ~(date : string) ~(budget : int)
+    ~(timeout : float) (suites : (string * row list) list) : unit =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string_pretty (bench_json ~date ~budget ~timeout suites));
+  output_char oc '\n';
+  close_out oc

@@ -19,12 +19,21 @@ module Make (R : Sbd_regex.Regex.S) = struct
   module A = R.A
   module Brz = Sbd_classic.Brzozowski.Make (R)
   module M = Sbd_alphabet.Minterm.Make (A)
+  module Obs = Sbd_obs.Obs
+
+  (* Process-global telemetry across all matcher instances. *)
+  let c_compiles = Obs.Counter.make "matcher.compiles"
+  let c_states = Obs.Counter.make "matcher.states"
+  let c_cache_hit = Obs.Counter.make "matcher.cache_hit"
+  let c_cache_miss = Obs.Counter.make "matcher.cache_miss"
 
   type t = {
     pattern : R.t;
     classify : int -> int;  (** code point -> minterm index *)
     representatives : int array;  (** one concrete character per minterm *)
     mutable num_states : int;
+    mutable cache_hits : int;  (** delta-table lookups served memoized *)
+    mutable cache_misses : int;  (** delta-table lookups that derived *)
     delta : (int * int, R.t) Hashtbl.t;  (** (state id, minterm) -> state *)
     ids : (int, unit) Hashtbl.t;  (** distinct state ids seen (for stats) *)
   }
@@ -65,11 +74,15 @@ module Make (R : Sbd_regex.Regex.S) = struct
     in
     let ids = Hashtbl.create 16 in
     Hashtbl.add ids pattern.R.id ();
+    Obs.Counter.incr c_compiles;
+    Obs.Counter.incr c_states;
     {
       pattern;
       classify;
       representatives;
       num_states = 1;
+      cache_hits = 0;
+      cache_misses = 0;
       delta = Hashtbl.create 64;
       ids;
     }
@@ -82,13 +95,19 @@ module Make (R : Sbd_regex.Regex.S) = struct
     let mt = m.classify c in
     let key = (state.R.id, mt) in
     match Hashtbl.find_opt m.delta key with
-    | Some next -> next
+    | Some next ->
+      m.cache_hits <- m.cache_hits + 1;
+      Obs.Counter.incr c_cache_hit;
+      next
     | None ->
+      m.cache_misses <- m.cache_misses + 1;
+      Obs.Counter.incr c_cache_miss;
       let next = Brz.derive m.representatives.(mt) state in
       Hashtbl.add m.delta key next;
       if not (Hashtbl.mem m.ids next.R.id) then begin
         Hashtbl.add m.ids next.R.id ();
-        m.num_states <- m.num_states + 1
+        m.num_states <- m.num_states + 1;
+        Obs.Counter.incr c_states
       end;
       next
 
@@ -148,4 +167,17 @@ module Make (R : Sbd_regex.Regex.S) = struct
 
   (** Number of minterms (the compiled alphabet size). *)
   let alphabet_size (m : t) = Array.length m.representatives
+
+  (** [(hits, misses)] of the lazy transition table: misses are the
+      derivative computations, hits the amortized fast path. *)
+  let cache_stats (m : t) = (m.cache_hits, m.cache_misses)
+
+  (** Machine-readable per-matcher counters, for the stats surface. *)
+  let stats (m : t) : (string * float) list =
+    [
+      ("matcher.states", float_of_int m.num_states);
+      ("matcher.alphabet", float_of_int (Array.length m.representatives));
+      ("matcher.cache_hits", float_of_int m.cache_hits);
+      ("matcher.cache_misses", float_of_int m.cache_misses);
+    ]
 end

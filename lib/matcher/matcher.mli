@@ -26,4 +26,12 @@ module Make (R : Sbd_regex.Regex.S) : sig
 
   val alphabet_size : t -> int
   (** Number of minterms (compiled alphabet size). *)
+
+  val cache_stats : t -> int * int
+  (** [(hits, misses)] of the lazy transition table: misses are actual
+      derivative computations, hits the amortized fast path. *)
+
+  val stats : t -> (string * float) list
+  (** Machine-readable per-matcher counters (states, alphabet size,
+      cache hits/misses). *)
 end

@@ -1,0 +1,266 @@
+(** Observability and resource governance: counters, span timers,
+    deadlines, sink, JSON.  See obs.mli for the contract. *)
+
+exception Deadline_exceeded of string
+
+let enabled_flag = ref true
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+let now = Unix.gettimeofday
+
+(* -- registries --------------------------------------------------------- *)
+
+module Counter = struct
+  type t = { name : string; mutable v : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { name; v = 0 } in
+      Hashtbl.add registry name c;
+      c
+
+  let incr c = if !enabled_flag then c.v <- c.v + 1
+  let add c n = if !enabled_flag then c.v <- c.v + n
+  let max_to c n = if !enabled_flag && n > c.v then c.v <- n
+  let value c = c.v
+  let name c = c.name
+  let reset_all () = Hashtbl.iter (fun _ c -> c.v <- 0) registry
+end
+
+module Span = struct
+  type t = { name : string; mutable total : float; mutable count : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some s -> s
+    | None ->
+      let s = { name; total = 0.0; count = 0 } in
+      Hashtbl.add registry name s;
+      s
+
+  let time s f =
+    if not !enabled_flag then f ()
+    else begin
+      let t0 = now () in
+      let charge () =
+        s.total <- s.total +. (now () -. t0);
+        s.count <- s.count + 1
+      in
+      match f () with
+      | x ->
+        charge ();
+        x
+      | exception e ->
+        charge ();
+        raise e
+    end
+
+  let add s dt =
+    if !enabled_flag then begin
+      s.total <- s.total +. dt;
+      s.count <- s.count + 1
+    end
+
+  let total s = s.total
+  let count s = s.count
+  let reset_all () =
+    Hashtbl.iter
+      (fun _ s ->
+        s.total <- 0.0;
+        s.count <- 0)
+      registry
+end
+
+let snapshot () =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name (c : Counter.t) -> rows := (name, float_of_int c.Counter.v) :: !rows)
+    Counter.registry;
+  Hashtbl.iter
+    (fun name (s : Span.t) ->
+      rows :=
+        (name ^ ".s", s.Span.total)
+        :: (name ^ ".n", float_of_int s.Span.count)
+        :: !rows)
+    Span.registry;
+  List.sort compare !rows
+
+let reset () =
+  Counter.reset_all ();
+  Span.reset_all ()
+
+(* -- deadlines ---------------------------------------------------------- *)
+
+module Deadline = struct
+  (* The wall clock is sampled only every [clock_stride] checks: a
+     [gettimeofday] per DNF node would dominate the work it polices. *)
+  let clock_stride = 256
+
+  type limits = {
+    started : float;
+    until : float option;  (** absolute wall-clock bound *)
+    mutable nodes_left : int option;
+    mutable ticks : int;  (** checks since the last clock sample *)
+    mutable wall_hit : bool;  (** latched once the clock sample trips *)
+  }
+
+  type t = limits option
+
+  let none : t = None
+
+  let make ?wall ?nodes () : t =
+    let started = now () in
+    Some
+      {
+        started;
+        until = Option.map (fun s -> started +. s) wall;
+        nodes_left = nodes;
+        ticks = 0;
+        wall_hit = false;
+      }
+
+  let of_seconds s = make ~wall:s ()
+  let is_none t = t = None
+
+  let nodes_out l = match l.nodes_left with Some n -> n <= 0 | None -> false
+
+  (* Sample the clock unconditionally (used when a caller explicitly asks
+     whether the deadline has expired, e.g. once per solver pop). *)
+  let wall_out l =
+    l.wall_hit
+    || match l.until with
+       | Some u when now () > u ->
+         l.wall_hit <- true;
+         true
+       | _ -> false
+
+  let expired = function
+    | None -> false
+    | Some l -> nodes_out l || wall_out l
+
+  let check = function
+    | None -> ()
+    | Some l ->
+      (match l.nodes_left with
+      | Some n ->
+        if n <= 0 then raise (Deadline_exceeded "nodes");
+        l.nodes_left <- Some (n - 1)
+      | None -> ());
+      if l.wall_hit then raise (Deadline_exceeded "wall");
+      l.ticks <- l.ticks + 1;
+      if l.ticks >= clock_stride then begin
+        l.ticks <- 0;
+        if wall_out l then raise (Deadline_exceeded "wall")
+      end
+
+  let charge t n =
+    match t with
+    | None -> ()
+    | Some l ->
+      (match l.nodes_left with
+      | Some left -> l.nodes_left <- Some (left - n)
+      | None -> ())
+
+  let elapsed = function None -> 0.0 | Some l -> now () -. l.started
+
+  let remaining_time = function
+    | None -> None
+    | Some l -> Option.map (fun u -> u -. now ()) l.until
+end
+
+(* -- sink --------------------------------------------------------------- *)
+
+let sink : (string -> unit) ref = ref (fun _ -> ())
+let set_sink f = sink := f
+let emit line = !sink line
+
+(* -- JSON --------------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape_to buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04X" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let number f =
+    (* JSON has no NaN/inf; clamp rather than emit invalid output. *)
+    if Float.is_nan f || f = infinity || f = neg_infinity then "0"
+    else Printf.sprintf "%.6g" f
+
+  let render ~indent t =
+    let buf = Buffer.create 256 in
+    let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+    let nl () = if indent then Buffer.add_char buf '\n' in
+    let rec go depth = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (string_of_bool b)
+      | Int i -> Buffer.add_string buf (string_of_int i)
+      | Float f -> Buffer.add_string buf (number f)
+      | Str s -> escape_to buf s
+      | Arr [] -> Buffer.add_string buf "[]"
+      | Arr xs ->
+        Buffer.add_char buf '[';
+        nl ();
+        List.iteri
+          (fun i x ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            go (depth + 1) x)
+          xs;
+        nl ();
+        pad depth;
+        Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj kvs ->
+        Buffer.add_char buf '{';
+        nl ();
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            escape_to buf k;
+            Buffer.add_string buf (if indent then ": " else ":");
+            go (depth + 1) v)
+          kvs;
+        nl ();
+        pad depth;
+        Buffer.add_char buf '}'
+    in
+    go 0 t;
+    Buffer.contents buf
+
+  let to_string t = render ~indent:false t
+  let to_string_pretty t = render ~indent:true t
+end

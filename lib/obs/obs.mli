@@ -1,0 +1,136 @@
+(** Observability and resource governance for the solving stack.
+
+    Three facilities, shared by every layer (core derivatives, the
+    decision procedure, the matcher, the experiment harness, the
+    executables):
+
+    - {b monotonic counters} and {b span timers}, registered globally by
+      dotted name ([deriv.delta.memo_hit], [solve.expansions], ...) and
+      snapshotted for reports;
+    - a {b deadline} combining a wall-clock limit with a node-count
+      budget, checked cheaply from hot loops (the clock is sampled only
+      every few hundred checks) and raising {!Deadline_exceeded} so that
+      a single pathological operation -- e.g. an exponential DNF
+      expansion -- aborts instead of hanging past any step budget;
+    - a {b pluggable sink} for emitted report lines plus a minimal JSON
+      builder for machine-readable output ([--json], [BENCH_*.json]).
+
+    Disabled mode ({!set_enabled}[ false]) reduces counters and timers
+    to a single branch so instrumented hot paths stay effectively free;
+    deadlines are independent of the flag. *)
+
+exception Deadline_exceeded of string
+(** Raised by {!Deadline.check} when a deadline has expired.  The
+    payload names the exhausted resource (["wall"] or ["nodes"]). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Globally enable/disable counter and timer recording (default
+    enabled).  Deadlines always fire. *)
+
+val now : unit -> float
+(** Monotonic-enough wall clock in seconds ([Unix.gettimeofday]). *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Register (or look up) the counter with the given dotted name.
+      Counters are process-global: [make] with the same name returns a
+      handle to the same cell. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val max_to : t -> int -> unit
+  (** [max_to c v] raises the counter to [v] if below (for gauges that
+      track a maximum, e.g. peak DNF size). *)
+
+  val value : t -> int
+  val name : t -> string
+end
+
+module Span : sig
+  type t
+
+  val make : string -> t
+  (** Register (or look up) the span timer with the given name. *)
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run the thunk, accumulating its wall-clock duration and bumping
+      the span's hit count.  When disabled, just runs the thunk.
+      Exceptions propagate; the partial duration is still charged. *)
+
+  val add : t -> float -> unit
+  (** Charge an externally-measured duration (one hit). *)
+
+  val total : t -> float
+  val count : t -> int
+end
+
+val snapshot : unit -> (string * float) list
+(** All registered counters and spans, sorted by name.  Spans
+    contribute two entries: [<name>.s] (seconds) and [<name>.n]. *)
+
+val reset : unit -> unit
+(** Zero every registered counter and span (handles stay valid). *)
+
+module Deadline : sig
+  type t
+
+  val none : t
+  (** The infinite deadline: never expires, all checks are no-ops. *)
+
+  val make : ?wall:float -> ?nodes:int -> unit -> t
+  (** A deadline [wall] seconds from now and/or after [nodes] charged
+      units of work.  Omitted components are unlimited. *)
+
+  val of_seconds : float -> t
+  (** [of_seconds s = make ~wall:s ()]. *)
+
+  val is_none : t -> bool
+
+  val expired : t -> bool
+  (** Has either component run out?  Samples the clock (throttled). *)
+
+  val check : t -> unit
+  (** Charge one unit of work and raise {!Deadline_exceeded} if the
+      deadline has expired.  Cheap enough for per-node use in hot
+      recursions: the wall clock is sampled every 256 checks. *)
+
+  val charge : t -> int -> unit
+  (** Charge [n] units against the node budget (no raise; observe with
+      {!expired}/{!check}). *)
+
+  val elapsed : t -> float
+  (** Seconds since the deadline was created (0 for {!none}). *)
+
+  val remaining_time : t -> float option
+  (** Remaining wall-clock seconds, if wall-limited. *)
+end
+
+val set_sink : (string -> unit) -> unit
+(** Install the output sink for {!emit} (default: drop). *)
+
+val emit : string -> unit
+(** Send one report line to the sink. *)
+
+module Json : sig
+  (** A minimal JSON document builder -- enough for [--json] output and
+      the [BENCH_*.json] trajectory files, with correct string
+      escaping; no external dependency. *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact rendering. *)
+
+  val to_string_pretty : t -> string
+  (** Two-space indented rendering, for files meant to be diffed. *)
+end

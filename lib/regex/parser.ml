@@ -13,7 +13,10 @@
     Character classes support ranges, negation ([^...]) and the escapes
     [\d \D \w \W \s \S \t \n \r \f \v \xHH \u{H+} \\ \<punct>].  An empty
     group [()] denotes the empty string; an empty class [[]] denotes the
-    empty language.  [~] is prefix complement, [&] is intersection.
+    empty language.  [~] is prefix complement, [&] is intersection.  A [{] that does not
+    start a valid [{m}], [{m,}] or [{m,n}] quantifier is a literal brace
+    (as are all [}]), matching how benchmark suites of real-world
+    patterns use braces.
 
     The parser is total on its input: errors are reported as
     [Error (position, message)]. *)
@@ -203,6 +206,31 @@ module Make (R : Regex.S) = struct
       R.compl (parse_prefix st)
     | _ -> parse_postfix st
 
+  (* Attempt to read a [{m}], [{m,}] or [{m,n}] quantifier.  On any
+     mismatch the position is restored and [None] returned, so the brace
+     can be re-read as a literal character: RegExLib-style benchmark
+     patterns contain braces that do not start a quantifier (e.g.
+     [a{b]). *)
+  and try_quantifier st =
+    let saved = st.pos in
+    try
+      expect st '{';
+      let m = parse_int st in
+      let n =
+        match peek st with
+        | Some ',' ->
+          advance st;
+          (match peek st with
+          | Some '}' -> None
+          | _ -> Some (parse_int st))
+        | _ -> Some m
+      in
+      expect st '}';
+      Some (m, n)
+    with Parse_error _ ->
+      st.pos <- saved;
+      None
+
   and parse_postfix st =
     let atom = parse_atom st in
     let rec loop r =
@@ -216,20 +244,10 @@ module Make (R : Regex.S) = struct
       | Some '?' ->
         advance st;
         loop (R.opt r)
-      | Some '{' ->
-        advance st;
-        let m = parse_int st in
-        let n =
-          match peek st with
-          | Some ',' ->
-            advance st;
-            (match peek st with
-            | Some '}' -> None
-            | _ -> Some (parse_int st))
-          | _ -> Some m
-        in
-        expect st '}';
-        loop (R.loop r m n)
+      | Some '{' -> (
+        match try_quantifier st with
+        | Some (m, n) -> loop (R.loop r m n)
+        | None -> r (* literal '{': picked up by the next atom *))
       | _ -> r
     in
     loop atom
@@ -262,8 +280,10 @@ module Make (R : Regex.S) = struct
       (match parse_escape st with
       | Point p -> R.chr p
       | Class rs -> R.pred (R.A.of_ranges rs))
-    | Some (('*' | '+' | '?' | '{' | '}' | ']' | '|' | '&' | ')') as c) ->
+    | Some (('*' | '+' | '?' | ']' | '|' | '&' | ')') as c) ->
       error st (Printf.sprintf "unexpected '%c'" c)
+    (* '{' and '}' are literal characters when not part of a valid
+       quantifier (see try_quantifier). *)
     | Some c ->
       advance st;
       R.chr (Char.code c)

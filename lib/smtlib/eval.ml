@@ -213,8 +213,8 @@ module Make (R : Sbd_regex.Regex.S) = struct
 
   type outcome = Sat of (string * string) list | Unsat | Unknown of string
 
-  let check ?budget (session : S.session) (env : env) (asserts : form list) :
-      outcome =
+  let check ?budget ?deadline (session : S.session) (env : env)
+      (asserts : form list) : outcome =
     let f = fnnf (FAnd asserts) in
     let cls = clauses f in
     let rec try_clause unknown = function
@@ -232,7 +232,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
           | [] -> Some acc
           | x :: rest_vars -> (
             let fs = try Hashtbl.find by_var x with Not_found -> [] in
-            match S.solve_formula ?budget session (S.FAnd fs) with
+            match S.solve_formula ?budget ?deadline session (S.FAnd fs) with
             | S.Sat w -> solve_vars ((x, encode_string w) :: acc) rest_vars
             | S.Unsat -> None
             | S.Unknown _ -> raise Exit)
@@ -251,7 +251,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
     output : string;  (** what a solver binary would print *)
   }
 
-  let run ?budget (source : string) : script_result =
+  let run ?budget ?deadline (source : string) : script_result =
     match Sexp.parse_all source with
     | Error (pos, msg) ->
       { outcomes = [ Unknown (Printf.sprintf "parse error at %d: %s" pos msg) ]
@@ -286,7 +286,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
           | [] -> unsupported "pop on empty stack")
         | Sexp.List [ Sexp.Atom "check-sat" ] ->
           let outcome =
-            try check ?budget session env !asserts
+            try check ?budget ?deadline session env !asserts
             with Unsupported why -> Unknown why
           in
           outcomes := outcome :: !outcomes;

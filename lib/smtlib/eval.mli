@@ -30,8 +30,10 @@ module Make (R : Sbd_regex.Regex.S) : sig
     output : string;  (** what a solver binary would print *)
   }
 
-  val run : ?budget:int -> string -> script_result
+  val run : ?budget:int -> ?deadline:float -> string -> script_result
   (** Evaluate a whole script: [set-logic]/[set-info]/[set-option]
       (ignored), [declare-fun]/[declare-const] for [String] constants,
-      [assert], [push]/[pop], [check-sat], [get-model], [exit]. *)
+      [assert], [push]/[pop], [check-sat], [get-model], [exit].
+      [deadline] is a per-[check-sat] wall-clock limit in seconds,
+      enforced inside the decision procedure. *)
 end

@@ -23,6 +23,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
   module A = R.A
   module D = Sbd_core.Deriv.Make (R)
   module Tr = D.Tr
+  module Obs = Sbd_obs.Obs
 
   module G = Graph.Make (struct
     type t = R.t
@@ -30,22 +31,38 @@ module Make (R : Sbd_regex.Regex.S) = struct
     let id (r : R.t) = r.R.id
   end)
 
+  (* Process-global work counters, mirroring the per-session fields (the
+     [--stats] surface reports these via [Obs.snapshot]). *)
+  let c_expansions = Obs.Counter.make "solve.expansions"
+  let c_dead_hits = Obs.Counter.make "solve.dead_hits"
+  let c_queries = Obs.Counter.make "solve.queries"
+  let c_deadline_hits = Obs.Counter.make "solve.deadline_hits"
+  let sp_solve = Obs.Span.make "solve"
+
   type result =
     | Sat of int list  (** a witness word, as code points *)
     | Unsat
     | Unknown of string  (** budget exhausted; the reason is reported *)
 
+  (** [string_of_witness w] is a printable rendition of a witness word
+      with exactly one layer of escaping: printable ASCII verbatim
+      (except double-quote and backslash, which are backslash-escaped)
+      and everything else as [\u{HHHH}].  Print it inside plain quotes
+      -- through [%s], not [%S], which would re-escape the
+      backslashes. *)
   let string_of_witness w =
     let buf = Buffer.create (List.length w) in
     List.iter
       (fun c ->
-        if c >= 0x20 && c < 0x7F then Buffer.add_char buf (Char.chr c)
+        if c = Char.code '"' then Buffer.add_string buf "\\\""
+        else if c = Char.code '\\' then Buffer.add_string buf "\\\\"
+        else if c >= 0x20 && c < 0x7F then Buffer.add_char buf (Char.chr c)
         else Buffer.add_string buf (Printf.sprintf "\\u{%04X}" c))
       w;
     Buffer.contents buf
 
   let pp_result ppf = function
-    | Sat w -> Format.fprintf ppf "sat %S" (string_of_witness w)
+    | Sat w -> Format.fprintf ppf "sat \"%s\"" (string_of_witness w)
     | Unsat -> Format.fprintf ppf "unsat"
     | Unknown why -> Format.fprintf ppf "unknown (%s)" why
 
@@ -66,9 +83,40 @@ module Make (R : Sbd_regex.Regex.S) = struct
     mutable expansions : int;  (** der-rule applications *)
     mutable dead_hits : int;  (** bot-rule applications *)
     mutable queries : int;
+    mutable max_depth : int;  (** deepest search depth reached *)
+    mutable peak_frontier : int;  (** largest frontier size observed *)
+    mutable deadline_hits : int;  (** queries aborted on deadline expiry *)
+    mutable wall_time : float;  (** cumulative [solve] wall-clock seconds *)
+    mutable last_wall_time : float;  (** wall-clock of the latest query *)
   }
 
-  let create_session () = { graph = G.create (); expansions = 0; dead_hits = 0; queries = 0 }
+  let create_session () =
+    {
+      graph = G.create ();
+      expansions = 0;
+      dead_hits = 0;
+      queries = 0;
+      max_depth = 0;
+      peak_frontier = 0;
+      deadline_hits = 0;
+      wall_time = 0.0;
+      last_wall_time = 0.0;
+    }
+
+  (** Machine-readable session counters (name, value), for [--stats] and
+      the JSON surfaces. *)
+  let session_stats (s : session) : (string * float) list =
+    [
+      ("session.queries", float_of_int s.queries);
+      ("session.expansions", float_of_int s.expansions);
+      ("session.dead_hits", float_of_int s.dead_hits);
+      ("session.max_depth", float_of_int s.max_depth);
+      ("session.peak_frontier", float_of_int s.peak_frontier);
+      ("session.deadline_hits", float_of_int s.deadline_hits);
+      ("session.graph_vertices", float_of_int (G.num_vertices s.graph));
+      ("session.wall_time_s", s.wall_time);
+      ("session.last_wall_time_s", s.last_wall_time);
+    ]
 
   (* Conjunction of all positional predicates at position [i]. *)
   let char_constraint side i =
@@ -83,6 +131,13 @@ module Make (R : Sbd_regex.Regex.S) = struct
       der-rule applications (default 200k).  [dead_state_elim:false]
       disables the bot rule (for the ablation study).
 
+      [deadline] is a wall-clock limit in seconds for this query.  It is
+      enforced between frontier pops {e and} inside the symbolic
+      derivative/DNF computation itself (via [D.transitions]), so a
+      single exponential expansion -- which a der-rule step budget can
+      never interrupt -- aborts with an [Unknown] (reason [deadline])
+      shortly after the limit instead of hanging.
+
       [strategy] selects the exploration order of the der-rule case
       splits.  [Dfs] (the default) mirrors dZ3's CDCL-style search --
       plunge into one branch, backtrack on dead states -- and is
@@ -90,9 +145,17 @@ module Make (R : Sbd_regex.Regex.S) = struct
       deep inside blowup-prone state spaces.  [Bfs] explores by depth and
       therefore returns a {e shortest} witness.  Unsatisfiable instances
       explore the same state space either way. *)
-  let solve ?(budget = 200_000) ?(dead_state_elim = true) ?(side = no_side)
-      ?(strategy = Dfs) (session : session) (r : R.t) : result =
+  let solve ?(budget = 200_000) ?deadline ?(dead_state_elim = true)
+      ?(side = no_side) ?(strategy = Dfs) (session : session) (r : R.t) :
+      result =
     session.queries <- session.queries + 1;
+    Obs.Counter.incr c_queries;
+    let t_start = Obs.now () in
+    let dl =
+      match deadline with
+      | None -> Obs.Deadline.none
+      | Some s -> Obs.Deadline.of_seconds s
+    in
     let g = session.graph in
     (* Depth saturation: beyond [cap], search behaviour no longer depends
        on the exact depth, so states can be identified. *)
@@ -117,39 +180,47 @@ module Make (R : Sbd_regex.Regex.S) = struct
     (* The frontier is a deque: BFS pops from the front, DFS from the
        back. *)
     let frontier_list = ref [] and frontier_rev = ref [] in
+    let frontier_size = ref 0 in
     let push state parent guard =
       let r, d = state in
       let key = (r.R.id, depth_key d) in
       if not (Hashtbl.mem visited key) then begin
         Hashtbl.add visited key (parent, guard);
-        frontier_list := state :: !frontier_list
+        frontier_list := state :: !frontier_list;
+        incr frontier_size;
+        if !frontier_size > session.peak_frontier then
+          session.peak_frontier <- !frontier_size
       end
     in
     let pop () =
-      match strategy with
-      | Dfs -> (
-        match !frontier_list with
-        | x :: rest ->
-          frontier_list := rest;
-          Some x
-        | [] -> (
+      let popped =
+        match strategy with
+        | Dfs -> (
+          match !frontier_list with
+          | x :: rest ->
+            frontier_list := rest;
+            Some x
+          | [] -> (
+            match !frontier_rev with
+            | x :: rest ->
+              frontier_rev := rest;
+              Some x
+            | [] -> None))
+        | Bfs -> (
           match !frontier_rev with
           | x :: rest ->
             frontier_rev := rest;
             Some x
-          | [] -> None))
-      | Bfs -> (
-        match !frontier_rev with
-        | x :: rest ->
-          frontier_rev := rest;
-          Some x
-        | [] -> (
-          match List.rev !frontier_list with
-          | x :: rest ->
-            frontier_list := [];
-            frontier_rev := rest;
-            Some x
-          | [] -> None))
+          | [] -> (
+            match List.rev !frontier_list with
+            | x :: rest ->
+              frontier_list := [];
+              frontier_rev := rest;
+              Some x
+            | [] -> None))
+      in
+      if popped <> None then decr frontier_size;
+      popped
     in
     let reconstruct (r : R.t) (d : int) : int list =
       let rec go key acc =
@@ -170,78 +241,105 @@ module Make (R : Sbd_regex.Regex.S) = struct
     let result = ref None in
     let finished = ref false in
     while (not !finished) && !result = None do
-      match pop () with
-      | None -> finished := true
-      | Some (q, d) ->
-      if accepting q d then result := Some (Sat (reconstruct q d))
-      else if dead_state_elim && G.is_dead g q then
-        (* bot rule: in(s, q) rewrites to false. *)
-        session.dead_hits <- session.dead_hits + 1
-      else if within_max (d + 1) then begin
-        (* der rule: |s| > 0 and in_tr(s_1.., delta_dnf(q)). *)
-        incr steps;
-        session.expansions <- session.expansions + 1;
-        if !steps > budget then result := Some (Unknown "budget exhausted")
-        else begin
-          let edges = D.transitions q in
-          (* upd rule: record q's derivatives in the persistent graph,
-             independent of the side constraints of this query. *)
-          if not (G.is_closed g q) then
-            G.close g q ~final:(R.nullable q)
-              ~targets:(List.map (fun (_, t) -> (t, R.nullable t)) edges);
-          (* ite/or/ere rules: one guarded successor per DNF transition,
-             additionally constrained by the context's predicate on s_d. *)
-          let extra = char_constraint side d in
-          (* Edges are sorted by ascending target id; pushing in reverse
-             makes the DFS pop the oldest (typically simplest) successor
-             first, which empirically keeps the search out of the
-             blowup-prone freshly-created compound states. *)
-          List.iter
-            (fun (guard, target) ->
-              let guard = A.conj guard extra in
-              if not (A.is_bot guard) then push (target, d + 1) (Some (q.R.id, depth_key d)) guard)
-            (List.rev edges)
-        end
-      end
+      (* Deadline enforcement point 1: between pops.  Point 2 is inside
+         [D.transitions], which raises mid-expansion. *)
+      if Obs.Deadline.expired dl then result := Some (Unknown "deadline")
+      else
+        match pop () with
+        | None -> finished := true
+        | Some (q, d) ->
+          if d > session.max_depth then session.max_depth <- d;
+          if accepting q d then result := Some (Sat (reconstruct q d))
+          else if dead_state_elim && G.is_dead g q then begin
+            (* bot rule: in(s, q) rewrites to false. *)
+            session.dead_hits <- session.dead_hits + 1;
+            Obs.Counter.incr c_dead_hits
+          end
+          else if within_max (d + 1) then begin
+            (* der rule: |s| > 0 and in_tr(s_1.., delta_dnf(q)). *)
+            incr steps;
+            session.expansions <- session.expansions + 1;
+            Obs.Counter.incr c_expansions;
+            if !steps > budget then result := Some (Unknown "budget exhausted")
+            else begin
+              match D.transitions ~deadline:dl q with
+              | exception Obs.Deadline_exceeded _ ->
+                result := Some (Unknown "deadline")
+              | edges ->
+                (* upd rule: record q's derivatives in the persistent graph,
+                   independent of the side constraints of this query. *)
+                if not (G.is_closed g q) then
+                  G.close g q ~final:(R.nullable q)
+                    ~targets:
+                      (List.map (fun (_, t) -> (t, R.nullable t)) edges);
+                (* ite/or/ere rules: one guarded successor per DNF
+                   transition, additionally constrained by the context's
+                   predicate on s_d. *)
+                let extra = char_constraint side d in
+                (* Edges are sorted by ascending target id; pushing in
+                   reverse makes the DFS pop the oldest (typically
+                   simplest) successor first, which empirically keeps the
+                   search out of the blowup-prone freshly-created compound
+                   states. *)
+                List.iter
+                  (fun (guard, target) ->
+                    let guard = A.conj guard extra in
+                    if not (A.is_bot guard) then
+                      push (target, d + 1) (Some (q.R.id, depth_key d)) guard)
+                  (List.rev edges)
+            end
+          end
     done;
-    match !result with
-    | Some res -> res
-    | None ->
-      (* Frontier exhausted: every reachable vertex is closed and none is
-         accepting.  Without side constraints this proves the regex
-         denotes the empty language (Theorem 5.2); with side constraints
-         it proves the constrained query unsatisfiable. *)
-      Unsat
+    let res =
+      match !result with
+      | Some res -> res
+      | None ->
+        (* Frontier exhausted: every reachable vertex is closed and none is
+           accepting.  Without side constraints this proves the regex
+           denotes the empty language (Theorem 5.2); with side constraints
+           it proves the constrained query unsatisfiable. *)
+        Unsat
+    in
+    (match res with
+    | Unknown "deadline" ->
+      session.deadline_hits <- session.deadline_hits + 1;
+      Obs.Counter.incr c_deadline_hits
+    | _ -> ());
+    let elapsed = Obs.now () -. t_start in
+    session.wall_time <- session.wall_time +. elapsed;
+    session.last_wall_time <- elapsed;
+    Obs.Span.add sp_solve elapsed;
+    res
 
   (* -- derived queries ------------------------------------------------ *)
 
   (** Language emptiness: [L(r) = ∅]. *)
-  let is_empty_lang ?budget session r =
-    match solve ?budget session r with
+  let is_empty_lang ?budget ?deadline session r =
+    match solve ?budget ?deadline session r with
     | Unsat -> Some true
     | Sat _ -> Some false
     | Unknown _ -> None
 
   (** Language containment: [L(r1) ⊆ L(r2)] iff [r1 & ~r2] is empty. *)
-  let subset ?budget session r1 r2 =
-    is_empty_lang ?budget session (R.diff r1 r2)
+  let subset ?budget ?deadline session r1 r2 =
+    is_empty_lang ?budget ?deadline session (R.diff r1 r2)
 
   (** Language equivalence via double containment reduced to a single
       emptiness check of the symmetric difference. *)
-  let equiv ?budget session r1 r2 =
-    is_empty_lang ?budget session
+  let equiv ?budget ?deadline session r1 r2 =
+    is_empty_lang ?budget ?deadline session
       (R.alt (R.diff r1 r2) (R.diff r2 r1))
 
   (** Enumerate up to [n] distinct members of [L(r)], SMT-style: after
       each model, a blocking constraint (the complement of the witness
       literal) is conjoined and the solver re-runs.  Stops early when the
       language is exhausted or the budget trips. *)
-  let enumerate ?budget ?strategy (session : session) (r : R.t) (n : int) :
-      int list list =
+  let enumerate ?budget ?deadline ?strategy (session : session) (r : R.t)
+      (n : int) : int list list =
     let rec go r acc k =
       if k = 0 then List.rev acc
       else
-        match solve ?budget ?strategy session r with
+        match solve ?budget ?deadline ?strategy session r with
         | Sat w ->
           let literal = R.concat_list (List.map R.chr w) in
           go (R.diff r literal) (w :: acc) (k - 1)
@@ -346,8 +444,8 @@ module Make (R : Sbd_regex.Regex.S) = struct
       compiled away: regex memberships are folded into a single ERE per
       DNF clause (negation becoming regex complement, conjunction becoming
       intersection), and the remaining atoms become side constraints. *)
-  let solve_formula ?budget ?dead_state_elim (session : session) (f : formula)
-      : result =
+  let solve_formula ?budget ?deadline ?dead_state_elim (session : session)
+      (f : formula) : result =
     let clauses = dnf_clauses (fnnf f) in
     let rec try_clauses unknown = function
       | [] -> if unknown then Unknown "budget exhausted" else Unsat
@@ -355,7 +453,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
         match clause_to_query clause with
         | None -> try_clauses unknown rest
         | Some (r, side) -> (
-          match solve ?budget ?dead_state_elim ~side session r with
+          match solve ?budget ?deadline ?dead_state_elim ~side session r with
           | Sat w -> Sat w
           | Unsat -> try_clauses unknown rest
           | Unknown _ -> try_clauses true rest))

@@ -21,6 +21,11 @@ module Make (R : Sbd_regex.Regex.S) : sig
     | Unknown of string  (** work budget exhausted *)
 
   val string_of_witness : int list -> string
+  (** Printable witness with exactly one layer of escaping: [\u{HHHH}]
+      for non-printable code points, backslash-escapes for double-quote
+      and backslash.  Print through [%s] inside plain quotes, not
+      [%S]. *)
+
   val pp_result : Format.formatter -> result -> unit
 
   (** Side constraints from the surrounding solver context (Section 2's
@@ -40,14 +45,25 @@ module Make (R : Sbd_regex.Regex.S) : sig
     mutable expansions : int;
     mutable dead_hits : int;
     mutable queries : int;
+    mutable max_depth : int;
+    mutable peak_frontier : int;
+    mutable deadline_hits : int;
+    mutable wall_time : float;
+    mutable last_wall_time : float;
   }
 
   val create_session : unit -> session
+
+  val session_stats : session -> (string * float) list
+  (** Machine-readable session counters (name, value): queries,
+      expansions, dead hits, max search depth, peak frontier size,
+      deadline aborts, graph size, wall time. *)
 
   type strategy = Dfs | Bfs
 
   val solve :
     ?budget:int ->
+    ?deadline:float ->
     ?dead_state_elim:bool ->
     ?side:side ->
     ?strategy:strategy ->
@@ -56,14 +72,29 @@ module Make (R : Sbd_regex.Regex.S) : sig
     result
   (** Decide satisfiability of [in(s, r)].  [Dfs] (default) mirrors
       dZ3's CDCL-style search; [Bfs] returns a shortest witness.
-      [dead_state_elim:false] disables the bot rule (ablation A2). *)
+      [dead_state_elim:false] disables the bot rule (ablation A2).
+      [deadline] is a wall-clock limit in seconds, enforced between
+      frontier pops and inside the DNF expansion: on expiry the query
+      returns [Unknown] (reason [deadline]) shortly after the limit,
+      even when a single exponential expansion is in flight. *)
 
-  val is_empty_lang : ?budget:int -> session -> R.t -> bool option
-  val subset : ?budget:int -> session -> R.t -> R.t -> bool option
-  val equiv : ?budget:int -> session -> R.t -> R.t -> bool option
+  val is_empty_lang :
+    ?budget:int -> ?deadline:float -> session -> R.t -> bool option
+
+  val subset :
+    ?budget:int -> ?deadline:float -> session -> R.t -> R.t -> bool option
+
+  val equiv :
+    ?budget:int -> ?deadline:float -> session -> R.t -> R.t -> bool option
 
   val enumerate :
-    ?budget:int -> ?strategy:strategy -> session -> R.t -> int -> int list list
+    ?budget:int ->
+    ?deadline:float ->
+    ?strategy:strategy ->
+    session ->
+    R.t ->
+    int ->
+    int list list
   (** Up to [n] distinct members of [L(r)], via blocking constraints. *)
 
   (** Formulas about one string variable: memberships under Boolean
@@ -81,7 +112,12 @@ module Make (R : Sbd_regex.Regex.S) : sig
     | FFalse
 
   val solve_formula :
-    ?budget:int -> ?dead_state_elim:bool -> session -> formula -> result
+    ?budget:int ->
+    ?deadline:float ->
+    ?dead_state_elim:bool ->
+    session ->
+    formula ->
+    result
   (** Boolean structure is compiled away: per DNF clause, memberships
       fold into one ERE (negation becoming complement, conjunction
       intersection) and the rest become side constraints. *)

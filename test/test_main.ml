@@ -13,4 +13,5 @@ let () =
     ; Test_graph.suite
     ; Test_misc.suite
     ; Test_rules.suite
-    ; Test_ranges_stack.suite ]
+    ; Test_ranges_stack.suite
+    ; Test_obs.suite ]

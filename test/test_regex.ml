@@ -108,7 +108,7 @@ let test_parser_structure () =
   eq "unicode escape" (R.chr 0x4E2D) (re "\\u{4E2D}")
 
 let test_parser_errors () =
-  let bad = [ "("; "a)"; "a{"; "a{2"; "[a"; "a**{"; "\\u{110000}"; "*a" ] in
+  let bad = [ "("; "a)"; "[a"; "\\u{110000}"; "*a" ] in
   List.iter
     (fun s ->
       match P.parse s with
@@ -117,6 +117,25 @@ let test_parser_errors () =
     bad;
   (* Empty branches are permitted, as in most practical regex dialects. *)
   eq "empty alternation branch" (R.alt R.eps (R.chr (Char.code 'a'))) (re "a|")
+
+let test_literal_brace () =
+  let a = R.chr (Char.code 'a') and b = R.chr (Char.code 'b') in
+  let lb = R.chr (Char.code '{') in
+  (* A '{' that does not start a well-formed {m}/{m,}/{m,n} quantifier
+     falls back to a literal character, as in POSIX/PCRE practice. *)
+  eq "a{b is literal" (R.concat a (R.concat lb b)) (re "a{b");
+  eq "dangling a{ is literal" (R.concat a lb) (re "a{");
+  eq "a{2 without close is literal"
+    (R.concat a (R.concat lb (R.chr (Char.code '2'))))
+    (re "a{2");
+  eq "leading { is literal" (R.concat lb (R.chr (Char.code '3'))) (re "{3");
+  eq "a{2,b} is literal"
+    (re "a\\{2,b\\}")
+    (re "a{2,b}");
+  (* ... but well-formed quantifiers still parse as loops. *)
+  eq "a{2,4} still a loop" (R.loop a 2 (Some 4)) (re "a{2,4}");
+  eq "a{3} still a loop" (R.loop a 3 (Some 3)) (re "a{3}");
+  eq "a{2,} still a loop" (R.loop a 2 None) (re "a{2,}")
 
 let test_print_parse_roundtrip () =
   let corpus =
@@ -170,6 +189,7 @@ let suite =
     ; Alcotest.test_case "nullability" `Quick test_nullability
     ; Alcotest.test_case "parser structure" `Quick test_parser_structure
     ; Alcotest.test_case "parser errors" `Quick test_parser_errors
+    ; Alcotest.test_case "literal brace fallback" `Quick test_literal_brace
     ; Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip
     ; Alcotest.test_case "metrics" `Quick test_metrics
     ; Alcotest.test_case "hash consing" `Quick test_hash_consing
