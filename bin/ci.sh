@@ -1,0 +1,16 @@
+#!/bin/sh
+# CI entry point: build, run the full test suite, then smoke-test the
+# solver service under load (verdict agreement + witness validity are
+# checked inside --selftest; non-zero exit on any mismatch).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+echo "== service smoke =="
+dune exec bin/sbdserve.exe -- --selftest 50 --workers 2 --no-bench

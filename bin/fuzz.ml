@@ -14,17 +14,17 @@
    Exits non-zero and prints the offending regex on the first mismatch,
    so it can be used in CI or for long background soaking. *)
 
-module A = Sbd_alphabet.Bdd
-module R = Sbd_regex.Regex.Make (A)
-module D = Sbd_core.Deriv.Make (R)
+module A = Sbd_service.Default.A
+module R = Sbd_service.Default.R
+module D = Sbd_service.Default.D
+module S = Sbd_service.Default.S
+module Ref = Sbd_service.Default.Ref
+module Simp = Sbd_service.Default.Simp
 module Sbfa = Sbd_core.Sbfa.Make (R)
 module Eq = Sbd_core.Lang_equiv.Make (R)
-module S = Sbd_solver.Solve.Make (R)
-module Ref = Sbd_classic.Refmatch.Make (R)
 module Brz = Sbd_classic.Brzozowski.Make (R)
 module MSolve = Sbd_classic.Minterm_solver.Make (R)
 module Matcher = Sbd_matcher.Matcher.Make (R)
-module Simp = Sbd_regex.Simplify.Make (R)
 
 let alphabet = List.map Char.code [ 'a'; 'b'; '0'; '1'; 'x' ]
 

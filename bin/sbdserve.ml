@@ -1,0 +1,163 @@
+(* sbdserve: persistent concurrent solver server over the
+   symbolic-Boolean-derivative decision procedure (DESIGN.md §9).
+
+   Three modes:
+   - default: serve newline-delimited JSON requests on stdin/stdout
+     (one session);
+   - --socket PATH: serve a Unix-domain socket, one session per
+     connection, until a client sends {"op":"shutdown"} or SIGTERM;
+   - --selftest N: replay a benchgen-derived mix of N requests through
+     the domain worker pool, compare every verdict against sequential
+     solving, and report throughput (req/s) and p50/p99 latency; the
+     report is appended to the BENCH_<date>.json trajectory as a
+     "service" run unless --no-bench is given.
+
+   Requests:  {"id":1, "op":"solve", "re":"a{2,3}&~(.*b)",
+               "deadline_s":2, "budget":100000, "stats":true}
+   also ops assert/check (session conjunction), stats, shutdown, and
+   "smt2" instead of "re" for SMT-LIB scripts. *)
+
+module Server = Sbd_service.Server
+module Obs = Sbd_obs.Obs
+
+let config workers queue_cap cache_cap memo_cap budget deadline no_cache =
+  {
+    Server.workers;
+    queue_cap;
+    cache_cap;
+    memo_cap;
+    default_budget = budget;
+    default_deadline = deadline;
+    use_cache = not no_cache;
+  }
+
+let run selftest socket workers queue_cap cache_cap memo_cap budget deadline
+    no_cache bench_out no_bench =
+  let cfg =
+    config workers queue_cap cache_cap memo_cap budget deadline no_cache
+  in
+  match selftest with
+  | Some n ->
+    let result = Server.selftest ~use_cache:(not no_cache) ~cfg ~n () in
+    print_endline (Obs.Json.to_string_pretty result.Server.report);
+    if not no_bench then begin
+      let path =
+        match bench_out with
+        | Some p -> p
+        | None -> Server.default_bench_path ()
+      in
+      Server.append_bench ~path result.Server.report;
+      Printf.eprintf "sbdserve: appended service run to %s\n%!" path
+    end;
+    if result.Server.mismatches = 0 && result.Server.bad_witnesses = 0 then 0
+    else 1
+  | None -> (
+    let t = Server.create cfg in
+    Server.install_sigterm t;
+    match socket with
+    | Some path ->
+      Printf.eprintf "sbdserve: listening on %s (%d workers)\n%!" path
+        cfg.Server.workers;
+      Server.run_socket t ~path;
+      0
+    | None ->
+      Server.run_stdio t;
+      0)
+
+open Cmdliner
+
+let () =
+  let selftest_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "selftest" ] ~docv:"N"
+          ~doc:
+            "Replay $(docv) benchgen-derived requests through the worker \
+             pool, verify against sequential solving, report req/s and \
+             latency percentiles, and append the run to the BENCH \
+             trajectory.")
+  in
+  let socket_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Serve a Unix-domain socket at $(docv) instead of stdin/stdout.")
+  in
+  let workers_t =
+    Arg.(
+      value
+      & opt int (Sbd_service.Pool.default_workers ())
+      & info [ "workers" ]
+          ~doc:
+            "Size of the domain worker pool (default: recommended domain \
+             count minus one, at least 1).")
+  in
+  let queue_cap_t =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-cap" ]
+          ~doc:
+            "Bounded request-queue capacity; beyond it requests are \
+             rejected with {\"error\":\"overloaded\"}.")
+  in
+  let cache_cap_t =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache-cap" ] ~doc:"Entries in the shared LRU result cache.")
+  in
+  let memo_cap_t =
+    Arg.(
+      value & opt int 200_000
+      & info [ "memo-cap" ]
+          ~doc:
+            "Per-worker derivative memo-table entry cap; beyond it the \
+             worker clears its tables (cache-pressure relief).")
+  in
+  let budget_t =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "budget" ] ~doc:"Default work budget per request.")
+  in
+  let deadline_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Default wall-clock deadline per request (requests may \
+             override with \"deadline_s\").")
+  in
+  let no_cache_t =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the shared LRU result cache.")
+  in
+  let bench_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE"
+          ~doc:
+            "Trajectory file for --selftest reports (default \
+             BENCH_<date>.json).")
+  in
+  let no_bench_t =
+    Arg.(
+      value & flag
+      & info [ "no-bench" ]
+          ~doc:"Do not append the --selftest report to the BENCH trajectory.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "sbdserve"
+         ~doc:
+           "Concurrent regex-constraint solver service (domain worker pool, \
+            JSON session protocol, cross-query result cache)")
+      Term.(
+        const run $ selftest_t $ socket_t $ workers_t $ queue_cap_t
+        $ cache_cap_t $ memo_cap_t $ budget_t $ deadline_t $ no_cache_t
+        $ bench_out_t $ no_bench_t)
+  in
+  exit (Cmd.eval' cmd)

@@ -15,11 +15,9 @@
    output to one JSON document; --deadline bounds each query by wall
    clock (seconds), enforced inside the derivative/DNF machinery. *)
 
-module A = Sbd_alphabet.Bdd
-module R = Sbd_regex.Regex.Make (A)
-module P = Sbd_regex.Parser.Make (R)
-module S = Sbd_solver.Solve.Make (R)
-module E = Sbd_smtlib.Eval.Make (R)
+module P = Sbd_service.Default.P
+module S = Sbd_service.Default.S
+module E = Sbd_service.Default.E
 module Obs = Sbd_obs.Obs
 
 let read_all ic =

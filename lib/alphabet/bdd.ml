@@ -12,214 +12,225 @@
 
 let bits = 16
 
-type pred = { tag : int; node : node }
+(** Generative constructor of an isolated BDD algebra instance: each
+    application carries its own hash-cons and operation caches, so
+    concurrent solver workers (one per domain, see [Sbd_service]) can
+    use the algebra without sharing any mutable state.  The default
+    [Sbd_alphabet.Bdd] below is one shared instance, for the
+    single-threaded binaries and tests. *)
+module Make () = struct
 
-and node =
-  | False
-  | True
-  | Node of { var : int; lo : pred; hi : pred }
-      (** [lo] is the subtree where bit [15 - var] is 0. *)
+  type pred = { tag : int; node : node }
 
-let name = "bdd"
-let bot = { tag = 0; node = False }
-let top = { tag = 1; node = True }
+  and node =
+    | False
+    | True
+    | Node of { var : int; lo : pred; hi : pred }
+        (** [lo] is the subtree where bit [15 - var] is 0. *)
 
-(* Hash-consing of nodes keyed by (var, lo.tag, hi.tag). *)
-module Key = struct
-  type t = int * int * int
+  let name = "bdd"
+  let bot = { tag = 0; node = False }
+  let top = { tag = 1; node = True }
 
-  let equal (a : t) b = a = b
-  let hash = Hashtbl.hash
-end
+  (* Hash-consing of nodes keyed by (var, lo.tag, hi.tag). *)
+  module Key = struct
+    type t = int * int * int
 
-module Tbl = Hashtbl.Make (Key)
-
-let node_table : pred Tbl.t = Tbl.create 4096
-let next_tag = ref 2
-
-let mk var lo hi =
-  if lo == hi then lo
-  else
-    let key = (var, lo.tag, hi.tag) in
-    match Tbl.find_opt node_table key with
-    | Some p -> p
-    | None ->
-      let p = { tag = !next_tag; node = Node { var; lo; hi } } in
-      incr next_tag;
-      Tbl.add node_table key p;
-      p
-
-let var_of p =
-  match p.node with False | True -> bits (* below all real variables *) | Node n -> n.var
-
-let cofactors v p =
-  match p.node with
-  | Node n when n.var = v -> (n.lo, n.hi)
-  | _ -> (p, p)
-
-(* Memoized binary apply.  Operations are identified by a small tag so one
-   cache serves conj/disj/xor. *)
-module Op_key = struct
-  type t = int * int * int (* op, tag1, tag2 *)
-
-  let equal (a : t) b = a = b
-  let hash = Hashtbl.hash
-end
-
-module Op_tbl = Hashtbl.Make (Op_key)
-
-let apply_cache : pred Op_tbl.t = Op_tbl.create 4096
-
-let rec apply op f a b =
-  match op_shortcut op a b with
-  | Some r -> r
-  | None ->
-    let key = (op, a.tag, b.tag) in
-    (match Op_tbl.find_opt apply_cache key with
-    | Some r -> r
-    | None ->
-      let v = min (var_of a) (var_of b) in
-      let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
-      let r = mk v (apply op f a0 b0) (apply op f a1 b1) in
-      Op_tbl.add apply_cache key r;
-      r)
-
-and op_shortcut op a b =
-  match op with
-  | 0 (* conj *) ->
-    if a == bot || b == bot then Some bot
-    else if a == top then Some b
-    else if b == top then Some a
-    else if a == b then Some a
-    else None
-  | 1 (* disj *) ->
-    if a == top || b == top then Some top
-    else if a == bot then Some b
-    else if b == bot then Some a
-    else if a == b then Some a
-    else None
-  | _ (* xor *) ->
-    if a == bot then Some b
-    else if b == bot then Some a
-    else if a == b then Some bot
-    else None
-
-let conj a b = apply 0 ( && ) a b
-let disj a b = apply 1 ( || ) a b
-
-let neg_cache : pred Op_tbl.t = Op_tbl.create 4096
-
-let rec neg p =
-  match p.node with
-  | False -> top
-  | True -> bot
-  | Node n -> (
-    let key = (3, p.tag, 0) in
-    match Op_tbl.find_opt neg_cache key with
-    | Some r -> r
-    | None ->
-      let r = mk n.var (neg n.lo) (neg n.hi) in
-      Op_tbl.add neg_cache key r;
-      r)
-
-let is_bot p = p == bot
-let is_top p = p == top
-let equal a b = a == b
-let compare a b = Int.compare a.tag b.tag
-let hash p = p.tag
-
-let mem c p =
-  let rec go p =
-    match p.node with
-    | False -> false
-    | True -> true
-    | Node n -> if c land (1 lsl (bits - 1 - n.var)) = 0 then go n.lo else go n.hi
-  in
-  go p
-
-(* Build the BDD of an inclusive range [lo, hi] over the [w]-bit suffix
-   starting at variable [v]; [lo] and [hi] are within [0, 2^w - 1]. *)
-let rec of_range_bits v lo hi =
-  let w = bits - v in
-  if lo > hi then bot
-  else if lo = 0 && hi = (1 lsl w) - 1 then top
-  else begin
-    let half = 1 lsl (w - 1) in
-    let low_part = of_range_bits (v + 1) lo (min hi (half - 1)) in
-    let high_part =
-      if hi < half then bot else of_range_bits (v + 1) (max lo half - half) (hi - half)
-    in
-    mk v low_part high_part
+    let equal (a : t) b = a = b
+    let hash = Hashtbl.hash
   end
 
-let of_ranges rs =
-  let rs = Algebra.normalize_ranges rs in
-  List.fold_left (fun acc (lo, hi) -> disj acc (of_range_bits 0 lo hi)) bot rs
+  module Tbl = Hashtbl.Make (Key)
 
-let ranges p =
-  (* Enumerate satisfying assignments in increasing code-point order,
-     emitting maximal aligned blocks, then merge adjacent blocks. *)
-  let acc = ref [] in
-  let emit lo hi =
-    match !acc with
-    | (l, h) :: rest when lo <= h + 1 -> acc := (l, max h hi) :: rest
-    | _ -> acc := (lo, hi) :: !acc
-  in
-  let rec go v prefix p =
-    (* [prefix] holds the bits above variable [v]. *)
+  let node_table : pred Tbl.t = Tbl.create 4096
+  let next_tag = ref 2
+
+  let mk var lo hi =
+    if lo == hi then lo
+    else
+      let key = (var, lo.tag, hi.tag) in
+      match Tbl.find_opt node_table key with
+      | Some p -> p
+      | None ->
+        let p = { tag = !next_tag; node = Node { var; lo; hi } } in
+        incr next_tag;
+        Tbl.add node_table key p;
+        p
+
+  let var_of p =
+    match p.node with False | True -> bits (* below all real variables *) | Node n -> n.var
+
+  let cofactors v p =
     match p.node with
-    | False -> ()
-    | True ->
-      let w = bits - v in
-      let lo = prefix lsl w in
-      emit lo (lo + (1 lsl w) - 1)
-    | Node n ->
-      if n.var > v then begin
-        (* Variable [v] is unconstrained here: expand both branches to keep
-           enumeration in code-point order. *)
-        go (v + 1) (prefix * 2) p;
-        go (v + 1) ((prefix * 2) + 1) p
-      end
-      else begin
-        go (v + 1) (prefix * 2) n.lo;
-        go (v + 1) ((prefix * 2) + 1) n.hi
-      end
-  in
-  go 0 0 p;
-  List.rev !acc
+    | Node n when n.var = v -> (n.lo, n.hi)
+    | _ -> (p, p)
 
-let size p =
-  let rec count v p =
+  (* Memoized binary apply.  Operations are identified by a small tag so one
+     cache serves conj/disj/xor. *)
+  module Op_key = struct
+    type t = int * int * int (* op, tag1, tag2 *)
+
+    let equal (a : t) b = a = b
+    let hash = Hashtbl.hash
+  end
+
+  module Op_tbl = Hashtbl.Make (Op_key)
+
+  let apply_cache : pred Op_tbl.t = Op_tbl.create 4096
+
+  let rec apply op f a b =
+    match op_shortcut op a b with
+    | Some r -> r
+    | None ->
+      let key = (op, a.tag, b.tag) in
+      (match Op_tbl.find_opt apply_cache key with
+      | Some r -> r
+      | None ->
+        let v = min (var_of a) (var_of b) in
+        let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
+        let r = mk v (apply op f a0 b0) (apply op f a1 b1) in
+        Op_tbl.add apply_cache key r;
+        r)
+
+  and op_shortcut op a b =
+    match op with
+    | 0 (* conj *) ->
+      if a == bot || b == bot then Some bot
+      else if a == top then Some b
+      else if b == top then Some a
+      else if a == b then Some a
+      else None
+    | 1 (* disj *) ->
+      if a == top || b == top then Some top
+      else if a == bot then Some b
+      else if b == bot then Some a
+      else if a == b then Some a
+      else None
+    | _ (* xor *) ->
+      if a == bot then Some b
+      else if b == bot then Some a
+      else if a == b then Some bot
+      else None
+
+  let conj a b = apply 0 ( && ) a b
+  let disj a b = apply 1 ( || ) a b
+
+  let neg_cache : pred Op_tbl.t = Op_tbl.create 4096
+
+  let rec neg p =
     match p.node with
-    | False -> 0
-    | True -> 1 lsl (bits - v)
-    | Node n ->
-      if n.var > v then 2 * count (v + 1) p
-      else count (v + 1) n.lo + count (v + 1) n.hi
-  in
-  count 0 p
+    | False -> top
+    | True -> bot
+    | Node n -> (
+      let key = (3, p.tag, 0) in
+      match Op_tbl.find_opt neg_cache key with
+      | Some r -> r
+      | None ->
+        let r = mk n.var (neg n.lo) (neg n.hi) in
+        Op_tbl.add neg_cache key r;
+        r)
 
-let choose p =
-  (* Prefer a printable ASCII witness; fall back to the least element. *)
-  let printable = conj p (of_ranges [ (0x20, 0x7E) ]) in
-  let target = if is_bot printable then p else printable in
-  let rec go v prefix p =
-    match p.node with
-    | False -> None
-    | True -> Some (prefix lsl (bits - v))
-    | Node n ->
-      if n.var > v then go (v + 1) (prefix * 2) p
-      else (
-        match go (v + 1) (prefix * 2) n.lo with
-        | Some c -> Some c
-        | None -> go (v + 1) ((prefix * 2) + 1) n.hi)
-  in
-  go 0 0 target
+  let is_bot p = p == bot
+  let is_top p = p == top
+  let equal a b = a == b
+  let compare a b = Int.compare a.tag b.tag
+  let hash p = p.tag
 
-let pp ppf p =
-  if is_bot p then Format.pp_print_string ppf "[]"
-  else if is_top p then Format.pp_print_string ppf "."
-  else
-    match ranges p with
-    | [ (lo, hi) ] when lo = hi -> Algebra.pp_char ppf lo
-    | rs -> Format.fprintf ppf "[%a]" Algebra.pp_ranges rs
+  let mem c p =
+    let rec go p =
+      match p.node with
+      | False -> false
+      | True -> true
+      | Node n -> if c land (1 lsl (bits - 1 - n.var)) = 0 then go n.lo else go n.hi
+    in
+    go p
+
+  (* Build the BDD of an inclusive range [lo, hi] over the [w]-bit suffix
+     starting at variable [v]; [lo] and [hi] are within [0, 2^w - 1]. *)
+  let rec of_range_bits v lo hi =
+    let w = bits - v in
+    if lo > hi then bot
+    else if lo = 0 && hi = (1 lsl w) - 1 then top
+    else begin
+      let half = 1 lsl (w - 1) in
+      let low_part = of_range_bits (v + 1) lo (min hi (half - 1)) in
+      let high_part =
+        if hi < half then bot else of_range_bits (v + 1) (max lo half - half) (hi - half)
+      in
+      mk v low_part high_part
+    end
+
+  let of_ranges rs =
+    let rs = Algebra.normalize_ranges rs in
+    List.fold_left (fun acc (lo, hi) -> disj acc (of_range_bits 0 lo hi)) bot rs
+
+  let ranges p =
+    (* Enumerate satisfying assignments in increasing code-point order,
+       emitting maximal aligned blocks, then merge adjacent blocks. *)
+    let acc = ref [] in
+    let emit lo hi =
+      match !acc with
+      | (l, h) :: rest when lo <= h + 1 -> acc := (l, max h hi) :: rest
+      | _ -> acc := (lo, hi) :: !acc
+    in
+    let rec go v prefix p =
+      (* [prefix] holds the bits above variable [v]. *)
+      match p.node with
+      | False -> ()
+      | True ->
+        let w = bits - v in
+        let lo = prefix lsl w in
+        emit lo (lo + (1 lsl w) - 1)
+      | Node n ->
+        if n.var > v then begin
+          (* Variable [v] is unconstrained here: expand both branches to keep
+             enumeration in code-point order. *)
+          go (v + 1) (prefix * 2) p;
+          go (v + 1) ((prefix * 2) + 1) p
+        end
+        else begin
+          go (v + 1) (prefix * 2) n.lo;
+          go (v + 1) ((prefix * 2) + 1) n.hi
+        end
+    in
+    go 0 0 p;
+    List.rev !acc
+
+  let size p =
+    let rec count v p =
+      match p.node with
+      | False -> 0
+      | True -> 1 lsl (bits - v)
+      | Node n ->
+        if n.var > v then 2 * count (v + 1) p
+        else count (v + 1) n.lo + count (v + 1) n.hi
+    in
+    count 0 p
+
+  let choose p =
+    (* Prefer a printable ASCII witness; fall back to the least element. *)
+    let printable = conj p (of_ranges [ (0x20, 0x7E) ]) in
+    let target = if is_bot printable then p else printable in
+    let rec go v prefix p =
+      match p.node with
+      | False -> None
+      | True -> Some (prefix lsl (bits - v))
+      | Node n ->
+        if n.var > v then go (v + 1) (prefix * 2) p
+        else (
+          match go (v + 1) (prefix * 2) n.lo with
+          | Some c -> Some c
+          | None -> go (v + 1) ((prefix * 2) + 1) n.hi)
+    in
+    go 0 0 target
+
+  let pp ppf p =
+    if is_bot p then Format.pp_print_string ppf "[]"
+    else if is_top p then Format.pp_print_string ppf "."
+    else
+      match ranges p with
+      | [ (lo, hi) ] when lo = hi -> Algebra.pp_char ppf lo
+      | rs -> Format.fprintf ppf "[%a]" Algebra.pp_ranges rs
+end
+
+include Make ()

@@ -19,6 +19,13 @@ module Make (R : Sbd_regex.Regex.S) = struct
     let n = Array.length w in
     (* memo on (regex id, start, stop) *)
     let memo : (int * int * int, bool) Hashtbl.t = Hashtbl.create 256 in
+    (* Loop subproblems carry their remaining bounds, which the plain
+       memo key cannot express ([loop_mat] recurses on decremented
+       bounds without building a regex); without this table a bounded
+       loop inside a complement is exponential even on short words. *)
+    let loop_memo : (int * int * int * int * int, bool) Hashtbl.t =
+      Hashtbl.create 256
+    in
     let rec mat (r : R.t) i j =
       let key = (r.R.id, i, j) in
       match Hashtbl.find_opt memo key with
@@ -56,6 +63,14 @@ module Make (R : Sbd_regex.Regex.S) = struct
       | And xs -> List.for_all (fun x -> mat x i j) xs
       | Not a -> not (mat a i j)
     and loop_mat a m n i j =
+      let key = (a.R.id, m, (match n with None -> -1 | Some x -> x), i, j) in
+      match Hashtbl.find_opt loop_memo key with
+      | Some b -> b
+      | None ->
+        let b = loop_compute a m n i j in
+        Hashtbl.add loop_memo key b;
+        b
+    and loop_compute a m n i j =
       (* Membership in a{m,n} on w[i..j).  An empty-word iteration never
          helps except to satisfy the lower bound, which it can do exactly
          when [a] accepts the empty word. *)

@@ -144,4 +144,12 @@ module Make (R : Sbd_regex.Regex.S) = struct
     Hashtbl.reset delta_table;
     Hashtbl.reset dnf_table;
     Hashtbl.reset transitions_table
+
+  (** Total entries across the three memo tables: the cache-pressure
+      gauge a long-lived process watches (see [Sbd_service.Worker]). *)
+  let memo_entries () =
+    Hashtbl.length delta_table + Hashtbl.length dnf_table
+    + Hashtbl.length transitions_table
+
+  let clear = clear_tables
 end

@@ -39,5 +39,18 @@ module Make (R : Sbd_regex.Regex.S) : sig
   (** Sizes of the (delta, dnf, transitions) memo tables, for the
       harness. *)
 
+  val memo_entries : unit -> int
+  (** Total entries across all memo tables — the cache-pressure gauge
+      for long-lived processes (the service workers clear when it
+      exceeds a threshold). *)
+
+  val clear : unit -> unit
+  (** Drop every memo table.  The tables otherwise grow without bound
+      across queries, which is correct amortization for a batch run but
+      a memory leak in a persistent server; [Sbd_service] workers call
+      this when {!memo_entries} exceeds their configured cap.  Safe at
+      any query boundary: subsequent queries just recompute. *)
+
   val clear_tables : unit -> unit
+  (** Alias of {!clear} (historical name). *)
 end

@@ -24,15 +24,17 @@
     unsupported cases and budget/deadline exhaustion count as timeouts,
     charged at the [timeout] value in the time statistics. *)
 
-module A = Sbd_alphabet.Bdd
-module R = Sbd_regex.Regex.Make (A)
-module P = Sbd_regex.Parser.Make (R)
-module S = Sbd_solver.Solve.Make (R)
+(* The shared default instantiation (Sbd_service.Default) provides the
+   core tower; the comparison baselines are applied here. *)
+module A = Sbd_service.Default.A
+module R = Sbd_service.Default.R
+module P = Sbd_service.Default.P
+module S = Sbd_service.Default.S
+module D = Sbd_service.Default.D
+module Simp = Sbd_service.Default.Simp
 module MSolve = Sbd_classic.Minterm_solver.Make (R)
 module Eager = Sbd_sfa.Eager.Make (R)
 module AntS = Sbd_sfa.Antimirov_solver.Make (R)
-module D = Sbd_core.Deriv.Make (R)
-module Simp = Sbd_regex.Simplify.Make (R)
 
 (* The ranges-algebra stack, for the algebra ablation. *)
 module Rr = Sbd_regex.Regex.Make (Sbd_alphabet.Ranges)

@@ -1,5 +1,10 @@
 (** Observability and resource governance: counters, span timers,
-    deadlines, sink, JSON.  See obs.mli for the contract. *)
+    deadlines, sink, JSON.  See obs.mli for the contract.
+
+    Counters and spans are domain-safe: values live in [Atomic] cells
+    (spans accumulate integer nanoseconds) and the name registries are
+    mutex-guarded, so the worker pool of [Sbd_service] can increment
+    from several domains without losing updates. *)
 
 exception Deadline_exceeded of string
 
@@ -10,86 +15,102 @@ let now = Unix.gettimeofday
 
 (* -- registries --------------------------------------------------------- *)
 
+(* One mutex covers both registries: registration happens at functor
+   application time (rare), snapshots at report time (rare); the hot
+   increment paths never take it. *)
+let registry_mutex = Mutex.create ()
+
 module Counter = struct
-  type t = { name : string; mutable v : int }
+  type t = { name : string; v : int Atomic.t }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 
   let make name =
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
-    | None ->
-      let c = { name; v = 0 } in
-      Hashtbl.add registry name c;
-      c
+    Mutex.protect registry_mutex (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some c -> c
+        | None ->
+          let c = { name; v = Atomic.make 0 } in
+          Hashtbl.add registry name c;
+          c)
 
-  let incr c = if !enabled_flag then c.v <- c.v + 1
-  let add c n = if !enabled_flag then c.v <- c.v + n
-  let max_to c n = if !enabled_flag && n > c.v then c.v <- n
-  let value c = c.v
+  let incr c = if !enabled_flag then ignore (Atomic.fetch_and_add c.v 1)
+  let add c n = if !enabled_flag then ignore (Atomic.fetch_and_add c.v n)
+
+  let max_to c n =
+    if !enabled_flag then begin
+      let rec raise_to () =
+        let cur = Atomic.get c.v in
+        if n > cur && not (Atomic.compare_and_set c.v cur n) then raise_to ()
+      in
+      raise_to ()
+    end
+
+  let value c = Atomic.get c.v
   let name c = c.name
-  let reset_all () = Hashtbl.iter (fun _ c -> c.v <- 0) registry
+  let reset_all () = Hashtbl.iter (fun _ c -> Atomic.set c.v 0) registry
 end
 
 module Span = struct
-  type t = { name : string; mutable total : float; mutable count : int }
+  (* Durations accumulate as integer nanoseconds so that concurrent
+     charges are a single fetch-and-add; 63-bit ns do not overflow. *)
+  type t = { name : string; total_ns : int Atomic.t; count : int Atomic.t }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 
   let make name =
-    match Hashtbl.find_opt registry name with
-    | Some s -> s
-    | None ->
-      let s = { name; total = 0.0; count = 0 } in
-      Hashtbl.add registry name s;
-      s
+    Mutex.protect registry_mutex (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some s -> s
+        | None ->
+          let s = { name; total_ns = Atomic.make 0; count = Atomic.make 0 } in
+          Hashtbl.add registry name s;
+          s)
+
+  let charge s dt =
+    ignore (Atomic.fetch_and_add s.total_ns (int_of_float (dt *. 1e9)));
+    ignore (Atomic.fetch_and_add s.count 1)
 
   let time s f =
     if not !enabled_flag then f ()
     else begin
       let t0 = now () in
-      let charge () =
-        s.total <- s.total +. (now () -. t0);
-        s.count <- s.count + 1
-      in
       match f () with
       | x ->
-        charge ();
+        charge s (now () -. t0);
         x
       | exception e ->
-        charge ();
+        charge s (now () -. t0);
         raise e
     end
 
-  let add s dt =
-    if !enabled_flag then begin
-      s.total <- s.total +. dt;
-      s.count <- s.count + 1
-    end
+  let add s dt = if !enabled_flag then charge s dt
+  let total s = float_of_int (Atomic.get s.total_ns) *. 1e-9
+  let count s = Atomic.get s.count
 
-  let total s = s.total
-  let count s = s.count
   let reset_all () =
     Hashtbl.iter
       (fun _ s ->
-        s.total <- 0.0;
-        s.count <- 0)
+        Atomic.set s.total_ns 0;
+        Atomic.set s.count 0)
       registry
 end
 
 let snapshot () =
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name (c : Counter.t) -> rows := (name, float_of_int c.Counter.v) :: !rows)
-    Counter.registry;
-  Hashtbl.iter
-    (fun name (s : Span.t) ->
-      rows :=
-        (name ^ ".s", s.Span.total)
-        :: (name ^ ".n", float_of_int s.Span.count)
-        :: !rows)
-    Span.registry;
-  List.sort compare !rows
+  Mutex.protect registry_mutex (fun () ->
+      let rows = ref [] in
+      Hashtbl.iter
+        (fun name (c : Counter.t) ->
+          rows := (name, float_of_int (Counter.value c)) :: !rows)
+        Counter.registry;
+      Hashtbl.iter
+        (fun name (s : Span.t) ->
+          rows :=
+            (name ^ ".s", Span.total s)
+            :: (name ^ ".n", float_of_int (Span.count s))
+            :: !rows)
+        Span.registry;
+      List.sort compare !rows)
 
 let reset () =
   Counter.reset_all ();

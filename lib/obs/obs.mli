@@ -17,7 +17,11 @@
 
     Disabled mode ({!set_enabled}[ false]) reduces counters and timers
     to a single branch so instrumented hot paths stay effectively free;
-    deadlines are independent of the flag. *)
+    deadlines are independent of the flag.
+
+    All counters and spans are {b domain-safe}: increments are atomic
+    and registration/snapshot is mutex-guarded, so the numbers stay
+    exact under the multi-domain worker pool of [Sbd_service]. *)
 
 exception Deadline_exceeded of string
 (** Raised by {!Deadline.check} when a deadline has expired.  The

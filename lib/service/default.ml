@@ -1,0 +1,21 @@
+(** The canonical default solver instantiation, shared by every
+    binary and by the experiment harness.
+
+    [sbdsolve], [experiments], [fuzz] and [sbdserve] all want the same
+    tower — BDD algebra, regexes, parser, derivative-based solver,
+    SMT-LIB evaluator — and used to re-apply the functors themselves;
+    this module is the single shared application (one set of
+    hash-cons/memo tables per process for the single-threaded tools).
+
+    The concurrent service does {e not} use these: its pool workers
+    need isolated mutable state and instantiate their own tower via
+    the generative {!Worker.create}. *)
+
+module A = Sbd_alphabet.Bdd
+module R = Sbd_regex.Regex.Make (A)
+module P = Sbd_regex.Parser.Make (R)
+module D = Sbd_core.Deriv.Make (R)
+module S = Sbd_solver.Solve.Make (R)
+module E = Sbd_smtlib.Eval.Make (R)
+module Simp = Sbd_regex.Simplify.Make (R)
+module Ref = Sbd_classic.Refmatch.Make (R)

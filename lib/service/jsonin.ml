@@ -1,0 +1,245 @@
+(** Minimal JSON parser for the service wire protocol, inverse of the
+    builder in [Sbd_obs.Obs.Json].  Accepts the full JSON grammar
+    (objects, arrays, strings with escapes, numbers, booleans, null)
+    plus surrounding whitespace; strings decode [\uXXXX] escapes
+    (including surrogate pairs) to UTF-8 bytes.  Errors carry the byte
+    offset, so a malformed request can be reported precisely instead of
+    crashing the server loop. *)
+
+module J = Sbd_obs.Obs.Json
+
+exception Error of int * string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Error (st.pos, msg))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    &&
+    match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail st "invalid hex digit in \\u escape"
+
+let hex4 st =
+  if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := (!v * 16) + hex_digit st st.src.[st.pos + i]
+  done;
+  st.pos <- st.pos + 4;
+  !v
+
+(* UTF-8 encoding of one code point into [buf]. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.src then fail st "unterminated string";
+    let c = st.src.[st.pos] in
+    st.pos <- st.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+      if st.pos >= String.length st.src then fail st "truncated escape";
+      let e = st.src.[st.pos] in
+      st.pos <- st.pos + 1;
+      match e with
+      | '"' | '\\' | '/' ->
+        Buffer.add_char buf e;
+        go ()
+      | 'b' -> Buffer.add_char buf '\b'; go ()
+      | 'f' -> Buffer.add_char buf '\012'; go ()
+      | 'n' -> Buffer.add_char buf '\n'; go ()
+      | 'r' -> Buffer.add_char buf '\r'; go ()
+      | 't' -> Buffer.add_char buf '\t'; go ()
+      | 'u' ->
+        let cp = hex4 st in
+        let cp =
+          (* High surrogate: look for the mandatory low half. *)
+          if cp >= 0xD800 && cp <= 0xDBFF
+             && st.pos + 6 <= String.length st.src
+             && st.src.[st.pos] = '\\'
+             && st.src.[st.pos + 1] = 'u'
+          then begin
+            st.pos <- st.pos + 2;
+            let lo = hex4 st in
+            if lo >= 0xDC00 && lo <= 0xDFFF then
+              0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+            else fail st "invalid surrogate pair"
+          end
+          else cp
+        in
+        add_utf8 buf cp;
+        go ()
+      | _ -> fail st "invalid escape")
+    | c ->
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let adv () = st.pos <- st.pos + 1 in
+  if peek st = Some '-' then adv ();
+  while (match peek st with Some '0' .. '9' -> true | _ -> false) do
+    adv ()
+  done;
+  let integral = ref true in
+  if peek st = Some '.' then begin
+    integral := false;
+    adv ();
+    while (match peek st with Some '0' .. '9' -> true | _ -> false) do
+      adv ()
+    done
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+    integral := false;
+    adv ();
+    (match peek st with Some ('+' | '-') -> adv () | _ -> ());
+    while (match peek st with Some '0' .. '9' -> true | _ -> false) do
+      adv ()
+    done
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if text = "" || text = "-" then fail st "invalid number"
+  else if !integral then
+    match int_of_string_opt text with
+    | Some i -> J.Int i
+    | None -> J.Float (float_of_string text)
+  else J.Float (float_of_string text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+    expect st '{';
+    skip_ws st;
+    if peek st = Some '}' then begin
+      expect st '}';
+      J.Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          expect st ',';
+          members ((k, v) :: acc)
+        | Some '}' ->
+          expect st '}';
+          J.Obj (List.rev ((k, v) :: acc))
+        | _ -> fail st "expected ',' or '}'"
+      in
+      members []
+    end
+  | Some '[' ->
+    expect st '[';
+    skip_ws st;
+    if peek st = Some ']' then begin
+      expect st ']';
+      J.Arr []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          expect st ',';
+          elements (v :: acc)
+        | Some ']' ->
+          expect st ']';
+          J.Arr (List.rev (v :: acc))
+        | _ -> fail st "expected ',' or ']'"
+      in
+      elements []
+    end
+  | Some '"' -> J.Str (parse_string st)
+  | Some 't' -> literal st "true" (J.Bool true)
+  | Some 'f' -> literal st "false" (J.Bool false)
+  | Some 'n' -> literal st "null" J.Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+let parse (src : string) : (J.t, string) result =
+  let st = { src; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos = String.length src then Ok v
+    else Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
+  | exception Error (pos, msg) ->
+    Error (Printf.sprintf "%s at offset %d" msg pos)
+
+(* -- accessors ----------------------------------------------------------- *)
+
+let member key = function
+  | J.Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let str_member key j =
+  match member key j with Some (J.Str s) -> Some s | _ -> None
+
+let float_member key j =
+  match member key j with
+  | Some (J.Float f) -> Some f
+  | Some (J.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let int_member key j = match member key j with Some (J.Int i) -> Some i | _ -> None
+
+let bool_member key j =
+  match member key j with Some (J.Bool b) -> Some b | _ -> None

@@ -1,0 +1,115 @@
+(** Mutex-guarded LRU cache for cross-query solver results, keyed by
+    the digest of the canonical (hash-consed, similarity-normalized)
+    form of the query — see [Worker.cache_key].  Shared by all pool
+    workers under a single mutex: lookups are rare and cheap next to
+    solving, so one lock is simpler and safe.
+
+    Recency is tracked with a lazy queue: every touch pushes a
+    (key, stamp) pair and bumps the entry's stamp; eviction pops until
+    it finds a pair whose stamp is current.  Amortized O(1), no
+    doubly-linked list to get wrong.  Hit/miss/eviction counts are
+    kept exactly (per cache, under the mutex) and mirrored into the
+    global [service.cache.*] Obs counters. *)
+
+module Obs = Sbd_obs.Obs
+
+let c_hit = Obs.Counter.make "service.cache.hit"
+let c_miss = Obs.Counter.make "service.cache.miss"
+let c_evict = Obs.Counter.make "service.cache.evict"
+
+type 'v t = {
+  mutex : Mutex.t;
+  cap : int;
+  table : (string, 'v * int ref) Hashtbl.t;  (** value, recency stamp *)
+  order : (string * int) Queue.t;  (** touch log: key, stamp at touch *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~cap =
+  {
+    mutex = Mutex.create ();
+    cap = max 1 cap;
+    table = Hashtbl.create (max 16 cap);
+    order = Queue.create ();
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let touch t key stamp =
+  t.clock <- t.clock + 1;
+  stamp := t.clock;
+  Queue.push (key, t.clock) t.order
+
+(* Drop touch-log entries that no longer reflect an entry's current
+   recency; compact wholesale when the log outgrows the table. *)
+let rec evict_one t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some (key, s) -> (
+    match Hashtbl.find_opt t.table key with
+    | Some (_, stamp) when !stamp = s ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1;
+      Obs.Counter.incr c_evict
+    | _ -> evict_one t (* stale log entry *))
+
+let compact t =
+  if Queue.length t.order > (8 * t.cap) + 64 then begin
+    let live = Queue.create () in
+    Queue.iter
+      (fun (key, s) ->
+        match Hashtbl.find_opt t.table key with
+        | Some (_, stamp) when !stamp = s -> Queue.push (key, s) live
+        | _ -> ())
+      t.order;
+    Queue.clear t.order;
+    Queue.transfer live t.order
+  end
+
+let find t key =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some (v, stamp) ->
+        touch t key stamp;
+        t.hits <- t.hits + 1;
+        Obs.Counter.incr c_hit;
+        Some v
+      | None ->
+        t.misses <- t.misses + 1;
+        Obs.Counter.incr c_miss;
+        None)
+
+let put t key v =
+  Mutex.protect t.mutex (fun () ->
+      (match Hashtbl.find_opt t.table key with
+      | Some (_, stamp) ->
+        Hashtbl.replace t.table key (v, stamp);
+        touch t key stamp
+      | None ->
+        while Hashtbl.length t.table >= t.cap do
+          evict_one t
+        done;
+        let stamp = ref 0 in
+        Hashtbl.add t.table key (v, stamp);
+        touch t key stamp);
+      compact t)
+
+let size t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.table)
+let hits t = Mutex.protect t.mutex (fun () -> t.hits)
+let misses t = Mutex.protect t.mutex (fun () -> t.misses)
+let evictions t = Mutex.protect t.mutex (fun () -> t.evictions)
+
+let stats t : (string * float) list =
+  Mutex.protect t.mutex (fun () ->
+      [
+        ("service.cache.size", float_of_int (Hashtbl.length t.table));
+        ("service.cache.cap", float_of_int t.cap);
+        ("service.cache.hits", float_of_int t.hits);
+        ("service.cache.misses", float_of_int t.misses);
+        ("service.cache.evictions", float_of_int t.evictions);
+      ])

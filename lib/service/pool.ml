@@ -1,0 +1,106 @@
+(** Domain worker pool: N domains, each owning one freshly
+    instantiated {!Worker} stack, all consuming one bounded {!Wq}
+    queue.  A job is a closure over the worker module, so the pool
+    does not know about the wire protocol; jobs must not raise (a
+    defensive catch keeps a failing job from killing its domain). *)
+
+module Obs = Sbd_obs.Obs
+
+let c_submitted = Obs.Counter.make "service.pool.submitted"
+let c_rejected = Obs.Counter.make "service.pool.rejected"
+let c_processed = Obs.Counter.make "service.pool.processed"
+let c_job_errors = Obs.Counter.make "service.pool.job_errors"
+
+type job = (module Worker.WORKER) -> unit
+
+type t = {
+  queue : job Wq.t;
+  domains : unit Domain.t list;
+  workers : int;
+  busy : int Atomic.t;
+  processed : int Atomic.t;
+  rejected : int Atomic.t;
+}
+
+let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
+
+let worker_loop ?memo_cap t () =
+  let worker = Worker.create ?memo_cap () in
+  let rec go () =
+    match Wq.pop t.queue with
+    | None -> ()
+    | Some job ->
+      ignore (Atomic.fetch_and_add t.busy 1);
+      (try job worker
+       with e ->
+         Obs.Counter.incr c_job_errors;
+         Obs.emit
+           (Printf.sprintf "service: job raised %s" (Printexc.to_string e)));
+      ignore (Atomic.fetch_and_add t.busy (-1));
+      ignore (Atomic.fetch_and_add t.processed 1);
+      Obs.Counter.incr c_processed;
+      go ()
+  in
+  go ()
+
+let create ?memo_cap ~workers ~queue_cap () =
+  let workers = max 1 workers in
+  let t =
+    {
+      queue = Wq.create ~cap:queue_cap;
+      domains = [];
+      workers;
+      busy = Atomic.make 0;
+      processed = Atomic.make 0;
+      rejected = Atomic.make 0;
+    }
+  in
+  let domains =
+    List.init workers (fun _ -> Domain.spawn (worker_loop ?memo_cap t))
+  in
+  { t with domains }
+
+(** Non-blocking submit with backpressure: [false] means the queue is
+    full (or closing) and the caller should shed the request. *)
+let submit t (job : job) =
+  if Wq.try_push t.queue job then begin
+    Obs.Counter.incr c_submitted;
+    true
+  end
+  else begin
+    ignore (Atomic.fetch_and_add t.rejected 1);
+    Obs.Counter.incr c_rejected;
+    false
+  end
+
+(** Blocking submit, for cooperative producers (self-test generator). *)
+let submit_wait t (job : job) =
+  if Wq.push_wait t.queue job then begin
+    Obs.Counter.incr c_submitted;
+    true
+  end
+  else false
+
+let queue_length t = Wq.length t.queue
+let in_flight t = Wq.length t.queue + Atomic.get t.busy
+
+(** Wait until every queued and running job has finished. *)
+let drain t =
+  while in_flight t > 0 do
+    Unix.sleepf 0.001
+  done
+
+(** Drain, close the queue, and join the worker domains. *)
+let shutdown t =
+  drain t;
+  Wq.close t.queue;
+  List.iter Domain.join t.domains
+
+let stats t : (string * float) list =
+  [
+    ("service.pool.workers", float_of_int t.workers);
+    ("service.pool.queue_len", float_of_int (Wq.length t.queue));
+    ("service.pool.busy", float_of_int (Atomic.get t.busy));
+    ("service.pool.processed", float_of_int (Atomic.get t.processed));
+    ("service.pool.rejected", float_of_int (Atomic.get t.rejected));
+  ]

@@ -1,0 +1,116 @@
+(** Wire protocol of the solver service: newline-delimited JSON, one
+    request per line, one JSON response per request (DESIGN.md §9).
+
+    Requests:
+    {v {"id": <any>, "op": "solve"|"assert"|"check"|"stats"|"shutdown",
+        "re": <ERE pattern> | "smt2": <SMT-LIB script>,
+        "deadline_s": <seconds>, "budget": <steps>, "stats": <bool>} v}
+
+    Responses echo ["id"] verbatim and carry either ["status"]
+    ([sat]/[unsat]/[unknown]/[ok]) or ["error"].  A deadline expiry is
+    [{"status":"unknown","reason":"deadline"}]; an overloaded queue is
+    [{"error":"overloaded"}] — the request is rejected immediately,
+    never queued behind the backlog. *)
+
+module J = Sbd_obs.Obs.Json
+
+type payload =
+  | Solve_re of string  (** decide satisfiability of one ERE pattern *)
+  | Solve_smt2 of string  (** evaluate an SMT-LIB QF_S script *)
+  | Assert_re of string  (** add a pattern to the session's conjunction *)
+  | Check  (** decide the conjunction of asserted patterns *)
+  | Stats  (** server/pool/cache counters *)
+  | Shutdown  (** drain in-flight requests, then stop *)
+
+type request = {
+  id : J.t;  (** echoed verbatim in the response; [J.Null] when absent *)
+  payload : payload;
+  deadline_s : float option;
+  budget : int option;
+  want_stats : bool;  (** include per-query session stats in the response *)
+}
+
+(** Parse one request line.  On error, the returned [J.t] is the
+    request id when one could be extracted (so the error response can
+    still be correlated), [J.Null] otherwise. *)
+let parse_request (line : string) : (request, J.t * string) result =
+  match Jsonin.parse line with
+  | Error msg -> Error (J.Null, "malformed JSON: " ^ msg)
+  | Ok json -> (
+    let id = Option.value (Jsonin.member "id" json) ~default:J.Null in
+    let deadline_s = Jsonin.float_member "deadline_s" json in
+    let budget = Jsonin.int_member "budget" json in
+    let want_stats = Option.value (Jsonin.bool_member "stats" json) ~default:false in
+    let re = Jsonin.str_member "re" json in
+    let smt2 = Jsonin.str_member "smt2" json in
+    let finish payload = Ok { id; payload; deadline_s; budget; want_stats } in
+    match Jsonin.str_member "op" json with
+    | None -> Error (id, "missing \"op\" field")
+    | Some "solve" -> (
+      match (re, smt2) with
+      | Some pat, None -> finish (Solve_re pat)
+      | None, Some script -> finish (Solve_smt2 script)
+      | Some _, Some _ -> Error (id, "give either \"re\" or \"smt2\", not both")
+      | None, None -> Error (id, "op \"solve\" needs a \"re\" or \"smt2\" field"))
+    | Some "assert" -> (
+      match re with
+      | Some pat -> finish (Assert_re pat)
+      | None -> Error (id, "op \"assert\" needs a \"re\" field"))
+    | Some "check" -> finish Check
+    | Some "stats" -> finish Stats
+    | Some "shutdown" -> finish Shutdown
+    | Some other -> Error (id, Printf.sprintf "unknown op %S" other))
+
+(* -- responses ----------------------------------------------------------- *)
+
+(** Solver verdict as carried by the service: the witness keeps its raw
+    code points (for validation against an independent matcher) next to
+    the printable rendering that goes on the wire. *)
+type verdict =
+  | Sat of { witness : string; codepoints : int list }
+  | Unsat
+  | Unknown of string
+
+let verdict_fields = function
+  | Sat { witness; _ } ->
+    [ ("status", J.Str "sat"); ("witness", J.Str witness) ]
+  | Unsat -> [ ("status", J.Str "unsat") ]
+  | Unknown reason ->
+    [ ("status", J.Str "unknown"); ("reason", J.Str reason) ]
+
+let with_id id fields = J.Obj (("id", id) :: fields)
+
+let json_of_stats (stats : (string * float) list) : J.t =
+  J.Obj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           if Float.is_integer v && Float.abs v < 1e15 then J.Int (int_of_float v)
+           else J.Float v ))
+       stats)
+
+let solve_response ~id ~(cached : bool) ~(wall_s : float)
+    ?(stats : (string * float) list option) (v : verdict) : J.t =
+  with_id id
+    (verdict_fields v
+    @ [ ("cached", J.Bool cached); ("wall_s", J.Float wall_s) ]
+    @ match stats with None -> [] | Some s -> [ ("stats", json_of_stats s) ])
+
+let smt2_response ~id ~(wall_s : float)
+    (answers : (string * string option) list) (output : string) : J.t =
+  let answer_json = function
+    | status, None -> J.Str status
+    | status, Some reason ->
+      J.Obj [ ("status", J.Str status); ("reason", J.Str reason) ]
+  in
+  with_id id
+    [
+      ("status", J.Str "ok");
+      ("answers", J.Arr (List.map answer_json answers));
+      ("output", J.Str output);
+      ("wall_s", J.Float wall_s);
+    ]
+
+let ok_response ~id fields = with_id id (("status", J.Str "ok") :: fields)
+let error_response ~id msg = with_id id [ ("error", J.Str msg) ]
+let overloaded_response ~id = error_response ~id "overloaded"

@@ -1,0 +1,479 @@
+(** The solver service: session protocol over stdin/stdout or a
+    Unix-domain socket, dispatching onto the domain worker {!Pool}
+    with a shared cross-query {!Lru} result cache (DESIGN.md §9).
+
+    One session per connection (stdin/stdout is one session).  The
+    reader thread never parses regexes and never blocks on the pool:
+    [assert] is recorded locally (validated lazily at [check], like
+    [check-sat] in SMT solvers), solve/check jobs capture a snapshot
+    of the session's assertions, and a full queue rejects the request
+    immediately with [{"error":"overloaded"}]. *)
+
+module Obs = Sbd_obs.Obs
+module J = Obs.Json
+
+type config = {
+  workers : int;
+  queue_cap : int;
+  cache_cap : int;
+  memo_cap : int;  (** per-worker derivative-memo entry cap *)
+  default_budget : int;
+  default_deadline : float option;
+  use_cache : bool;
+}
+
+let default_config =
+  {
+    workers = Pool.default_workers ();
+    queue_cap = 256;
+    cache_cap = 4096;
+    memo_cap = 200_000;
+    default_budget = 1_000_000;
+    default_deadline = None;
+    use_cache = true;
+  }
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  cache : Protocol.verdict Lru.t;
+  stopping : bool Atomic.t;
+  stop_listener : (unit -> unit) ref;  (** closes the socket listener *)
+}
+
+let create cfg =
+  {
+    cfg;
+    pool = Pool.create ~memo_cap:cfg.memo_cap ~workers:cfg.workers
+             ~queue_cap:cfg.queue_cap ();
+    cache = Lru.create ~cap:cfg.cache_cap;
+    stopping = Atomic.make false;
+    stop_listener = ref (fun () -> ());
+  }
+
+(* -- one session --------------------------------------------------------- *)
+
+type session = {
+  oc : out_channel;
+  out_mutex : Mutex.t;
+  mutable asserted : string list;  (** newest first *)
+}
+
+let make_session oc = { oc; out_mutex = Mutex.create (); asserted = [] }
+
+let respond session (doc : J.t) =
+  Mutex.protect session.out_mutex (fun () ->
+      output_string session.oc (J.to_string doc);
+      output_char session.oc '\n';
+      flush session.oc)
+
+let stats_doc t ~id =
+  (* Pool/cache rows are the exact live values; the Obs snapshot also
+     mirrors some of them — keep the first occurrence of each name. *)
+  let rows =
+    Pool.stats t.pool @ Lru.stats t.cache
+    @ List.filter (fun (_, v) -> v <> 0.0) (Obs.snapshot ())
+  in
+  let seen = Hashtbl.create 64 in
+  let rows =
+    List.filter
+      (fun (name, _) ->
+        if Hashtbl.mem seen name then false
+        else begin
+          Hashtbl.add seen name ();
+          true
+        end)
+      rows
+  in
+  Protocol.ok_response ~id [ ("stats", Protocol.json_of_stats rows) ]
+
+(** The pool-side work of a solve/check request: canonical cache key,
+    shared-LRU lookup, solve on miss, cache the deterministic verdicts
+    (never [Unknown] — those depend on the budget/deadline of the
+    losing query, not on the language). *)
+let solve_job t ~id ~want_stats ~deadline ~budget ~use_cache ~respond patterns
+    (module W : Worker.WORKER) =
+  let t0 = Obs.now () in
+  let key_res =
+    match patterns with
+    | [ one ] -> W.cache_key one
+    | many -> W.conj_cache_key many
+  in
+  match key_res with
+  | Error msg -> respond (Protocol.error_response ~id msg)
+  | Ok key -> (
+    match if use_cache then Lru.find t.cache key else None with
+    | Some v ->
+      respond
+        (Protocol.solve_response ~id ~cached:true ~wall_s:(Obs.now () -. t0) v)
+    | None -> (
+      let solved =
+        match patterns with
+        | [ one ] -> W.solve_pattern ?deadline ~budget one
+        | many -> W.solve_conj ?deadline ~budget many
+      in
+      match solved with
+      | Error msg -> respond (Protocol.error_response ~id msg)
+      | Ok (verdict, stats) ->
+        (match verdict with
+        | Protocol.Sat _ | Protocol.Unsat ->
+          if use_cache then Lru.put t.cache key verdict
+        | Protocol.Unknown _ -> ());
+        respond
+          (Protocol.solve_response ~id ~cached:false
+             ~wall_s:(Obs.now () -. t0)
+             ?stats:(if want_stats then Some stats else None)
+             verdict)))
+
+let smt2_job ~id ~deadline ~budget ~respond script (module W : Worker.WORKER) =
+  let t0 = Obs.now () in
+  match W.run_smt2 ?deadline ~budget script with
+  | Error msg -> respond (Protocol.error_response ~id msg)
+  | Ok (answers, output) ->
+    respond (Protocol.smt2_response ~id ~wall_s:(Obs.now () -. t0) answers output)
+
+(** Handle one request line; [`Shutdown] ends the whole server. *)
+let handle_line t session line : [ `Continue | `Shutdown ] =
+  match Protocol.parse_request line with
+  | Error (id, msg) ->
+    respond session (Protocol.error_response ~id msg);
+    `Continue
+  | Ok req -> (
+    let id = req.Protocol.id in
+    let deadline =
+      match req.deadline_s with
+      | Some _ as d -> d
+      | None -> t.cfg.default_deadline
+    in
+    let budget = Option.value req.budget ~default:t.cfg.default_budget in
+    let dispatch job =
+      if Atomic.get t.stopping then
+        respond session (Protocol.error_response ~id "shutting down")
+      else if not (Pool.submit t.pool job) then
+        respond session (Protocol.overloaded_response ~id)
+    in
+    let respond_cb = respond session in
+    match req.payload with
+    | Protocol.Stats ->
+      respond session (stats_doc t ~id);
+      `Continue
+    | Protocol.Shutdown ->
+      Atomic.set t.stopping true;
+      Pool.drain t.pool;
+      respond session (Protocol.ok_response ~id [ ("drained", J.Bool true) ]);
+      `Shutdown
+    | Protocol.Assert_re pat ->
+      session.asserted <- pat :: session.asserted;
+      respond session
+        (Protocol.ok_response ~id
+           [ ("asserted", J.Int (List.length session.asserted)) ]);
+      `Continue
+    | Protocol.Solve_re pat ->
+      dispatch
+        (solve_job t ~id ~want_stats:req.want_stats ~deadline ~budget
+           ~use_cache:t.cfg.use_cache ~respond:respond_cb [ pat ]);
+      `Continue
+    | Protocol.Check ->
+      let snapshot = List.rev session.asserted in
+      dispatch
+        (solve_job t ~id ~want_stats:req.want_stats ~deadline ~budget
+           ~use_cache:t.cfg.use_cache ~respond:respond_cb snapshot);
+      `Continue
+    | Protocol.Solve_smt2 script ->
+      dispatch (smt2_job ~id ~deadline ~budget ~respond:respond_cb script);
+      `Continue)
+
+(** Serve one channel pair until EOF or [shutdown]. *)
+let serve_channel t ic oc : [ `Eof | `Shutdown ] =
+  let session = make_session oc in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> `Eof
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+      match handle_line t session line with
+      | `Continue -> loop ()
+      | `Shutdown -> `Shutdown)
+  in
+  loop ()
+
+(* -- transports ---------------------------------------------------------- *)
+
+(** Serve stdin/stdout (one session).  Returns after EOF or shutdown,
+    with in-flight work drained and the pool stopped. *)
+let run_stdio t =
+  ignore (serve_channel t stdin stdout);
+  Atomic.set t.stopping true;
+  Pool.shutdown t.pool
+
+(** Serve a Unix-domain socket, one thread per connection (threads sit
+    on the main domain; solving happens in the pool domains).  Returns
+    when a client sends [shutdown] or the process receives SIGTERM. *)
+let run_socket t ~path =
+  (try Unix.unlink path with _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 64;
+  (t.stop_listener := fun () -> try Unix.close sock with _ -> ());
+  let serve_client fd =
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (match serve_channel t ic oc with
+    | `Shutdown -> !(t.stop_listener) ()
+    | `Eof -> ());
+    try Unix.close fd with _ -> ()
+  in
+  (* Poll with a timeout rather than blocking in accept(2): closing the
+     listener from a session thread does not wake a thread already
+     parked in accept, so a blocking loop would survive [shutdown]
+     until the next connection arrived. *)
+  let rec accept_loop () =
+    if not (Atomic.get t.stopping) then
+      match Unix.select [ sock ] [] [] 0.2 with
+      | [], _, _ -> accept_loop ()
+      | _ :: _, _, _ -> (
+        match Unix.accept sock with
+        | fd, _ ->
+          ignore (Thread.create serve_client fd);
+          accept_loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        | exception _ -> () (* listener closed: shutting down *))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception _ -> () (* listener closed: shutting down *)
+  in
+  accept_loop ();
+  Atomic.set t.stopping true;
+  Pool.shutdown t.pool;
+  try Unix.unlink path with _ -> ()
+
+(** Graceful degradation on SIGTERM: stop accepting, drain, exit. *)
+let install_sigterm t =
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle
+       (fun _ ->
+         Atomic.set t.stopping true;
+         !(t.stop_listener) ();
+         Pool.drain t.pool;
+         exit 0))
+
+(* -- self-test / load generator ------------------------------------------ *)
+
+(** Deterministic benchgen-derived request mix: the non-Boolean and
+    Boolean standard suites, shuffled by a fixed-seed LCG and cycled
+    to [n] patterns. *)
+let selftest_mix n : string list =
+  let module I = Sbd_benchgen.Instance in
+  let base =
+    Array.of_list
+      (List.map
+         (fun (i : I.t) -> i.I.pattern)
+         (Sbd_benchgen.Standard.non_boolean () @ Sbd_benchgen.Standard.boolean ()))
+  in
+  let rng = I.Rng.create 7 in
+  let len = Array.length base in
+  for i = len - 1 downto 1 do
+    let j = I.Rng.int rng (i + 1) in
+    let tmp = base.(i) in
+    base.(i) <- base.(j);
+    base.(j) <- tmp
+  done;
+  List.init n (fun i -> base.(i mod len))
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+    let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+type self_result = {
+  report : J.t;
+  mismatches : int;
+  bad_witnesses : int;
+  pool_rps : float;
+  seq_rps : float;
+}
+
+(** Replay the mix through the pool and compare with sequential
+    solving on a single worker: verdicts must agree (sat/unsat), pool
+    witnesses must validate against the reference matcher.  Reports
+    throughput and latency percentiles.  The result cache defaults to
+    off here so the numbers measure solving, not cache hits. *)
+let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
+    self_result =
+  let phase_t = ref (Obs.now ()) in
+  let phase name =
+    let t = Obs.now () in
+    if verbose then
+      Printf.eprintf "sbdserve: selftest %-12s %6.2fs\n%!" name (t -. !phase_t);
+    phase_t := t
+  in
+  let patterns = Array.of_list (selftest_mix n) in
+  phase "mix";
+  (* The replay runs at the harness calibration (~1s of work per
+     instance at budget 20k): hard Boolean instances under the serving
+     defaults (1M budget, multi-second deadline) would each burn
+     seconds and gigabytes, which measures pathology, not throughput.
+     Tighter configured values are honored. *)
+  let deadline = Some (min (Option.value cfg.default_deadline ~default:1.0) 1.0) in
+  let budget = min cfg.default_budget 20_000 in
+  (* Sequential baseline: one worker, same stream. *)
+  let (module W0) = Worker.create ~memo_cap:cfg.memo_cap () in
+  let seq_verdicts = Array.make n None in
+  let t0 = Obs.now () in
+  Array.iteri
+    (fun i pat ->
+      match W0.solve_pattern ?deadline ~budget pat with
+      | Ok (v, _) -> seq_verdicts.(i) <- Some v
+      | Error _ -> ())
+    patterns;
+  let seq_s = Obs.now () -. t0 in
+  phase "sequential";
+  (* Pool run. *)
+  let t = create { cfg with use_cache } in
+  let pool_verdicts = Array.make n None in
+  let latencies = Array.make n 0.0 in
+  let completed = Atomic.make 0 in
+  let t1 = Obs.now () in
+  Array.iteri
+    (fun i pat ->
+      let submitted = Obs.now () in
+      let job (module W : Worker.WORKER) =
+        let key_ok =
+          match if use_cache then Some (W.cache_key pat) else None with
+          | Some (Ok key) -> (
+            match Lru.find t.cache key with
+            | Some v ->
+              pool_verdicts.(i) <- Some v;
+              true
+            | None -> false)
+          | _ -> false
+        in
+        if not key_ok then
+          (match W.solve_pattern ?deadline ~budget pat with
+          | Ok (v, _) ->
+            pool_verdicts.(i) <- Some v;
+            if use_cache then (
+              match (W.cache_key pat, v) with
+              | Ok key, (Protocol.Sat _ | Protocol.Unsat) -> Lru.put t.cache key v
+              | _ -> ())
+          | Error _ -> ());
+        latencies.(i) <- Obs.now () -. submitted;
+        ignore (Atomic.fetch_and_add completed 1)
+      in
+      ignore (Pool.submit_wait t.pool job))
+    patterns;
+  while Atomic.get completed < n do
+    Unix.sleepf 0.001
+  done;
+  let pool_s = Obs.now () -. t1 in
+  phase "pool";
+  Atomic.set t.stopping true;
+  Pool.shutdown t.pool;
+  phase "shutdown";
+  (* Agreement: strict sat-vs-unsat conflicts; witnesses validated
+     against the independent reference matcher. *)
+  let mismatches = ref 0 in
+  let unknowns = ref 0 in
+  let bad_witnesses = ref 0 in
+  for i = 0 to n - 1 do
+    (match (seq_verdicts.(i), pool_verdicts.(i)) with
+    | Some (Protocol.Sat _), Some Protocol.Unsat
+    | Some Protocol.Unsat, Some (Protocol.Sat _) ->
+      incr mismatches
+    | Some (Protocol.Unknown _), _ | _, Some (Protocol.Unknown _) ->
+      incr unknowns
+    | _ -> ());
+    match pool_verdicts.(i) with
+    | Some (Protocol.Sat { codepoints; _ }) ->
+      if W0.check_witness patterns.(i) codepoints = Some false then
+        incr bad_witnesses
+    | _ -> ()
+  done;
+  phase "validate";
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  let seq_rps = float_of_int n /. max seq_s 1e-9 in
+  let pool_rps = float_of_int n /. max pool_s 1e-9 in
+  let report =
+    J.Obj
+      [
+        ("requests", J.Int n);
+        ("workers", J.Int cfg.workers);
+        ("cores", J.Int (Domain.recommended_domain_count ()));
+        ("cache", J.Bool use_cache);
+        ("pool_req_s", J.Float pool_rps);
+        ("seq_req_s", J.Float seq_rps);
+        ("speedup_vs_seq", J.Float (pool_rps /. max seq_rps 1e-9));
+        ("p50_ms", J.Float (percentile sorted 50.0 *. 1000.0));
+        ("p99_ms", J.Float (percentile sorted 99.0 *. 1000.0));
+        ("mismatches", J.Int !mismatches);
+        ("unknowns", J.Int !unknowns);
+        ("bad_witnesses", J.Int !bad_witnesses);
+        ("cache_stats", Protocol.json_of_stats (Lru.stats t.cache));
+      ]
+  in
+  {
+    report;
+    mismatches = !mismatches;
+    bad_witnesses = !bad_witnesses;
+    pool_rps;
+    seq_rps;
+  }
+
+(* -- BENCH_<date>.json trajectory ---------------------------------------- *)
+
+let today () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let default_bench_path () = Printf.sprintf "BENCH_%s.json" (today ())
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(** Append a self-test report to the [service] section of the
+    [BENCH_<date>.json] trajectory document, preserving the suites
+    recorded by the experiment harness; creates the file if absent. *)
+let append_bench ~path (report : J.t) : unit =
+  let report =
+    match report with
+    | J.Obj kvs -> J.Obj (("date", J.Str (today ())) :: kvs)
+    | other -> other
+  in
+  let doc =
+    match if Sys.file_exists path then Some (read_file path) else None with
+    | Some src -> (
+      match Jsonin.parse src with
+      | Ok (J.Obj kvs) ->
+        let runs =
+          match List.assoc_opt "service" kvs with
+          | Some (J.Arr rs) -> rs
+          | _ -> []
+        in
+        let kvs = List.remove_assoc "service" kvs in
+        J.Obj (kvs @ [ ("service", J.Arr (runs @ [ report ])) ])
+      | _ ->
+        J.Obj
+          [
+            ("schema", J.Str "sbd-bench/1");
+            ("date", J.Str (today ()));
+            ("service", J.Arr [ report ]);
+          ])
+    | None ->
+      J.Obj
+        [
+          ("schema", J.Str "sbd-bench/1");
+          ("date", J.Str (today ()));
+          ("service", J.Arr [ report ]);
+        ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,183 @@
+(** A solver worker: one full, freshly instantiated solver stack.
+
+    The memo tables of [Deriv.Make]/[Solve.Make] and the hash-cons /
+    operation caches of the BDD algebra are mutable state scoped to a
+    functor application, so parallel workers must not share them.
+    {!create} therefore applies the whole functor tower — a generative
+    [Sbd_alphabet.Bdd.Make ()] at the bottom, then regex, parser,
+    solver, SMT-LIB evaluator on top — per call and packs the result
+    as a first-class module: each pool domain calls [create] once and
+    owns every piece of mutable solver state it touches.
+
+    Cache keys: queries are keyed by the digest of a {e canonical}
+    rendering of the parsed (hash-consed, similarity-normalized) regex
+    in which the children of [Or]/[And] are sorted lexicographically,
+    so the key is independent of hash-cons id assignment and therefore
+    identical across workers — [a|b] and [b|a] share one cache line,
+    as do any two queries equal modulo the paper's similarity
+    relation. *)
+
+module Obs = Sbd_obs.Obs
+
+let c_queries = Obs.Counter.make "service.worker.queries"
+let c_memo_clears = Obs.Counter.make "service.worker.memo_clears"
+
+module type WORKER = sig
+  val solve_pattern :
+    ?deadline:float ->
+    ?budget:int ->
+    string ->
+    (Protocol.verdict * (string * float) list, string) result
+  (** Decide one ERE pattern; [Error] is a parse error.  The stats list
+      is the per-query [session_stats] snapshot. *)
+
+  val solve_conj :
+    ?deadline:float ->
+    ?budget:int ->
+    string list ->
+    (Protocol.verdict * (string * float) list, string) result
+  (** Decide the intersection of the given patterns (the session
+      [check] operation); the empty conjunction is [.*] (sat). *)
+
+  val run_smt2 :
+    ?deadline:float ->
+    ?budget:int ->
+    string ->
+    ((string * string option) list * string, string) result
+  (** Evaluate an SMT-LIB script: per-[check-sat] (status, reason)
+      pairs plus the printed output. *)
+
+  val cache_key : string -> (string, string) result
+  (** Digest of the canonical form of the pattern (worker-independent,
+      see above); [Error] is a parse error. *)
+
+  val conj_cache_key : string list -> (string, string) result
+
+  val check_witness : ?ref_limit:int -> string -> int list -> bool option
+  (** Validate a witness against the pattern.  Witnesses up to
+      [ref_limit] code points (default 64) go through the independent
+      reference matcher, whose DP is cubic in the word length; longer
+      ones fall back to the linear derivative matcher, which solver
+      witnesses for counting-heavy patterns (thousands of code points)
+      would otherwise stall on.  [None] on parse error. *)
+
+  val memo_entries : unit -> int
+  (** Cache-pressure gauge: entries across the derivative memo tables. *)
+
+  val relieve_pressure : unit -> bool
+  (** Clear the derivative memo tables if {!memo_entries} exceeds the
+      worker's cap; returns whether a clear happened. *)
+
+  val queries : unit -> int
+end
+
+let create ?(memo_cap = 200_000) () : (module WORKER) =
+  let module B = Sbd_alphabet.Bdd.Make () in
+  let module R = Sbd_regex.Regex.Make (B) in
+  let module P = Sbd_regex.Parser.Make (R) in
+  let module S = Sbd_solver.Solve.Make (R) in
+  let module E = Sbd_smtlib.Eval.Make (R) in
+  let module Ref = Sbd_classic.Refmatch.Make (R) in
+  (module struct
+    let session = S.create_session ()
+    let nqueries = ref 0
+
+    let parse pat =
+      match P.parse pat with
+      | Ok r -> Ok r
+      | Error (pos, msg) ->
+        Error (Printf.sprintf "parse error at %d: %s" pos msg)
+
+    (* Canonical, instantiation-independent rendering (see header). *)
+    let rec canon (r : R.t) : string =
+      match r.R.node with
+      | R.Pred p ->
+        let range (lo, hi) =
+          if lo = hi then string_of_int lo else Printf.sprintf "%d-%d" lo hi
+        in
+        "[" ^ String.concat "," (List.map range (B.ranges p)) ^ "]"
+      | R.Eps -> "e"
+      | R.Concat (a, b) -> "(" ^ canon a ^ "." ^ canon b ^ ")"
+      | R.Star a -> canon a ^ "*"
+      | R.Loop (a, m, n) ->
+        Printf.sprintf "%s{%d,%s}" (canon a) m
+          (match n with None -> "" | Some k -> string_of_int k)
+      | R.Or xs ->
+        "(" ^ String.concat "|" (List.sort compare (List.map canon xs)) ^ ")"
+      | R.And xs ->
+        "(" ^ String.concat "&" (List.sort compare (List.map canon xs)) ^ ")"
+      | R.Not a -> "~" ^ canon a
+
+    let key_of_regex r = Digest.to_hex (Digest.string (canon r))
+
+    let cache_key pat = Result.map key_of_regex (parse pat)
+
+    let parse_conj pats =
+      let rec go acc = function
+        | [] -> Ok (R.inter_list (List.rev acc))
+        | p :: rest -> (
+          match parse p with
+          | Ok r -> go (r :: acc) rest
+          | Error msg -> Error msg)
+      in
+      go [ R.full ] pats
+
+    let conj_cache_key pats = Result.map key_of_regex (parse_conj pats)
+
+    let verdict_of = function
+      | S.Sat w ->
+        Protocol.Sat { witness = S.string_of_witness w; codepoints = w }
+      | S.Unsat -> Protocol.Unsat
+      | S.Unknown why -> Protocol.Unknown why
+
+    let memo_entries () = S.D.memo_entries ()
+
+    let relieve_pressure () =
+      if memo_entries () > memo_cap then begin
+        S.D.clear ();
+        Obs.Counter.incr c_memo_clears;
+        true
+      end
+      else false
+
+    let solve_regex ?deadline ?(budget = 1_000_000) r =
+      incr nqueries;
+      Obs.Counter.incr c_queries;
+      let res = S.solve ~budget ?deadline session r in
+      let stats = S.session_stats session in
+      ignore (relieve_pressure ());
+      (verdict_of res, stats)
+
+    let solve_pattern ?deadline ?budget pat =
+      Result.map (solve_regex ?deadline ?budget) (parse pat)
+
+    let solve_conj ?deadline ?budget pats =
+      Result.map (solve_regex ?deadline ?budget) (parse_conj pats)
+
+    let run_smt2 ?deadline ?(budget = 1_000_000) script =
+      incr nqueries;
+      Obs.Counter.incr c_queries;
+      match E.run ~budget ?deadline script with
+      | result ->
+        let answers =
+          List.map
+            (fun (o : E.outcome) ->
+              match o with
+              | E.Sat _ -> ("sat", None)
+              | E.Unsat -> ("unsat", None)
+              | E.Unknown why -> ("unknown", Some why))
+            result.E.outcomes
+        in
+        ignore (relieve_pressure ());
+        Ok (answers, result.E.output)
+      | exception E.Unsupported what -> Error ("unsupported: " ^ what)
+
+    let check_witness ?(ref_limit = 64) pat w =
+      match P.parse pat with
+      | Ok r ->
+        if List.length w <= ref_limit then Some (Ref.matches r w)
+        else Some (S.D.matches r w)
+      | Error _ -> None
+
+    let queries () = !nqueries
+  end)

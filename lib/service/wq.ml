@@ -1,0 +1,81 @@
+(** Bounded multi-producer/multi-consumer work queue (mutex +
+    condition variables) with explicit backpressure: {!try_push} never
+    blocks — a full queue is the caller's signal to shed load (the
+    server answers [{"error":"overloaded"}]) instead of stalling the
+    reader behind the backlog.  {!push_wait} is the blocking variant
+    for cooperative producers (the self-test load generator). *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  items : 'a Queue.t;
+  cap : int;
+  mutable closed : bool;
+}
+
+let create ~cap =
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    nonfull = Condition.create ();
+    items = Queue.create ();
+    cap = max 1 cap;
+    closed = false;
+  }
+
+let length t = Mutex.protect t.mutex (fun () -> Queue.length t.items)
+
+(** Enqueue without blocking; [false] when the queue is full or
+    closed. *)
+let try_push t x =
+  Mutex.protect t.mutex (fun () ->
+      if t.closed || Queue.length t.items >= t.cap then false
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+(** Enqueue, waiting while the queue is full; [false] only when the
+    queue has been closed. *)
+let push_wait t x =
+  Mutex.protect t.mutex (fun () ->
+      let rec wait () =
+        if t.closed then false
+        else if Queue.length t.items >= t.cap then begin
+          Condition.wait t.nonfull t.mutex;
+          wait ()
+        end
+        else begin
+          Queue.push x t.items;
+          Condition.signal t.nonempty;
+          true
+        end
+      in
+      wait ())
+
+(** Blocking dequeue; [None] once the queue is closed and drained. *)
+let pop t =
+  Mutex.protect t.mutex (fun () ->
+      let rec wait () =
+        match Queue.take_opt t.items with
+        | Some x ->
+          Condition.signal t.nonfull;
+          Some x
+        | None ->
+          if t.closed then None
+          else begin
+            Condition.wait t.nonempty t.mutex;
+            wait ()
+          end
+      in
+      wait ())
+
+(** Close the queue: producers are refused, consumers drain the
+    remaining items and then receive [None]. *)
+let close t =
+  Mutex.protect t.mutex (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty;
+      Condition.broadcast t.nonfull)

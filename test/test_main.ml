@@ -14,4 +14,5 @@ let () =
     ; Test_misc.suite
     ; Test_rules.suite
     ; Test_ranges_stack.suite
-    ; Test_obs.suite ]
+    ; Test_obs.suite
+    ; Test_service.suite ]

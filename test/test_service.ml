@@ -1,0 +1,297 @@
+(* Tests for the concurrent solver service (lib/service, DESIGN.md §9):
+   wire-protocol parsing, a full session round-trip over pipes (including
+   malformed input and per-request deadlines), work-queue backpressure,
+   LRU accounting, and pool-vs-sequential agreement with reference-matcher
+   witness validation. *)
+
+module Obs = Sbd_obs.Obs
+module J = Obs.Json
+module Jsonin = Sbd_service.Jsonin
+module Protocol = Sbd_service.Protocol
+module Wq = Sbd_service.Wq
+module Lru = Sbd_service.Lru
+module Worker = Sbd_service.Worker
+module Pool = Sbd_service.Pool
+module Server = Sbd_service.Server
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* -- JSON reader --------------------------------------------------------- *)
+
+let test_jsonin () =
+  (match Jsonin.parse {|{"a": [1, -2.5, true, null], "s": "x\né"}|} with
+  | Error msg -> Alcotest.fail ("parse failed: " ^ msg)
+  | Ok json ->
+    (match Jsonin.member "a" json with
+    | Some (J.Arr [ J.Int 1; J.Float f; J.Bool true; J.Null ]) ->
+      check "float element" true (Float.abs (f +. 2.5) < 1e-9)
+    | _ -> Alcotest.fail "array shape");
+    check_str "escapes decoded" "x\n\xc3\xa9"
+      (Option.get (Jsonin.str_member "s" json)));
+  (match Jsonin.parse {|{"broken": }|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted malformed JSON");
+  match Jsonin.parse {|{"a":1} trailing|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted trailing garbage"
+
+(* -- request parsing ----------------------------------------------------- *)
+
+let test_parse_request () =
+  (match
+     Protocol.parse_request
+       {|{"id": 7, "op": "solve", "re": "a|b", "deadline_s": 0.5, "budget": 100}|}
+   with
+  | Ok { id = J.Int 7; payload = Protocol.Solve_re "a|b"; deadline_s = Some d;
+         budget = Some 100; _ } ->
+    check "deadline" true (Float.abs (d -. 0.5) < 1e-9)
+  | Ok _ -> Alcotest.fail "wrong request shape"
+  | Error (_, msg) -> Alcotest.fail msg);
+  (match Protocol.parse_request "not json at all" with
+  | Error (J.Null, msg) ->
+    check "malformed tagged" true
+      (String.length msg >= 9 && String.sub msg 0 9 = "malformed")
+  | _ -> Alcotest.fail "malformed line must fail without an id");
+  (* the id survives even when the request itself is bad, so the error
+     response can be correlated *)
+  (match Protocol.parse_request {|{"id": "q1", "op": "frobnicate"}|} with
+  | Error (J.Str "q1", _) -> ()
+  | _ -> Alcotest.fail "id not preserved on unknown op");
+  match Protocol.parse_request {|{"id": 1, "op": "assert"}|} with
+  | Error (J.Int 1, _) -> ()
+  | _ -> Alcotest.fail "assert without re must fail"
+
+(* -- work queue backpressure --------------------------------------------- *)
+
+let test_wq_backpressure () =
+  let q = Wq.create ~cap:2 in
+  check "push 1" true (Wq.try_push q 1);
+  check "push 2" true (Wq.try_push q 2);
+  check "push beyond cap refused" false (Wq.try_push q 3);
+  check_int "length" 2 (Wq.length q);
+  (match Wq.pop q with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "FIFO order");
+  check "slot freed" true (Wq.try_push q 4);
+  Wq.close q;
+  check "push after close refused" false (Wq.try_push q 5);
+  check "drains after close" true (Wq.pop q = Some 2);
+  check "drains after close" true (Wq.pop q = Some 4);
+  check "None once drained" true (Wq.pop q = None)
+
+(* -- LRU accounting ------------------------------------------------------ *)
+
+let test_lru () =
+  let c : int Lru.t = Lru.create ~cap:2 in
+  check "cold miss" true (Lru.find c "a" = None);
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  check "hit a" true (Lru.find c "a" = Some 1);
+  (* "b" is now least recent: inserting "c" must evict it, not "a" *)
+  Lru.put c "c" 3;
+  check_int "size stays at cap" 2 (Lru.size c);
+  check "a survived (recently used)" true (Lru.find c "a" = Some 1);
+  check "b evicted" true (Lru.find c "b" = None);
+  check "c present" true (Lru.find c "c" = Some 3);
+  check_int "hits" 3 (Lru.hits c);
+  check_int "misses" 2 (Lru.misses c);
+  check_int "evictions" 1 (Lru.evictions c)
+
+(* -- worker: canonical cache keys and witness checking -------------------- *)
+
+let test_worker_keys () =
+  let (module W) = Worker.create () in
+  let key p =
+    match W.cache_key p with
+    | Ok k -> k
+    | Error msg -> Alcotest.fail msg
+  in
+  check_str "commutative or" (key "a|b") (key "b|a");
+  check_str "commutative and" (key "a&b&c") (key "c&a&b");
+  check "distinct languages, distinct keys" true (key "a|b" <> key "a|c");
+  (* keys are instantiation-independent: a second worker whose hash-cons
+     ids differ (forced by interning extra regexes first) agrees *)
+  let (module W2) = Worker.create () in
+  (match W2.cache_key "zz*|q{3}" with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match W2.cache_key "b|a" with
+  | Ok k -> check_str "cross-worker key" (key "a|b") k
+  | Error msg -> Alcotest.fail msg);
+  match W.cache_key "a|(" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse error must not produce a key"
+
+let test_worker_witness () =
+  let (module W) = Worker.create () in
+  (match W.solve_pattern "a{2,3}&~(.*b.*)" with
+  | Ok (Protocol.Sat { codepoints; _ }, _) ->
+    check "witness valid (reference matcher)" true
+      (W.check_witness "a{2,3}&~(.*b.*)" codepoints = Some true)
+  | Ok _ -> Alcotest.fail "expected sat"
+  | Error msg -> Alcotest.fail msg);
+  match W.solve_pattern "a{2}&a{3}" with
+  | Ok (Protocol.Unsat, _) -> ()
+  | Ok _ -> Alcotest.fail "expected unsat"
+  | Error msg -> Alcotest.fail msg
+
+(* -- full session over pipes --------------------------------------------- *)
+
+(* Run a server on its own thread, speaking the newline-delimited JSON
+   protocol over two pipes, exactly as a socket client would see it. *)
+let with_session cfg f =
+  let req_r, req_w = Unix.pipe ~cloexec:true () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+  let t = Server.create cfg in
+  let srv =
+    Thread.create
+      (fun () ->
+        let ic = Unix.in_channel_of_descr req_r in
+        let oc = Unix.out_channel_of_descr resp_w in
+        ignore (Server.serve_channel t ic oc);
+        Pool.shutdown t.Server.pool;
+        close_out_noerr oc;
+        close_in_noerr ic)
+      ()
+  in
+  let out = Unix.out_channel_of_descr req_w in
+  let inp = Unix.in_channel_of_descr resp_r in
+  let send line =
+    output_string out line;
+    output_char out '\n';
+    flush out
+  in
+  let recv () =
+    match Jsonin.parse (input_line inp) with
+    | Ok json -> json
+    | Error msg -> Alcotest.fail ("bad response JSON: " ^ msg)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr out;
+      Thread.join srv;
+      close_in_noerr inp)
+    (fun () -> f ~send ~recv)
+
+let small_cfg =
+  {
+    Server.default_config with
+    workers = 2;
+    queue_cap = 8;
+    cache_cap = 64;
+    default_budget = 20_000;
+    default_deadline = Some 5.0;
+  }
+
+let status json = Jsonin.str_member "status" json
+
+let test_session_roundtrip () =
+  with_session small_cfg (fun ~send ~recv ->
+      send {|{"id": 1, "op": "solve", "re": "ab*c"}|};
+      let r = recv () in
+      check "sat" true (status r = Some "sat");
+      check "id echoed" true (Jsonin.member "id" r = Some (J.Int 1));
+      check "witness present" true (Jsonin.str_member "witness" r <> None);
+      send {|{"id": 2, "op": "solve", "re": "a{2}&a{3}"}|};
+      check "unsat" true (status (recv ()) = Some "unsat");
+      (* malformed line: structured error, session keeps working *)
+      send "this is not JSON";
+      let r = recv () in
+      check "error field" true (Jsonin.str_member "error" r <> None);
+      check "null id" true (Jsonin.member "id" r = Some J.Null);
+      (* assert/check: the conjunction is decided at check time *)
+      send {|{"id": 3, "op": "assert", "re": ".*a"}|};
+      check "assert ok" true (status (recv ()) = Some "ok");
+      send {|{"id": 4, "op": "assert", "re": "z.*"}|};
+      check "assert ok" true (status (recv ()) = Some "ok");
+      send {|{"id": 5, "op": "check"}|};
+      let r = recv () in
+      check "conjunction sat" true (status r = Some "sat");
+      (match Jsonin.str_member "witness" r with
+      | Some w ->
+        check "witness starts with z" true (String.length w > 0 && w.[0] = 'z');
+        check "witness ends with a" true (w.[String.length w - 1] = 'a')
+      | None -> Alcotest.fail "no witness on check");
+      (* cache: same canonical form, served from the shared LRU *)
+      send {|{"id": 6, "op": "solve", "re": "b*a|c*ab"}|};
+      ignore (recv ());
+      send {|{"id": 7, "op": "solve", "re": "c*ab|b*a"}|};
+      let r = recv () in
+      check "cache hit on commuted query" true
+        (Jsonin.bool_member "cached" r = Some true);
+      send {|{"id": 8, "op": "stats"}|};
+      let r = recv () in
+      check "stats ok" true (status r = Some "ok");
+      (match Jsonin.member "stats" r with
+      | Some (J.Obj rows) ->
+        check "cache hit counted" true
+          (List.exists
+             (fun (k, v) -> k = "service.cache.hits" && v <> J.Int 0)
+             rows)
+      | _ -> Alcotest.fail "stats payload missing");
+      send {|{"id": 9, "op": "shutdown"}|};
+      let r = recv () in
+      check "shutdown ok" true (status r = Some "ok");
+      check "drained" true (Jsonin.bool_member "drained" r = Some true))
+
+(* An intersection of alternations that clean-DNF pruning cannot
+   collapse (see test_obs.ml): the first transition computation builds
+   8^8 meets, so only the deadline can stop it. *)
+let blowup_pattern =
+  let factor k =
+    String.concat "|"
+      (List.init 8 (fun i ->
+           Printf.sprintf "a%c.*" (Char.chr (Char.code 'a' + k + i))))
+  in
+  String.concat "&" (List.init 8 (fun k -> "(" ^ factor k ^ ")"))
+
+let test_deadline_isolation () =
+  with_session small_cfg (fun ~send ~recv ->
+      (* a deadline-doomed request and an easy one, in flight together *)
+      send
+        (Printf.sprintf {|{"id": "hard", "op": "solve", "re": %S, "deadline_s": 0.05}|}
+           blowup_pattern);
+      send {|{"id": "easy", "op": "solve", "re": "easy|trivial"}|};
+      let r1 = recv () in
+      let r2 = recv () in
+      let by_id want =
+        if Jsonin.member "id" r1 = Some (J.Str want) then r1
+        else if Jsonin.member "id" r2 = Some (J.Str want) then r2
+        else Alcotest.fail ("no response for id " ^ want)
+      in
+      let hard = by_id "hard" and easy = by_id "easy" in
+      check "doomed request is unknown" true (status hard = Some "unknown");
+      check_str "reason is deadline" "deadline"
+        (Option.value (Jsonin.str_member "reason" hard) ~default:"<none>");
+      check "easy request unaffected" true (status easy = Some "sat");
+      send {|{"id": 0, "op": "shutdown"}|};
+      ignore (recv ()))
+
+(* -- pool vs sequential agreement ---------------------------------------- *)
+
+let test_pool_agreement () =
+  let r =
+    Server.selftest ~verbose:false
+      ~cfg:{ small_cfg with queue_cap = 64 }
+      ~n:48 ()
+  in
+  check_int "verdict mismatches" 0 r.Server.mismatches;
+  check_int "invalid witnesses" 0 r.Server.bad_witnesses;
+  check "throughput measured" true (r.Server.pool_rps > 0.0)
+
+let suite =
+  ( "service",
+    [
+      Alcotest.test_case "jsonin round-trip" `Quick test_jsonin
+    ; Alcotest.test_case "request parsing" `Quick test_parse_request
+    ; Alcotest.test_case "work-queue backpressure" `Quick test_wq_backpressure
+    ; Alcotest.test_case "lru accounting" `Quick test_lru
+    ; Alcotest.test_case "canonical cache keys" `Quick test_worker_keys
+    ; Alcotest.test_case "worker witness validation" `Quick test_worker_witness
+    ; Alcotest.test_case "session round-trip" `Quick test_session_roundtrip
+    ; Alcotest.test_case "deadline isolation" `Quick test_deadline_isolation
+    ; Alcotest.test_case "pool vs sequential agreement" `Quick
+        test_pool_agreement
+    ] )
