@@ -92,20 +92,30 @@ let rows_per_category =
 (* The machine-readable perf trajectory: one BENCH_<date>.json per run,
    so successive PRs leave a comparable series of solved counts and
    times (see DESIGN.md for the schema). *)
+let bench_date =
+  lazy
+    (let tm = Unix.localtime (Unix.time ()) in
+     Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday)
+
+let trajectory_path () =
+  match !out_path with
+  | Some p -> p
+  | None -> Printf.sprintf "BENCH_%s.json" (Lazy.force bench_date)
+
 let write_trajectory () =
-  let date =
-    let tm = Unix.localtime (Unix.time ()) in
-    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
-      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
-  in
-  let path =
-    match !out_path with
-    | Some p -> p
-    | None -> Printf.sprintf "BENCH_%s.json" date
-  in
-  Harness.write_bench_json ~path ~date ~budget ~timeout
+  let path = trajectory_path () in
+  Harness.write_bench_json ~path ~date:(Lazy.force bench_date) ~budget ~timeout
     (Lazy.force rows_per_category);
   Format.fprintf fmt "trajectory written to %s@." path
+
+(* The match-engine throughput rows land in the same trajectory file,
+   under an "engine" section (DESIGN.md §10). *)
+let engine_bench () =
+  let path = trajectory_path () in
+  let report = Engine_bench.run_and_append ~path () in
+  Engine_bench.pp fmt report;
+  Format.fprintf fmt "engine run appended to %s@.@." path
 
 let fig4c () =
   Format.fprintf fmt "== Figure 4(c): benchmark counts ==@.";
@@ -341,6 +351,7 @@ let () =
   fig4a ();
   fig4b ();
   write_trajectory ();
+  engine_bench ();
   ablation_dead ();
   ablation_dnf ();
   ablation_simplify ();

@@ -1,7 +1,9 @@
 #!/bin/sh
-# CI entry point: build, run the full test suite, then smoke-test the
-# solver service under load (verdict agreement + witness validity are
-# checked inside --selftest; non-zero exit on any mismatch).
+# CI entry point: build, run the full test suite, fuzz the match engine
+# against the other matchers and the DP oracle, then smoke-test the
+# solver service under load (verdict/span agreement + witness validity
+# are checked inside the fuzzer and --selftest; non-zero exit on any
+# mismatch).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,5 +14,13 @@ dune build
 echo "== tests =="
 dune runtest
 
+echo "== engine fuzz smoke =="
+# cross-checks engine vs matcher vs the DP oracle (verdicts, find
+# spans, prefix counts, chunked streaming, UTF-8 decoding) and forces
+# the max_states cache-reset path; exits non-zero on any disagreement
+dune exec bin/fuzz.exe -- --rounds 300 --seed 42
+
 echo "== service smoke =="
+# --selftest also replays match requests through the worker pool and
+# fails on any engine-vs-oracle span mismatch
 dune exec bin/sbdserve.exe -- --selftest 50 --workers 2 --no-bench

@@ -10,6 +10,8 @@
      experiments ablation-algebra         BDD vs range-list alphabet algebra
      experiments states                   lazy vs eager state-space sizes
      experiments dump-smt2 DIR            write the corpus as .smt2 files
+     experiments engine-bench             match-engine throughput vs the
+                                          per-position scan and DP oracle
      experiments all                      everything above (except dump)
 *)
 
@@ -232,6 +234,35 @@ let dump_cmd =
       const dump_smt2
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"))
 
+let engine_bench no_bench out =
+  let report =
+    if no_bench then Engine_bench.run ()
+    else Engine_bench.run_and_append ?path:out ()
+  in
+  Engine_bench.pp fmt report;
+  if not report.Engine_bench.all_agree then
+    failwith "engine-bench: engine and per-position scan spans disagree";
+  if not no_bench then
+    Format.fprintf fmt "appended engine run to %s@."
+      (match out with
+      | Some p -> p
+      | None -> Sbd_service.Server.default_bench_path ())
+
+let engine_bench_cmd =
+  cmd "engine-bench"
+    "match-engine throughput vs the per-position scan and the DP oracle"
+    Term.(
+      const engine_bench
+      $ Arg.(
+          value & flag
+          & info [ "no-bench" ]
+              ~doc:"Do not append the report to the BENCH trajectory.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~docv:"FILE"
+              ~doc:"Trajectory file (default BENCH_<date>.json)."))
+
 let all_cmd =
   cmd "all" "run every table, figure and ablation"
     Term.(
@@ -252,4 +283,4 @@ let () =
        (Cmd.group info
           [ table_cmd; fig4b_cmd; fig4c_cmd; ablation_dead_cmd
           ; ablation_simplify_cmd; ablation_algebra_cmd; states_cmd; dump_cmd
-          ; all_cmd ]))
+          ; engine_bench_cmd; all_cmd ]))

@@ -6,6 +6,11 @@
      - classical Brzozowski matching (Sbd_classic.Brzozowski)
      - SBFA acceptance (Sbd_core.Sbfa)
      - SRM-style matcher (Sbd_matcher)
+     - the byte-level match engine (Sbd_engine): full-match verdicts in
+       Byte and Utf8 modes, linear find spans and prefix counts vs the
+       matcher's historical per-position scans and a brute-force
+       reference, chunk-split streaming, and a max_states=2 engine that
+       forces the DFA cache-reset path on every non-trivial pattern
      - solver verdicts + witnesses (Sbd_solver, dz3)
      - minterm baseline verdicts (Sbd_classic.Minterm_solver)
      - coinductive equivalence vs complement-based equivalence
@@ -25,8 +30,15 @@ module Eq = Sbd_core.Lang_equiv.Make (R)
 module Brz = Sbd_classic.Brzozowski.Make (R)
 module MSolve = Sbd_classic.Minterm_solver.Make (R)
 module Matcher = Sbd_matcher.Matcher.Make (R)
+module Eng = Sbd_engine.Search.Make (R)
+module EngStream = Sbd_engine.Stream.Make (R)
+module U = Sbd_alphabet.Utf8
 
 let alphabet = List.map Char.code [ 'a'; 'b'; '0'; '1'; 'x' ]
+
+(* The UTF-8 rounds add multi-byte scalars (2- and 3-byte encodings)
+   so engine decoding, not just classification, is on the line. *)
+let alphabet_u = alphabet @ [ 0xE9; 0x4E2D ]
 
 let preds =
   let r lo hi = A.of_ranges [ (Char.code lo, Char.code hi) ] in
@@ -59,6 +71,60 @@ let gen_word rand =
   List.init (Random.State.int rand 7) (fun _ ->
       List.nth alphabet (Random.State.int rand (List.length alphabet)))
 
+let gen_word_u rand =
+  List.init (Random.State.int rand 7) (fun _ ->
+      List.nth alphabet_u (Random.State.int rand (List.length alphabet_u)))
+
+let string_of_word (w : int list) : string =
+  String.init (List.length w) (fun i -> Char.chr (List.nth w i))
+
+(* Brute-force leftmost-earliest span over code-point indices (= byte
+   offsets for ASCII words): minimal start, then minimal end. *)
+let ref_find r (w : int list) : (int * int) option =
+  let a = Array.of_list w in
+  let n = Array.length a in
+  let sub i j = Array.to_list (Array.sub a i (j - i)) in
+  let res = ref None in
+  (try
+     for i = 0 to n do
+       for j = i to n do
+         if Ref.matches r (sub i j) then begin
+           res := Some (i, j);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !res
+
+(* Brute-force count of positions [i < n] from which some prefix
+   matches. *)
+let ref_count r (w : int list) : int =
+  let a = Array.of_list w in
+  let n = Array.length a in
+  let sub i j = Array.to_list (Array.sub a i (j - i)) in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    let hit = ref false in
+    for j = i to n do
+      if (not !hit) && Ref.matches r (sub i j) then hit := true
+    done;
+    if !hit then incr count
+  done;
+  !count
+
+(* Feed [s] to a fresh stream in random chunks. *)
+let stream_random_chunks rand (eng : Eng.t) (s : string) : EngStream.result =
+  let st = EngStream.create eng in
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = 1 + Random.State.int rand (n - !pos) in
+    EngStream.feed ~off:!pos ~len st s;
+    pos := !pos + len
+  done;
+  EngStream.finish st
+
 let words_upto n =
   let rec go n =
     if n = 0 then [ [] ]
@@ -71,13 +137,23 @@ let short_words = words_upto 3
 
 exception Mismatch of string
 
-let fail_at round what r =
+let fail_at ?word round what r =
+  let ctx =
+    match word with
+    | None -> ""
+    | Some w ->
+      Printf.sprintf " (word [%s])"
+        (String.concat ";" (List.map string_of_int w))
+  in
   raise
-    (Mismatch (Printf.sprintf "round %d: %s disagrees on %s" round what (R.to_string r)))
+    (Mismatch
+       (Printf.sprintf "round %d: %s disagrees on %s%s" round what
+          (R.to_string r) ctx))
 
 let run ~rounds ~seed ~size =
   let rand = Random.State.make [| seed |] in
   let session = S.create_session () in
+  let total_resets = ref 0 in
   for round = 1 to rounds do
     let r = gen_regex rand size in
     let w = gen_word rand in
@@ -85,8 +161,45 @@ let run ~rounds ~seed ~size =
     (* matching engines *)
     if D.matches r w <> expected then fail_at round "derivative matcher" r;
     if Brz.matches r w <> expected then fail_at round "brzozowski matcher" r;
-    (let m = Matcher.create r in
-     if Matcher.matches m w <> expected then fail_at round "SRM matcher" r);
+    let m = Matcher.create r in
+    if Matcher.matches m w <> expected then fail_at round "SRM matcher" r;
+    (* byte-level engine: verdicts, spans, counts, streaming, resets *)
+    let s = string_of_word w in
+    let eng = Eng.create ~mode:Sbd_engine.Byteclass.Byte r in
+    if Eng.matches eng s <> expected then fail_at ~word:w round "engine matches" r;
+    let rspan = ref_find r w in
+    if Eng.find eng s <> rspan then fail_at ~word:w round "engine find span" r;
+    if Matcher.find_scan m s <> rspan then fail_at ~word:w round "matcher find_scan" r;
+    if Matcher.find m s <> rspan then fail_at ~word:w round "matcher find (engine)" r;
+    let rcount = ref_count r w in
+    if Matcher.count_matching_prefixes m s <> rcount then
+      fail_at ~word:w round "engine prefix count" r;
+    if Matcher.count_matching_prefixes_scan m s <> rcount then
+      fail_at ~word:w round "matcher prefix-count scan" r;
+    (* a 2-state cap forces cache resets on any non-trivial pattern;
+       verdicts must be unaffected (graceful degradation) *)
+    let eng2 = Eng.create ~max_states:2 ~mode:Sbd_engine.Byteclass.Byte r in
+    if Eng.matches eng2 s <> expected then
+      fail_at ~word:w round "engine (max_states=2) matches" r;
+    if Eng.find eng2 s <> rspan then
+      fail_at ~word:w round "engine (max_states=2) find span" r;
+    total_resets := !total_resets + (Eng.stats eng2).Eng.resets;
+    (* chunk-split streaming must be invisible *)
+    let st = stream_random_chunks rand eng s in
+    if st.EngStream.full <> expected then fail_at ~word:w round "stream full match" r;
+    if st.EngStream.found_end <> Eng.contains eng s then
+      fail_at ~word:w round "stream earliest match end" r;
+    (* UTF-8 mode: multi-byte scalars, engine vs the code-point oracle *)
+    let w8 = gen_word_u rand in
+    let s8 = U.encode w8 in
+    let expected8 = Ref.matches r w8 in
+    let eng8 = Eng.create ~mode:Sbd_engine.Byteclass.Utf8 r in
+    if Eng.matches eng8 s8 <> expected8 then fail_at ~word:w8 round "engine utf8" r;
+    if Matcher.matches_utf8 m s8 <> expected8 then
+      fail_at ~word:w8 round "matcher matches_utf8" r;
+    let st8 = stream_random_chunks rand eng8 s8 in
+    if st8.EngStream.full <> expected8 then
+      fail_at ~word:w8 round "stream utf8 (chunk-split scalars)" r;
     (match Sbfa.build ~max_states:500 r with
     | Some m -> if Sbfa.accepts m w <> expected then fail_at round "SBFA" r
     | None -> ());
@@ -107,7 +220,11 @@ let run ~rounds ~seed ~size =
     | Some false, _ -> fail_at round "simplifier equivalence" r
     | _ -> ());
     if round mod 500 = 0 then Printf.printf "... %d rounds ok\n%!" round
-  done
+  done;
+  (* the graceful-degradation path must actually have been taken *)
+  if rounds >= 100 && !total_resets = 0 then
+    raise (Mismatch "engine cache-reset path was never exercised");
+  Printf.printf "fuzz: engine cache resets exercised %d times\n%!" !total_resets
 
 open Cmdliner
 

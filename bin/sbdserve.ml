@@ -49,7 +49,11 @@ let run selftest socket workers queue_cap cache_cap memo_cap budget deadline
       Server.append_bench ~path result.Server.report;
       Printf.eprintf "sbdserve: appended service run to %s\n%!" path
     end;
-    if result.Server.mismatches = 0 && result.Server.bad_witnesses = 0 then 0
+    if
+      result.Server.mismatches = 0
+      && result.Server.bad_witnesses = 0
+      && result.Server.match_mismatches = 0
+    then 0
     else 1
   | None -> (
     let t = Server.create cfg in

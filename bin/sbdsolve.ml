@@ -10,6 +10,11 @@
      Selected automatically when the argument is not an existing file;
      forced with --re.
 
+   A third mode matches instead of solving: `sbdsolve --match PATTERN
+   --input TEXT` (or --input-file FILE, or stdin) runs the byte-level
+   streaming match engine over the UTF-8 input and reports the
+   full-match verdict and the leftmost-earliest match span.
+
    Observability: --stats prints the counter/timer snapshot of the run
    (machine-readable names, see DESIGN.md); --json switches the whole
    output to one JSON document; --deadline bounds each query by wall
@@ -18,6 +23,7 @@
 module P = Sbd_service.Default.P
 module S = Sbd_service.Default.S
 module E = Sbd_service.Default.E
+module Eng = Sbd_engine.Search.Make (Sbd_service.Default.R)
 module Obs = Sbd_obs.Obs
 
 let read_all ic =
@@ -98,6 +104,87 @@ let run_pattern ~budget ~deadline ~stats ~json pattern =
     end;
     0
 
+(* -- match mode ---------------------------------------------------------- *)
+
+let run_match ~deadline ~stats ~json ~input pattern =
+  match P.parse pattern with
+  | Error (pos, msg) ->
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("result", Obs.Json.Str "error");
+                ( "error",
+                  Obs.Json.Str (Printf.sprintf "parse error at %d: %s" pos msg)
+                );
+              ]))
+    else Printf.printf "(error \"parse error at %d: %s\")\n" pos msg;
+    2
+  | Ok r ->
+    let eng = Eng.create ~mode:Sbd_engine.Byteclass.Utf8 r in
+    let dl = Option.map Obs.Deadline.of_seconds deadline in
+    let t0 = Obs.now () in
+    let outcome =
+      try
+        let full = Eng.matches ?deadline:dl eng input in
+        let span = Eng.find ?deadline:dl eng input in
+        Ok (full, span)
+      with Obs.Deadline_exceeded what -> Error what
+    in
+    let wall = Obs.now () -. t0 in
+    let st = Eng.stats eng in
+    let engine_stats =
+      [
+        ("engine.classes", float_of_int st.Eng.num_classes);
+        ("engine.fwd_states", float_of_int st.Eng.fwd_states);
+        ("engine.unanch_states", float_of_int st.Eng.unanch_states);
+        ("engine.back_states", float_of_int st.Eng.back_states);
+        ("engine.resets", float_of_int st.Eng.resets);
+      ]
+      @ active_counters ()
+      @ [ ("query.wall_time_s", wall) ]
+    in
+    if json then begin
+      let base =
+        match outcome with
+        | Ok (full, span) ->
+          [
+            ("result", Obs.Json.Str "ok");
+            ("matched", Obs.Json.Bool (span <> None));
+            ("full", Obs.Json.Bool full);
+          ]
+          @ (match span with
+            | Some (i, j) ->
+              [ ("span", Obs.Json.Arr [ Obs.Json.Int i; Obs.Json.Int j ]) ]
+            | None -> [])
+        | Error what ->
+          [
+            ("result", Obs.Json.Str "unknown");
+            ("reason", Obs.Json.Str ("deadline:" ^ what));
+          ]
+      in
+      let doc =
+        base
+        @ [
+            ("pattern", Obs.Json.Str pattern);
+            ("input_bytes", Obs.Json.Int (String.length input));
+            ("wall_s", Obs.Json.Float wall);
+          ]
+        @ if stats then [ ("stats", json_of_stats engine_stats) ] else []
+      in
+      print_endline (Obs.Json.to_string (Obs.Json.Obj doc))
+    end
+    else begin
+      (match outcome with
+      | Ok (full, None) -> Printf.printf "no-match full=%b\n" full
+      | Ok (full, Some (i, j)) ->
+        Printf.printf "match [%d,%d) full=%b\n" i j full
+      | Error what -> Printf.printf "unknown (deadline:%s)\n" what);
+      if stats then print_stats_text engine_stats
+    end;
+    (match outcome with Ok _ -> 0 | Error _ -> 1)
+
 (* -- SMT-LIB script mode ------------------------------------------------- *)
 
 let run_script ~budget ~deadline ~stats ~json file =
@@ -149,10 +236,27 @@ let run_script ~budget ~deadline ~stats ~json file =
 
 open Cmdliner
 
-let run input budget deadline force_re stats json =
-  let pattern_mode = force_re || (input <> "-" && not (Sys.file_exists input)) in
-  if pattern_mode then run_pattern ~budget ~deadline ~stats ~json input
-  else run_script ~budget ~deadline ~stats ~json input
+let run input budget deadline force_re stats json do_match match_text
+    match_file =
+  if do_match then begin
+    let text =
+      match (match_text, match_file) with
+      | Some s, _ -> s
+      | None, Some f ->
+        let ic = open_in_bin f in
+        let s = read_all ic in
+        close_in ic;
+        s
+      | None, None -> read_all stdin
+    in
+    run_match ~deadline ~stats ~json ~input:text input
+  end
+  else
+    let pattern_mode =
+      force_re || (input <> "-" && not (Sys.file_exists input))
+    in
+    if pattern_mode then run_pattern ~budget ~deadline ~stats ~json input
+    else run_script ~budget ~deadline ~stats ~json input
 
 let () =
   let input_t =
@@ -194,10 +298,35 @@ let () =
       value & flag
       & info [ "json" ] ~doc:"Machine-readable JSON output on stdout.")
   in
+  let match_t =
+    Arg.(
+      value & flag
+      & info [ "match" ]
+          ~doc:
+            "Match instead of solve: run the byte-level engine over the \
+             input (see $(b,--input)/$(b,--input-file); stdin otherwise) \
+             and report the full-match verdict and leftmost-earliest span \
+             (byte offsets).  The input is decoded as UTF-8, lossily.")
+  in
+  let match_input_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "input" ] ~docv:"TEXT" ~doc:"Input text for $(b,--match).")
+  in
+  let match_file_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "input-file" ] ~docv:"FILE"
+          ~doc:"Read the $(b,--match) input from $(docv).")
+  in
   let cmd =
     Cmd.v
-      (Cmd.info "sbdsolve" ~doc:"Solve regex (ERE / SMT-LIB QF_S) constraints")
+      (Cmd.info "sbdsolve"
+         ~doc:"Solve and match regex (ERE / SMT-LIB QF_S) constraints")
       Term.(
-        const run $ input_t $ budget_t $ deadline_t $ re_t $ stats_t $ json_t)
+        const run $ input_t $ budget_t $ deadline_t $ re_t $ stats_t $ json_t
+        $ match_t $ match_input_t $ match_file_t)
   in
   exit (Cmd.eval' cmd)

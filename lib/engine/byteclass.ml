@@ -1,0 +1,182 @@
+(** Byte-level character classification for the match engine.
+
+    The engine's DFA alphabet is the minterm set of the pattern (as in
+    the SRM matcher, Section 8.5), but its {e input} alphabet is bytes:
+    classification must go byte → equivalence class in one array read
+    on the hot path.  This module compiles the pattern's minterms into
+
+    - a dense 256-entry [byte → class] table, complete in [Byte]
+      (Latin-1) mode and covering the ASCII plane in [Utf8] mode, and
+    - a sorted range table for code-point classification, the fallback
+      for decoded non-ASCII scalars in [Utf8] mode.
+
+    Multi-byte UTF-8 handling is deliberately scalar-at-a-time with
+    lossy (U+FFFD per offending byte) error semantics, matching
+    {!Sbd_alphabet.Utf8.decode_lossy}, so the engine is total on
+    arbitrary byte strings.  The scalar codec here additionally
+    supports {e backward} iteration (for the reverse pass of the linear
+    search) and truncation detection (for chunked streaming). *)
+
+(* -- UTF-8 scalar codec (BMP, 1-3 bytes, strict + lossy-total) ----------- *)
+
+let replacement = 0xFFFD
+
+let is_cont b = b land 0xC0 = 0x80
+
+(** Classify the scalar starting at [pos] in [s], looking no further
+    than [limit] (exclusive).  [`Truncated] means the bytes so far are a
+    proper prefix of a well-formed sequence cut off by [limit] — at a
+    chunk boundary the caller carries them; at end of input they are
+    malformed. *)
+let classify_scalar (s : string) (pos : int) (limit : int) :
+    [ `Cp of int * int | `Malformed | `Truncated ] =
+  let b0 = Char.code s.[pos] in
+  if b0 < 0x80 then `Cp (b0, 1)
+  else if b0 < 0xC0 then `Malformed (* stray continuation *)
+  else if b0 < 0xE0 then
+    if pos + 1 >= limit then `Truncated
+    else
+      let b1 = Char.code s.[pos + 1] in
+      if not (is_cont b1) then `Malformed
+      else
+        let cp = ((b0 land 0x1F) lsl 6) lor (b1 land 0x3F) in
+        if cp < 0x80 then `Malformed (* overlong *) else `Cp (cp, 2)
+  else if b0 < 0xF0 then
+    if pos + 1 >= limit then `Truncated
+    else
+      let b1 = Char.code s.[pos + 1] in
+      if not (is_cont b1) then `Malformed
+      else if pos + 2 >= limit then `Truncated
+      else
+        let b2 = Char.code s.[pos + 2] in
+        if not (is_cont b2) then `Malformed
+        else
+          let cp =
+            ((b0 land 0x0F) lsl 12) lor ((b1 land 0x3F) lsl 6) lor (b2 land 0x3F)
+          in
+          if cp < 0x800 then `Malformed (* overlong *)
+          else if cp >= 0xD800 && cp <= 0xDFFF then `Malformed (* surrogate *)
+          else `Cp (cp, 3)
+  else `Malformed (* beyond the BMP *)
+
+(** Lossy forward step: the scalar at [pos] and the position after it.
+    Malformed or input-final truncated bytes decode as one U+FFFD. *)
+let scalar_forward (s : string) (pos : int) (limit : int) : int * int =
+  match classify_scalar s pos limit with
+  | `Cp (cp, len) -> (cp, pos + len)
+  | `Malformed | `Truncated -> (replacement, pos + 1)
+
+(** Lossy backward step: the scalar {e ending} at [pos] (exclusive) and
+    its start position, never looking below [lo].  Mirrors the forward
+    lossy segmentation: a window [q, pos) qualifies only when it decodes
+    strictly as exactly one scalar; otherwise the byte at [pos - 1] is a
+    lone U+FFFD. *)
+let scalar_backward (s : string) (pos : int) (lo : int) : int * int =
+  let b = Char.code s.[pos - 1] in
+  if b < 0x80 then (b, pos - 1)
+  else begin
+    (* find the closest non-continuation byte within 3 bytes *)
+    let q = ref (pos - 1) in
+    while !q > lo && pos - !q < 3 && is_cont (Char.code s.[!q]) do
+      decr q
+    done;
+    if is_cont (Char.code s.[!q]) then (replacement, pos - 1)
+    else
+      match classify_scalar s !q pos with
+      | `Cp (cp, len) when !q + len = pos -> (cp, !q)
+      | _ -> (replacement, pos - 1)
+  end
+
+(* -- the compiled classifier --------------------------------------------- *)
+
+type mode =
+  | Byte  (** each byte is a Latin-1 code point: the full 256-entry table *)
+  | Utf8
+      (** ASCII bytes classify by table; lead bytes fall back to scalar
+          decoding plus code-point classification *)
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module A = R.A
+  module M = Sbd_alphabet.Minterm.Make (A)
+
+  type t = {
+    mode : mode;
+    num_classes : int;
+    table : int array;
+        (** 256 entries; [>= 0] is a class, [-1] means "decode first"
+            (only non-ASCII bytes in [Utf8] mode) *)
+    ranges : (int * int * int) array;
+        (** sorted [(lo, hi, class)] rows over code points *)
+    representatives : int array;  (** one witness code point per class *)
+  }
+
+  (** Binary search the range table; code points outside every minterm
+      range cannot occur (minterms partition the BMP), but default to
+      class 0 defensively. *)
+  let classify_cp (t : t) (c : int) : int =
+    let lo = ref 0 and hi = ref (Array.length t.ranges - 1) in
+    let result = ref 0 in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let l, h, cls = t.ranges.(mid) in
+      if c < l then hi := mid - 1
+      else if c > h then lo := mid + 1
+      else begin
+        result := cls;
+        lo := !hi + 1
+      end
+    done;
+    !result
+
+  let compile ~(mode : mode) (pattern : R.t) : t =
+    let minterm_preds = M.minterms (R.preds pattern) in
+    let ranges =
+      List.concat
+        (List.mapi
+           (fun idx p -> List.map (fun (lo, hi) -> (lo, hi, idx)) (A.ranges p))
+           minterm_preds)
+    in
+    let ranges = Array.of_list (List.sort compare ranges) in
+    let representatives =
+      Array.of_list
+        (List.map
+           (fun p -> match A.choose p with Some c -> c | None -> 0)
+           minterm_preds)
+    in
+    let t =
+      {
+        mode;
+        num_classes = List.length minterm_preds;
+        table = [||];
+        ranges;
+        representatives;
+      }
+    in
+    let table =
+      Array.init 256 (fun b ->
+          match mode with
+          | Byte -> classify_cp t b
+          | Utf8 -> if b < 0x80 then classify_cp t b else -1)
+    in
+    { t with table }
+
+  (** Forward hot-path step over [s.[pos .. limit)]: the class of the
+      next scalar and the position after it.  One array read for every
+      byte in [Byte] mode and for ASCII in [Utf8] mode. *)
+  let next (t : t) (s : string) (pos : int) (limit : int) : int * int =
+    let cls = Array.unsafe_get t.table (Char.code (String.unsafe_get s pos)) in
+    if cls >= 0 then (cls, pos + 1)
+    else
+      let cp, pos' = scalar_forward s pos limit in
+      (classify_cp t cp, pos')
+
+  (** Backward step over the scalar ending at [pos] (exclusive), never
+      looking below [lo]: its class and its start position. *)
+  let prev (t : t) (s : string) (pos : int) (lo : int) : int * int =
+    let b = Char.code (String.unsafe_get s (pos - 1)) in
+    let cls = Array.unsafe_get t.table b in
+    if cls >= 0 && (t.mode = Byte || b < 0x80) then (cls, pos - 1)
+    else
+      let cp, pos' = scalar_backward s pos lo in
+      (classify_cp t cp, pos')
+end

@@ -1,0 +1,162 @@
+(** Dense lazy DFA over a byte-class alphabet.
+
+    States are small integers; each materialized state owns an
+    [int array] transition row of width [num_classes], filled lazily
+    from classical Brzozowski derivatives ({!Sbd_classic.Brzozowski})
+    taken at each class's representative code point.  Hash-consing in
+    {!Sbd_regex.Regex} makes the regex → state-id mapping a plain
+    physical-identity hashtable lookup.
+
+    Unbounded state growth (complement/intersection blowups) is bounded
+    by a hard [max_states] cap: exceeding it {e resets} the cache —
+    every state table is cleared, the start regex is re-interned as
+    state 0, and the in-flight target is re-interned into the fresh
+    table.  Degradation is graceful (a scan loop holding one current
+    state id simply continues from the re-interned state; answers stay
+    exact because states denote the same regexes), only throughput
+    suffers if the input keeps cycling through more than [max_states]
+    distinct derivatives. *)
+
+let c_states = Sbd_obs.Obs.Counter.make "engine.states"
+let c_resets = Sbd_obs.Obs.Counter.make "engine.resets"
+let c_transitions = Sbd_obs.Obs.Counter.make "engine.transitions"
+
+let default_max_states = 10_000
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module Brz = Sbd_classic.Brzozowski.Make (R)
+
+  module Tbl = Hashtbl.Make (struct
+    type t = R.t
+
+    let equal = R.equal
+    let hash = R.hash
+  end)
+
+  type t = {
+    start : R.t;
+    representatives : int array;  (** code point witness per byte class *)
+    num_classes : int;
+    max_states : int;
+    mutable index : int Tbl.t;  (** regex → state id *)
+    mutable regexes : R.t array;  (** state id → regex *)
+    mutable rows : int array array;
+        (** state id → transition row; [-1] marks an unfilled cell *)
+    mutable nullable : Bytes.t;
+    mutable dead : Bytes.t;  (** state is ⊥: no suffix can match *)
+    mutable full : Bytes.t;  (** state is [.*]: every suffix matches *)
+    mutable n : int;  (** number of materialized states *)
+    mutable resets : int;
+  }
+
+  let grow t =
+    let cap = Array.length t.regexes in
+    if t.n >= cap then begin
+      let cap' = min t.max_states (max 8 (2 * cap)) in
+      let regexes = Array.make cap' t.start in
+      Array.blit t.regexes 0 regexes 0 t.n;
+      let rows = Array.make cap' [||] in
+      Array.blit t.rows 0 rows 0 t.n;
+      let nullable = Bytes.make cap' '\000' in
+      Bytes.blit t.nullable 0 nullable 0 t.n;
+      let dead = Bytes.make cap' '\000' in
+      Bytes.blit t.dead 0 dead 0 t.n;
+      let full = Bytes.make cap' '\000' in
+      Bytes.blit t.full 0 full 0 t.n;
+      t.regexes <- regexes;
+      t.rows <- rows;
+      t.nullable <- nullable;
+      t.dead <- dead;
+      t.full <- full
+    end
+
+  (* Materialize [r] as a fresh state (capacity is doubled as needed,
+     up to [max_states]). *)
+  let add_state t (r : R.t) : int =
+    grow t;
+    let id = t.n in
+    t.n <- id + 1;
+    Tbl.add t.index r id;
+    t.regexes.(id) <- r;
+    t.rows.(id) <- Array.make t.num_classes (-1);
+    (* overwrite, don't just set: after a cache reset the slot may hold
+       the bits of its previous occupant *)
+    Bytes.set t.nullable id (if R.nullable r then '\001' else '\000');
+    Bytes.set t.dead id (if R.is_empty r then '\001' else '\000');
+    Bytes.set t.full id (if R.is_full r then '\001' else '\000');
+    Sbd_obs.Obs.Counter.incr c_states;
+    id
+
+  let reset t =
+    Tbl.reset t.index;
+    t.n <- 0;
+    t.resets <- t.resets + 1;
+    Sbd_obs.Obs.Counter.incr c_resets;
+    ignore (add_state t t.start : int)
+
+  (** State id for [r], materializing it if new.  On hitting
+      [max_states] the whole cache is reset first, so the returned id is
+      always valid against the {e current} table — callers must not mix
+      ids from before and after a step. *)
+  let intern t (r : R.t) : int =
+    match Tbl.find_opt t.index r with
+    | Some id -> id
+    | None ->
+      if t.n >= t.max_states then reset t;
+      (match Tbl.find_opt t.index r with
+      | Some id -> id (* r was the start regex *)
+      | None -> add_state t r)
+
+  let create ?(max_states = default_max_states) ~(representatives : int array)
+      (start : R.t) : t =
+    let max_states = max max_states 2 in
+    let t =
+      {
+        start;
+        representatives;
+        num_classes = Array.length representatives;
+        max_states;
+        index = Tbl.create 256;
+        regexes = [||];
+        rows = [||];
+        nullable = Bytes.empty;
+        dead = Bytes.empty;
+        full = Bytes.empty;
+        n = 0;
+        resets = 0;
+      }
+    in
+    ignore (add_state t t.start : int);
+    t
+
+  let start_id = 0
+
+  (** The hot path: follow the transition for byte class [cls] out of
+      state [id], deriving and interning the successor on a row miss.
+      Returns the successor id.  A cache reset inside [intern] can
+      invalidate [id]'s row, so the row write is guarded by re-checking
+      the reset counter. *)
+  let step (t : t) (id : int) (cls : int) : int =
+    let row = Array.unsafe_get t.rows id in
+    let tgt = Array.unsafe_get row cls in
+    if tgt >= 0 then tgt
+    else begin
+      Sbd_obs.Obs.Counter.incr c_transitions;
+      let r = t.regexes.(id) in
+      let d = Brz.derive t.representatives.(cls) r in
+      let resets_before = t.resets in
+      let tgt = intern t d in
+      (* After a reset [id] names a different (or vacant) state; only
+         memoize into the row when the table it belongs to survived. *)
+      if t.resets = resets_before then row.(cls) <- tgt;
+      tgt
+    end
+
+  (* Unsafe reads are fine: ids only come from [intern]/[step], so they
+     are always below [t.n] for the current table. *)
+  let is_nullable t id = Bytes.unsafe_get t.nullable id <> '\000'
+  let is_dead t id = Bytes.unsafe_get t.dead id <> '\000'
+  let is_full t id = Bytes.unsafe_get t.full id <> '\000'
+  let num_states t = t.n
+  let resets t = t.resets
+end

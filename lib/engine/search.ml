@@ -1,0 +1,262 @@
+(** Anchored and unanchored search over the dense lazy DFA.
+
+    Three scan shapes, all linear in the input length:
+
+    - {!matches}: anchored full match, one forward pass;
+    - {!contains}: unanchored containment via the forward DFA of
+      [⊤*·r] — nullability at position [j] says some match ends at [j],
+      so the scan can stop at the {e earliest match end} (the streaming
+      observable; {!Stream} builds on it);
+    - {!find}: leftmost-earliest span — the same semantics as the
+      matcher's quadratic per-position scan — in at most two linear
+      passes.  The trick is language reversal: running the DFA of
+      [⊤*·rev(r)] {e backward} from the end of the input, nullability
+      after consuming [s[i..n)] in reverse says [s[i..n)] has a prefix
+      in [L(r)], i.e. a match {e starts} at [i].  The minimal such [i]
+      is the leftmost start; a forward anchored pass from it finds the
+      earliest end.
+
+    All three byte-class tables are shared: [⊤] contributes no new
+    predicate and reversal permutes subterms without changing the
+    predicate set, so the minterms of [r], [⊤*·r] and [⊤*·rev r]
+    coincide. *)
+
+let c_compiles = Sbd_obs.Obs.Counter.make "engine.compiles"
+let default_max_states = Dfa.default_max_states
+
+module Obs = Sbd_obs.Obs
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module Bc = Byteclass.Make (R)
+  module Dfa = Dfa.Make (R)
+
+  type t = {
+    pattern : R.t;
+    mode : Byteclass.mode;
+    bc : Bc.t;
+    max_states : int;
+    fwd : Dfa.t;  (** anchored: start = pattern *)
+    mutable unanch : Dfa.t option;  (** start = ⊤*·pattern, built lazily *)
+    mutable back : Dfa.t option;  (** start = ⊤*·rev pattern, built lazily *)
+  }
+
+  let create ?(max_states = default_max_states)
+      ?(mode = Byteclass.Byte) (pattern : R.t) : t =
+    Obs.Counter.incr c_compiles;
+    let bc = Bc.compile ~mode pattern in
+    {
+      pattern;
+      mode;
+      bc;
+      max_states;
+      fwd = Dfa.create ~max_states ~representatives:bc.Bc.representatives pattern;
+      unanch = None;
+      back = None;
+    }
+
+  let unanchored t =
+    match t.unanch with
+    | Some d -> d
+    | None ->
+      let d =
+        Dfa.create ~max_states:t.max_states
+          ~representatives:t.bc.Bc.representatives
+          (R.concat R.full t.pattern)
+      in
+      t.unanch <- Some d;
+      d
+
+  let backward t =
+    match t.back with
+    | Some d -> d
+    | None ->
+      let d =
+        Dfa.create ~max_states:t.max_states
+          ~representatives:t.bc.Bc.representatives
+          (R.concat R.full (R.rev t.pattern))
+      in
+      t.back <- Some d;
+      d
+
+  (* -- scan loops -------------------------------------------------------- *)
+
+  (* Every loop below inlines the byte→class table hit (one string read,
+     one array read) and only calls into {!Bc} on the multi-byte slow
+     path: [Bc.next]/[Bc.prev] return a tuple, and an allocation per
+     byte would dominate the scan. *)
+
+  (** Run the anchored DFA over [s.[pos..limit)]; full-match verdict.
+      Early exit on dead (no extension matches) and full (every
+      extension matches) states. *)
+  let run_anchored ?(deadline = Obs.Deadline.none) (t : t) (s : string)
+      (pos : int) (limit : int) : bool =
+    let dfa = t.fwd in
+    let table = t.bc.Bc.table in
+    let q = ref Dfa.start_id and p = ref pos in
+    (* -1 undecided, 0 no, 1 yes *)
+    let verdict = ref (-1) in
+    while !verdict < 0 && !p < limit do
+      if not (Obs.Deadline.is_none deadline) then Obs.Deadline.check deadline;
+      if Dfa.is_dead dfa !q then verdict := 0
+      else if Dfa.is_full dfa !q then verdict := 1
+      else begin
+        let cls = Array.unsafe_get table (Char.code (String.unsafe_get s !p)) in
+        if cls >= 0 then begin
+          q := Dfa.step dfa !q cls;
+          incr p
+        end
+        else begin
+          let cls, p' = Bc.next t.bc s !p limit in
+          q := Dfa.step dfa !q cls;
+          p := p'
+        end
+      end
+    done;
+    if !verdict >= 0 then !verdict = 1 else Dfa.is_nullable dfa !q
+
+  (** Forward pass of the [⊤*·r] DFA over [s.[pos..limit)]: byte offset
+      just after the first position where some match ends, or [None]. *)
+  let first_nullable ?(deadline = Obs.Deadline.none) (t : t) (s : string)
+      (pos : int) (limit : int) : int option =
+    let dfa = unanchored t in
+    if Dfa.is_nullable dfa Dfa.start_id then Some pos
+    else begin
+      let table = t.bc.Bc.table in
+      let q = ref Dfa.start_id and p = ref pos in
+      let found = ref (-1) in
+      while !found < 0 && !p < limit do
+        if not (Obs.Deadline.is_none deadline) then Obs.Deadline.check deadline;
+        let cls = Array.unsafe_get table (Char.code (String.unsafe_get s !p)) in
+        if cls >= 0 then begin
+          q := Dfa.step dfa !q cls;
+          incr p
+        end
+        else begin
+          let cls, p' = Bc.next t.bc s !p limit in
+          q := Dfa.step dfa !q cls;
+          p := p'
+        end;
+        if Dfa.is_nullable dfa !q then found := !p
+      done;
+      if !found < 0 then None else Some !found
+    end
+
+  (** Backward pass of the [⊤*·rev r] DFA over all of [s], scanning
+      scalars right to left.  [on_hit i] is called (in decreasing order
+      of [i]) for every position [i] such that a match of [t.pattern]
+      starts at [i]; positions are scalar starts plus possibly [n]
+      itself (when the pattern is nullable the empty match at [n] is
+      reported first). *)
+  let backward_scan ?(deadline = Obs.Deadline.none) (t : t) (s : string)
+      (on_hit : int -> unit) : unit =
+    let dfa = backward t in
+    let table = t.bc.Bc.table in
+    let byte_mode = t.mode = Byteclass.Byte in
+    let n = String.length s in
+    if Dfa.is_nullable dfa Dfa.start_id then on_hit n;
+    let q = ref Dfa.start_id and p = ref n in
+    while !p > 0 do
+      if not (Obs.Deadline.is_none deadline) then Obs.Deadline.check deadline;
+      let b = Char.code (String.unsafe_get s (!p - 1)) in
+      let cls = Array.unsafe_get table b in
+      if cls >= 0 && (byte_mode || b < 0x80) then begin
+        q := Dfa.step dfa !q cls;
+        decr p
+      end
+      else begin
+        let cls, p' = Bc.prev t.bc s !p 0 in
+        q := Dfa.step dfa !q cls;
+        p := p'
+      end;
+      if Dfa.is_nullable dfa !q then on_hit !p
+    done
+
+  (* -- public API -------------------------------------------------------- *)
+
+  let matches ?deadline (t : t) (s : string) : bool =
+    run_anchored ?deadline t s 0 (String.length s)
+
+  (** [contains t s]: earliest byte offset at which a match of the
+      pattern ends, or [None] when no substring of [s] matches. *)
+  let contains ?deadline (t : t) (s : string) : int option =
+    first_nullable ?deadline t s 0 (String.length s)
+
+  (** Forward anchored pass from [pos]: earliest [j] with
+      [s.[pos..j) ∈ L(pattern)]. *)
+  let first_nullable_anchored ?(deadline = Obs.Deadline.none) (t : t)
+      (s : string) (pos : int) (limit : int) : int option =
+    let dfa = t.fwd in
+    if Dfa.is_nullable dfa Dfa.start_id then Some pos
+    else begin
+      let table = t.bc.Bc.table in
+      let q = ref Dfa.start_id and p = ref pos in
+      let found = ref (-1) in
+      while !found < 0 && !p < limit && not (Dfa.is_dead dfa !q) do
+        if not (Obs.Deadline.is_none deadline) then Obs.Deadline.check deadline;
+        let cls = Array.unsafe_get table (Char.code (String.unsafe_get s !p)) in
+        if cls >= 0 then begin
+          q := Dfa.step dfa !q cls;
+          incr p
+        end
+        else begin
+          let cls, p' = Bc.next t.bc s !p limit in
+          q := Dfa.step dfa !q cls;
+          p := p'
+        end;
+        if Dfa.is_nullable dfa !q then found := !p
+      done;
+      if !found < 0 then None else Some !found
+    end
+
+  (** Leftmost-earliest match span [(i, j)] with [i] the minimal start
+      of any match and [j] the minimal end of a match starting at [i]
+      (byte offsets, [s.[i..j)] is the matched substring).  Agrees with
+      the historical [Matcher.find] scan but runs in at most two linear
+      passes instead of O(n·m) restarts: the backward scan reports hits
+      in decreasing position order, so the last one is the minimal
+      start. *)
+  let find ?deadline (t : t) (s : string) : (int * int) option =
+    if R.nullable t.pattern then Some (0, 0)
+    else begin
+      let n = String.length s in
+      let min_start = ref (-1) in
+      backward_scan ?deadline t s (fun i -> min_start := i);
+      match !min_start with
+      | -1 -> None
+      | i ->
+        (* a match starts at [i], so the anchored forward pass is
+           guaranteed to hit a nullable state at some [j <= n] *)
+        (match first_nullable_anchored ?deadline t s i n with
+        | Some j -> Some (i, j)
+        | None -> None)
+    end
+
+  (** Number of positions [i < n] (byte offsets of scalar starts) such
+      that some match starts at [i] — the count of nonempty-input
+      "matching prefixes" used by the matcher API.  One backward
+      pass. *)
+  let count_matching_prefixes ?deadline (t : t) (s : string) : int =
+    let n = String.length s in
+    let count = ref 0 in
+    backward_scan ?deadline t s (fun i -> if i < n then incr count);
+    !count
+
+  type stats = {
+    num_classes : int;
+    fwd_states : int;
+    unanch_states : int;
+    back_states : int;
+    resets : int;
+  }
+
+  let stats (t : t) : stats =
+    let opt f = function None -> 0 | Some d -> f d in
+    {
+      num_classes = t.bc.Bc.num_classes;
+      fwd_states = Dfa.num_states t.fwd;
+      unanch_states = opt Dfa.num_states t.unanch;
+      back_states = opt Dfa.num_states t.back;
+      resets =
+        Dfa.resets t.fwd + opt Dfa.resets t.unanch + opt Dfa.resets t.back;
+    }
+end

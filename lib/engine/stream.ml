@@ -1,0 +1,185 @@
+(** Constant-memory streaming match over chunked input.
+
+    A stream runs two DFAs in lockstep over the concatenation of the
+    chunks fed to it, without ever buffering more than a 3-byte carry:
+
+    - the {e anchored} DFA of the pattern, whose nullability at end of
+      stream is the full-match verdict;
+    - the {e unanchored} DFA of [⊤*·pattern], whose first nullable
+      position is the earliest byte offset at which some substring
+      match ends ({!Search.contains}, incrementalized).
+
+    In [Utf8] mode a code point may straddle a chunk boundary; the
+    stream detects the truncated prefix (≤ 2 bytes — see
+    {!Byteclass.classify_scalar}) and carries it into the next chunk,
+    so chunking is invisible: any split of an input yields exactly the
+    same verdict, offsets and state trajectory as feeding it whole.
+    {!finish} flushes a dangling carry with the same lossy U+FFFD
+    semantics as {!Sbd_alphabet.Utf8.decode_lossy}. *)
+
+module Obs = Sbd_obs.Obs
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module Search = Search.Make (R)
+  module Bc = Search.Bc
+  module Dfa = Search.Dfa
+
+  type result = {
+    full : bool;  (** the whole stream is in [L(pattern)] *)
+    found_end : int option;
+        (** earliest byte offset at which some substring match ends *)
+    bytes : int;  (** total bytes consumed *)
+  }
+
+  type t = {
+    search : Search.t;
+    fwd : Dfa.t;
+    un : Dfa.t;
+    mutable fwd_q : int;
+    mutable un_q : int;
+    mutable found : int option;
+    mutable bytes : int;  (** stream offset = bytes consumed so far *)
+    carry : Bytes.t;  (** truncated UTF-8 prefix awaiting the next chunk *)
+    mutable carry_len : int;
+    mutable finished : bool;
+  }
+
+  let create (search : Search.t) : t =
+    let un = Search.unanchored search in
+    {
+      search;
+      fwd = search.Search.fwd;
+      un;
+      fwd_q = Dfa.start_id;
+      un_q = Dfa.start_id;
+      found = (if Dfa.is_nullable un Dfa.start_id then Some 0 else None);
+      bytes = 0;
+      carry = Bytes.create 3;
+      carry_len = 0;
+      finished = false;
+    }
+
+  (* One scalar (already classified) into both DFAs; [t.bytes] must
+     already point at the scalar's end offset. *)
+  let step_class (t : t) (cls : int) : unit =
+    t.fwd_q <- Dfa.step t.fwd t.fwd_q cls;
+    t.un_q <- Dfa.step t.un t.un_q cls;
+    if t.found = None && Dfa.is_nullable t.un t.un_q then
+      t.found <- Some t.bytes
+
+  let step_cp (t : t) (cp : int) (width : int) : unit =
+    t.bytes <- t.bytes + width;
+    step_class t (Bc.classify_cp t.search.Search.bc cp)
+
+  (* Consume scalars of [s.[pos..limit)], returning where consumption
+     stopped: [limit], or the start of a truncated trailing sequence
+     (Utf8 mode only). *)
+  let consume ~deadline (t : t) (s : string) (pos : int) (limit : int) : int =
+    let bc = t.search.Search.bc in
+    let p = ref pos in
+    let stop = ref (-1) in
+    while !stop < 0 && !p < limit do
+      if not (Obs.Deadline.is_none deadline) then Obs.Deadline.check deadline;
+      let cls = Array.unsafe_get bc.Bc.table (Char.code (String.unsafe_get s !p)) in
+      if cls >= 0 then begin
+        t.bytes <- t.bytes + 1;
+        step_class t cls;
+        incr p
+      end
+      else
+        match Byteclass.classify_scalar s !p limit with
+        | `Cp (cp, w) ->
+          step_cp t cp w;
+          p := !p + w
+        | `Malformed ->
+          step_cp t Byteclass.replacement 1;
+          incr p
+        | `Truncated -> stop := !p
+    done;
+    if !stop < 0 then limit else !stop
+
+  (** Feed the next chunk (or a slice of it).  Raises [Invalid_argument]
+      after {!finish}. *)
+  let feed ?(deadline = Obs.Deadline.none) ?(off = 0) ?len (t : t)
+      (chunk : string) : unit =
+    if t.finished then invalid_arg "Sbd_engine.Stream.feed: stream finished";
+    let len = match len with Some l -> l | None -> String.length chunk - off in
+    if off < 0 || len < 0 || off + len > String.length chunk then
+      invalid_arg "Sbd_engine.Stream.feed: bad slice";
+    match t.search.Search.mode with
+    | Byteclass.Byte ->
+      (* every byte is a scalar: one table read each, no carry ever *)
+      let bc = t.search.Search.bc in
+      for p = off to off + len - 1 do
+        if not (Obs.Deadline.is_none deadline) then Obs.Deadline.check deadline;
+        let cls =
+          Array.unsafe_get bc.Bc.table (Char.code (String.unsafe_get chunk p))
+        in
+        t.bytes <- t.bytes + 1;
+        step_class t cls
+      done
+    | Byteclass.Utf8 ->
+      let chunk_limit = off + len in
+      let chunk_pos = ref off in
+      if t.carry_len > 0 then begin
+        (* Splice the carry with just enough of the chunk to settle every
+           scalar that starts inside the carry: a start position < 3 plus
+           a width ≤ 3 never looks past byte 6, so 6 chunk bytes suffice
+           and [`Truncated] below can only mean the chunk itself ended. *)
+        let take = min 6 len in
+        let cl = t.carry_len in
+        let head = Bytes.create (cl + take) in
+        Bytes.blit t.carry 0 head 0 cl;
+        Bytes.blit_string chunk off head cl take;
+        let head = Bytes.unsafe_to_string head in
+        let hlimit = cl + take in
+        let p = ref 0 in
+        let truncated = ref false in
+        while (not !truncated) && !p < cl do
+          match Byteclass.classify_scalar head !p hlimit with
+          | `Cp (cp, w) ->
+            step_cp t cp w;
+            p := !p + w
+          | `Malformed ->
+            step_cp t Byteclass.replacement 1;
+            incr p
+          | `Truncated ->
+            (* the whole (short) chunk is inside [head]: keep the tail *)
+            truncated := true
+        done;
+        if !truncated then begin
+          let rest = hlimit - !p in
+          Bytes.blit_string head !p t.carry 0 rest;
+          t.carry_len <- rest;
+          chunk_pos := chunk_limit
+        end
+        else begin
+          t.carry_len <- 0;
+          chunk_pos := off + (!p - cl)
+        end
+      end;
+      if !chunk_pos < chunk_limit then begin
+        let stopped = consume ~deadline t chunk !chunk_pos chunk_limit in
+        if stopped < chunk_limit then begin
+          let rest = chunk_limit - stopped in
+          Bytes.blit_string chunk stopped t.carry 0 rest;
+          t.carry_len <- rest
+        end
+      end
+
+  (** End of stream: flush any dangling carry (one U+FFFD per byte, the
+      lossy-decoding convention) and return the verdict.  Idempotent. *)
+  let finish (t : t) : result =
+    if not t.finished then begin
+      for _ = 1 to t.carry_len do
+        step_cp t Byteclass.replacement 1
+      done;
+      t.carry_len <- 0;
+      t.finished <- true
+    end;
+    {
+      full = Dfa.is_nullable t.fwd t.fwd_q;
+      found_end = t.found;
+      bytes = t.bytes;
+    }
+end

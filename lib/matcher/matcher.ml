@@ -27,6 +27,8 @@ module Make (R : Sbd_regex.Regex.S) = struct
   let c_cache_hit = Obs.Counter.make "matcher.cache_hit"
   let c_cache_miss = Obs.Counter.make "matcher.cache_miss"
 
+  module Eng = Sbd_engine.Search.Make (R)
+
   type t = {
     pattern : R.t;
     classify : int -> int;  (** code point -> minterm index *)
@@ -36,6 +38,11 @@ module Make (R : Sbd_regex.Regex.S) = struct
     mutable cache_misses : int;  (** delta-table lookups that derived *)
     delta : (int * int, R.t) Hashtbl.t;  (** (state id, minterm) -> state *)
     ids : (int, unit) Hashtbl.t;  (** distinct state ids seen (for stats) *)
+    mutable engine : Eng.t option;
+        (** byte-mode linear-search engine, built on first {!find} /
+            {!count_matching_prefixes} *)
+    mutable engine_utf8 : Eng.t option;
+        (** UTF-8-mode engine, built on first {!matches_utf8} *)
   }
 
   (** Compile a matcher for [pattern].  The minterm computation is
@@ -85,7 +92,25 @@ module Make (R : Sbd_regex.Regex.S) = struct
       cache_misses = 0;
       delta = Hashtbl.create 64;
       ids;
+      engine = None;
+      engine_utf8 = None;
     }
+
+  let engine (m : t) : Eng.t =
+    match m.engine with
+    | Some e -> e
+    | None ->
+      let e = Eng.create ~mode:Sbd_engine.Byteclass.Byte m.pattern in
+      m.engine <- Some e;
+      e
+
+  let engine_utf8 (m : t) : Eng.t =
+    match m.engine_utf8 with
+    | Some e -> e
+    | None ->
+      let e = Eng.create ~mode:Sbd_engine.Byteclass.Utf8 m.pattern in
+      m.engine_utf8 <- Some e;
+      e
 
   (* One DFA step: classify the character, then look up / compute the
      derivative by the minterm's representative (sound by Theorem 7.1's
@@ -120,10 +145,11 @@ module Make (R : Sbd_regex.Regex.S) = struct
     String.iter (fun c -> state := step m !state (Char.code c)) s;
     R.nullable !state
 
-  (** [count_matches m s] counts positions [i] such that some prefix of
-      [s.[i..]] matches -- a simple scan API exercising the DFA cache the
-      way a real matcher would. *)
-  let count_matching_prefixes (m : t) (s : string) : int =
+  (** Historical per-position scan for {!count_matching_prefixes}:
+      restarts the DFA at every position, O(n·m).  Kept as a reference
+      implementation for differential testing and benchmarking against
+      the engine-backed fast path. *)
+  let count_matching_prefixes_scan (m : t) (s : string) : int =
     let n = String.length s in
     let count = ref 0 in
     for i = 0 to n - 1 do
@@ -139,11 +165,11 @@ module Make (R : Sbd_regex.Regex.S) = struct
     done;
     !count
 
-  (** [find m s] returns the span [(start, stop)] of the leftmost-
-      earliest substring of [s] matching the pattern ([stop] exclusive),
-      or [None].  Matches of the empty word are reported when the pattern
-      is nullable. *)
-  let find (m : t) (s : string) : (int * int) option =
+  (** Historical per-position scan for {!find} (leftmost-earliest span),
+      O(n·m): restarts the DFA at every start position.  Kept as a
+      reference implementation for differential testing and
+      benchmarking. *)
+  let find_scan (m : t) (s : string) : (int * int) option =
     let n = String.length s in
     let result = ref None in
     let i = ref 0 in
@@ -161,6 +187,28 @@ module Make (R : Sbd_regex.Regex.S) = struct
       incr i
     done;
     !result
+
+  (** [count_matching_prefixes m s] counts positions [i] such that some
+      prefix of [s.[i..]] matches.  Engine-backed: one linear backward
+      pass of the [⊤*·rev(pattern)] DFA instead of a per-position
+      restart (see {!Sbd_engine.Search}). *)
+  let count_matching_prefixes (m : t) (s : string) : int =
+    Eng.count_matching_prefixes (engine m) s
+
+  (** [find m s] returns the span [(start, stop)] of the leftmost-
+      earliest substring of [s] matching the pattern ([stop] exclusive),
+      or [None].  Matches of the empty word are reported when the
+      pattern is nullable.  Engine-backed: at most two linear DFA passes
+      instead of the historical O(n·m) per-position restart. *)
+  let find (m : t) (s : string) : (int * int) option = Eng.find (engine m) s
+
+  (** Full match of a UTF-8 encoded string: bytes are decoded to code
+      points (lossily -- malformed bytes read as U+FFFD) and matched
+      against the pattern's code-point alphabet, unlike
+      {!matches_string} which treats each byte as a Latin-1 code
+      point. *)
+  let matches_utf8 (m : t) (s : string) : bool =
+    Eng.matches (engine_utf8 m) s
 
   (** Number of distinct DFA states materialized so far. *)
   let state_count (m : t) = m.num_states

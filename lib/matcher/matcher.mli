@@ -15,11 +15,28 @@ module Make (R : Sbd_regex.Regex.S) : sig
   val matches_string : t -> string -> bool
   (** Full match of the bytes of an OCaml string (Latin-1). *)
 
+  val matches_utf8 : t -> string -> bool
+  (** Full match of a UTF-8 encoded string: bytes are decoded to code
+      points (lossily, U+FFFD per malformed byte) before matching,
+      unlike {!matches_string}'s byte-as-Latin-1 reading.  Backed by
+      the {!Sbd_engine} byte-level DFA. *)
+
   val find : t -> string -> (int * int) option
-  (** Leftmost-earliest match span ([stop] exclusive), if any. *)
+  (** Leftmost-earliest match span ([stop] exclusive), if any.  Linear
+      in the input length: routed through {!Sbd_engine.Search.find}
+      (two DFA passes) rather than the historical per-position scan. *)
 
   val count_matching_prefixes : t -> string -> int
-  (** Number of positions from which some prefix matches. *)
+  (** Number of positions from which some prefix matches.  Linear: one
+      backward engine pass. *)
+
+  val find_scan : t -> string -> (int * int) option
+  (** The pre-engine O(n·m) per-position reference scan for {!find}.
+      Exposed for differential testing and benchmarking. *)
+
+  val count_matching_prefixes_scan : t -> string -> int
+  (** The pre-engine O(n·m) reference scan for
+      {!count_matching_prefixes}. *)
 
   val state_count : t -> int
   (** Distinct DFA states materialized so far. *)

@@ -60,6 +60,12 @@ module type S = sig
   val compl : t -> t
   val diff : t -> t -> t  (** [diff a b = a & ~b] *)
 
+  val rev : t -> t
+  (** Language reversal: [L(rev r) = { reverse w | w ∈ L(r) }].  Reversal
+      distributes over every ERE operator (Boolean operators commute with
+      it because word reversal is a bijection); only concatenation flips
+      its arguments.  Used by the match engine's backward pass. *)
+
   (** {2 Observers} *)
 
   val nullable : t -> bool  (** ν(r): does [r] accept the empty string? *)
@@ -295,6 +301,29 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
     | _ -> if r == empty then full else if r == full then empty else mk (Not r)
 
   let diff a b = inter a (compl b)
+
+  (* Reversal recurses on the hash-consed DAG; a memo table keeps shared
+     subterms from being revisited (regexes are DAG-shaped after
+     similarity normalization, so naive recursion could re-do work). *)
+  let rev_memo : t Tbl.t = Tbl.create 64
+
+  let rec rev r =
+    match Tbl.find_opt rev_memo r with
+    | Some r' -> r'
+    | None ->
+      let r' =
+        match r.node with
+        | Pred _ | Eps -> r
+        | Concat (a, b) -> concat (rev b) (rev a)
+        | Star a -> star (rev a)
+        | Loop (a, m, n) -> loop (rev a) m n
+        | Or xs -> alt_list (List.map rev xs)
+        | And xs -> inter_list (List.map rev xs)
+        | Not a -> compl (rev a)
+      in
+      Tbl.add rev_memo r r';
+      r'
+
   let chr c = pred (A.of_ranges [ (c, c) ])
 
   let str s =

@@ -2,8 +2,9 @@
     request per line, one JSON response per request (DESIGN.md §9).
 
     Requests:
-    {v {"id": <any>, "op": "solve"|"assert"|"check"|"stats"|"shutdown",
+    {v {"id": <any>, "op": "solve"|"assert"|"check"|"match"|"stats"|"shutdown",
         "re": <ERE pattern> | "smt2": <SMT-LIB script>,
+        "input": <UTF-8 text, op "match" only>,
         "deadline_s": <seconds>, "budget": <steps>, "stats": <bool>} v}
 
     Responses echo ["id"] verbatim and carry either ["status"]
@@ -19,6 +20,10 @@ type payload =
   | Solve_smt2 of string  (** evaluate an SMT-LIB QF_S script *)
   | Assert_re of string  (** add a pattern to the session's conjunction *)
   | Check  (** decide the conjunction of asserted patterns *)
+  | Match_re of { pattern : string; input : string }
+      (** match [input] (UTF-8 bytes) against [pattern] with the
+          byte-level engine: full-match verdict plus leftmost-earliest
+          span *)
   | Stats  (** server/pool/cache counters *)
   | Shutdown  (** drain in-flight requests, then stop *)
 
@@ -57,6 +62,11 @@ let parse_request (line : string) : (request, J.t * string) result =
       | Some pat -> finish (Assert_re pat)
       | None -> Error (id, "op \"assert\" needs a \"re\" field"))
     | Some "check" -> finish Check
+    | Some "match" -> (
+      match (re, Jsonin.str_member "input" json) with
+      | Some pattern, Some input -> finish (Match_re { pattern; input })
+      | None, _ -> Error (id, "op \"match\" needs a \"re\" field")
+      | _, None -> Error (id, "op \"match\" needs an \"input\" field"))
     | Some "stats" -> finish Stats
     | Some "shutdown" -> finish Shutdown
     | Some other -> Error (id, Printf.sprintf "unknown op %S" other))
@@ -94,6 +104,31 @@ let solve_response ~id ~(cached : bool) ~(wall_s : float)
   with_id id
     (verdict_fields v
     @ [ ("cached", J.Bool cached); ("wall_s", J.Float wall_s) ]
+    @ match stats with None -> [] | Some s -> [ ("stats", json_of_stats s) ])
+
+(** Outcome of a [match] request: either the engine ran to completion
+    (full-match flag + leftmost-earliest span in byte offsets), or it
+    hit the deadline. *)
+type match_verdict =
+  | Matched of { full : bool; span : (int * int) option }
+  | Match_unknown of string
+
+let match_response ~id ~(wall_s : float)
+    ?(stats : (string * float) list option) (v : match_verdict) : J.t =
+  with_id id
+    ((match v with
+     | Matched { full; span } ->
+       [
+         ("status", J.Str "ok");
+         ("matched", J.Bool (span <> None));
+         ("full", J.Bool full);
+       ]
+       @ (match span with
+         | Some (i, j) -> [ ("span", J.Arr [ J.Int i; J.Int j ]) ]
+         | None -> [])
+     | Match_unknown reason ->
+       [ ("status", J.Str "unknown"); ("reason", J.Str reason) ])
+    @ [ ("wall_s", J.Float wall_s) ]
     @ match stats with None -> [] | Some s -> [ ("stats", json_of_stats s) ])
 
 let smt2_response ~id ~(wall_s : float)

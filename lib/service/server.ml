@@ -125,6 +125,21 @@ let solve_job t ~id ~want_stats ~deadline ~budget ~use_cache ~respond patterns
              ?stats:(if want_stats then Some stats else None)
              verdict)))
 
+(** The pool-side work of a [match] request: compile (or reuse) the
+    worker's byte-level engine for the pattern and run the anchored and
+    unanchored scans over the input. *)
+let match_job ~id ~want_stats ~deadline ~respond ~pattern ~input
+    (module W : Worker.WORKER) =
+  let t0 = Obs.now () in
+  match W.match_input ?deadline ~pattern ~input () with
+  | Error msg -> respond (Protocol.error_response ~id msg)
+  | Ok (verdict, stats) ->
+    respond
+      (Protocol.match_response ~id
+         ~wall_s:(Obs.now () -. t0)
+         ?stats:(if want_stats then Some stats else None)
+         verdict)
+
 let smt2_job ~id ~deadline ~budget ~respond script (module W : Worker.WORKER) =
   let t0 = Obs.now () in
   match W.run_smt2 ?deadline ~budget script with
@@ -178,6 +193,11 @@ let handle_line t session line : [ `Continue | `Shutdown ] =
       dispatch
         (solve_job t ~id ~want_stats:req.want_stats ~deadline ~budget
            ~use_cache:t.cfg.use_cache ~respond:respond_cb snapshot);
+      `Continue
+    | Protocol.Match_re { pattern; input } ->
+      dispatch
+        (match_job ~id ~want_stats:req.want_stats ~deadline
+           ~respond:respond_cb ~pattern ~input);
       `Continue
     | Protocol.Solve_smt2 script ->
       dispatch (smt2_job ~id ~deadline ~budget ~respond:respond_cb script);
@@ -290,6 +310,8 @@ type self_result = {
   report : J.t;
   mismatches : int;
   bad_witnesses : int;
+  match_mismatches : int;
+      (** engine vs reference-matcher disagreements in the match phase *)
   pool_rps : float;
   seq_rps : float;
 }
@@ -368,6 +390,49 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
   done;
   let pool_s = Obs.now () -. t1 in
   phase "pool";
+  (* Match workload: engine verdicts through the pool, cross-checked
+     below against the independent reference matcher. *)
+  let match_cases =
+    [|
+      ("ab*c", "xxabbbcyy");
+      ("a*b", "aaaaaaaa");
+      ("\\d{2}-\\d{2}", "on 24-07 it shipped");
+      (".*a.*&.*b.*", "xxxayyybzzz");
+      ("~(.*ab.*)", "ba");
+      ("~(.*ab.*)", "xaby");
+      ("h.llo", "h\xc3\xa9llo");
+      ("(a|b){3}", "abba");
+      (".*(0|1){2}", "xyz01");
+      ("x+y+", "zzzxxyyzz");
+    |]
+  in
+  let m = Array.length match_cases in
+  let match_verdicts = Array.make m None in
+  let mcompleted = Atomic.make 0 in
+  Array.iteri
+    (fun i (pat, input) ->
+      let job (module W : Worker.WORKER) =
+        (match W.match_input ?deadline ~pattern:pat ~input () with
+        | Ok (v, _) -> match_verdicts.(i) <- Some v
+        | Error _ -> ());
+        ignore (Atomic.fetch_and_add mcompleted 1)
+      in
+      ignore (Pool.submit_wait t.pool job))
+    match_cases;
+  while Atomic.get mcompleted < m do
+    Unix.sleepf 0.001
+  done;
+  let match_checked = ref 0 in
+  let match_mismatches = ref 0 in
+  Array.iteri
+    (fun i (pat, input) ->
+      match (match_verdicts.(i), W0.match_ref ~pattern:pat ~input) with
+      | Some (Protocol.Matched { full; span }), Some (ref_full, ref_span) ->
+        incr match_checked;
+        if full <> ref_full || span <> ref_span then incr match_mismatches
+      | _ -> ())
+    match_cases;
+  phase "match";
   Atomic.set t.stopping true;
   Pool.shutdown t.pool;
   phase "shutdown";
@@ -410,6 +475,8 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
         ("mismatches", J.Int !mismatches);
         ("unknowns", J.Int !unknowns);
         ("bad_witnesses", J.Int !bad_witnesses);
+        ("match_checked", J.Int !match_checked);
+        ("match_mismatches", J.Int !match_mismatches);
         ("cache_stats", Protocol.json_of_stats (Lru.stats t.cache));
       ]
   in
@@ -417,6 +484,7 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
     report;
     mismatches = !mismatches;
     bad_witnesses = !bad_witnesses;
+    match_mismatches = !match_mismatches;
     pool_rps;
     seq_rps;
   }
@@ -437,14 +505,23 @@ let read_file path =
   close_in ic;
   s
 
-(** Append a self-test report to the [service] section of the
-    [BENCH_<date>.json] trajectory document, preserving the suites
-    recorded by the experiment harness; creates the file if absent. *)
-let append_bench ~path (report : J.t) : unit =
+(** Append a report to the given section (default [service]) of the
+    [BENCH_<date>.json] trajectory document, preserving every other
+    section (the suites recorded by the experiment harness, the engine
+    throughput runs, ...); creates the file if absent. *)
+let append_bench ?(section = "service") ~path (report : J.t) : unit =
   let report =
     match report with
     | J.Obj kvs -> J.Obj (("date", J.Str (today ())) :: kvs)
     | other -> other
+  in
+  let fresh () =
+    J.Obj
+      [
+        ("schema", J.Str "sbd-bench/1");
+        ("date", J.Str (today ()));
+        (section, J.Arr [ report ]);
+      ]
   in
   let doc =
     match if Sys.file_exists path then Some (read_file path) else None with
@@ -452,26 +529,14 @@ let append_bench ~path (report : J.t) : unit =
       match Jsonin.parse src with
       | Ok (J.Obj kvs) ->
         let runs =
-          match List.assoc_opt "service" kvs with
+          match List.assoc_opt section kvs with
           | Some (J.Arr rs) -> rs
           | _ -> []
         in
-        let kvs = List.remove_assoc "service" kvs in
-        J.Obj (kvs @ [ ("service", J.Arr (runs @ [ report ])) ])
-      | _ ->
-        J.Obj
-          [
-            ("schema", J.Str "sbd-bench/1");
-            ("date", J.Str (today ()));
-            ("service", J.Arr [ report ]);
-          ])
-    | None ->
-      J.Obj
-        [
-          ("schema", J.Str "sbd-bench/1");
-          ("date", J.Str (today ()));
-          ("service", J.Arr [ report ]);
-        ]
+        let kvs = List.remove_assoc section kvs in
+        J.Obj (kvs @ [ (section, J.Arr (runs @ [ report ])) ])
+      | _ -> fresh ())
+    | None -> fresh ()
   in
   let oc = open_out path in
   output_string oc (J.to_string_pretty doc);

@@ -47,6 +47,27 @@ module type WORKER = sig
   (** Evaluate an SMT-LIB script: per-[check-sat] (status, reason)
       pairs plus the printed output. *)
 
+  val match_input :
+    ?deadline:float ->
+    pattern:string ->
+    input:string ->
+    unit ->
+    (Protocol.match_verdict * (string * float) list, string) result
+  (** Match [input] (UTF-8 bytes, decoded lossily) against [pattern]
+      with the byte-level engine ({!Sbd_engine}): full-match flag plus
+      leftmost-earliest span in byte offsets.  Engines are cached per
+      pattern within the worker.  A deadline expiry yields
+      [Ok (Match_unknown "deadline", _)]; [Error] is a parse error.
+      The stats list reports engine state/reset gauges. *)
+
+  val match_ref :
+    pattern:string -> input:string -> (bool * (int * int) option) option
+  (** Independent reference for {!match_input} verdicts: decodes the
+      input the same way, then asks {!Sbd_classic.Refmatch} for the
+      full-match flag and (by brute-force enumeration over scalar
+      boundaries) the leftmost-earliest span.  Exponential in the input
+      length — selftest-sized inputs only.  [None] on parse error. *)
+
   val cache_key : string -> (string, string) result
   (** Digest of the canonical form of the pattern (worker-independent,
       see above); [Error] is a parse error. *)
@@ -171,6 +192,85 @@ let create ?(memo_cap = 200_000) () : (module WORKER) =
         ignore (relieve_pressure ());
         Ok (answers, result.E.output)
       | exception E.Unsupported what -> Error ("unsupported: " ^ what)
+
+    (* -- the match workload ------------------------------------------- *)
+
+    module Eng = Sbd_engine.Search.Make (R)
+
+    (* Compiled engines are cached per pattern string; the cap bounds
+       worker memory on adversarial pattern churn (reset is cheap — the
+       engine recompiles lazily). *)
+    let engines : (string, Eng.t) Hashtbl.t = Hashtbl.create 16
+    let engine_cap = 64
+
+    let engine_for pat : (Eng.t, string) result =
+      match Hashtbl.find_opt engines pat with
+      | Some e -> Ok e
+      | None ->
+        Result.map
+          (fun r ->
+            if Hashtbl.length engines >= engine_cap then Hashtbl.reset engines;
+            let e = Eng.create ~mode:Sbd_engine.Byteclass.Utf8 r in
+            Hashtbl.add engines pat e;
+            e)
+          (parse pat)
+
+    let match_input ?deadline ~pattern ~input () =
+      incr nqueries;
+      Obs.Counter.incr c_queries;
+      match engine_for pattern with
+      | Error msg -> Error msg
+      | Ok e ->
+        let dl = Option.map Obs.Deadline.of_seconds deadline in
+        let verdict =
+          try
+            let full = Eng.matches ?deadline:dl e input in
+            let span = Eng.find ?deadline:dl e input in
+            Protocol.Matched { full; span }
+          with Obs.Deadline_exceeded _ -> Protocol.Match_unknown "deadline"
+        in
+        let st = Eng.stats e in
+        let f = float_of_int in
+        Ok
+          ( verdict,
+            [
+              ("engine.classes", f st.Eng.num_classes);
+              ("engine.fwd_states", f st.Eng.fwd_states);
+              ("engine.unanch_states", f st.Eng.unanch_states);
+              ("engine.back_states", f st.Eng.back_states);
+              ("engine.resets", f st.Eng.resets);
+            ] )
+
+    let match_ref ~pattern ~input =
+      match parse pattern with
+      | Error _ -> None
+      | Ok r ->
+        (* Segment the input exactly like the engine: lossy UTF-8
+           scalars with their byte offsets. *)
+        let n = String.length input in
+        let rec seg i offs cps =
+          if i >= n then (List.rev (i :: offs), List.rev cps)
+          else
+            let cp, i' = Sbd_engine.Byteclass.scalar_forward input i n in
+            seg i' (i :: offs) (cp :: cps)
+        in
+        let offs, cps = seg 0 [] [] in
+        let offs = Array.of_list offs and cps = Array.of_list cps in
+        let k = Array.length cps in
+        let full = Ref.matches r (Array.to_list cps) in
+        let sub i j = Array.to_list (Array.sub cps i (j - i)) in
+        let span = ref None in
+        (try
+           for i = 0 to k do
+             for j = i to k do
+               if Ref.matches r (sub i j) then begin
+                 span := Some (offs.(i), offs.(j));
+                 raise Exit
+               end
+             done
+           done
+         with Exit -> ());
+        Some (full, !span)
 
     let check_witness ?(ref_limit = 64) pat w =
       match P.parse pat with

@@ -1,0 +1,276 @@
+(* Tests for the byte-level streaming match engine (lib/engine,
+   DESIGN.md §10): byte-class table vs code-point classification,
+   anchored verdicts vs the DP oracle, linear find/count vs brute force
+   and vs the matcher's per-position scans, the max_states cache-reset
+   path, UTF-8 decoding (multi-byte, malformed, chunk-split scalars),
+   stream/batch equivalence, and the linear-time regression that
+   motivated the subsystem. *)
+
+module A = Sbd_service.Default.A
+module R = Sbd_service.Default.R
+module P = Sbd_service.Default.P
+module Ref = Sbd_service.Default.Ref
+module Bc = Sbd_engine.Byteclass.Make (R)
+module Eng = Sbd_engine.Search.Make (R)
+module EngStream = Sbd_engine.Stream.Make (R)
+module Matcher = Sbd_matcher.Matcher.Make (R)
+module Obs = Sbd_obs.Obs
+module U = Sbd_alphabet.Utf8
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let re s =
+  match P.parse s with
+  | Ok r -> r
+  | Error (pos, msg) ->
+    Alcotest.fail (Printf.sprintf "parse %S: %d: %s" s pos msg)
+
+let span = Alcotest.(option (pair int int))
+
+(* -- byte classification -------------------------------------------------- *)
+
+(* In Byte mode every byte must classify by one table read, and agree
+   with the range-table classification of the same code point; in Utf8
+   mode the table covers exactly the ASCII plane. *)
+let test_byteclass_table () =
+  let r = re "[a-m]+x|\\d{2}|\xc3\xa9" in
+  let bc = Bc.compile ~mode:Sbd_engine.Byteclass.Byte r in
+  for b = 0 to 255 do
+    check_int (Printf.sprintf "byte %d" b) (Bc.classify_cp bc b)
+      bc.Bc.table.(b)
+  done;
+  let bc8 = Bc.compile ~mode:Sbd_engine.Byteclass.Utf8 r in
+  for b = 0 to 127 do
+    check_int (Printf.sprintf "ascii %d" b) (Bc.classify_cp bc8 b)
+      bc8.Bc.table.(b)
+  done;
+  for b = 128 to 255 do
+    check_int (Printf.sprintf "lead byte %d is deferred" b) (-1)
+      bc8.Bc.table.(b)
+  done;
+  (* each representative classifies to its own class *)
+  Array.iteri
+    (fun cls cp -> check_int "representative" cls (Bc.classify_cp bc8 cp))
+    bc8.Bc.representatives
+
+(* -- anchored verdicts vs the DP oracle ----------------------------------- *)
+
+let enum_words alphabet max_len =
+  let rec go n =
+    if n = 0 then [ [] ]
+    else
+      []
+      :: List.concat_map
+           (fun w -> List.map (fun c -> c :: w) alphabet)
+           (go (n - 1))
+  in
+  List.sort_uniq compare (go max_len)
+
+let ascii_string w = String.init (List.length w) (fun i -> Char.chr (List.nth w i))
+
+let boolean_patterns =
+  [ "ab*c"; "(a|b)*"; "a{2,3}"; ".*b.*&~(.*aa.*)"; "~(a*)"; "(a*b)&(.{2,4})" ]
+
+let test_matches_vs_oracle () =
+  let words = enum_words (List.map Char.code [ 'a'; 'b'; 'c' ]) 4 in
+  List.iter
+    (fun pat ->
+      let r = re pat in
+      let eng = Eng.create r in
+      List.iter
+        (fun w ->
+          check
+            (Printf.sprintf "%s on %S" pat (ascii_string w))
+            (Ref.matches r w)
+            (Eng.matches eng (ascii_string w)))
+        words)
+    boolean_patterns
+
+(* -- find / count vs brute force ------------------------------------------ *)
+
+let brute_find r (s : string) =
+  let n = String.length s in
+  let result = ref None in
+  (try
+     for i = 0 to n do
+       for j = i to n do
+         if
+           !result = None
+           && Ref.matches r
+                (List.init (j - i) (fun k -> Char.code s.[i + k]))
+         then begin
+           result := Some (i, j);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !result
+
+let test_find_vs_brute () =
+  let inputs = [ ""; "a"; "cab"; "ccabc"; "bbbb"; "acbacb"; "aabcaabc" ] in
+  List.iter
+    (fun pat ->
+      let r = re pat in
+      let eng = Eng.create r in
+      let m = Matcher.create r in
+      List.iter
+        (fun s ->
+          let expected = brute_find r s in
+          Alcotest.check span
+            (Printf.sprintf "find %s on %S" pat s)
+            expected (Eng.find eng s);
+          (* the rerouted matcher API and its historical scan agree *)
+          Alcotest.check span
+            (Printf.sprintf "matcher find %s on %S" pat s)
+            expected (Matcher.find m s);
+          Alcotest.check span
+            (Printf.sprintf "find_scan %s on %S" pat s)
+            expected (Matcher.find_scan m s);
+          check_int
+            (Printf.sprintf "count %s on %S" pat s)
+            (Matcher.count_matching_prefixes_scan m s)
+            (Matcher.count_matching_prefixes m s))
+        inputs)
+    boolean_patterns
+
+(* -- cache-reset path ----------------------------------------------------- *)
+
+(* A 2-state cap cannot hold any of these DFAs, so every scan churns
+   through resets; verdicts and spans must be unchanged. *)
+let test_max_states_reset () =
+  let s = "ccabbbcacb" in
+  List.iter
+    (fun pat ->
+      let r = re pat in
+      let eng = Eng.create r in
+      let eng2 = Eng.create ~max_states:2 r in
+      check (pat ^ " verdict") (Eng.matches eng s) (Eng.matches eng2 s);
+      Alcotest.check span (pat ^ " span") (Eng.find eng s) (Eng.find eng2 s);
+      check_int (pat ^ " count")
+        (Eng.count_matching_prefixes eng s)
+        (Eng.count_matching_prefixes eng2 s))
+    boolean_patterns;
+  let eng2 = Eng.create ~max_states:2 (re ".*b.*&~(.*aa.*)") in
+  ignore (Eng.find eng2 "ccabbbcacb" : (int * int) option);
+  check "resets exercised" true ((Eng.stats eng2).Eng.resets > 0)
+
+(* -- UTF-8 ---------------------------------------------------------------- *)
+
+let test_utf8 () =
+  let eng pat = Eng.create ~mode:Sbd_engine.Byteclass.Utf8 (re pat) in
+  (* multi-byte scalars: é (2 bytes), 中 (3 bytes) *)
+  check "h.llo matches héllo" true (Eng.matches (eng "h.llo") "h\xc3\xa9llo");
+  check "literal é" true (Eng.matches (eng "\\u{E9}+") "\xc3\xa9\xc3\xa9");
+  check "中 in a class" true (Eng.matches (eng ".\\u{4E2D}.") "a\xe4\xb8\xadb");
+  check "byte-mode disagrees on purpose" false
+    (Eng.matches (Eng.create (re "h.llo")) "h\xc3\xa9llo");
+  (* spans are byte offsets: é is one '.', two bytes wide *)
+  Alcotest.check span "span over é" (Some (1, 5))
+    (Eng.find (eng "\\.(.)\\.") "x.\xc3\xa9.y");
+  (* malformed bytes decode as one U+FFFD each, like decode_lossy *)
+  let malformed = "h\xc3llo" in
+  let cps = U.decode_lossy malformed in
+  check "oracle on lossy decode" (Ref.matches (re "h.llo") cps) true;
+  check "engine is total on malformed input" true
+    (Eng.matches (eng "h.llo") malformed);
+  check "stray continuation" true (Eng.matches (eng "a.b") "a\x80b");
+  (* truncated sequence at end of input: one U+FFFD per byte *)
+  check "truncated tail" true (Eng.matches (eng "a..") "a\xe4\xb8")
+
+(* -- streaming ------------------------------------------------------------ *)
+
+let chunked (eng : Eng.t) (s : string) (k : int) : EngStream.result =
+  let st = EngStream.create eng in
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min k (n - !pos) in
+    EngStream.feed ~off:!pos ~len st s;
+    pos := !pos + len
+  done;
+  EngStream.finish st
+
+let test_stream_equals_batch () =
+  let cases =
+    [
+      ("ab*c", "xxabbbcyy", Sbd_engine.Byteclass.Byte);
+      ("(a|b)*", "abba", Sbd_engine.Byteclass.Byte);
+      (".*b.*&~(.*aa.*)", "ccabbbcacb", Sbd_engine.Byteclass.Byte);
+      (* chunk sizes 1 and 2 split every 2- and 3-byte scalar *)
+      ("h.llo", "h\xc3\xa9llo", Sbd_engine.Byteclass.Utf8);
+      (".\\u{4E2D}.", "a\xe4\xb8\xadb", Sbd_engine.Byteclass.Utf8);
+      ("a..", "a\xc3\xa9\xe4\xb8", Sbd_engine.Byteclass.Utf8);
+    ]
+  in
+  List.iter
+    (fun (pat, s, mode) ->
+      let eng = Eng.create ~mode (re pat) in
+      let full = Eng.matches eng s in
+      let found = Eng.contains eng s in
+      List.iter
+        (fun k ->
+          let r = chunked eng s k in
+          check
+            (Printf.sprintf "full %s %S k=%d" pat s k)
+            full r.EngStream.full;
+          Alcotest.(check (option int))
+            (Printf.sprintf "found_end %s %S k=%d" pat s k)
+            found r.EngStream.found_end;
+          check_int
+            (Printf.sprintf "bytes %s %S k=%d" pat s k)
+            (String.length s) r.EngStream.bytes)
+        [ 1; 2; 3; 7; String.length s ])
+    cases;
+  (* finish is idempotent *)
+  let eng = Eng.create (re "ab") in
+  let st = EngStream.create eng in
+  EngStream.feed st "ab";
+  let r1 = EngStream.finish st in
+  let r2 = EngStream.finish st in
+  check "finish idempotent" true (r1 = r2)
+
+(* -- the linearity regression --------------------------------------------- *)
+
+(* The motivating pathology: searching [a*b] in 300k 'a's has no match,
+   which made the per-position scan re-read the whole tail from every
+   start position (quadratic, minutes at this size).  The engine's
+   backward pass must do it in one linear sweep, comfortably inside a
+   short wall-clock deadline — and the public [Matcher.find] now routes
+   there. *)
+let test_linear_find_within_deadline () =
+  let n = 300_000 in
+  let s = String.make n 'a' in
+  let r = re "a*b" in
+  let eng = Eng.create r in
+  let deadline = Obs.Deadline.of_seconds 5.0 in
+  (match Eng.find ~deadline eng s with
+  | None -> ()
+  | Some _ -> Alcotest.fail "a*b cannot match in aaaa...");
+  check_int "count under deadline" 0
+    (Eng.count_matching_prefixes ~deadline eng s);
+  let m = Matcher.create r in
+  Alcotest.check span "matcher.find is linear now" None (Matcher.find m s);
+  (* with a match present, the span comes back leftmost-earliest *)
+  let s' = s ^ "b" ^ String.make 10 'a' in
+  Alcotest.check span "planted match" (Some (0, n + 1)) (Eng.find ~deadline eng s');
+  (* an impossibly tight deadline must raise, not hang or lie *)
+  let tight = Obs.Deadline.of_seconds 1e-9 in
+  check "tight deadline raises" true
+    (match Eng.find ~deadline:tight eng s with
+    | exception Obs.Deadline_exceeded _ -> true
+    | _ -> false)
+
+let suite =
+  ( "engine",
+    [
+      Alcotest.test_case "byteclass table" `Quick test_byteclass_table
+    ; Alcotest.test_case "anchored vs oracle" `Quick test_matches_vs_oracle
+    ; Alcotest.test_case "find vs brute force" `Quick test_find_vs_brute
+    ; Alcotest.test_case "max_states reset path" `Quick test_max_states_reset
+    ; Alcotest.test_case "utf8 decoding" `Quick test_utf8
+    ; Alcotest.test_case "stream equals batch" `Quick test_stream_equals_batch
+    ; Alcotest.test_case "linear find under deadline" `Quick
+        test_linear_find_within_deadline
+    ] )

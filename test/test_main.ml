@@ -15,4 +15,5 @@ let () =
     ; Test_rules.suite
     ; Test_ranges_stack.suite
     ; Test_obs.suite
-    ; Test_service.suite ]
+    ; Test_service.suite
+    ; Test_engine.suite ]

@@ -137,6 +137,21 @@ let test_worker_witness () =
   | Ok _ -> Alcotest.fail "expected unsat"
   | Error msg -> Alcotest.fail msg
 
+(* -- match requests ------------------------------------------------------- *)
+
+let test_parse_match_request () =
+  (match
+     Protocol.parse_request {|{"id": 3, "op": "match", "re": "ab*c", "input": "xxabc"}|}
+   with
+  | Ok { id = J.Int 3; payload = Protocol.Match_re { pattern = "ab*c"; input = "xxabc" }; _ }
+    -> ()
+  | Ok _ -> Alcotest.fail "wrong match request shape"
+  | Error (_, msg) -> Alcotest.fail msg);
+  (* input is mandatory *)
+  match Protocol.parse_request {|{"id": 4, "op": "match", "re": "ab*c"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "match without input accepted"
+
 (* -- full session over pipes --------------------------------------------- *)
 
 (* Run a server on its own thread, speaking the newline-delimited JSON
@@ -221,6 +236,19 @@ let test_session_roundtrip () =
       let r = recv () in
       check "cache hit on commuted query" true
         (Jsonin.bool_member "cached" r = Some true);
+      (* match op: leftmost-earliest span over the engine *)
+      send {|{"id": "m1", "op": "match", "re": "ab*c", "input": "xxabbbcyy"}|};
+      let r = recv () in
+      check "match ok" true (status r = Some "ok");
+      check "matched" true (Jsonin.bool_member "matched" r = Some true);
+      check "not a full match" true (Jsonin.bool_member "full" r = Some false);
+      check "span [2,7)" true
+        (Jsonin.member "span" r = Some (J.Arr [ J.Int 2; J.Int 7 ]));
+      (* the input is decoded as UTF-8: é is a single '.' *)
+      send {|{"id": "m2", "op": "match", "re": "h.llo", "input": "héllo", "stats": true}|};
+      let r = recv () in
+      check "utf8 full match" true (Jsonin.bool_member "full" r = Some true);
+      check "match stats present" true (Jsonin.member "stats" r <> None);
       send {|{"id": 8, "op": "stats"}|};
       let r = recv () in
       check "stats ok" true (status r = Some "ok");
@@ -286,6 +314,7 @@ let suite =
     [
       Alcotest.test_case "jsonin round-trip" `Quick test_jsonin
     ; Alcotest.test_case "request parsing" `Quick test_parse_request
+    ; Alcotest.test_case "match request parsing" `Quick test_parse_match_request
     ; Alcotest.test_case "work-queue backpressure" `Quick test_wq_backpressure
     ; Alcotest.test_case "lru accounting" `Quick test_lru
     ; Alcotest.test_case "canonical cache keys" `Quick test_worker_keys
