@@ -1,9 +1,11 @@
 #!/bin/sh
-# CI entry point: build, run the full test suite, fuzz the match engine
-# against the other matchers and the DP oracle, then smoke-test the
-# solver service under load (verdict/span agreement + witness validity
-# are checked inside the fuzzer and --selftest; non-zero exit on any
-# mismatch).
+# CI entry point: build (with lib/ warnings-as-errors), run the full
+# test suite, fuzz the match engine against the other matchers and the
+# DP oracle (each round also cross-checks the static analyzer's
+# Proved/Refuted verdicts against the solver), lint the whole benchmark
+# corpus through the analyzer, then smoke-test the solver service under
+# load (verdict/span agreement + witness validity are checked inside
+# the fuzzer and --selftest; non-zero exit on any mismatch).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,16 +13,26 @@ cd "$(dirname "$0")/.."
 echo "== build =="
 dune build
 
+echo "== strict check (lib/ fragile matches are errors) =="
+dune build @check
+
 echo "== tests =="
 dune runtest
 
-echo "== engine fuzz smoke =="
+echo "== engine + analyzer fuzz smoke =="
 # cross-checks engine vs matcher vs the DP oracle (verdicts, find
-# spans, prefix counts, chunked streaming, UTF-8 decoding) and forces
-# the max_states cache-reset path; exits non-zero on any disagreement
+# spans, prefix counts, chunked streaming, UTF-8 decoding), forces the
+# max_states cache-reset path, and checks analyzer Proved verdicts
+# against the solver; exits non-zero on any disagreement
 dune exec bin/fuzz.exe -- --rounds 300 --seed 42
+dune exec bin/fuzz.exe -- --rounds 300 --seed 1234
+
+echo "== analyzer corpus lint =="
+# analyzes every corpus instance; exits 1 if any Proved verdict
+# contradicts the corpus ground-truth label, 2 on a parse failure
+dune exec bin/sbdsolve.exe -- --lint --corpus all --json > /dev/null
 
 echo "== service smoke =="
-# --selftest also replays match requests through the worker pool and
-# fails on any engine-vs-oracle span mismatch
+# --selftest also replays match and analyze requests through the worker
+# pool and fails on any engine-vs-oracle span mismatch
 dune exec bin/sbdserve.exe -- --selftest 50 --workers 2 --no-bench

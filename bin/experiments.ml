@@ -12,6 +12,8 @@
      experiments dump-smt2 DIR            write the corpus as .smt2 files
      experiments engine-bench             match-engine throughput vs the
                                           per-position scan and DP oracle
+     experiments analyze-bench            static-analyzer throughput and
+                                          predicted-vs-measured difficulty
      experiments all                      everything above (except dump)
 *)
 
@@ -263,6 +265,35 @@ let engine_bench_cmd =
           & info [ "out" ] ~docv:"FILE"
               ~doc:"Trajectory file (default BENCH_<date>.json)."))
 
+let analyze_bench no_bench out =
+  let report =
+    if no_bench then Analysis_bench.run ()
+    else Analysis_bench.run_and_append ?path:out ()
+  in
+  Analysis_bench.pp fmt report;
+  if report.Analysis_bench.unsound > 0 then
+    failwith "analyze-bench: analyzer verdict contradicted by the solver";
+  if not no_bench then
+    Format.fprintf fmt "appended analysis run to %s@."
+      (match out with
+      | Some p -> p
+      | None -> Sbd_service.Server.default_bench_path ())
+
+let analyze_bench_cmd =
+  cmd "analyze-bench"
+    "static-analyzer throughput and predicted-vs-measured difficulty"
+    Term.(
+      const analyze_bench
+      $ Arg.(
+          value & flag
+          & info [ "no-bench" ]
+              ~doc:"Do not append the report to the BENCH trajectory.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~docv:"FILE"
+              ~doc:"Trajectory file (default BENCH_<date>.json)."))
+
 let all_cmd =
   cmd "all" "run every table, figure and ablation"
     Term.(
@@ -283,4 +314,4 @@ let () =
        (Cmd.group info
           [ table_cmd; fig4b_cmd; fig4c_cmd; ablation_dead_cmd
           ; ablation_simplify_cmd; ablation_algebra_cmd; states_cmd; dump_cmd
-          ; engine_bench_cmd; all_cmd ]))
+          ; engine_bench_cmd; analyze_bench_cmd; all_cmd ]))

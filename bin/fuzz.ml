@@ -30,6 +30,7 @@ module Eq = Sbd_core.Lang_equiv.Make (R)
 module Brz = Sbd_classic.Brzozowski.Make (R)
 module MSolve = Sbd_classic.Minterm_solver.Make (R)
 module Matcher = Sbd_matcher.Matcher.Make (R)
+module An = Sbd_analysis.Analyze.Make (R)
 module Eng = Sbd_engine.Search.Make (R)
 module EngStream = Sbd_engine.Stream.Make (R)
 module U = Sbd_alphabet.Utf8
@@ -207,13 +208,55 @@ let run ~rounds ~seed ~size =
     let r' = Simp.simplify r in
     if Ref.matches r' w <> expected then fail_at round "simplifier" r;
     (* solvers *)
-    (match (S.solve ~budget:20_000 session r, MSolve.solve ~budget:20_000 r) with
+    let solver_res = S.solve ~budget:20_000 session r in
+    (match (solver_res, MSolve.solve ~budget:20_000 r) with
     | S.Sat w', MSolve.Sat _ ->
       if not (Ref.matches r w') then fail_at round "dz3 witness" r
     | S.Unsat, MSolve.Unsat ->
       if List.exists (Ref.matches r) short_words then fail_at round "unsat verdict" r
     | S.Unknown _, _ | _, MSolve.Unknown _ -> ()
     | _ -> fail_at round "solver verdicts" r);
+    (* static analyzer: its Proved/Refuted verdicts are theorems, so any
+       disagreement with the oracle or with the solver is a bug *)
+    let rep = An.analyze ~source:(R.to_string r) ~budget:300 r in
+    (match rep.An.semantic with
+    | None -> ()
+    | Some sem ->
+      (match sem.An.empty with
+      | An.Proved ->
+        if List.exists (Ref.matches r) short_words then
+          fail_at round "analyzer proved-empty verdict" r;
+        (match solver_res with
+        | S.Sat _ -> fail_at round "analyzer proved-empty vs solver sat" r
+        | S.Unsat | S.Unknown _ -> ())
+      | An.Refuted -> (
+        (match solver_res with
+        | S.Unsat -> fail_at round "analyzer nonempty vs solver unsat" r
+        | S.Sat _ | S.Unknown _ -> ());
+        match sem.An.witness with
+        | Some w' ->
+          if not (Ref.matches r w') then fail_at round "analyzer witness" r
+        | None -> fail_at round "analyzer nonempty without witness" r)
+      | An.Unknown -> ());
+      match sem.An.universal with
+      | An.Proved ->
+        if not (List.for_all (Ref.matches r) short_words) then
+          fail_at round "analyzer proved-universal verdict" r
+      | An.Refuted -> (
+        match sem.An.counterexample with
+        | Some w' ->
+          if Ref.matches r w' then fail_at round "analyzer counterexample" r
+        | None -> fail_at round "analyzer non-universal without counterexample" r)
+      | An.Unknown -> ());
+    (* structural Error findings assert emptiness too *)
+    List.iter
+      (fun (f : An.finding) ->
+        match (f.An.rule, f.An.severity) with
+        | ("SBD101" | "SBD102"), An.Error ->
+          if List.exists (Ref.matches r) short_words then
+            fail_at round ("analyzer finding " ^ f.An.rule) r
+        | _, (An.Error | An.Warning | An.Info) -> ())
+      rep.An.findings;
     (* equivalence procedures agree on (r, simplified r) *)
     (match (Eq.equiv ~max_pairs:10_000 r r', S.equiv ~budget:20_000 session r r') with
     | Some a, Some b when a <> b -> fail_at round "equivalence procedures" r

@@ -23,7 +23,9 @@
 module P = Sbd_service.Default.P
 module S = Sbd_service.Default.S
 module E = Sbd_service.Default.E
+module Ref = Sbd_service.Default.Ref
 module Eng = Sbd_engine.Search.Make (Sbd_service.Default.R)
+module An = Sbd_analysis.Analyze.Make (Sbd_service.Default.R)
 module Obs = Sbd_obs.Obs
 
 let read_all ic =
@@ -103,6 +105,167 @@ let run_pattern ~budget ~deadline ~stats ~json pattern =
       if stats then print_stats_text all_stats
     end;
     0
+
+(* -- lint mode ----------------------------------------------------------- *)
+
+(* The solver --budget (der-rule applications, default 1M) is
+   reinterpreted at analyzer scale: analysis is a pre-pass, so Layer 2
+   gets 1% of a solve budget (default 10k state expansions). *)
+let lint_budget budget = max 64 (min (budget / 100) 100_000)
+
+let run_lint ~budget ~deadline ~json pattern =
+  match P.parse pattern with
+  | Error (pos, msg) ->
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("result", Obs.Json.Str "error");
+                ( "error",
+                  Obs.Json.Str (Printf.sprintf "parse error at %d: %s" pos msg)
+                );
+              ]))
+    else Printf.printf "(error \"parse error at %d: %s\")\n" pos msg;
+    2
+  | Ok r ->
+    let dl = Option.map Obs.Deadline.of_seconds deadline in
+    let report =
+      An.analyze ~source:pattern ~budget:(lint_budget budget) ?deadline:dl r
+    in
+    if json then
+      print_endline (Obs.Json.to_string (An.json_of_report report))
+    else begin
+      Printf.printf "pattern: %s\n" pattern;
+      Format.printf "%a" An.pp_report report
+    end;
+    0
+
+(* Corpus lint: analyze every instance of a benchgen corpus and
+   cross-check each Proved/Refuted verdict against the solver (and,
+   for witnesses, the independent reference matcher).  Exit 1 on any
+   unsoundness, 2 on a corpus pattern that fails to parse — both are
+   CI failures; findings themselves don't affect the exit code. *)
+let corpus_instances = function
+  | "standard" ->
+    Some (Sbd_benchgen.Standard.non_boolean () @ Sbd_benchgen.Standard.boolean ())
+  | "handwritten" -> Some (Sbd_benchgen.Standard.handwritten ())
+  | "all" -> Some (Sbd_benchgen.Standard.all ())
+  | _ -> None
+
+let run_lint_corpus ~budget ~deadline ~json name =
+  match corpus_instances name with
+  | None ->
+    Printf.eprintf "sbdsolve: unknown corpus %S (standard|handwritten|all)\n"
+      name;
+    2
+  | Some instances ->
+    let module I = Sbd_benchgen.Instance in
+    let session = S.create_session () in
+    let budget = lint_budget budget in
+    let dl () =
+      Obs.Deadline.of_seconds (Option.value deadline ~default:0.25)
+    in
+    let n = ref 0
+    and errors = ref 0
+    and warnings = ref 0
+    and infos = ref 0
+    and proved_empty = ref 0
+    and refuted_empty = ref 0
+    and proved_universal = ref 0
+    and unknown = ref 0
+    and unsound = ref 0
+    and parse_failures = ref 0 in
+    let t0 = Obs.now () in
+    List.iter
+      (fun (inst : I.t) ->
+        incr n;
+        match P.parse inst.I.pattern with
+        | Error (pos, msg) ->
+          incr parse_failures;
+          Printf.eprintf "sbdsolve: corpus %s: parse error at %d: %s\n"
+            inst.I.id pos msg
+        | Ok r ->
+          let report =
+            An.analyze ~source:inst.I.pattern ~budget ~deadline:(dl ()) r
+          in
+          List.iter
+            (fun (f : An.finding) ->
+              match f.An.severity with
+              | An.Error -> incr errors
+              | An.Warning -> incr warnings
+              | An.Info -> incr infos)
+            report.An.findings;
+          (match report.An.semantic with
+          | None -> incr unknown
+          | Some sem ->
+            let solver_says () =
+              S.solve ~budget:200_000 ~deadline:2.0 session r
+            in
+            (match sem.An.empty with
+            | An.Proved -> (
+              incr proved_empty;
+              (* sound ⇒ the solver must not find a witness *)
+              match solver_says () with
+              | S.Sat _ ->
+                incr unsound;
+                Printf.eprintf
+                  "sbdsolve: UNSOUND proved-empty on %s: %s\n" inst.I.id
+                  inst.I.pattern
+              | S.Unsat | S.Unknown _ -> ())
+            | An.Refuted -> (
+              incr refuted_empty;
+              (* the analyzer's witness must actually match *)
+              match sem.An.witness with
+              | Some w when Ref.matches r w -> ()
+              | Some _ | None ->
+                incr unsound;
+                Printf.eprintf
+                  "sbdsolve: UNSOUND nonempty witness on %s: %s\n" inst.I.id
+                  inst.I.pattern)
+            | An.Unknown -> incr unknown);
+            match sem.An.universal with
+            | An.Proved ->
+              incr proved_universal;
+              (* universal ⇒ in particular ε and "a" match *)
+              if not (Ref.matches r [] && Ref.matches r [ Char.code 'a' ])
+              then begin
+                incr unsound;
+                Printf.eprintf
+                  "sbdsolve: UNSOUND proved-universal on %s: %s\n" inst.I.id
+                  inst.I.pattern
+              end
+            | An.Refuted | An.Unknown -> ()))
+      instances;
+    let wall = Obs.now () -. t0 in
+    let ok = !unsound = 0 && !parse_failures = 0 in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("corpus", Obs.Json.Str name);
+                ("patterns", Obs.Json.Int !n);
+                ("errors", Obs.Json.Int !errors);
+                ("warnings", Obs.Json.Int !warnings);
+                ("infos", Obs.Json.Int !infos);
+                ("proved_empty", Obs.Json.Int !proved_empty);
+                ("refuted_empty", Obs.Json.Int !refuted_empty);
+                ("proved_universal", Obs.Json.Int !proved_universal);
+                ("unknown", Obs.Json.Int !unknown);
+                ("unsound", Obs.Json.Int !unsound);
+                ("parse_failures", Obs.Json.Int !parse_failures);
+                ("wall_s", Obs.Json.Float wall);
+                ( "patterns_per_s",
+                  Obs.Json.Float (float_of_int !n /. max wall 1e-9) );
+              ]))
+    else
+      Printf.printf
+        "corpus %s: %d patterns in %.2fs — %d errors, %d warnings, %d \
+         infos; proved empty %d, nonempty %d, universal %d; unsound %d\n"
+        name !n wall !errors !warnings !infos !proved_empty !refuted_empty
+        !proved_universal !unsound;
+    if ok then 0 else if !unsound > 0 then 1 else 2
 
 (* -- match mode ---------------------------------------------------------- *)
 
@@ -237,7 +400,21 @@ let run_script ~budget ~deadline ~stats ~json file =
 open Cmdliner
 
 let run input budget deadline force_re stats json do_match match_text
-    match_file =
+    match_file do_lint corpus =
+  if do_lint || corpus <> None then begin
+    match (corpus, input) with
+    | Some name, _ -> run_lint_corpus ~budget ~deadline ~json name
+    | None, Some pattern -> run_lint ~budget ~deadline ~json pattern
+    | None, None ->
+      prerr_endline "sbdsolve: --lint needs a PATTERN (or --corpus NAME)";
+      2
+  end
+  else
+    match input with
+    | None ->
+      prerr_endline "sbdsolve: required argument FILE.smt2|PATTERN is missing";
+      2
+    | Some input ->
   if do_match then begin
     let text =
       match (match_text, match_file) with
@@ -261,12 +438,13 @@ let run input budget deadline force_re stats json do_match match_text
 let () =
   let input_t =
     Arg.(
-      required
+      value
       & pos 0 (some string) None
       & info [] ~docv:"FILE.smt2|PATTERN"
           ~doc:
             "SMT-LIB script ($(b,-) for stdin), or an ERE pattern when the \
-             argument is not an existing file (see $(b,--re)).")
+             argument is not an existing file (see $(b,--re)).  Required \
+             except under $(b,--lint --corpus).")
   in
   let budget_t =
     Arg.(
@@ -321,12 +499,35 @@ let () =
       & info [ "input-file" ] ~docv:"FILE"
           ~doc:"Read the $(b,--match) input from $(docv).")
   in
+  let lint_t =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Analyze instead of solve: structural metrics, fragment \
+             classification, lint findings (stable SBD* rule IDs with \
+             error/warning/info severities), budgeted sound \
+             emptiness/universality verdicts, and engine/solver routing \
+             hints.  Findings never affect the exit code (0 on success, \
+             2 on parse error).")
+  in
+  let corpus_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"NAME"
+          ~doc:
+            "With $(b,--lint): analyze a whole benchgen corpus \
+             ($(b,standard), $(b,handwritten) or $(b,all)) and cross-check \
+             every Proved/Refuted analyzer verdict against the solver and \
+             the reference matcher.  Exit 1 on any unsoundness.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "sbdsolve"
-         ~doc:"Solve and match regex (ERE / SMT-LIB QF_S) constraints")
+         ~doc:"Solve, match and lint regex (ERE / SMT-LIB QF_S) constraints")
       Term.(
         const run $ input_t $ budget_t $ deadline_t $ re_t $ stats_t $ json_t
-        $ match_t $ match_input_t $ match_file_t)
+        $ match_t $ match_input_t $ match_file_t $ lint_t $ corpus_t)
   in
   exit (Cmd.eval' cmd)

@@ -63,7 +63,7 @@ module Make () = struct
   let cofactors v p =
     match p.node with
     | Node n when n.var = v -> (n.lo, n.hi)
-    | _ -> (p, p)
+    | Node _ | False | True -> (p, p)
 
   (* Memoized binary apply.  Operations are identified by a small tag so one
      cache serves conj/disj/xor. *)

@@ -82,7 +82,7 @@ let decode_lossy (s : string) : int list =
         if i + len <= n then
           match decode (String.sub s i len) with
           | Ok [ cp ] when cp_check cp -> Some cp
-          | _ -> None
+          | Ok _ | Error _ -> None
         else None
       in
       let b0 = Char.code s.[i] in

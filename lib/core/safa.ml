@@ -74,12 +74,16 @@ module Make (R : Sbd_regex.Regex.S) = struct
       let r, sign =
         match r.R.node with
         | Not body -> (body, not sign)
-        | _ -> (r, sign)
+        | Pred _ | Eps | Concat _ | Star _ | Loop _ | Or _ | And _ -> (r, sign)
       in
       if R.is_empty r then (if sign then True else False)
         (* negated bottom is the universal language *)
       else if R.is_full r then (if sign then False else True)
-      else if (not sign) && (match r.R.node with And _ | Or _ -> true | _ -> false)
+      else if
+        (not sign)
+        && (match r.R.node with
+           | And _ | Or _ -> true
+           | Pred _ | Eps | Concat _ | Star _ | Loop _ | Not _ -> false)
       then
         (* keep Boolean regex structure as formula structure when
            positive, matching the SBFA state granularity *)
@@ -106,7 +110,8 @@ module Make (R : Sbd_regex.Regex.S) = struct
         (fun acc x -> And (acc, decompose c x))
         True xs
     | Not body -> State { regex = body; negated = true }
-    | _ -> State { regex = r; negated = false }
+    | Pred _ | Eps | Concat _ | Star _ | Loop _ ->
+      State { regex = r; negated = false }
 
   (* The atoms (states) mentioned by a formula. *)
   let rec formula_states = function

@@ -34,7 +34,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
     match r.R.node with
     | Or xs | And xs -> List.fold_left (fun acc x -> add_atoms x acc) acc xs
     | Not a -> add_atoms a acc
-    | _ -> R.Set.add r acc
+    | Pred _ | Eps | Concat _ | Star _ | Loop _ -> R.Set.add r acc
 
   let atoms_of_tr (d : Tr.t) : R.Set.t =
     List.fold_left

@@ -33,8 +33,10 @@ module Make (R : Sbd_regex.Regex.S) = struct
   let top = Leaf R.full
   let leaf r = Leaf r
 
+  (* Pair matches below keep a catch-all for the mixed-constructor cases;
+     enumerating all 25 pairs would bury the interesting rows. *)
   let rec equal a b =
-    match (a, b) with
+    match[@warning "-4"] (a, b) with
     | Leaf x, Leaf y -> R.equal x y
     | Ite (p, t1, f1), Ite (q, t2, f2) ->
       A.equal p q && equal t1 t2 && equal f1 f2
@@ -56,7 +58,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       the Antimirov-style state granularity that Theorem 7.3's linear
       bound relies on. *)
   let union a b =
-    match (a, b) with
+    match[@warning "-4"] (a, b) with
     | Leaf x, _ when R.is_empty x -> b
     | _, Leaf y when R.is_empty y -> a
     | Leaf x, _ when R.is_full x -> a
@@ -68,7 +70,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       be conjunctions of states (Section 5, "Transition Regex Normal
       Form"). *)
   let inter a b =
-    match (a, b) with
+    match[@warning "-4"] (a, b) with
     | Leaf x, _ when R.is_empty x -> bot
     | _, Leaf y when R.is_empty y -> bot
     | Leaf x, _ when R.is_full x -> b
@@ -81,7 +83,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
   let compl = function
     | Compl t -> t
     | Leaf r -> Leaf (R.compl r)
-    | t -> Compl t
+    | (Ite _ | Union _ | Inter _) as t -> Compl t
 
   (** Negation [neg tau] is the syntactic dual of the paper (the "bar"
       operation): it pushes complement all the way to the leaves.
@@ -122,7 +124,8 @@ module Make (R : Sbd_regex.Regex.S) = struct
   let rec map_leaves f = function
     | Leaf r -> Leaf (f r)
     | Ite (p, a, b) -> ite p (map_leaves f a) (map_leaves f b)
-    | _ -> invalid_arg "map_leaves: not a conditional tree"
+    | Union _ | Inter _ | Compl _ ->
+      invalid_arg "map_leaves: not a conditional tree"
 
   (* [restrict psi f cond]: map [f] over the leaves of a conditional tree
      while pruning branches whose path condition (relative to [psi])
@@ -145,14 +148,15 @@ module Make (R : Sbd_regex.Regex.S) = struct
         ite phi
           (restrict ~clean ~check psi_t f a)
           (restrict ~clean ~check psi_f f b)
-    | _ -> invalid_arg "restrict: not a conditional tree"
+    | Union _ | Inter _ | Compl _ ->
+      invalid_arg "restrict: not a conditional tree"
 
   (* [meet psi x y]: the pure conditional tree equivalent to [x & y] under
      the satisfiable path condition [psi].  Implements the lift rules of
      Section 4.1 for conjunctions, pruning branches whose path condition
      becomes unsatisfiable (keeping the result "clean"). *)
   let rec meet ?(clean = true) ?(check = ignore) psi x y =
-    match (x, y) with
+    match[@warning "-4"] (x, y) with
     | Leaf r, other | other, Leaf r -> restrict ~clean ~check psi (R.inter r) other
     | Ite (phi, a, b), _ ->
       check ();
@@ -227,11 +231,11 @@ module Make (R : Sbd_regex.Regex.S) = struct
     let rec pure = function
       | Leaf _ -> true
       | Ite (_, a, b) -> pure a && pure b
-      | _ -> false
+      | Union _ | Inter _ | Compl _ -> false
     in
     let rec disj = function
       | Union (a, b) -> disj a && disj b
-      | t -> pure t
+      | (Leaf _ | Ite _ | Inter _ | Compl _) as t -> pure t
     in
     disj t
 

@@ -241,6 +241,12 @@ module Make (R : Sbd_regex.Regex.S) = struct
     backward_scan ?deadline t s (fun i -> if i < n then incr count);
     !count
 
+  (** The state cap this engine was created with (per DFA: forward,
+      unanchored and backward each get their own budget).  Exposed so
+      hint consumers ({!Sbd_matcher}, the service worker) can be tested
+      against the cap they actually installed. *)
+  let max_states (t : t) : int = t.max_states
+
   type stats = {
     num_classes : int;
     fwd_states : int;

@@ -1,0 +1,245 @@
+(** Static-analyzer benchmark phase ({!Sbd_analysis.Analyze}) over the
+    full benchmark corpus ({!Sbd_benchgen.Standard.all}):
+
+    - throughput: patterns analyzed per second, Layer 1 + budgeted
+      Layer 2, shared memo (the same regime as [sbdsolve --lint
+      --corpus]);
+    - soundness: every [Proved]/[Refuted] emptiness verdict is
+      cross-checked against the solver ({!Sbd_solver.Solve}); any
+      disagreement is counted in [unsound] and must stay zero;
+    - calibration: Spearman rank correlation between the analyzer's
+      O(|r|) [difficulty] score and the solver's measured effort
+      (derivative expansions, and wall time) on the same pattern, each
+      solved in a fresh session so per-pattern counters are honest.
+
+    The report is appended to the [BENCH_<date>.json] trajectory as an
+    ["analysis"] run, recording whether the cheap static score actually
+    predicts where the solver spends its time. *)
+
+module R = Harness.R
+module P = Harness.P
+module S = Harness.S
+module An = Sbd_analysis.Analyze.Make (R)
+module Obs = Sbd_obs.Obs
+module J = Obs.Json
+
+type row = {
+  id : string;
+  suite : string;
+  difficulty : float;  (** analyzer's static prediction *)
+  expansions : int;  (** solver der-rule applications, fresh session *)
+  solve_wall_s : float;
+}
+
+type report = {
+  patterns : int;
+  analyze_wall_s : float;
+  patterns_per_s : float;
+  errors : int;
+  warnings : int;
+  infos : int;
+  proved_empty : int;
+  refuted_empty : int;
+  proved_universal : int;
+  unknown : int;
+  unsound : int;  (** analyzer verdict contradicted by solver/oracle *)
+  spearman_expansions : float;
+  spearman_wall : float;
+  rows : row list;
+  json : J.t;
+}
+
+(* -- Spearman rank correlation -------------------------------------------- *)
+
+(* Ranks with ties averaged (the standard "fractional ranking"), then
+   Pearson on the ranks.  Tie handling matters here: hundreds of corpus
+   patterns share small difficulty scores and expansion counts. *)
+let ranks (xs : float array) : float array =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    (* positions !i..!j (0-based) all tie: average rank, 1-based *)
+    let avg = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let pearson (xs : float array) (ys : float array) : float =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    let d = sqrt (!sxx *. !syy) in
+    if d < 1e-12 then 0.0 else !sxy /. d
+  end
+
+let spearman (xs : float array) (ys : float array) : float =
+  pearson (ranks xs) (ranks ys)
+
+(* -- the run -------------------------------------------------------------- *)
+
+let parse_ok pattern =
+  match P.parse pattern with Ok r -> Some r | Error _ -> None
+
+(* Fresh session per pattern: [session.expansions] then measures this
+   query alone, not whatever the shared graph already amortized. *)
+let solver_effort ~budget ~timeout (r : R.t) : S.result * int * float =
+  let session = S.create_session () in
+  let t0 = Obs.now () in
+  let res = S.solve ~budget ~deadline:timeout session r in
+  (res, session.S.expansions, Obs.now () -. t0)
+
+let run ?(budget = 50_000) ?(timeout = 0.5) ?(analyze_budget = 2_000)
+    ?(instances = Sbd_benchgen.Standard.all ()) () : report =
+  An.clear ();
+  let errors = ref 0 and warnings = ref 0 and infos = ref 0 in
+  let proved_empty = ref 0
+  and refuted_empty = ref 0
+  and proved_universal = ref 0
+  and unknown = ref 0
+  and unsound = ref 0 in
+  let rows = ref [] in
+  let analyze_wall = ref 0.0 in
+  let n = ref 0 in
+  List.iter
+    (fun (inst : Sbd_benchgen.Instance.t) ->
+      match parse_ok inst.pattern with
+      | None -> ()
+      | Some r ->
+        incr n;
+        let t0 = Obs.now () in
+        let rep =
+          An.analyze ~source:inst.pattern ~budget:analyze_budget
+            ~deadline:(Obs.Deadline.of_seconds 0.25) r
+        in
+        analyze_wall := !analyze_wall +. (Obs.now () -. t0);
+        List.iter
+          (fun (f : An.finding) ->
+            match f.An.severity with
+            | An.Error -> incr errors
+            | An.Warning -> incr warnings
+            | An.Info -> incr infos)
+          rep.An.findings;
+        let res, expansions, solve_wall_s =
+          solver_effort ~budget ~timeout r
+        in
+        (match rep.An.semantic with
+        | None -> incr unknown
+        | Some sem -> (
+          (match sem.An.empty with
+          | An.Proved ->
+            incr proved_empty;
+            (match res with S.Sat _ -> incr unsound | S.Unsat | S.Unknown _ -> ())
+          | An.Refuted ->
+            incr refuted_empty;
+            (match res with S.Unsat -> incr unsound | S.Sat _ | S.Unknown _ -> ())
+          | An.Unknown -> incr unknown);
+          match sem.An.universal with
+          | An.Proved -> incr proved_universal
+          | An.Refuted | An.Unknown -> ()));
+        let difficulty = An.difficulty rep.An.metrics in
+        rows :=
+          { id = inst.id; suite = inst.suite; difficulty; expansions
+          ; solve_wall_s }
+          :: !rows)
+    instances;
+  let rows = List.rev !rows in
+  let diff = Array.of_list (List.map (fun r -> r.difficulty) rows) in
+  let exp_a =
+    Array.of_list (List.map (fun r -> float_of_int r.expansions) rows)
+  in
+  let wall_a = Array.of_list (List.map (fun r -> r.solve_wall_s) rows) in
+  let spearman_expansions = spearman diff exp_a in
+  let spearman_wall = spearman diff wall_a in
+  let patterns = !n in
+  let analyze_wall_s = !analyze_wall in
+  let patterns_per_s =
+    float_of_int patterns /. Float.max analyze_wall_s 1e-9
+  in
+  let json =
+    J.Obj
+      [
+        ("patterns", J.Int patterns);
+        ("analyze_wall_s", J.Float analyze_wall_s);
+        ("patterns_per_s", J.Float patterns_per_s);
+        ("errors", J.Int !errors);
+        ("warnings", J.Int !warnings);
+        ("infos", J.Int !infos);
+        ("proved_empty", J.Int !proved_empty);
+        ("refuted_empty", J.Int !refuted_empty);
+        ("proved_universal", J.Int !proved_universal);
+        ("unknown", J.Int !unknown);
+        ("unsound", J.Int !unsound);
+        ("solver_budget", J.Int budget);
+        ("solver_timeout_s", J.Float timeout);
+        ("spearman_difficulty_vs_expansions", J.Float spearman_expansions);
+        ("spearman_difficulty_vs_wall", J.Float spearman_wall);
+      ]
+  in
+  {
+    patterns;
+    analyze_wall_s;
+    patterns_per_s;
+    errors = !errors;
+    warnings = !warnings;
+    infos = !infos;
+    proved_empty = !proved_empty;
+    refuted_empty = !refuted_empty;
+    proved_universal = !proved_universal;
+    unknown = !unknown;
+    unsound = !unsound;
+    spearman_expansions;
+    spearman_wall;
+    rows;
+    json;
+  }
+
+let pp fmt (r : report) =
+  Format.fprintf fmt "== static analyzer vs solver, %d corpus patterns ==@."
+    r.patterns;
+  Format.fprintf fmt "  throughput      %8.0f patterns/s (%.2f s total)@."
+    r.patterns_per_s r.analyze_wall_s;
+  Format.fprintf fmt "  findings        %d error, %d warning, %d info@."
+    r.errors r.warnings r.infos;
+  Format.fprintf fmt
+    "  verdicts        %d proved-empty, %d refuted-empty, %d universal, %d \
+     unknown@."
+    r.proved_empty r.refuted_empty r.proved_universal r.unknown;
+  Format.fprintf fmt "  unsound         %d%s@." r.unsound
+    (if r.unsound = 0 then "" else "  <-- ANALYZER BUG");
+  Format.fprintf fmt
+    "  correlation     difficulty vs expansions %.3f, vs wall %.3f \
+     (Spearman)@."
+    r.spearman_expansions r.spearman_wall
+
+(** Run the phase and append it to the ["analysis"] section of the
+    trajectory file (default [BENCH_<date>.json]).  Returns the report;
+    [unsound > 0] should fail the caller. *)
+let run_and_append ?budget ?timeout ?analyze_budget ?instances ?path () :
+    report =
+  let r = run ?budget ?timeout ?analyze_budget ?instances () in
+  let path =
+    match path with
+    | Some p -> p
+    | None -> Sbd_service.Server.default_bench_path ()
+  in
+  Sbd_service.Server.append_bench ~section:"analysis" ~path r.json;
+  r

@@ -28,9 +28,13 @@ module Make (R : Sbd_regex.Regex.S) = struct
   let c_cache_miss = Obs.Counter.make "matcher.cache_miss"
 
   module Eng = Sbd_engine.Search.Make (R)
+  module An = Sbd_analysis.Analyze.Make (R)
 
   type t = {
     pattern : R.t;
+    hints : An.hints;
+        (** structural-analyzer routing hints, computed at {!create};
+            drives the [max_states] cap of the byte engines below *)
     classify : int -> int;  (** code point -> minterm index *)
     representatives : int array;  (** one concrete character per minterm *)
     mutable num_states : int;
@@ -85,6 +89,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
     Obs.Counter.incr c_states;
     {
       pattern;
+      hints = An.hints_of (An.metrics_of pattern);
       classify;
       representatives;
       num_states = 1;
@@ -96,11 +101,18 @@ module Make (R : Sbd_regex.Regex.S) = struct
       engine_utf8 = None;
     }
 
+  (* Both engines take their state cap from the structural analyzer:
+     patterns in the linear RE/B(RE) fragment (Theorem 7.3) get a tight
+     cap derived from the unfolding bound, blowup-prone ERE shapes get
+     extra headroom before a cache reset thrashes. *)
   let engine (m : t) : Eng.t =
     match m.engine with
     | Some e -> e
     | None ->
-      let e = Eng.create ~mode:Sbd_engine.Byteclass.Byte m.pattern in
+      let e =
+        Eng.create ~max_states:m.hints.An.max_states
+          ~mode:Sbd_engine.Byteclass.Byte m.pattern
+      in
       m.engine <- Some e;
       e
 
@@ -108,9 +120,16 @@ module Make (R : Sbd_regex.Regex.S) = struct
     match m.engine_utf8 with
     | Some e -> e
     | None ->
-      let e = Eng.create ~mode:Sbd_engine.Byteclass.Utf8 m.pattern in
+      let e =
+        Eng.create ~max_states:m.hints.An.max_states
+          ~mode:Sbd_engine.Byteclass.Utf8 m.pattern
+      in
       m.engine_utf8 <- Some e;
       e
+
+  (** The lazy-DFA state cap the analyzer picked for this pattern's
+      engines (the live consumer of the hint; see {!An.hints_of}). *)
+  let engine_max_states (m : t) : int = m.hints.An.max_states
 
   (* One DFA step: classify the character, then look up / compute the
      derivative by the minterm's representative (sound by Theorem 7.1's

@@ -7,7 +7,15 @@ module Make (R : Sbd_regex.Regex.S) : sig
 
   val create : R.t -> t
   (** Compile a matcher: computes the pattern's minterms and the
-      character classifier; DFA transitions are filled lazily. *)
+      character classifier; DFA transitions are filled lazily.  Also
+      runs the structural layer of {!Sbd_analysis.Analyze} on the
+      pattern; the resulting hints choose the [max_states] cap of the
+      byte-level engines backing {!find}/{!matches_utf8}. *)
+
+  val engine_max_states : t -> int
+  (** The analyzer-chosen lazy-DFA state cap installed in this
+      matcher's engines: tight (Theorem 7.3 bound with slack) for
+      RE/B(RE) patterns, default or enlarged for blowup-prone EREs. *)
 
   val matches : t -> int list -> bool
   (** Full match of a word of code points. *)

@@ -12,8 +12,12 @@
 
     Character classes support ranges, negation ([^...]) and the escapes
     [\d \D \w \W \s \S \t \n \r \f \v \xHH \u{H+} \\ \<punct>].  An empty
-    group [()] denotes the empty string; an empty class [[]] denotes the
-    empty language.  [~] is prefix complement, [&] is intersection.  A [{] that does not
+    group [()] denotes the empty string.  An empty class [[]] and a
+    reversed range ([[z-a]]) are rejected with a positioned error rather
+    than silently denoting the empty language: every real-world pattern
+    containing one is a typo, and a silent ⊥ absorbs the whole
+    concatenation around it.  [~] is prefix complement, [&] is
+    intersection.  A [{] that does not
     start a valid [{m}], [{m,}] or [{m,n}] quantifier is a literal brace
     (as are all [}]), matching how benchmark suites of real-world
     patterns use braces.
@@ -269,8 +273,9 @@ module Make (R : Regex.S) = struct
       advance st;
       (match peek st with
       | Some ']' ->
-        advance st;
-        R.empty
+        (* [] would denote the empty language; in practice it is always a
+           typo, and as ⊥ it silently absorbs the surrounding concat. *)
+        error st "empty character class"
       | _ -> R.pred (R.A.of_ranges (parse_class st)))
     | Some '.' ->
       advance st;

@@ -122,8 +122,10 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
   module H = struct
     type nonrec t = t
 
+    (* Catch-all covers the mixed-constructor pairs; enumerating all 64
+       would drown the structural rows. *)
     let equal a b =
-      match (a.node, b.node) with
+      match[@warning "-4"] (a.node, b.node) with
       | Pred p, Pred q -> A.equal p q
       | Eps, Eps -> true
       | Concat (a1, a2), Concat (b1, b2) -> a1 == b1 && a2 == b2
@@ -193,7 +195,7 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
     else if a == eps then b
     else if b == eps then a
     else
-      match (a.node, b.node) with
+      match[@warning "-4"] (a.node, b.node) with
       | Concat (a1, a2), _ ->
         (* keep concatenations right-associated *)
         concat a1 (concat a2 b)
@@ -216,7 +218,7 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
       | [] -> eps
       | [ x ] -> star x
       | xs -> mk (Star (mk (Or xs))))
-    | _ -> mk (Star r)
+    | Pred _ | Concat _ | Loop _ | Or _ | And _ | Not _ -> mk (Star r)
 
   let loop r m n =
     let m = max m 0 in
@@ -243,7 +245,10 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
 
   let has_complementary_pair xs =
     List.exists
-      (fun x -> match x.node with Not y -> List.memq y xs | _ -> false)
+      (fun x ->
+        match x.node with
+        | Not y -> List.memq y xs
+        | Pred _ | Eps | Concat _ | Star _ | Loop _ | Or _ | And _ -> false)
       xs
 
   let sort_uniq xs =
@@ -252,7 +257,12 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
 
   let rec alt_list rs =
     let flat =
-      List.concat_map (fun r -> match r.node with Or xs -> xs | _ -> [ r ]) rs
+      List.concat_map
+        (fun r ->
+          match r.node with
+          | Or xs -> xs
+          | Pred _ | Eps | Concat _ | Star _ | Loop _ | And _ | Not _ -> [ r ])
+        rs
     in
     let flat = List.filter (fun r -> r != empty) flat in
     let flat = sort_uniq flat in
@@ -277,7 +287,12 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
 
   let inter_list rs =
     let flat =
-      List.concat_map (fun r -> match r.node with And xs -> xs | _ -> [ r ]) rs
+      List.concat_map
+        (fun r ->
+          match r.node with
+          | And xs -> xs
+          | Pred _ | Eps | Concat _ | Star _ | Loop _ | Or _ | Not _ -> [ r ])
+        rs
     in
     let flat = List.filter (fun r -> r != full) flat in
     let flat = sort_uniq flat in
@@ -298,7 +313,8 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
     | Not s -> s
     | Or xs -> inter_list (List.map compl xs)
     | And xs -> alt_list (List.map compl xs)
-    | _ -> if r == empty then full else if r == full then empty else mk (Not r)
+    | Pred _ | Eps | Concat _ | Star _ | Loop _ ->
+      if r == empty then full else if r == full then empty else mk (Not r)
 
   let diff a b = inter a (compl b)
 
@@ -436,7 +452,7 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
     in
     (* Concat on the right-hand side of a concat stays unparenthesized. *)
     let needs_parens =
-      match t.node with
+      match[@warning "-4"] t.node with
       | Concat _ when level = 3 -> false
       | _ -> prec < level
     in

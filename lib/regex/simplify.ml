@@ -33,14 +33,14 @@ module Make (R : Regex.S) = struct
 
   let subsumes_in_or (x : R.t) (y : R.t) =
     (* does y make x redundant inside a union, i.e. L(x) ⊆ L(y)? *)
-    match (x.R.node, y.R.node) with
+    match[@warning "-4"] (x.R.node, y.R.node) with
     | Pred p, Pred q -> pred_subsumes p q
     | And xs, _ -> List.memq y xs (* (y & s) | y = y: the conjunction is smaller *)
     | _ -> false
 
   let subsumes_in_and (x : R.t) (y : R.t) =
     (* does y make x redundant inside an intersection, i.e. L(y) ⊆ L(x)? *)
-    match (x.R.node, y.R.node) with
+    match[@warning "-4"] (x.R.node, y.R.node) with
     | Pred p, Pred q -> pred_subsumes q p
     | Or xs, _ -> List.memq y xs (* (y | s) & y = y: the disjunction is larger *)
     | _ -> false
@@ -80,9 +80,9 @@ module Make (R : Regex.S) = struct
     if not (List.memq R.eps xs) then xs
     else
       let star_of (x : R.t) =
-        match x.R.node with
+        match[@warning "-4"] x.R.node with
         | Concat (h, t) -> (
-          match (h.R.node, t.R.node) with
+          match[@warning "-4"] (h.R.node, t.R.node) with
           | _, Star s when R.equal s h -> Some (R.star h)
           | Star s, _ when R.equal s t -> Some (R.star t)
           | _ -> None)
@@ -106,7 +106,7 @@ module Make (R : Regex.S) = struct
      and collapse all-nullable concatenation chains to unions *)
   and star_rule (body : R.t) : R.t =
     let rec strip (x : R.t) : R.t =
-      match x.R.node with
+      match[@warning "-4"] x.R.node with
       | Star s -> strip s
       | Loop (s, 0, None) -> strip s
       | Or xs -> R.alt_list (List.map strip xs)
@@ -116,7 +116,9 @@ module Make (R : Regex.S) = struct
         R.alt_list (List.map strip (chain x))
       | _ -> x
     and chain (x : R.t) =
-      match x.R.node with Concat (a, b) -> a :: chain b | _ -> [ x ]
+      match[@warning "-4"] x.R.node with
+      | Concat (a, b) -> a :: chain b
+      | _ -> [ x ]
     and all_nullable_chain (x : R.t) =
       List.for_all (fun (p : R.t) -> p.R.nullable) (chain x)
     in
@@ -125,19 +127,23 @@ module Make (R : Regex.S) = struct
   (* r{a,b} · r{c,d} = r{a+c,b+d}; also merges bare r and r*. *)
   and concat_rule (a : R.t) (b : R.t) : R.t =
     let bounds (x : R.t) : (R.t * int * int option) option =
-      match x.R.node with
+      match[@warning "-4"] x.R.node with
       | Loop (body, m, n) -> Some (body, m, n)
       | Star body -> Some (body, 0, None)
       | _ -> Some (x, 1, Some 1)
     in
     let head, tail =
-      match b.R.node with Concat (h, t) -> (h, Some t) | _ -> (b, None)
+      match[@warning "-4"] b.R.node with
+      | Concat (h, t) -> (h, Some t)
+      | _ -> (b, None)
     in
     let fused =
-      match (bounds a, bounds head) with
+      match[@warning "-4"] (bounds a, bounds head) with
       | Some (r1, m1, n1), Some (r2, m2, n2) when R.equal r1 r2 ->
         let n =
-          match (n1, n2) with Some x, Some y -> Some (x + y) | _ -> None
+          match (n1, n2) with
+          | Some x, Some y -> Some (x + y)
+          | None, _ | _, None -> None
         in
         Some (R.loop r1 (m1 + m2) n)
       | _ -> None
@@ -152,7 +158,7 @@ module Make (R : Regex.S) = struct
      connect to [m·i, n·i], i.e. m(i+1) <= n·i + 1; the constraint is
      hardest at i = p (for m <= n). *)
   let unnest_loop (t : R.t) : R.t =
-    match t.R.node with
+    match[@warning "-4"] t.R.node with
     | Loop ({ R.node = Loop (body, m, Some n); _ }, p, q) ->
       let tiles =
         match q with

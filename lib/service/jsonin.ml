@@ -226,20 +226,23 @@ let parse (src : string) : (J.t, string) result =
 
 (* -- accessors ----------------------------------------------------------- *)
 
-let member key = function
+(* The typed accessors deliberately ignore every other JSON shape:
+   a request field of the wrong type reads as absent. *)
+let member key = function[@warning "-4"]
   | J.Obj kvs -> List.assoc_opt key kvs
   | _ -> None
 
 let str_member key j =
-  match member key j with Some (J.Str s) -> Some s | _ -> None
+  match[@warning "-4"] member key j with Some (J.Str s) -> Some s | _ -> None
 
 let float_member key j =
-  match member key j with
+  match[@warning "-4"] member key j with
   | Some (J.Float f) -> Some f
   | Some (J.Int i) -> Some (float_of_int i)
   | _ -> None
 
-let int_member key j = match member key j with Some (J.Int i) -> Some i | _ -> None
+let int_member key j =
+  match[@warning "-4"] member key j with Some (J.Int i) -> Some i | _ -> None
 
 let bool_member key j =
-  match member key j with Some (J.Bool b) -> Some b | _ -> None
+  match[@warning "-4"] member key j with Some (J.Bool b) -> Some b | _ -> None

@@ -2,7 +2,8 @@
     request per line, one JSON response per request (DESIGN.md §9).
 
     Requests:
-    {v {"id": <any>, "op": "solve"|"assert"|"check"|"match"|"stats"|"shutdown",
+    {v {"id": <any>, "op": "solve"|"assert"|"check"|"match"|"analyze"
+              |"stats"|"shutdown",
         "re": <ERE pattern> | "smt2": <SMT-LIB script>,
         "input": <UTF-8 text, op "match" only>,
         "deadline_s": <seconds>, "budget": <steps>, "stats": <bool>} v}
@@ -24,6 +25,9 @@ type payload =
       (** match [input] (UTF-8 bytes) against [pattern] with the
           byte-level engine: full-match verdict plus leftmost-earliest
           span *)
+  | Analyze_re of string
+      (** static analysis of a pattern: metrics, lint findings, sound
+          emptiness/universality verdicts, routing hints *)
   | Stats  (** server/pool/cache counters *)
   | Shutdown  (** drain in-flight requests, then stop *)
 
@@ -67,6 +71,10 @@ let parse_request (line : string) : (request, J.t * string) result =
       | Some pattern, Some input -> finish (Match_re { pattern; input })
       | None, _ -> Error (id, "op \"match\" needs a \"re\" field")
       | _, None -> Error (id, "op \"match\" needs an \"input\" field"))
+    | Some "analyze" -> (
+      match re with
+      | Some pat -> finish (Analyze_re pat)
+      | None -> Error (id, "op \"analyze\" needs a \"re\" field"))
     | Some "stats" -> finish Stats
     | Some "shutdown" -> finish Shutdown
     | Some other -> Error (id, Printf.sprintf "unknown op %S" other))
@@ -145,6 +153,12 @@ let smt2_response ~id ~(wall_s : float)
       ("output", J.Str output);
       ("wall_s", J.Float wall_s);
     ]
+
+(** Response to an [analyze] request: the analyzer's JSON report under
+    an ["analysis"] key. *)
+let analyze_response ~id ~(wall_s : float) (report : J.t) : J.t =
+  with_id id
+    [ ("status", J.Str "ok"); ("analysis", report); ("wall_s", J.Float wall_s) ]
 
 let ok_response ~id fields = with_id id (("status", J.Str "ok") :: fields)
 let error_response ~id msg = with_id id [ ("error", J.Str msg) ]

@@ -140,6 +140,18 @@ let match_job ~id ~want_stats ~deadline ~respond ~pattern ~input
          ?stats:(if want_stats then Some stats else None)
          verdict)
 
+(** The pool-side work of an [analyze] request: run the static analyzer
+    on the pattern.  The request [budget] (default one) caps Layer-2
+    state expansions, reinterpreted at analyzer scale: analysis is a
+    pre-pass, so it gets a small fraction of a solve budget. *)
+let analyze_job ~id ~deadline ~budget ~respond pat (module W : Worker.WORKER) =
+  let t0 = Obs.now () in
+  let budget = max 64 (budget / 100) in
+  match W.analyze_pattern ?deadline ~budget pat with
+  | Error msg -> respond (Protocol.error_response ~id msg)
+  | Ok report ->
+    respond (Protocol.analyze_response ~id ~wall_s:(Obs.now () -. t0) report)
+
 let smt2_job ~id ~deadline ~budget ~respond script (module W : Worker.WORKER) =
   let t0 = Obs.now () in
   match W.run_smt2 ?deadline ~budget script with
@@ -198,6 +210,9 @@ let handle_line t session line : [ `Continue | `Shutdown ] =
       dispatch
         (match_job ~id ~want_stats:req.want_stats ~deadline
            ~respond:respond_cb ~pattern ~input);
+      `Continue
+    | Protocol.Analyze_re pat ->
+      dispatch (analyze_job ~id ~deadline ~budget ~respond:respond_cb pat);
       `Continue
     | Protocol.Solve_smt2 script ->
       dispatch (smt2_job ~id ~deadline ~budget ~respond:respond_cb script);
@@ -362,7 +377,7 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
       let submitted = Obs.now () in
       let job (module W : Worker.WORKER) =
         let key_ok =
-          match if use_cache then Some (W.cache_key pat) else None with
+          match[@warning "-4"] if use_cache then Some (W.cache_key pat) else None with
           | Some (Ok key) -> (
             match Lru.find t.cache key with
             | Some v ->
@@ -376,7 +391,7 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
           | Ok (v, _) ->
             pool_verdicts.(i) <- Some v;
             if use_cache then (
-              match (W.cache_key pat, v) with
+              match[@warning "-4"] (W.cache_key pat, v) with
               | Ok key, (Protocol.Sat _ | Protocol.Unsat) -> Lru.put t.cache key v
               | _ -> ())
           | Error _ -> ());
@@ -426,7 +441,7 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
   let match_mismatches = ref 0 in
   Array.iteri
     (fun i (pat, input) ->
-      match (match_verdicts.(i), W0.match_ref ~pattern:pat ~input) with
+      match[@warning "-4"] (match_verdicts.(i), W0.match_ref ~pattern:pat ~input) with
       | Some (Protocol.Matched { full; span }), Some (ref_full, ref_span) ->
         incr match_checked;
         if full <> ref_full || span <> ref_span then incr match_mismatches
@@ -442,14 +457,14 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
   let unknowns = ref 0 in
   let bad_witnesses = ref 0 in
   for i = 0 to n - 1 do
-    (match (seq_verdicts.(i), pool_verdicts.(i)) with
+    (match[@warning "-4"] (seq_verdicts.(i), pool_verdicts.(i)) with
     | Some (Protocol.Sat _), Some Protocol.Unsat
     | Some Protocol.Unsat, Some (Protocol.Sat _) ->
       incr mismatches
     | Some (Protocol.Unknown _), _ | _, Some (Protocol.Unknown _) ->
       incr unknowns
     | _ -> ());
-    match pool_verdicts.(i) with
+    match[@warning "-4"] pool_verdicts.(i) with
     | Some (Protocol.Sat { codepoints; _ }) ->
       if W0.check_witness patterns.(i) codepoints = Some false then
         incr bad_witnesses
@@ -511,7 +526,7 @@ let read_file path =
     throughput runs, ...); creates the file if absent. *)
 let append_bench ?(section = "service") ~path (report : J.t) : unit =
   let report =
-    match report with
+    match[@warning "-4"] report with
     | J.Obj kvs -> J.Obj (("date", J.Str (today ())) :: kvs)
     | other -> other
   in
@@ -526,10 +541,10 @@ let append_bench ?(section = "service") ~path (report : J.t) : unit =
   let doc =
     match if Sys.file_exists path then Some (read_file path) else None with
     | Some src -> (
-      match Jsonin.parse src with
+      match[@warning "-4"] Jsonin.parse src with
       | Ok (J.Obj kvs) ->
         let runs =
-          match List.assoc_opt section kvs with
+          match[@warning "-4"] List.assoc_opt section kvs with
           | Some (J.Arr rs) -> rs
           | _ -> []
         in

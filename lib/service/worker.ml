@@ -82,6 +82,22 @@ module type WORKER = sig
       witnesses for counting-heavy patterns (thousands of code points)
       would otherwise stall on.  [None] on parse error. *)
 
+  val analyze_pattern :
+    ?deadline:float ->
+    ?budget:int ->
+    string ->
+    (Sbd_obs.Obs.Json.t, string) result
+  (** Run the static analyzer ({!Sbd_analysis.Analyze}) on a pattern:
+      structural metrics, lint findings, budgeted sound
+      emptiness/universality verdicts, and routing hints, as the
+      analyzer's JSON report.  [budget] bounds Layer-2 state
+      expansions (default 2000); [Error] is a parse error. *)
+
+  val engine_max_states : string -> (int, string) result
+  (** The analyzer-chosen engine state cap for the pattern — the cap
+      {!match_input}'s cached engine is (or will be) created with.
+      Exposed so tests can observe that hints steer worker behavior. *)
+
   val memo_entries : unit -> int
   (** Cache-pressure gauge: entries across the derivative memo tables. *)
 
@@ -99,6 +115,7 @@ let create ?(memo_cap = 200_000) () : (module WORKER) =
   let module S = Sbd_solver.Solve.Make (R) in
   let module E = Sbd_smtlib.Eval.Make (R) in
   let module Ref = Sbd_classic.Refmatch.Make (R) in
+  let module An = Sbd_analysis.Analyze.Make (R) in
   (module struct
     let session = S.create_session ()
     let nqueries = ref 0
@@ -151,11 +168,15 @@ let create ?(memo_cap = 200_000) () : (module WORKER) =
       | S.Unsat -> Protocol.Unsat
       | S.Unknown why -> Protocol.Unknown why
 
-    let memo_entries () = S.D.memo_entries ()
+    (* The analyzer keeps its own derivative memo (a separate functor
+       application over the same R), so its entries count against the
+       same cap and are cleared together. *)
+    let memo_entries () = S.D.memo_entries () + An.memo_entries ()
 
     let relieve_pressure () =
       if memo_entries () > memo_cap then begin
         S.D.clear ();
+        An.clear ();
         Obs.Counter.incr c_memo_clears;
         true
       end
@@ -203,6 +224,12 @@ let create ?(memo_cap = 200_000) () : (module WORKER) =
     let engines : (string, Eng.t) Hashtbl.t = Hashtbl.create 16
     let engine_cap = 64
 
+    (* Engine state caps come from the structural analyzer: a tight cap
+       (Theorem 7.3 bound with slack) for linear-fragment patterns, the
+       default for general EREs, and extra headroom for blowup-prone
+       shapes where a reset would thrash. *)
+    let cap_for r = (An.hints_of (An.metrics_of r)).An.max_states
+
     let engine_for pat : (Eng.t, string) result =
       match Hashtbl.find_opt engines pat with
       | Some e -> Ok e
@@ -210,10 +237,29 @@ let create ?(memo_cap = 200_000) () : (module WORKER) =
         Result.map
           (fun r ->
             if Hashtbl.length engines >= engine_cap then Hashtbl.reset engines;
-            let e = Eng.create ~mode:Sbd_engine.Byteclass.Utf8 r in
+            let e =
+              Eng.create ~max_states:(cap_for r)
+                ~mode:Sbd_engine.Byteclass.Utf8 r
+            in
             Hashtbl.add engines pat e;
             e)
           (parse pat)
+
+    let engine_max_states pat =
+      match Hashtbl.find_opt engines pat with
+      | Some e -> Ok (Eng.max_states e)
+      | None -> Result.map cap_for (parse pat)
+
+    let analyze_pattern ?deadline ?budget pat =
+      incr nqueries;
+      Obs.Counter.incr c_queries;
+      Result.map
+        (fun r ->
+          let deadline = Option.map Obs.Deadline.of_seconds deadline in
+          let report = An.analyze ~source:pat ?budget ?deadline r in
+          ignore (relieve_pressure ());
+          An.json_of_report report)
+        (parse pat)
 
     let match_input ?deadline ~pattern ~input () =
       incr nqueries;

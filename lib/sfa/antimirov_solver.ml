@@ -33,10 +33,15 @@ module Make (R : Sbd_regex.Regex.S) = struct
   (* Split an intersection into positive conjuncts and complemented
      conjuncts; fails on deeper complement. *)
   let split_conjuncts (r : R.t) : (R.t list * R.t list) option =
-    let conjuncts = match r.R.node with And xs -> xs | _ -> [ r ] in
+    let conjuncts =
+      match[@warning "-4"] r.R.node with And xs -> xs | _ -> [ r ]
+    in
     let pos, neg =
       List.partition_map
-        (fun c -> match c.R.node with Not x -> Either.Right x | _ -> Either.Left c)
+        (fun c ->
+          match[@warning "-4"] c.R.node with
+          | Not x -> Either.Right x
+          | _ -> Either.Left c)
         conjuncts
     in
     if List.for_all R.in_re pos && List.for_all R.in_re neg then Some (pos, neg)

@@ -273,7 +273,8 @@ module Make (R : Sbd_regex.Regex.S) = struct
       for intersection and [complement] for negation (the eager
       pipeline). *)
   let rec of_ere ?(budget = 100_000) (r : R.t) : t =
-    match r.R.node with
+    (* catch-all: anything already in classical RE compiles directly *)
+    match[@warning "-4"] r.R.node with
     | And xs ->
       let ms = List.map (of_ere ~budget) xs in
       (match ms with

@@ -64,8 +64,11 @@ module Make (R : Sbd_regex.Regex.S) = struct
     | [ c ] -> c
     | _ -> unsupported "%s expects single-character strings" ctx
 
+  (* S-expression dispatches below keep a final catch-all clause that
+     raises [Unsupported]: that is the whole point -- any shape we do not
+     recognize is reported, not silently misread. *)
   let rec regex_of_sexp (e : Sexp.t) : R.t =
-    match e with
+    match[@warning "-4"] e with
     | Sexp.Atom "re.none" -> R.empty
     | Sexp.Atom "re.all" -> R.full
     | Sexp.Atom "re.allchar" -> R.any
@@ -112,7 +115,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
     else unsupported "unknown constant %s" name
 
   let rec form_of_sexp env (e : Sexp.t) : form =
-    match e with
+    match[@warning "-4"] e with
     | Sexp.Atom "true" -> FTrue
     | Sexp.Atom "false" -> FFalse
     | Sexp.List (Sexp.Atom "and" :: args) -> FAnd (List.map (form_of_sexp env) args)
@@ -146,7 +149,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
     | e -> unsupported "formula %s" (Format.asprintf "%a" Sexp.pp e)
 
   and equality env a b =
-    match (a, b) with
+    match[@warning "-4"] (a, b) with
     | Sexp.Atom x, Sexp.Str lit | Sexp.Str lit, Sexp.Atom x ->
       Atom (find_var env x, S.In (regex_of_word (decode_string lit)))
     | Sexp.Str l1, Sexp.Str l2 -> if decode_string l1 = decode_string l2 then FTrue else FFalse
@@ -159,7 +162,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
         (Format.asprintf "%a" Sexp.pp b)
 
   and length_cmp env e =
-    match e with
+    match[@warning "-4"] e with
     | Sexp.List [ Sexp.Atom op; Sexp.List [ Sexp.Atom "str.len"; Sexp.Atom x ]; Sexp.Atom n ]
       ->
       let x = find_var env x and n = int_of_string n in
@@ -188,7 +191,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
     | FNot f -> fneg f
     | FAnd fs -> FAnd (List.map fnnf fs)
     | FOr fs -> FOr (List.map fnnf fs)
-    | atom -> atom
+    | (Atom _ | FTrue | FFalse) as atom -> atom
 
   and fneg = function
     | FNot f -> fnnf f
@@ -265,7 +268,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       let buf = Buffer.create 64 in
       let last_model = ref None in
       let do_cmd (cmd : Sexp.t) =
-        match cmd with
+        match[@warning "-4"] cmd with
         | Sexp.List (Sexp.Atom ("set-logic" | "set-info" | "set-option") :: _) -> ()
         | Sexp.List [ Sexp.Atom "declare-fun"; Sexp.Atom x; Sexp.List []; Sexp.Atom "String" ]
         | Sexp.List [ Sexp.Atom "declare-const"; Sexp.Atom x; Sexp.Atom "String" ] ->

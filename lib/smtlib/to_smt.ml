@@ -42,7 +42,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       | Eps -> "(str.to_re \"\")"
       | Concat _ ->
         let rec flatten (r : R.t) =
-          match r.R.node with
+          match[@warning "-4"] r.R.node with
           | Concat (a, b) -> a :: flatten b
           | _ -> [ r ]
         in
@@ -71,11 +71,11 @@ module Make (R : Sbd_regex.Regex.S) = struct
       let body = if polarity then inner else Printf.sprintf "(not %s)" inner in
       Buffer.add_string buf (Printf.sprintf "(assert %s)\n" body)
     in
-    (match r.R.node with
+    (match[@warning "-4"] r.R.node with
     | And xs ->
       List.iter
         (fun (x : R.t) ->
-          match x.R.node with
+          match[@warning "-4"] x.R.node with
           | Not y -> assert_membership false y
           | _ -> assert_membership true x)
         xs

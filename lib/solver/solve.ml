@@ -300,7 +300,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
            it proves the constrained query unsatisfiable. *)
         Unsat
     in
-    (match res with
+    (match[@warning "-4"] res with
     | Unknown "deadline" ->
       session.deadline_hits <- session.deadline_hits + 1;
       Obs.Counter.incr c_deadline_hits
@@ -372,7 +372,9 @@ module Make (R : Sbd_regex.Regex.S) = struct
     | FNot f -> fneg f
     | FAnd fs -> FAnd (List.map fnnf fs)
     | FOr fs -> FOr (List.map fnnf fs)
-    | atom -> atom
+    | (In _ | Len_eq _ | Len_ge _ | Len_le _ | Char_at _ | FTrue | FFalse) as
+      atom ->
+      atom
 
   and fneg = function
     | In r -> In (R.compl r)
@@ -401,7 +403,8 @@ module Make (R : Sbd_regex.Regex.S) = struct
         [ [] ] fs
     | FFalse -> []
     | FTrue -> [ [] ]
-    | atom -> [ [ atom ] ]
+    | (In _ | Len_eq _ | Len_ge _ | Len_le _ | Char_at _ | FNot _) as atom ->
+      [ [ atom ] ]
 
   (* Assemble one DNF clause into a single ERE plus side constraints. *)
   let clause_to_query (atoms : formula list) : (R.t * side) option =

@@ -230,6 +230,25 @@ let test_utf8_boundaries () =
       | _ -> Alcotest.failf "failed at U+%04X" cp)
     [ 0x00; 0x7F; 0x80; 0x7FF; 0x800; 0xD7FF; 0xE000; 0xFFFF ]
 
+let test_charclass_wellformed () =
+  (* Every named class denotes a nonempty set of well-ordered BMP
+     ranges: lo <= hi within each range, all within 0..0xFFFF.  The
+     parser relies on classes never being the (rejected) empty class. *)
+  List.iter
+    (fun cls ->
+      let rs = Charclass.ranges_of cls in
+      check "class nonempty" false (rs = []);
+      List.iter
+        (fun (lo, hi) ->
+          check "range ordered" true (lo <= hi);
+          check "range in BMP" true (lo >= 0 && hi <= 0xFFFF))
+        rs;
+      (* and survives normalization nonempty *)
+      check "normalized nonempty" false
+        (Sbd_alphabet.Algebra.normalize_ranges rs = []))
+    Charclass.
+      [ Digit; Word; Space; Lower; Upper; Alpha; Alnum; Ascii; Printable; Any ]
+
 let suite =
   ( "alphabet",
     [ Alcotest.test_case "normalize_ranges" `Quick test_normalize
@@ -243,4 +262,6 @@ let suite =
       ; Alcotest.test_case "minterm_of" `Quick test_minterm_of
       ; Alcotest.test_case "minterm blowup" `Quick test_minterms_blowup_count
       ; Alcotest.test_case "bdd edge cases" `Quick test_bdd_edges
-      ; Alcotest.test_case "utf8 boundaries" `Quick test_utf8_boundaries ] )
+      ; Alcotest.test_case "utf8 boundaries" `Quick test_utf8_boundaries
+      ; Alcotest.test_case "charclass well-formed" `Quick
+          test_charclass_wellformed ] )

@@ -1,0 +1,239 @@
+(* Tests for the static analyzer (lib/analysis): Layer-1 metrics and
+   fragment classification, lint rules with stable IDs, Layer-2 bounded
+   semantic verdicts (which must be sound: Proved/Refuted are theorems),
+   the tuning hints and their consumers (matcher/engine), and the
+   stability of the JSON report shape. *)
+
+module A = Sbd_alphabet.Bdd
+module R = Sbd_regex.Regex.Make (A)
+module P = Sbd_regex.Parser.Make (R)
+module An = Sbd_analysis.Analyze.Make (R)
+module Ref = Sbd_classic.Refmatch.Make (R)
+module Matcher = Sbd_matcher.Matcher.Make (R)
+module J = Sbd_obs.Obs.Json
+
+let re = P.parse_exn
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let has_rule rule (rep : An.report) =
+  List.exists (fun (f : An.finding) -> f.An.rule = rule) rep.An.findings
+
+let rules (rep : An.report) =
+  List.map (fun (f : An.finding) -> f.An.rule) rep.An.findings
+
+(* -- Layer 1: metrics and fragments ---------------------------------- *)
+
+let test_metrics () =
+  let m = An.metrics_of (re "ab*c") in
+  check_str "fragment" "RE" (An.fragment_name m.An.fragment);
+  check_int "preds" 3 m.An.n_pred;
+  check "has star" true (m.An.star_height = 1);
+  check_int "no complement" 0 m.An.compl_depth;
+  check "ascii only" true m.An.ascii_only;
+  check "not nullable" false m.An.nullable;
+  (* Theorem 7.3: the linear bound is recorded for classical regexes *)
+  (match m.An.state_bound with
+  | Some b -> check "state bound positive" true (b >= 2)
+  | None -> Alcotest.fail "RE fragment must carry a state bound");
+  (* top-level Boolean structure over classical regexes stays in B(RE) *)
+  let mb = An.metrics_of (re "~(.*a{8,16}.*)&.*b.*") in
+  check_str "boolean fragment" "B(RE)" (An.fragment_name mb.An.fragment);
+  check "boolean keeps bound" true (mb.An.state_bound <> None);
+  check "counter under complement" true mb.An.counter_under_compl;
+  (* Boolean structure under a concatenation leaves the bounded fragment *)
+  let mext = An.metrics_of (re "(~(ab)|c)d") in
+  check_str "general fragment" "ERE" (An.fragment_name mext.An.fragment);
+  check "no bound for ERE" true (mext.An.state_bound = None);
+  (* the unfolding measure counts counted repetitions multiplied out *)
+  let munf = An.metrics_of (re "a{100}") in
+  check "unfolded >= 100" true (munf.An.unfolded >= 100);
+  (* difficulty is monotone in obvious hardness: blowup > literal *)
+  check "difficulty orders patterns" true
+    (An.difficulty mb > An.difficulty m)
+
+let test_lint_rules () =
+  let analyze ?source s = An.analyze ?source ~layer2:false (re s) in
+  (* SBD101: syntactic bottom at the root (constructors collapse a&~a) *)
+  check "SBD101 on a&~a" true (has_rule "SBD101" (analyze "a&~a"));
+  (* SBD102: unsat by cheap ⊥-propagation (disjoint character classes
+     survive the constructors, which compare predicate leaves only by
+     identity) *)
+  check "SBD102 on disjoint classes" true
+    (has_rule "SBD102" (analyze "[a-m]&[n-z]"));
+  (* SBD103: a dead proper subterm inside a live pattern *)
+  check "SBD103 on dead branch" true
+    (has_rule "SBD103" (analyze "x([a-c]&[x-z])y|ok"));
+  (* SBD105: double complement in the source (the AST normalizes it) *)
+  check "SBD105 on ~~a" true (has_rule "SBD105" (analyze ~source:"~~a" "~~a"));
+  (* SBD106: complement over a counted repetition *)
+  check "SBD106 on compl-counter" true
+    (has_rule "SBD106" (analyze "~(a{8,16})"));
+  (* SBD107: two counter-carrying conjuncts *)
+  check "SBD107 on counter intersection" true
+    (has_rule "SBD107" (analyze ".*a{10}.*&.*b{12}.*"));
+  (* SBD108: heavy unfolding *)
+  check "SBD108 on a{5000}" true (has_rule "SBD108" (analyze "a{5000}"));
+  (* clean patterns stay clean *)
+  check_int "no findings on ab*c" 0 (List.length (analyze "ab*c").An.findings);
+  (* severities are spelled as stable strings *)
+  check_str "error name" "error" (An.severity_name An.Error);
+  check_str "warning name" "warning" (An.severity_name An.Warning);
+  check_str "info name" "info" (An.severity_name An.Info)
+
+(* -- Layer 2: bounded semantic verdicts ------------------------------- *)
+
+let test_semantic_verdicts () =
+  let analyze s = An.analyze ~budget:2_000 (re s) in
+  (* proved empty: intersection of disjoint one-letter languages *)
+  let rep = analyze "[a-m]+&[n-z]+" in
+  (match rep.An.semantic with
+  | Some sem ->
+    check "proved empty" true (sem.An.empty = An.Proved);
+    check "SBD201 emitted" true (has_rule "SBD201" rep)
+  | None -> Alcotest.fail "layer 2 missing");
+  (* refuted empty: the witness is validated by the oracle *)
+  let rep = analyze "ab*c" in
+  (match rep.An.semantic with
+  | Some sem -> (
+    check "nonempty refuted" true (sem.An.empty = An.Refuted);
+    match sem.An.witness with
+    | Some w -> check "witness accepted by oracle" true (Ref.matches (re "ab*c") w)
+    | None -> Alcotest.fail "refuted-empty must carry a witness")
+  | None -> Alcotest.fail "layer 2 missing");
+  (* proved universal *)
+  let rep = analyze ".*|~(.*)" in
+  (match rep.An.semantic with
+  | Some sem ->
+    check "universal proved" true (sem.An.universal = An.Proved);
+    check "SBD202 emitted" true (has_rule "SBD202" rep)
+  | None -> Alcotest.fail "layer 2 missing");
+  (* tiny budget: verdicts degrade to Unknown, never to a guess *)
+  let rep = An.analyze ~budget:1 (re "(a|b){2,6}c&.*d.*") in
+  match rep.An.semantic with
+  | Some sem ->
+    check "budget-starved empty is unknown" true (sem.An.empty = An.Unknown)
+  | None -> Alcotest.fail "layer 2 missing"
+
+(* -- hints and their consumers ---------------------------------------- *)
+
+let test_hints () =
+  let hints s = (An.analyze ~layer2:false (re s)).An.hints in
+  (* the analyzer's fallback cap must stay in sync with the engine's *)
+  check_int "default_max_states in sync" Sbd_engine.Dfa.default_max_states
+    An.default_max_states;
+  let easy = hints "ab*c" in
+  check_str "literal risk" "low" (An.risk_name easy.An.risk);
+  check "literal gets small cap" true
+    (easy.An.max_states < An.default_max_states);
+  check "literal prefers engine" true easy.An.prefer_engine;
+  check "ascii pattern is byte-safe" true easy.An.byte_mode_ok;
+  let blowup = hints "~(.*a{8,16}.*)&.*b{8,16}.*" in
+  check_str "blowup risk" "high" (An.risk_name blowup.An.risk);
+  check "blowup gets headroom" true
+    (blowup.An.max_states > An.default_max_states);
+  check "blowup avoids engine" true (not blowup.An.prefer_engine);
+  check "blowup gets bigger solver budget" true
+    (blowup.An.solve_budget > easy.An.solve_budget);
+  let unicode = hints "h\\u{4E2D}llo" in
+  check "non-ascii is not byte-safe" false unicode.An.byte_mode_ok
+
+(* The hints must demonstrably change consumer behavior: the matcher
+   picks its engine state cap from the analyzer, so an easy literal and
+   a blowup-prone pattern get different caps. *)
+let test_hint_consumer () =
+  let cap s = Matcher.engine_max_states (Matcher.create (re s)) in
+  let easy = cap "ab*c" and hard = cap "~(.*a{8,16}.*)&.*b{8,16}.*" in
+  check "easy pattern capped below default" true
+    (easy < Sbd_engine.Dfa.default_max_states);
+  check "hard pattern capped above default" true
+    (hard > Sbd_engine.Dfa.default_max_states);
+  check "hints change consumer behavior" true (easy <> hard);
+  (* and the worker agrees with the matcher-side decision *)
+  let (module W) = Sbd_service.Worker.create () in
+  (match W.engine_max_states "ab*c" with
+  | Ok n -> check "worker easy cap" true (n < Sbd_engine.Dfa.default_max_states)
+  | Error msg -> Alcotest.fail msg);
+  match W.engine_max_states "~(.*a{8,16}.*)&.*b{8,16}.*" with
+  | Ok n -> check "worker hard cap" true (n > Sbd_engine.Dfa.default_max_states)
+  | Error msg -> Alcotest.fail msg
+
+(* -- machine-readable report ------------------------------------------ *)
+
+let test_json_shape () =
+  let rep = An.analyze ~source:"[a-m]+&[n-z]+" (re "[a-m]+&[n-z]+") in
+  match An.json_of_report rep with
+  | J.Obj kvs ->
+    let mem k = List.assoc_opt k kvs in
+    check "pattern present" true (mem "pattern" = Some (J.Str "[a-m]+&[n-z]+"));
+    (match mem "metrics" with
+    | Some (J.Obj ms) ->
+      check "metrics.size" true (List.assoc_opt "size" ms <> None);
+      check "metrics.fragment" true
+        (List.assoc_opt "fragment" ms = Some (J.Str "B(RE)"));
+      check "metrics.difficulty" true (List.assoc_opt "difficulty" ms <> None)
+    | _ -> Alcotest.fail "metrics object missing");
+    (match mem "findings" with
+    | Some (J.Arr (J.Obj f :: _)) ->
+      check "finding.rule" true (List.assoc_opt "rule" f <> None);
+      check "finding.severity" true (List.assoc_opt "severity" f <> None);
+      check "finding.message" true (List.assoc_opt "message" f <> None)
+    | _ -> Alcotest.fail "findings array missing");
+    (match mem "semantic" with
+    | Some (J.Obj s) ->
+      check "semantic.empty proved" true
+        (List.assoc_opt "empty" s = Some (J.Str "proved"))
+    | _ -> Alcotest.fail "semantic object missing");
+    (match mem "hints" with
+    | Some (J.Obj h) ->
+      check "hints.risk" true (List.assoc_opt "risk" h <> None);
+      check "hints.max_states" true (List.assoc_opt "max_states" h <> None)
+    | _ -> Alcotest.fail "hints object missing");
+    (* a proved-empty report carries the SBD201 error *)
+    check "SBD201 in rules" true (List.mem "SBD201" (rules rep))
+  | _ -> Alcotest.fail "report must be a JSON object"
+
+(* Soundness spot-check over the handwritten corpus: any Proved verdict
+   must agree with the reference matcher on short words (the fuzzer does
+   this at scale; here it guards the test suite). *)
+let test_corpus_soundness () =
+  let words =
+    let letters = [ 'a'; 'b'; 'c'; '0'; '1' ] in
+    [] :: List.concat_map (fun c -> [ [ Char.code c ] ]) letters
+    @ List.concat_map
+        (fun c -> List.map (fun d -> [ Char.code c; Char.code d ]) letters)
+        letters
+  in
+  List.iter
+    (fun (inst : Sbd_benchgen.Instance.t) ->
+      match P.parse inst.pattern with
+      | Error _ -> ()
+      | Ok r -> (
+        let rep = An.analyze ~budget:500 r in
+        match rep.An.semantic with
+        | Some sem ->
+          (if sem.An.empty = An.Proved then
+             List.iter
+               (fun w ->
+                 if Ref.matches r w then
+                   Alcotest.failf "unsound proved-empty: %s" inst.pattern)
+               words);
+          if sem.An.universal = An.Proved then
+            List.iter
+              (fun w ->
+                if not (Ref.matches r w) then
+                  Alcotest.failf "unsound proved-universal: %s" inst.pattern)
+              words
+        | None -> ()))
+    (Sbd_benchgen.Standard.handwritten ())
+
+let suite =
+  ( "analysis",
+    [ Alcotest.test_case "metrics and fragments" `Quick test_metrics
+    ; Alcotest.test_case "lint rules" `Quick test_lint_rules
+    ; Alcotest.test_case "semantic verdicts" `Quick test_semantic_verdicts
+    ; Alcotest.test_case "hints" `Quick test_hints
+    ; Alcotest.test_case "hints drive consumers" `Quick test_hint_consumer
+    ; Alcotest.test_case "json report shape" `Quick test_json_shape
+    ; Alcotest.test_case "corpus soundness" `Quick test_corpus_soundness ] )

@@ -91,7 +91,7 @@ let test_antimirov_linear () =
 
 let test_minterm_solver () =
   let sat = [ "abc"; "a*&~b"; ".*\\d.*&~(.*01.*)"; "(ab|ba){2}" ] in
-  let unsat = [ "[]"; "[a-c]&[x-z]"; "a{2}&a{3}"; "(a*)&(.*b.*)" ] in
+  let unsat = [ "a&~a"; "[a-c]&[x-z]"; "a{2}&a{3}"; "(a*)&(.*b.*)" ] in
   List.iter
     (fun s ->
       match MSolve.solve (re s) with

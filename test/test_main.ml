@@ -16,4 +16,5 @@ let () =
     ; Test_ranges_stack.suite
     ; Test_obs.suite
     ; Test_service.suite
-    ; Test_engine.suite ]
+    ; Test_engine.suite
+    ; Test_analysis.suite ]

@@ -66,7 +66,7 @@ let test_loop () =
 
 let test_nullability () =
   let cases =
-    [ ("a", false); ("a*", true); ("()", true); ("[]", false); ("a|()", true)
+    [ ("a", false); ("a*", true); ("()", true); ("a&~a", false); ("a|()", true)
     ; ("ab", false); ("a?b?", true); ("~a", true); ("~()", false)
     ; ("~(a*)", false); ("a&b", false); ("a*&b*", true); ("a{0,3}", true)
     ; ("a{2,3}", false); ("(a?){2,3}", true); (".*", true)
@@ -92,7 +92,7 @@ let test_parser_structure () =
   eq "dot is top" R.any (re ".");
   eq "dotstar is full" R.full (re ".*");
   eq "empty group" R.eps (re "()");
-  eq "empty class" R.empty (re "[]");
+  eq "complementary pair is bot" R.empty (re "a&~a");
   eq "class" (R.pred (Sbd_alphabet.Bdd.of_ranges [ (97, 99) ])) (re "[a-c]");
   eq "negated class"
     (R.pred (Sbd_alphabet.Bdd.of_ranges (Sbd_alphabet.Algebra.complement_ranges [ (97, 99) ])))
@@ -108,13 +108,24 @@ let test_parser_structure () =
   eq "unicode escape" (R.chr 0x4E2D) (re "\\u{4E2D}")
 
 let test_parser_errors () =
-  let bad = [ "("; "a)"; "[a"; "\\u{110000}"; "*a" ] in
+  let bad = [ "("; "a)"; "[a"; "\\u{110000}"; "*a"; "[]"; "a[]b"; "[z-a]" ] in
   List.iter
     (fun s ->
       match P.parse s with
       | Ok _ -> Alcotest.failf "expected parse error for %S" s
       | Error _ -> ())
     bad;
+  (* the rejections carry a position pointing into the offending class *)
+  (match P.parse "ab[]" with
+  | Error (pos, msg) ->
+    check_int "empty-class position" 3 pos;
+    check_str "empty-class message" "empty character class" msg
+  | Ok _ -> Alcotest.fail "expected parse error for \"ab[]\"");
+  (match P.parse "x[z-a]" with
+  | Error (pos, msg) ->
+    check_int "inverted-range position" 5 pos;
+    check_str "inverted-range message" "inverted range" msg
+  | Ok _ -> Alcotest.fail "expected parse error for \"x[z-a]\"");
   (* Empty branches are permitted, as in most practical regex dialects. *)
   eq "empty alternation branch" (R.alt R.eps (R.chr (Char.code 'a'))) (re "a|")
 

@@ -297,6 +297,44 @@ let test_deadline_isolation () =
       send {|{"id": 0, "op": "shutdown"}|};
       ignore (recv ()))
 
+(* -- analyze op ----------------------------------------------------------- *)
+
+let test_analyze_op () =
+  with_session small_cfg (fun ~send ~recv ->
+      send {|{"id": 1, "op": "analyze", "re": "[a-m]+&[n-z]+"}|};
+      let r = recv () in
+      check "analyze ok" true (status r = Some "ok");
+      (match Jsonin.member "analysis" r with
+      | Some (J.Obj kvs) ->
+        (* the report proves emptiness and carries the SBD201 finding *)
+        (match List.assoc_opt "semantic" kvs with
+        | Some (J.Obj sem) ->
+          check "proved empty over the wire" true
+            (List.assoc_opt "empty" sem = Some (J.Str "proved"))
+        | _ -> Alcotest.fail "semantic object missing");
+        (match List.assoc_opt "findings" kvs with
+        | Some (J.Arr fs) ->
+          check "SBD201 over the wire" true
+            (List.exists
+               (fun f ->
+                 match f with
+                 | J.Obj kv -> List.assoc_opt "rule" kv = Some (J.Str "SBD201")
+                 | _ -> false)
+               fs)
+        | _ -> Alcotest.fail "findings array missing");
+        check "hints present" true (List.assoc_opt "hints" kvs <> None)
+      | _ -> Alcotest.fail "analysis payload missing");
+      (* a pattern that fails to parse turns into a structured error *)
+      send {|{"id": 2, "op": "analyze", "re": "ab["}|};
+      let r = recv () in
+      check "bad pattern is an error" true (Jsonin.str_member "error" r <> None);
+      (* missing "re" is rejected at the protocol layer *)
+      send {|{"id": 3, "op": "analyze"}|};
+      let r = recv () in
+      check "missing re is an error" true (Jsonin.str_member "error" r <> None);
+      send {|{"id": 4, "op": "shutdown"}|};
+      ignore (recv ()))
+
 (* -- pool vs sequential agreement ---------------------------------------- *)
 
 let test_pool_agreement () =
@@ -320,6 +358,7 @@ let suite =
     ; Alcotest.test_case "canonical cache keys" `Quick test_worker_keys
     ; Alcotest.test_case "worker witness validation" `Quick test_worker_witness
     ; Alcotest.test_case "session round-trip" `Quick test_session_roundtrip
+    ; Alcotest.test_case "analyze op" `Quick test_analyze_op
     ; Alcotest.test_case "deadline isolation" `Quick test_deadline_isolation
     ; Alcotest.test_case "pool vs sequential agreement" `Quick
         test_pool_agreement
