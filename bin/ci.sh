@@ -32,6 +32,14 @@ echo "== analyzer corpus lint =="
 # contradicts the corpus ground-truth label, 2 on a parse failure
 dune exec bin/sbdsolve.exe -- --lint --corpus all --json > /dev/null
 
+echo "== derivation bench gates =="
+# cold-derives every state of the boolean + handwritten + dz3 suites,
+# then gates: boolean dz3 solved% must be 100 and the warm DNF memo
+# hit rate >= 0.9 on every suite (a hash-consing or memo regression
+# shows up here before it shows up as wall time); --no-bench skips the
+# throughput timing, which is meaningless on shared CI runners
+dune exec bin/experiments.exe -- deriv-bench --no-bench --check
+
 echo "== service smoke =="
 # --selftest also replays match and analyze requests through the worker
 # pool and fails on any engine-vs-oracle span mismatch

@@ -14,6 +14,8 @@
                                           per-position scan and DP oracle
      experiments analyze-bench            static-analyzer throughput and
                                           predicted-vs-measured difficulty
+     experiments deriv-bench              derivation/DNF throughput on the
+                                          Boolean + handwritten generators
      experiments all                      everything above (except dump)
 *)
 
@@ -294,6 +296,52 @@ let analyze_bench_cmd =
           & info [ "out" ] ~docv:"FILE"
               ~doc:"Trajectory file (default BENCH_<date>.json)."))
 
+let deriv_bench no_bench out label gate =
+  let report =
+    if no_bench then Deriv_bench.run ?label ()
+    else Deriv_bench.run_and_append ?label ?path:out ()
+  in
+  Deriv_bench.pp fmt report;
+  if not no_bench then
+    Format.fprintf fmt "appended deriv run to %s@."
+      (match out with
+      | Some p -> p
+      | None -> Sbd_service.Server.default_bench_path ());
+  if gate then begin
+    match Deriv_bench.check report with
+    | [] -> Format.fprintf fmt "deriv-bench gates: ok@."
+    | fails ->
+      List.iter (Format.fprintf fmt "deriv-bench gate FAILED: %s@.") fails;
+      failwith "deriv-bench: regression gate failed"
+  end
+
+let deriv_bench_cmd =
+  cmd "deriv-bench"
+    "derivation/DNF throughput and memo hit rates on the Boolean and \
+     handwritten generators"
+    Term.(
+      const deriv_bench
+      $ Arg.(
+          value & flag
+          & info [ "no-bench" ]
+              ~doc:"Do not append the report to the BENCH trajectory.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~docv:"FILE"
+              ~doc:"Trajectory file (default BENCH_<date>.json).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "label" ] ~docv:"LABEL"
+              ~doc:"Variant label recorded in the report (default hashcons).")
+      $ Arg.(
+          value & flag
+          & info [ "check" ]
+              ~doc:
+                "Enforce the pinned regression floors (boolean dz3 solved%, \
+                 warm deriv.dnf memo hit rate); non-zero exit on violation."))
+
 let all_cmd =
   cmd "all" "run every table, figure and ablation"
     Term.(
@@ -314,4 +362,4 @@ let () =
        (Cmd.group info
           [ table_cmd; fig4b_cmd; fig4c_cmd; ablation_dead_cmd
           ; ablation_simplify_cmd; ablation_algebra_cmd; states_cmd; dump_cmd
-          ; engine_bench_cmd; analyze_bench_cmd; all_cmd ]))
+          ; engine_bench_cmd; analyze_bench_cmd; deriv_bench_cmd; all_cmd ]))

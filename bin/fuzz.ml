@@ -207,6 +207,21 @@ let run ~rounds ~seed ~size =
     (* simplifier *)
     let r' = Simp.simplify r in
     if Ref.matches r' w <> expected then fail_at round "simplifier" r;
+    (* hash-consed transition regexes: O(1) interned equality must agree
+       with the structural oracle on independently derived values, and a
+       memo flush must not change what re-derivation interns to (the
+       intern table outlives the memo tables) *)
+    let tr = D.delta r and tr' = D.delta r' in
+    if D.Tr.equal tr tr' <> D.Tr.equal_structural tr tr' then
+      fail_at round "tregex interned vs structural equality" r;
+    if D.Tr.equal tr tr' && D.Tr.hash tr <> D.Tr.hash tr' then
+      fail_at round "tregex hash of equal nodes" r;
+    if round mod 50 = 0 then begin
+      let d = D.delta_dnf r in
+      D.clear ();
+      if not (D.delta r == tr && D.delta_dnf r == d) then
+        fail_at round "tregex re-derivation after memo flush" r
+    end;
     (* solvers *)
     let solver_res = S.solve ~budget:20_000 session r in
     (match (solver_res, MSolve.solve ~budget:20_000 r) with

@@ -32,26 +32,29 @@ module Make () = struct
   let bot = { tag = 0; node = False }
   let top = { tag = 1; node = True }
 
-  (* Hash-consing of nodes keyed by (var, lo.tag, hi.tag). *)
+  (* Hash-consing of nodes keyed by (var, lo.tag, hi.tag), packed into
+     one immediate int so lookups allocate nothing and hash in O(1).
+     The packing is injective for tags < 2^28 and var < 2^6 -- far
+     beyond any reachable table size (2^28 nodes would be >10 GB). *)
   module Key = struct
-    type t = int * int * int
+    type t = int
 
-    let equal (a : t) b = a = b
-    let hash = Hashtbl.hash
+    let equal (a : int) b = a = b
+    let hash (k : int) = Hashtbl.hash k
   end
 
   module Tbl = Hashtbl.Make (Key)
 
-  let node_table : pred Tbl.t = Tbl.create 4096
+  let node_table : pred Tbl.t = Tbl.create 32768
   let next_tag = ref 2
 
   let mk var lo hi =
     if lo == hi then lo
     else
-      let key = (var, lo.tag, hi.tag) in
-      match Tbl.find_opt node_table key with
-      | Some p -> p
-      | None ->
+      let key = (var lsl 56) lor (lo.tag lsl 28) lor hi.tag in
+      match Tbl.find node_table key with
+      | p -> p
+      | exception Not_found ->
         let p = { tag = !next_tag; node = Node { var; lo; hi } } in
         incr next_tag;
         Tbl.add node_table key p;
@@ -66,26 +69,27 @@ module Make () = struct
     | Node _ | False | True -> (p, p)
 
   (* Memoized binary apply.  Operations are identified by a small tag so one
-     cache serves conj/disj/xor. *)
+     cache serves conj/disj/xor.  Keys pack (op, tag1, tag2) into one
+     immediate int (injective for tags < 2^30). *)
   module Op_key = struct
-    type t = int * int * int (* op, tag1, tag2 *)
+    type t = int
 
-    let equal (a : t) b = a = b
-    let hash = Hashtbl.hash
+    let equal (a : int) b = a = b
+    let hash (k : int) = Hashtbl.hash k
   end
 
   module Op_tbl = Hashtbl.Make (Op_key)
 
-  let apply_cache : pred Op_tbl.t = Op_tbl.create 4096
+  let apply_cache : pred Op_tbl.t = Op_tbl.create 32768
 
   let rec apply op f a b =
     match op_shortcut op a b with
     | Some r -> r
     | None ->
-      let key = (op, a.tag, b.tag) in
-      (match Op_tbl.find_opt apply_cache key with
-      | Some r -> r
-      | None ->
+      let key = (op lsl 60) lor (a.tag lsl 30) lor b.tag in
+      (match Op_tbl.find apply_cache key with
+      | r -> r
+      | exception Not_found ->
         let v = min (var_of a) (var_of b) in
         let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
         let r = mk v (apply op f a0 b0) (apply op f a1 b1) in
@@ -115,19 +119,29 @@ module Make () = struct
   let conj a b = apply 0 ( && ) a b
   let disj a b = apply 1 ( || ) a b
 
-  let neg_cache : pred Op_tbl.t = Op_tbl.create 4096
+  (* Tags are dense from 0, so the negation cache is a growable array
+     indexed by tag: a hit is one load ([neg] guards every conditional
+     split of the derivative normalization). *)
+  let neg_cache : pred option array ref = ref (Array.make 8192 None)
 
   let rec neg p =
     match p.node with
     | False -> top
     | True -> bot
     | Node n -> (
-      let key = (3, p.tag, 0) in
-      match Op_tbl.find_opt neg_cache key with
+      let cache = !neg_cache in
+      match if p.tag < Array.length cache then cache.(p.tag) else None with
       | Some r -> r
       | None ->
         let r = mk n.var (neg n.lo) (neg n.hi) in
-        Op_tbl.add neg_cache key r;
+        let cache = !neg_cache in
+        let len = Array.length cache in
+        if p.tag >= len then begin
+          let cache' = Array.make (max (p.tag + 1) (2 * len)) None in
+          Array.blit cache 0 cache' 0 len;
+          neg_cache := cache'
+        end;
+        !neg_cache.(p.tag) <- Some r;
         r)
 
   let is_bot p = p == bot

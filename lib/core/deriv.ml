@@ -29,8 +29,10 @@ module Make (R : Sbd_regex.Regex.S) = struct
   let c_dnf_size_max = Obs.Counter.make "deriv.dnf.size_max"
   let sp_dnf = Obs.Span.make "deriv.dnf"
 
-  let delta_table : (int, Tr.t) Hashtbl.t = Hashtbl.create 256
-  let dnf_table : (int, Tr.t) Hashtbl.t = Hashtbl.create 256
+  (* Memo tables keyed by the dense regex ids: array loads, not hash
+     lookups (see Idmemo). *)
+  let delta_table : Tr.t Idmemo.t = Idmemo.create 4096
+  let dnf_table : Tr.t Idmemo.t = Idmemo.create 4096
 
   (* Decrement an upper loop bound; unbounded stays unbounded. *)
   let pred_bound = function None -> None | Some n -> Some (n - 1)
@@ -45,7 +47,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       tables consistent (entries are added only for completed
       subcomputations). *)
   let rec delta ?(deadline = Obs.Deadline.none) (r : R.t) : Tr.t =
-    match Hashtbl.find_opt delta_table r.R.id with
+    match Idmemo.find delta_table r.R.id with
     | Some t ->
       Obs.Counter.incr c_delta_hit;
       t
@@ -53,7 +55,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       Obs.Counter.incr c_delta_miss;
       Obs.Deadline.check deadline;
       let t = compute ~deadline r in
-      Hashtbl.add delta_table r.R.id t;
+      Idmemo.set delta_table r.R.id t;
       t
 
   and compute ~deadline (r : R.t) : Tr.t =
@@ -83,7 +85,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       the worst-case exponential step of the procedure; [deadline] is
       checked at every node it visits. *)
   let delta_dnf ?(deadline = Obs.Deadline.none) (r : R.t) : Tr.t =
-    match Hashtbl.find_opt dnf_table r.R.id with
+    match Idmemo.find dnf_table r.R.id with
     | Some t ->
       Obs.Counter.incr c_dnf_hit;
       t
@@ -98,18 +100,17 @@ module Make (R : Sbd_regex.Regex.S) = struct
         Obs.Counter.add c_dnf_size size;
         Obs.Counter.max_to c_dnf_size_max size
       end;
-      Hashtbl.add dnf_table r.R.id t;
+      Idmemo.set dnf_table r.R.id t;
       t
 
-  let transitions_table : (int, (A.pred * R.t) list) Hashtbl.t =
-    Hashtbl.create 256
+  let transitions_table : (A.pred * R.t) list Idmemo.t = Idmemo.create 4096
 
   (** The guarded out-edges of [r] in the derivative graph: the
       transitions of [delta_dnf r], memoized (the decision procedure
       re-visits states at several search depths). *)
   let transitions ?(deadline = Obs.Deadline.none) (r : R.t) :
       (A.pred * R.t) list =
-    match Hashtbl.find_opt transitions_table r.R.id with
+    match Idmemo.find transitions_table r.R.id with
     | Some ts ->
       Obs.Counter.incr c_trans_hit;
       ts
@@ -117,7 +118,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       Obs.Counter.incr c_trans_miss;
       let check () = Obs.Deadline.check deadline in
       let ts = Tr.transitions ~check (delta_dnf ~deadline r) in
-      Hashtbl.add transitions_table r.R.id ts;
+      Idmemo.set transitions_table r.R.id ts;
       ts
 
   (** One-character derivation: [derive c r = delta(r)(c)]. *)
@@ -136,20 +137,37 @@ module Make (R : Sbd_regex.Regex.S) = struct
   (** Statistics about the memo tables, for the experiment harness:
       sizes of the (delta, dnf, transitions) tables. *)
   let stats () =
-    ( Hashtbl.length delta_table,
-      Hashtbl.length dnf_table,
-      Hashtbl.length transitions_table )
+    ( Idmemo.count delta_table,
+      Idmemo.count dnf_table,
+      Idmemo.count transitions_table )
 
   let clear_tables () =
-    Hashtbl.reset delta_table;
-    Hashtbl.reset dnf_table;
-    Hashtbl.reset transitions_table
+    Idmemo.clear delta_table;
+    Idmemo.clear dnf_table;
+    Idmemo.clear transitions_table;
+    Tr.clear_memos ()
 
-  (** Total entries across the three memo tables: the cache-pressure
-      gauge a long-lived process watches (see [Sbd_service.Worker]). *)
+  (** Total entries across the derivation memo tables {e and} the
+      transition-regex normalization memos below them: the
+      cache-pressure gauge a long-lived process watches against
+      [--memo-cap] (see [Sbd_service.Worker]).  The Tr intern table is
+      not counted -- it is never evicted (see tregex.mli). *)
   let memo_entries () =
-    Hashtbl.length delta_table + Hashtbl.length dnf_table
-    + Hashtbl.length transitions_table
+    Idmemo.count delta_table + Idmemo.count dnf_table
+    + Idmemo.count transitions_table
+    + Tr.memo_entries ()
 
   let clear = clear_tables
+
+  (** Current table sizes of this instantiation as (name, value) gauges
+      for the [--stats] surfaces: the three derivation memo tables plus
+      the Tr intern/memo tables. *)
+  let cache_stats () =
+    [
+      ("deriv.table.delta", float_of_int (Idmemo.count delta_table));
+      ("deriv.table.dnf", float_of_int (Idmemo.count dnf_table));
+      ( "deriv.table.transitions",
+        float_of_int (Idmemo.count transitions_table) );
+    ]
+    @ Tr.cache_stats ()
 end

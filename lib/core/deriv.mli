@@ -40,16 +40,24 @@ module Make (R : Sbd_regex.Regex.S) : sig
       harness. *)
 
   val memo_entries : unit -> int
-  (** Total entries across all memo tables — the cache-pressure gauge
-      for long-lived processes (the service workers clear when it
-      exceeds a threshold). *)
+  (** Total entries across all memo tables, including the Tr
+      normalization memos (but not the never-evicted Tr intern table) —
+      the cache-pressure gauge for long-lived processes (the service
+      workers clear when it exceeds a threshold). *)
 
   val clear : unit -> unit
-  (** Drop every memo table.  The tables otherwise grow without bound
-      across queries, which is correct amortization for a batch run but
-      a memory leak in a persistent server; [Sbd_service] workers call
-      this when {!memo_entries} exceeds their configured cap.  Safe at
-      any query boundary: subsequent queries just recompute. *)
+  (** Drop every memo table, including the Tr normalization memos (the
+      Tr intern table survives; see tregex.mli).  The tables otherwise
+      grow without bound across queries, which is correct amortization
+      for a batch run but a memory leak in a persistent server;
+      [Sbd_service] workers call this when {!memo_entries} exceeds their
+      configured cap.  Safe at any query boundary: subsequent queries
+      just recompute. *)
+
+  val cache_stats : unit -> (string * float) list
+  (** Current table sizes as (name, value) gauges for the [--stats]
+      surfaces: [deriv.table.{delta,dnf,transitions}] plus the Tr
+      layer's [tregex.*] gauges. *)
 
   val clear_tables : unit -> unit
   (** Alias of {!clear} (historical name). *)

@@ -69,7 +69,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
      negated) states, for a fixed concrete character [c].  [sign] tracks
      negation context; leaves become State {regex; negated}. *)
   let rec formula_of_tr (sign : bool) (c : int) (tr : Tr.t) : state formula =
-    match tr with
+    match tr.Tr.node with
     | Tr.Leaf r ->
       let r, sign =
         match r.R.node with
@@ -142,7 +142,8 @@ module Make (R : Sbd_regex.Regex.S) = struct
         if Hashtbl.length seen > max_states then raise Budget;
         let d = D.delta s.regex in
         (* local mintermization of the guards appearing in d *)
-        let rec guards_of = function
+        let rec guards_of tr =
+          match tr.Tr.node with
           | Tr.Leaf _ -> []
           | Tr.Ite (p, a, b) -> (p :: guards_of a) @ guards_of b
           | Tr.Union (a, b) | Tr.Inter (a, b) -> guards_of a @ guards_of b

@@ -12,6 +12,14 @@
     character test, so negation can swap them ({!neg}, Lemma 4.2) and
     intersection can be pushed into the leaves ({!dnf}, Section 4.1).
 
+    Nodes are {b hash-consed}, mirroring the regex layer below: every
+    node carries a unique [id] assigned by an intern table, so [equal]
+    is physical comparison, [hash] is precomputed, DNF disjuncts dedupe
+    by id instead of an O(n²) structural scan, and the normalization
+    memo tables ({!neg}/{!nnf}/{!dnf}/{!concat_right}) are keyed on ids.
+    [Union]/[Inter] operands are ordered by id (both are commutative),
+    so [a|b] and [b|a] intern to one node.
+
     This module provides the smart constructors (with the unit/absorbing
     simplifications of Section 4), application, concatenation lifting
     [tau . R], negation, NNF, the lift-based disjunctive normal form of
@@ -21,28 +29,152 @@
 
 module Make (R : Sbd_regex.Regex.S) = struct
   module A = R.A
+  module Obs = Sbd_obs.Obs
 
-  type t =
+  type t = {
+    id : int;
+    node : node;
+    hash : int;
+    size : int;  (** node count, O(1) (the DNF-size gauges are hot) *)
+    compl_free : bool;  (** no [Compl] anywhere: NNF is the identity *)
+  }
+
+  and node =
     | Leaf of R.t
     | Ite of A.pred * t * t
     | Union of t * t
     | Inter of t * t
     | Compl of t
 
-  let bot = Leaf R.empty
-  let top = Leaf R.full
-  let leaf r = Leaf r
+  (* Counter cells are process-global (shared across functor
+     instantiations) and atomic, so concurrent service workers -- each
+     with its own intern table -- aggregate into one process-wide
+     picture; see the domain-safety note in tregex.mli. *)
+  let c_intern_hit = Obs.Counter.make "tregex.intern.hit"
+  let c_intern_miss = Obs.Counter.make "tregex.intern.miss"
+  let c_intern_size_max = Obs.Counter.make "tregex.intern.size_max"
+  let c_neg_hit = Obs.Counter.make "tregex.neg.memo_hit"
+  let c_neg_miss = Obs.Counter.make "tregex.neg.memo_miss"
+  let c_dnf_hit = Obs.Counter.make "tregex.dnf.memo_hit"
+  let c_dnf_miss = Obs.Counter.make "tregex.dnf.memo_miss"
+  let c_concat_hit = Obs.Counter.make "tregex.concat.memo_hit"
+  let c_concat_miss = Obs.Counter.make "tregex.concat.memo_miss"
 
-  (* Pair matches below keep a catch-all for the mixed-constructor cases;
-     enumerating all 25 pairs would bury the interesting rows. *)
-  let rec equal a b =
-    match[@warning "-4"] (a, b) with
+  (* -- hash-consing --------------------------------------------------- *)
+
+  (* Manual integer mixing instead of the polymorphic [Hashtbl.hash]:
+     no tuple allocation, no block traversal.  Constants are odd
+     multipliers (Fibonacci hashing); [land max_int] keeps the result
+     non-negative as [Hashtbl.Make] requires. *)
+  let mix a b = ((a * 0x9e3779b1) lxor b) land max_int
+
+  let hash_node = function
+    | Leaf r -> mix 1 r.R.id
+    | Ite (p, t, f) -> mix (mix (mix 2 (A.hash p)) t.id) f.id
+    | Union (a, b) -> mix (mix 3 a.id) b.id
+    | Inter (a, b) -> mix (mix 4 a.id) b.id
+    | Compl a -> mix 5 a.id
+
+  (* The intern table is keyed by the bare [node] -- the value the
+     caller of [mk] has already allocated -- so a hit allocates nothing
+     (no candidate record, no [size]/[compl_free] computation). *)
+  module H = struct
+    type t = node
+
+    (* Shallow equality: children are already interned, so comparing
+       their physical identity decides structural equality of the
+       candidate node.  Catch-all covers the mixed-constructor pairs. *)
+    let equal a b =
+      match[@warning "-4"] (a, b) with
+      | Leaf x, Leaf y -> R.equal x y
+      | Ite (p, t1, f1), Ite (q, t2, f2) -> t1 == t2 && f1 == f2 && A.equal p q
+      | Union (a1, b1), Union (a2, b2) | Inter (a1, b1), Inter (a2, b2) ->
+        a1 == a2 && b1 == b2
+      | Compl x, Compl y -> x == y
+      | _ -> false
+
+    let hash = hash_node
+  end
+
+  module Tbl = Hashtbl.Make (H)
+
+  let table : t Tbl.t = Tbl.create 16384
+  let next_id = ref 0
+
+  let size_of = function
+    | Leaf _ -> 1
+    | Ite (_, a, b) | Union (a, b) | Inter (a, b) -> 1 + a.size + b.size
+    | Compl a -> 1 + a.size
+
+  let compl_free_of = function
+    | Leaf _ -> true
+    | Ite (_, a, b) | Union (a, b) | Inter (a, b) ->
+      a.compl_free && b.compl_free
+    | Compl _ -> false
+
+  let mk node =
+    match Tbl.find table node with
+    | t ->
+      Obs.Counter.incr c_intern_hit;
+      t
+    | exception Not_found ->
+      Obs.Counter.incr c_intern_miss;
+      let t =
+        {
+          id = !next_id;
+          node;
+          hash = hash_node node;
+          size = size_of node;
+          compl_free = compl_free_of node;
+        }
+      in
+      incr next_id;
+      Tbl.add table node t;
+      Obs.Counter.max_to c_intern_size_max (Tbl.length table);
+      t
+
+  let bot = mk (Leaf R.empty)
+  let top = mk (Leaf R.full)
+
+  (* Leaf front-cache keyed by the dense regex id: wrapping an ERE is
+     the single most frequent construction (every lift leaf, every
+     [delta] predicate), and a dense-array load beats the intern table's
+     hash probe.  Logically part of the intern table -- never evicted,
+     not counted in [memo_entries]. *)
+  let leaf_table : t Idmemo.t = Idmemo.create 4096
+
+  let leaf r =
+    match Idmemo.find leaf_table r.R.id with
+    | Some t ->
+      Obs.Counter.incr c_intern_hit;
+      t
+    | None ->
+      let t = mk (Leaf r) in
+      Idmemo.set leaf_table r.R.id t;
+      t
+
+  (** O(1): interned nodes are structurally equal iff physically equal.
+      Only valid for values built by the {e same} functor instantiation
+      (see the per-worker invariant in tregex.mli). *)
+  let equal a b = a == b
+
+  let hash t = t.hash
+  let id t = t.id
+  let compare a b = Int.compare a.id b.id
+
+  (** Structural equality by deep recursion, {e not} relying on the
+      intern table: the oracle the hash-consing invariant is tested
+      against ([equal_structural a b = equal a b] for interned values). *)
+  let rec equal_structural a b =
+    a == b
+    ||
+    match[@warning "-4"] (a.node, b.node) with
     | Leaf x, Leaf y -> R.equal x y
     | Ite (p, t1, f1), Ite (q, t2, f2) ->
-      A.equal p q && equal t1 t2 && equal f1 f2
+      A.equal p q && equal_structural t1 t2 && equal_structural f1 f2
     | Union (a1, b1), Union (a2, b2) | Inter (a1, b1), Inter (a2, b2) ->
-      equal a1 a2 && equal b1 b2
-    | Compl x, Compl y -> equal x y
+      equal_structural a1 a2 && equal_structural b1 b2
+    | Compl x, Compl y -> equal_structural x y
     | _ -> false
 
   (** [if(phi, t, f)] with the simplifications [if(top,t,f) = t],
@@ -50,64 +182,105 @@ module Make (R : Sbd_regex.Regex.S) = struct
   let ite phi t f =
     if A.is_top phi then t
     else if A.is_bot phi then f
-    else if equal t f then t
-    else Ite (phi, t, f)
+    else if t == f then t
+    else mk (Ite (phi, t, f))
 
-  (** Union with ⊥ as unit and [.*] as absorbing element.  Leaves are
-      deliberately {e not} merged: keeping unions of leaves apart preserves
-      the Antimirov-style state granularity that Theorem 7.3's linear
+  (** Union with ⊥ as unit and [.*] as absorbing element, operands
+      ordered by id (union is commutative).  Leaves are deliberately
+      {e not} merged: keeping unions of leaves apart preserves the
+      Antimirov-style state granularity that Theorem 7.3's linear
       bound relies on. *)
   let union a b =
-    match[@warning "-4"] (a, b) with
+    match[@warning "-4"] (a.node, b.node) with
     | Leaf x, _ when R.is_empty x -> b
     | _, Leaf y when R.is_empty y -> a
     | Leaf x, _ when R.is_full x -> a
     | _, Leaf y when R.is_full y -> b
-    | _ -> if equal a b then a else Union (a, b)
+    | _ -> if a == b then a else mk (Union (a, b))
 
-  (** Intersection with [.*] as unit and ⊥ as absorbing element.  Two
-      leaves {e are} merged into an intersection regex: leaves of a DNF may
-      be conjunctions of states (Section 5, "Transition Regex Normal
-      Form"). *)
+  (** Intersection with [.*] as unit and ⊥ as absorbing element,
+      operands ordered by id.  Two leaves {e are} merged into an
+      intersection regex: leaves of a DNF may be conjunctions of states
+      (Section 5, "Transition Regex Normal Form"). *)
   let inter a b =
-    match[@warning "-4"] (a, b) with
+    match[@warning "-4"] (a.node, b.node) with
     | Leaf x, _ when R.is_empty x -> bot
     | _, Leaf y when R.is_empty y -> bot
     | Leaf x, _ when R.is_full x -> b
     | _, Leaf y when R.is_full y -> a
-    | Leaf x, Leaf y -> Leaf (R.inter x y)
-    | _ -> if equal a b then a else Inter (a, b)
+    | Leaf x, Leaf y -> leaf (R.inter x y)
+    | _ -> if a == b then a else mk (Inter (a, b))
 
   (** Structural complement constructor; complement over a leaf is pushed
       into the regex. *)
-  let compl = function
-    | Compl t -> t
-    | Leaf r -> Leaf (R.compl r)
-    | (Ite _ | Union _ | Inter _) as t -> Compl t
+  let compl t =
+    match t.node with
+    | Compl u -> u
+    | Leaf r -> leaf (R.compl r)
+    | Ite _ | Union _ | Inter _ -> mk (Compl t)
+
+  (* Raw interned constructors, bypassing the smart simplifications:
+     for tests and rule-replay inputs that need a specific shape. *)
+  let raw_ite p t f = mk (Ite (p, t, f))
+  let raw_union a b = mk (Union (a, b))
+  let raw_inter a b = mk (Inter (a, b))
+  let raw_compl t = mk (Compl t)
+
+  (* -- negation and NNF, memoized by id ------------------------------- *)
+
+  (* Dense arrays keyed by the node ids (Idmemo): a lookup is one load,
+     which matters -- [neg]/[nnf] sit inside every [delta] of a
+     complemented subterm. *)
+  let neg_table : t Idmemo.t = Idmemo.create 1024
+  let nnf_table : t Idmemo.t = Idmemo.create 1024
 
   (** Negation [neg tau] is the syntactic dual of the paper (the "bar"
       operation): it pushes complement all the way to the leaves.
       Lemma 4.2: [neg tau ≡ ~tau]. *)
-  let rec neg = function
-    | Leaf r -> Leaf (R.compl r)
-    | Ite (p, t, f) -> ite p (neg t) (neg f)
-    | Union (a, b) -> inter (neg a) (neg b)
-    | Inter (a, b) -> union (neg a) (neg b)
-    | Compl t -> nnf t
+  let rec neg t =
+    match Idmemo.find neg_table t.id with
+    | Some u ->
+      Obs.Counter.incr c_neg_hit;
+      u
+    | None ->
+      Obs.Counter.incr c_neg_miss;
+      let u =
+        match t.node with
+        | Leaf r -> leaf (R.compl r)
+        | Ite (p, a, b) -> ite p (neg a) (neg b)
+        | Union (a, b) -> inter (neg a) (neg b)
+        | Inter (a, b) -> union (neg a) (neg b)
+        | Compl a -> nnf a
+      in
+      Idmemo.set neg_table t.id u;
+      u
 
   (** Negation normal form: eliminates [Compl] nodes, leaving complements
       only inside leaf regexes (Section 4.1, NNF rules). *)
-  and nnf = function
-    | Leaf r -> Leaf r
-    | Ite (p, t, f) -> ite p (nnf t) (nnf f)
-    | Union (a, b) -> union (nnf a) (nnf b)
-    | Inter (a, b) -> inter (nnf a) (nnf b)
-    | Compl t -> neg t
+  and nnf t =
+    if t.compl_free then t
+      (* no [Compl] below: NNF is the identity, O(1).  This is the hot
+         path -- [Deriv] pushes negation eagerly, so derivative TRs are
+         always complement-free. *)
+    else (
+      match Idmemo.find nnf_table t.id with
+      | Some u -> u
+      | None ->
+        let u =
+          match t.node with
+          | Leaf _ -> t
+          | Ite (p, a, b) -> ite p (nnf a) (nnf b)
+          | Union (a, b) -> union (nnf a) (nnf b)
+          | Inter (a, b) -> inter (nnf a) (nnf b)
+          | Compl a -> neg a
+        in
+        Idmemo.set nnf_table t.id u;
+        u)
 
   (** [apply tau c]: the ERE denoted by [tau] at character [c]
       (the semantics [tau : Sigma -> B(Q)] of Section 4). *)
   let rec apply t c =
-    match t with
+    match t.node with
     | Leaf r -> r
     | Ite (p, t, f) -> if A.mem c p then apply t c else apply f c
     | Union (a, b) -> R.alt (apply a c) (apply b c)
@@ -121,50 +294,135 @@ module Make (R : Sbd_regex.Regex.S) = struct
      the [t] type and maintain purity as an invariant of [norm]. *)
 
   (** Apply [f] to every leaf of a pure conditional tree. *)
-  let rec map_leaves f = function
-    | Leaf r -> Leaf (f r)
+  let rec map_leaves f t =
+    match t.node with
+    | Leaf r -> leaf (f r)
     | Ite (p, a, b) -> ite p (map_leaves f a) (map_leaves f b)
     | Union _ | Inter _ | Compl _ ->
       invalid_arg "map_leaves: not a conditional tree"
 
-  (* [restrict psi f cond]: map [f] over the leaves of a conditional tree
-     while pruning branches whose path condition (relative to [psi])
-     is unsatisfiable -- the branch-condition threading of the
-     Section 4.1 lift rules.
+  (* Lift memo tables, restricted to the empty path condition
+     [psi = ⊤] -- the context of every root normalization and of all
+     sharing across [dnf] calls (the dominant hit source).  Calls under a
+     refined path condition recurse unmemoized: their results are
+     context-dependent and the hit rate there does not pay for the
+     bookkeeping.  At ⊤ the key reduces to node ids (plus the clean
+     flag), packed into one immediate int: id spaces are bounded far
+     below 2^30 in any real run, so the packing is injective. *)
+  let c_lift_hit = Obs.Counter.make "tregex.lift.memo_hit"
+  let c_lift_miss = Obs.Counter.make "tregex.lift.memo_miss"
+
+  (* Lift memo keys: [(a, b, clean)] packed into one immediate int --
+     injective while ids stay below 2^30 (far beyond any reachable
+     table) -- so lookups allocate nothing.  Only ⊤-context calls are
+     memoized: that is where the cross-state sharing lives (every [dnf]
+     starts at ⊤, and derivative trees of related states share interned
+     subtrees), while deeper path conditions rarely recur -- memoizing
+     them was measured to cost more in entry churn than the hits won
+     back. *)
+  let pack2 a b clean =
+    (((a lsl 30) lor b) lsl 1) lor (if clean then 1 else 0)
+
+  let restrict_table : (int, t) Hashtbl.t = Hashtbl.create 4096
+  let meet_table : (int, t) Hashtbl.t = Hashtbl.create 4096
+
+  (* [norm] at ⊤ is keyed by the node id alone, so its memo is a dense
+     array (one per clean flag): a lookup is a single load. *)
+  let norm_table_clean : t list Idmemo.t = Idmemo.create 4096
+  let norm_table_unclean : t list Idmemo.t = Idmemo.create 64
+
+  (* [restrict_inter psi r cond]: intersect [r] into the leaves of a
+     conditional tree while pruning branches whose path condition
+     (relative to [psi]) is unsatisfiable -- the branch-condition
+     threading of the Section 4.1 lift rules.  Memoized on
+     [(psi, r, cond)]: derivative trees of related states share interned
+     subtrees heavily, so the same restriction recurs across [dnf] calls.
 
      [check] is a resource-governance hook (see Sbd_obs.Obs.Deadline):
-     it is invoked once per visited node of the normalization recursions
-     and may raise to abort a pathological expansion; the default is
-     free. *)
-  let rec restrict ?(clean = true) ?(check = ignore) psi f = function
-    | Leaf r -> Leaf (f r)
+     it is invoked once per visited (uncached) node of the normalization
+     recursions and may raise to abort a pathological expansion; the
+     default is free.  Aborted computations never cache. *)
+  (* The whole lift recursion takes [clean]/[check] as plain positional
+     arguments: they are threaded through every visited node, and
+     passing them as optional labels would re-box a [Some] per call on
+     the hottest recursion in the system.  The public entry points below
+     ([restrict_inter]/[meet]/[norm]) apply the defaults once. *)
+  let rec restrict_aux clean check psi r t =
+    match[@warning "-4"] t.node with
+    | Leaf x ->
+      (* identity shortcut: if the regex intersection is absorbed
+         ([r & x = x]), the result IS [t] -- skip the intern lookup *)
+      let x' = R.inter r x in
+      if x' == x then t else leaf x'
+    | _ when A.is_top psi -> (
+      let key = pack2 r.R.id t.id clean in
+      match Hashtbl.find restrict_table key with
+      | u ->
+        Obs.Counter.incr c_lift_hit;
+        u
+      | exception Not_found ->
+        Obs.Counter.incr c_lift_miss;
+        let u = restrict_go clean check psi r t in
+        Hashtbl.add restrict_table key u;
+        u)
+    | _ -> restrict_go clean check psi r t
+
+  and restrict_go clean check psi r t =
+    match t.node with
+    | Leaf x ->
+      let x' = R.inter r x in
+      if x' == x then t else leaf x'
     | Ite (phi, a, b) ->
       check ();
       let psi_t = if clean then A.conj psi phi else A.top
       and psi_f = if clean then A.conj psi (A.neg phi) else A.top in
-      if clean && A.is_bot psi_t then restrict ~clean ~check psi f b
-      else if clean && A.is_bot psi_f then restrict ~clean ~check psi f a
+      if clean && A.is_bot psi_t then restrict_aux clean check psi r b
+      else if clean && A.is_bot psi_f then restrict_aux clean check psi r a
       else
-        ite phi
-          (restrict ~clean ~check psi_t f a)
-          (restrict ~clean ~check psi_f f b)
+        let a' = restrict_aux clean check psi_t r a
+        and b' = restrict_aux clean check psi_f r b in
+        (* identity recombine: when [r] is absorbed in every leaf below,
+           both children come back physically unchanged and the rebuilt
+           conditional IS [t] -- skip the intern lookup.  Sound because
+           [a != b] holds inside any interned Ite, so the smart
+           constructor could not have collapsed it. *)
+        if a' == a && b' == b then t else ite phi a' b'
     | Union _ | Inter _ | Compl _ ->
       invalid_arg "restrict: not a conditional tree"
 
   (* [meet psi x y]: the pure conditional tree equivalent to [x & y] under
      the satisfiable path condition [psi].  Implements the lift rules of
      Section 4.1 for conjunctions, pruning branches whose path condition
-     becomes unsatisfiable (keeping the result "clean"). *)
-  let rec meet ?(clean = true) ?(check = ignore) psi x y =
-    match[@warning "-4"] (x, y) with
-    | Leaf r, other | other, Leaf r -> restrict ~clean ~check psi (R.inter r) other
-    | Ite (phi, a, b), _ ->
+     becomes unsatisfiable (keeping the result "clean").  Memoized on
+     [(psi, x, y)]. *)
+  and meet_aux clean check psi x y =
+    match[@warning "-4"] (x.node, y.node) with
+    | Leaf r, _ -> restrict_aux clean check psi r y
+    | _, Leaf r -> restrict_aux clean check psi r x
+    | Ite _, _ when A.is_top psi -> (
+      let key = pack2 x.id y.id clean in
+      match Hashtbl.find meet_table key with
+      | u ->
+        Obs.Counter.incr c_lift_hit;
+        u
+      | exception Not_found ->
+        Obs.Counter.incr c_lift_miss;
+        let u = meet_go clean check psi x y in
+        Hashtbl.add meet_table key u;
+        u)
+    | Ite _, _ -> meet_go clean check psi x y
+    | _ -> invalid_arg "meet: not a conditional tree"
+
+  and meet_go clean check psi x y =
+    match[@warning "-4"] x.node with
+    | Ite (phi, a, b) ->
       check ();
       let psi_t = if clean then A.conj psi phi else A.top
       and psi_f = if clean then A.conj psi (A.neg phi) else A.top in
-      if clean && A.is_bot psi_t then meet ~clean ~check psi b y
-      else if clean && A.is_bot psi_f then meet ~clean ~check psi a y
-      else ite phi (meet ~clean ~check psi_t a y) (meet ~clean ~check psi_f b y)
+      if clean && A.is_bot psi_t then meet_aux clean check psi b y
+      else if clean && A.is_bot psi_f then meet_aux clean check psi a y
+      else
+        ite phi (meet_aux clean check psi_t a y) (meet_aux clean check psi_f b y)
     | _ -> invalid_arg "meet: not a conditional tree"
 
   (* [norm psi tau]: list of pure conditional trees whose union is
@@ -172,86 +430,235 @@ module Make (R : Sbd_regex.Regex.S) = struct
      NNF.  When [clean] is false, path conditions are not tracked and no
      branch pruning happens -- the ablation baseline quantifying what the
      satisfiability-check-integrated simplification rules of Section 4
-     buy. *)
-  let rec norm ?(clean = true) ?(check = ignore) psi t =
+     buy.  Memoized on [(psi, tau)]. *)
+  and norm_aux clean check psi t =
+    match[@warning "-4"] t.node with
+    | Leaf r -> if R.is_empty r then [] else [ t ]
+    | _ when A.is_top psi -> (
+      let tbl = if clean then norm_table_clean else norm_table_unclean in
+      match Idmemo.find tbl t.id with
+      | Some cs ->
+        Obs.Counter.incr c_lift_hit;
+        cs
+      | None ->
+        Obs.Counter.incr c_lift_miss;
+        let cs = norm_go clean check psi t in
+        Idmemo.set tbl t.id cs;
+        cs)
+    | _ -> norm_go clean check psi t
+
+  and norm_go clean check psi t =
     check ();
-    match t with
-    | Leaf r -> if R.is_empty r then [] else [ Leaf r ]
+    match t.node with
+    | Leaf r -> if R.is_empty r then [] else [ t ]
     | Ite (phi, a, b) ->
       let psi_t = if clean then A.conj psi phi else A.top
       and psi_f = if clean then A.conj psi (A.neg phi) else A.top in
-      if clean && A.is_bot psi_t then norm ~clean ~check psi b
-      else if clean && A.is_bot psi_f then norm ~clean ~check psi a
+      if clean && A.is_bot psi_t then norm_aux clean check psi b
+      else if clean && A.is_bot psi_f then norm_aux clean check psi a
       else
-        let ts = norm ~clean ~check psi_t a and fs = norm ~clean ~check psi_f b in
+        let ts = norm_aux clean check psi_t a
+        and fs = norm_aux clean check psi_f b in
         (match (ts, fs) with
         | [], [] -> []
-        | [ t' ], [ f' ] -> [ ite phi t' f' ]
+        | [ t' ], [ f' ] ->
+          (* identity shortcut: both branches normalized to themselves,
+             so [ite phi t' f'] would re-intern exactly [t].  Sound only
+             when the smart constructor would not simplify: under
+             [clean], [phi] here is neither ⊤ nor ⊥ (those cases pruned
+             above), so only [a == b] could. *)
+          if clean && t' == a && f' == b && a != b then [ t ]
+          else [ ite phi t' f' ]
         | _ ->
           List.map (fun c -> ite phi c bot) ts
           @ List.map (fun c -> ite phi bot c) fs)
-    | Union (a, b) -> norm ~clean ~check psi a @ norm ~clean ~check psi b
+    | Union (a, b) -> norm_aux clean check psi a @ norm_aux clean check psi b
     | Inter (a, b) ->
-      let xs = norm ~clean ~check psi a and ys = norm ~clean ~check psi b in
+      let xs = norm_aux clean check psi a
+      and ys = norm_aux clean check psi b in
       let products =
         List.concat_map
-          (fun x -> List.map (fun y -> meet ~clean ~check psi x y) ys)
+          (fun x -> List.map (fun y -> meet_aux clean check psi x y) ys)
           xs
       in
-      List.filter (fun c -> not (equal c bot)) products
+      List.filter (fun c -> c != bot) products
     | Compl _ -> invalid_arg "norm: input not in NNF"
+
+  let norm ?(clean = true) ?(check = ignore) psi t = norm_aux clean check psi t
+
 
   let rec union_list = function
     | [] -> bot
     | [ c ] -> c
     | c :: rest -> union c (union_list rest)
 
-  (** Number of nodes of a transition regex (for the ablation studies). *)
-  let rec size = function
-    | Leaf _ -> 1
-    | Ite (_, a, b) | Union (a, b) | Inter (a, b) -> 1 + size a + size b
-    | Compl a -> 1 + size a
+  (** Number of nodes of a transition regex (for the ablation studies).
+      O(1): precomputed at interning time. *)
+  let size t = t.size
+
+  (** The disjuncts of a DNF: the top-level union split into its
+      conditional trees (a non-union [t] is its own single disjunct). *)
+  let disjuncts t =
+    let rec go t acc =
+      match[@warning "-4"] t.node with
+      | Union (a, b) -> go a (go b acc)
+      | _ -> t :: acc
+    in
+    go t []
+
+  (* DNF memo: keyed on (id, clean) -- dense id arrays, one per clean
+     flag.  The [check] hook does not affect the result, only whether
+     the computation aborts, and aborted computations never cache. *)
+  let dnf_table_clean : t Idmemo.t = Idmemo.create 4096
+  let dnf_table_unclean : t Idmemo.t = Idmemo.create 64
 
   (** Disjunctive normal form (Section 5): a union of clean conditional
       trees whose leaves are all EREs.  Unsatisfiable branches are pruned
       using the alphabet theory's decision procedure; pass [clean:false]
       to skip the pruning (ablation A1 in DESIGN.md). *)
   let dnf ?(clean = true) ?(check = ignore) t =
-    let conds = norm ~clean ~check A.top (nnf t) in
-    (* dedupe structurally equal disjuncts *)
-    let conds =
-      List.fold_left
-        (fun acc c -> if List.exists (equal c) acc then acc else c :: acc)
-        [] conds
-      |> List.rev
-    in
-    if List.exists (equal top) conds then top else union_list conds
+    let tbl = if clean then dnf_table_clean else dnf_table_unclean in
+    match Idmemo.find tbl t.id with
+    | Some d ->
+      Obs.Counter.incr c_dnf_hit;
+      d
+    | None ->
+      Obs.Counter.incr c_dnf_miss;
+      let conds = norm ~clean ~check A.top (nnf t) in
+      (* dedupe disjuncts by interned identity: same disjunct set as the
+         historical structural scan (hash-consing makes structural
+         equality coincide with physical equality).  Almost all DNFs
+         have a handful of disjuncts, where a [memq] scan beats building
+         a scratch table; long lists fall back to an id-keyed table so
+         the pass stays O(n). *)
+      let conds =
+        match conds with
+        | [] | [ _ ] -> conds
+        | _ when List.compare_length_with conds 16 <= 0 ->
+          let rec dedup seen = function
+            | [] -> List.rev seen
+            | c :: rest ->
+              dedup (if List.memq c seen then seen else c :: seen) rest
+          in
+          dedup [] conds
+        | _ ->
+          let seen : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+          List.filter
+            (fun c ->
+              if Hashtbl.mem seen c.id then false
+              else begin
+                Hashtbl.add seen c.id ();
+                true
+              end)
+            conds
+      in
+      let d =
+        if List.exists (fun c -> c == top) conds then top
+        else union_list conds
+      in
+      Idmemo.set tbl t.id d;
+      d
 
   let is_dnf t =
-    let rec pure = function
+    let rec pure t =
+      match t.node with
       | Leaf _ -> true
       | Ite (_, a, b) -> pure a && pure b
       | Union _ | Inter _ | Compl _ -> false
     in
-    let rec disj = function
+    let rec disj t =
+      match t.node with
       | Union (a, b) -> disj a && disj b
-      | (Leaf _ | Ite _ | Inter _ | Compl _) as t -> pure t
+      | Leaf _ | Ite _ | Inter _ | Compl _ -> pure t
     in
     disj t
 
   (* -- concatenation lifting: tau . R --------------------------------- *)
 
+  (* Keyed on the [(tau, r)] id pair packed into one immediate int (same
+     injectivity argument as [pack2]). *)
+  let concat_table : (int, t) Hashtbl.t = Hashtbl.create 4096
+
   (** [concat_right tau r] is the transition regex [tau . r] of Section 4:
       concatenation distributes over conditionals and unions, complements
       are first removed via negation ([~tau . R = neg(tau) . R]), and
-      intersections are first lifted to conditional form. *)
+      intersections are first lifted to conditional form.  Memoized on
+      the [(tau, r)] id pair. *)
   let rec concat_right t r =
-    match t with
-    | Leaf x -> Leaf (R.concat x r)
-    | Ite (p, a, b) -> ite p (concat_right a r) (concat_right b r)
-    | Union (a, b) -> union (concat_right a r) (concat_right b r)
-    | Compl t' -> concat_right (neg t') r
-    | Inter _ -> concat_right (dnf t) r
+    let key = pack2 t.id r.R.id false in
+    match Hashtbl.find concat_table key with
+    | u ->
+      Obs.Counter.incr c_concat_hit;
+      u
+    | exception Not_found ->
+      Obs.Counter.incr c_concat_miss;
+      let u =
+        match t.node with
+        | Leaf x -> leaf (R.concat x r)
+        | Ite (p, a, b) -> ite p (concat_right a r) (concat_right b r)
+        | Union (a, b) -> union (concat_right a r) (concat_right b r)
+        | Compl t' -> concat_right (neg t') r
+        | Inter _ -> concat_right (dnf t) r
+      in
+      Hashtbl.add concat_table key u;
+      u
+
+  (* Per-disjunct edge cache, keyed by the dense node ids: a disjunct
+     (pure conditional tree) is an interned subtree shared across the
+     DNFs of many related states, so its edge list relative to ⊤ is
+     computed once.  Like the other normalization memos, a cached entry
+     skips the [check] hook (aborted computations never cache). *)
+  let edges_table : (A.pred * R.t) list Idmemo.t = Idmemo.create 4096
+
+  (* -- table management ------------------------------------------------ *)
+
+  let intern_size () = Tbl.length table
+
+  (** Entries across the normalization memo tables (the intern table is
+      {e not} counted: interned nodes are the values other layers hold,
+      so it is never dropped -- same policy as the regex layer). *)
+  let memo_entries () =
+    Idmemo.count neg_table + Idmemo.count nnf_table
+    + Idmemo.count dnf_table_clean + Idmemo.count dnf_table_unclean
+    + Hashtbl.length concat_table
+    + Hashtbl.length restrict_table + Hashtbl.length meet_table
+    + Idmemo.count norm_table_clean + Idmemo.count norm_table_unclean
+    + Idmemo.count edges_table
+
+  (** Drop the normalization memo tables.  The intern table survives:
+      clearing it would hand out fresh ids for structures equal to
+      values still held by callers, silently breaking O(1) equality.
+      Safe at any point; subsequent calls just recompute. *)
+  let clear_memos () =
+    Idmemo.clear neg_table;
+    Idmemo.clear nnf_table;
+    Idmemo.clear dnf_table_clean;
+    Idmemo.clear dnf_table_unclean;
+    Hashtbl.reset concat_table;
+    Hashtbl.reset restrict_table;
+    Hashtbl.reset meet_table;
+    Idmemo.clear norm_table_clean;
+    Idmemo.clear norm_table_unclean;
+    Idmemo.clear edges_table
+
+  (** Current table sizes of {e this} instantiation, as (name, value)
+      gauges for the [--stats] surfaces. *)
+  let cache_stats () =
+    [
+      ("tregex.intern.size", float_of_int (Tbl.length table));
+      ("tregex.memo.neg", float_of_int (Idmemo.count neg_table));
+      ("tregex.memo.nnf", float_of_int (Idmemo.count nnf_table));
+      ( "tregex.memo.dnf",
+        float_of_int
+          (Idmemo.count dnf_table_clean + Idmemo.count dnf_table_unclean) );
+      ("tregex.memo.concat", float_of_int (Hashtbl.length concat_table));
+      ( "tregex.memo.lift",
+        float_of_int
+          (Hashtbl.length restrict_table + Hashtbl.length meet_table
+          + Idmemo.count norm_table_clean + Idmemo.count norm_table_unclean)
+      );
+      ("tregex.memo.edges", float_of_int (Idmemo.count edges_table));
+    ]
 
   (* -- observers ------------------------------------------------------ *)
 
@@ -260,7 +667,8 @@ module Make (R : Sbd_regex.Regex.S) = struct
       terminals ⊥ and [.*] are excluded, following Section 7. *)
   let leaves ?(trivial = true) t =
     let acc = ref R.Set.empty in
-    let rec go = function
+    let rec go t =
+      match t.node with
       | Leaf r ->
         if trivial || (not (R.is_empty r)) && not (R.is_full r) then
           acc := R.Set.add r !acc
@@ -279,32 +687,58 @@ module Make (R : Sbd_regex.Regex.S) = struct
       conditional tree partition the alphabet, so this is exactly the edge
       relation of the corresponding SBFA. *)
   let transitions ?(check = ignore) t =
-    let table : (int, A.pred * R.t) Hashtbl.t = Hashtbl.create 16 in
-    let emit psi r =
-      if not (R.is_empty r) then
-        match Hashtbl.find_opt table r.R.id with
-        | Some (psi0, _) -> Hashtbl.replace table r.R.id (A.disj psi0 psi, r)
-        | None -> Hashtbl.add table r.R.id (psi, r)
+    (* Edge lists are tiny (a few targets per DNF), so guard merging by
+       a linear scan over the accumulator beats a scratch hashtable;
+       targets compare by physical identity (hash-consed regexes).
+       Guard disjunction is order-insensitive (the algebra is canonical)
+       and the final sort is by target, so merging per-disjunct cached
+       lists yields the same edges as one monolithic walk. *)
+    let add edges psi r =
+      if R.is_empty r then edges
+      else
+        let rec go = function
+          | [] -> [ (psi, r) ]
+          | (psi0, r0) :: rest when R.equal r0 r ->
+            (A.disj psi0 psi, r0) :: rest
+          | e :: rest -> e :: go rest
+        in
+        go edges
     in
-    let rec go psi = function
-      | Leaf r -> emit psi r
+    let rec walk psi acc t =
+      match t.node with
+      | Leaf r -> add acc psi r
       | Ite (p, a, b) ->
         check ();
         let psi_t = A.conj psi p and psi_f = A.conj psi (A.neg p) in
-        if not (A.is_bot psi_t) then go psi_t a;
-        if not (A.is_bot psi_f) then go psi_f b
-      | Union (a, b) ->
-        go psi a;
-        go psi b
-      | (Inter _ | Compl _) as t -> go psi (dnf ~check t)
+        let acc = if A.is_bot psi_t then acc else walk psi_t acc a in
+        if A.is_bot psi_f then acc else walk psi_f acc b
+      | Union (a, b) -> walk psi (walk psi acc a) b
+      | Inter _ | Compl _ -> walk psi acc (dnf ~check t)
     in
-    go A.top t;
-    Hashtbl.fold (fun _ edge acc -> edge :: acc) table []
-    |> List.sort (fun (_, r1) (_, r2) -> R.compare r1 r2)
+    let disjunct_edges d =
+      match Idmemo.find edges_table d.id with
+      | Some es -> es
+      | None ->
+        let es = walk A.top [] d in
+        Idmemo.set edges_table d.id es;
+        es
+    in
+    let rec top acc t =
+      match[@warning "-4"] t.node with
+      | Union (a, b) -> top (top acc a) b
+      | _ ->
+        List.fold_left
+          (fun acc (psi, r) -> add acc psi r)
+          acc (disjunct_edges t)
+    in
+    List.sort
+      (fun (_, r1) (_, r2) -> R.compare r1 r2)
+      (top [] t)
 
   (* -- printing -------------------------------------------------------- *)
 
-  let rec pp ppf = function
+  let rec pp ppf t =
+    match t.node with
     | Leaf r -> R.pp ppf r
     | Ite (p, t, f) ->
       Format.fprintf ppf "if(%a, %a, %a)" A.pp p pp t pp f

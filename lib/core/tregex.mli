@@ -3,13 +3,43 @@
 
     {v TR ::= ERE | if(phi, TR, TR) | TR '|' TR | TR & TR | ~TR v}
 
-    denoting functions from characters to EREs.  See the implementation
-    for the full narrative; this interface is the module's public API. *)
+    denoting functions from characters to EREs.  Nodes are hash-consed:
+    every node carries a unique [id] assigned by an intern table, so
+    {!Make.equal} is O(1) physical comparison and the normalization memo
+    tables are keyed by id.  See the implementation for the full
+    narrative; this interface is the module's public API.
+
+    {2 Per-worker-instantiation invariant}
+
+    [Make] is an applicative functor, but each application allocates a
+    {e fresh} intern table and fresh memo tables.  Ids are therefore
+    meaningful only {e within} one instantiation: values built by two
+    different applications of [Make (R)] share the type but not the
+    intern table, and comparing them with {!Make.equal} (or mixing their
+    ids in one memo key) is unsound.  The service layer respects this by
+    construction -- each domain worker instantiates its own solver stack
+    over a generative [Bdd.Make ()], so transition regexes never cross
+    worker boundaries.  The only state shared across instantiations (and
+    domains) is the {!Sbd_obs.Obs} counters, which are atomic: concurrent
+    workers bumping [tregex.intern.*] / [tregex.*.memo_*] from their
+    private tables is race-free and aggregates into one process-wide
+    total. *)
 
 module Make (R : Sbd_regex.Regex.S) : sig
   module A : Sbd_alphabet.Algebra.S with type pred = R.A.pred
 
-  type t =
+  type t = private {
+    id : int;
+    node : node;
+    hash : int;
+    size : int;  (** node count, precomputed at interning time *)
+    compl_free : bool;  (** no [Compl] below: NNF is the identity *)
+  }
+  (** Interned: within one instantiation, structurally equal transition
+      regexes are physically equal and [id]s are distinct per structure.
+      [id]s are assigned in construction order and are dense from 0. *)
+
+  and node =
     | Leaf of R.t
     | Ite of A.pred * t * t
     | Union of t * t
@@ -25,29 +55,57 @@ module Make (R : Sbd_regex.Regex.S) : sig
   val leaf : R.t -> t
 
   val equal : t -> t -> bool
-  (** Structural equality (modulo hash-consed leaves/predicates). *)
+  (** O(1): physical equality, sound and complete for interned values of
+      the same instantiation (see the invariant above). *)
+
+  val equal_structural : t -> t -> bool
+  (** Deep structural equality, independent of the intern table.  Agrees
+      with {!equal} within an instantiation -- the oracle the
+      hash-consing invariant is tested against. *)
+
+  val hash : t -> int
+  (** Precomputed structural hash (O(1)). *)
+
+  val id : t -> int
+
+  val compare : t -> t -> int
+  (** Total order by [id] (construction order). *)
 
   val ite : A.pred -> t -> t -> t
   (** Conditional with the simplifications [if(⊤,t,f) = t],
       [if(⊥,t,f) = f], [if(φ,t,t) = t]. *)
 
   val union : t -> t -> t
-  (** Union with ⊥ unit and [.*] absorbing.  Leaves are not merged
-      (Antimirov-style granularity, relied on by Theorem 7.3). *)
+  (** Union with ⊥ unit and [.*] absorbing, operands ordered by id
+      (commutative, so [a|b] and [b|a] intern to one node).  Leaves are
+      not merged (Antimirov-style granularity, relied on by
+      Theorem 7.3). *)
 
   val inter : t -> t -> t
-  (** Intersection with [.*] unit and ⊥ absorbing; two leaves merge into
-      an intersection regex (DNF leaves may be conjunctions of states). *)
+  (** Intersection with [.*] unit and ⊥ absorbing, operands ordered by
+      id; two leaves merge into an intersection regex (DNF leaves may be
+      conjunctions of states). *)
 
   val compl : t -> t
   (** Structural complement; pushed into leaf regexes immediately. *)
 
+  val raw_ite : A.pred -> t -> t -> t
+  val raw_union : t -> t -> t
+  val raw_inter : t -> t -> t
+
+  val raw_compl : t -> t
+  (** [raw_*]: interned but {e unsimplified} constructors -- the node is
+      built even where the smart constructor would simplify (e.g.
+      [raw_compl (leaf r)] stays a [Compl] node).  For tests and inputs
+      that need a specific shape. *)
+
   val neg : t -> t
   (** The paper's syntactic dual ("bar"): pushes complement to the
-      leaves.  Lemma 4.2: [neg tau ≡ ~tau]. *)
+      leaves.  Lemma 4.2: [neg tau ≡ ~tau].  Memoized by id. *)
 
   val nnf : t -> t
-  (** Negation normal form: eliminates [Compl] nodes (Section 4.1). *)
+  (** Negation normal form: eliminates [Compl] nodes (Section 4.1).
+      Memoized by id. *)
 
   val apply : t -> int -> R.t
   (** [apply tau c]: the ERE denoted by [tau] at character [c]. *)
@@ -65,14 +123,19 @@ module Make (R : Sbd_regex.Regex.S) : sig
       [clean:false] skips the pruning (ablation A1).  [check] is called
       once per node visited by the normalization and may raise to abort
       a pathological (worst-case exponential) expansion -- the deadline
-      hook of [Sbd_obs.Obs.Deadline.check]. *)
+      hook of [Sbd_obs.Obs.Deadline.check].  Memoized on [(id, clean)];
+      aborted computations are not cached. *)
 
   val is_dnf : t -> bool
+
+  val disjuncts : t -> t list
+  (** The top-level union split into its disjuncts (a non-union [t] is
+      its own single disjunct), in left-to-right order. *)
 
   val concat_right : t -> R.t -> t
   (** [tau . r] (Section 4): distributes over conditionals and unions;
       complements are removed via {!neg}; intersections are lifted via
-      {!dnf} first. *)
+      {!dnf} first.  Memoized on the [(tau, r)] id pair. *)
 
   val leaves : ?trivial:bool -> t -> R.t list
   (** All leaf regexes.  With [~trivial:false], the trivial terminals ⊥
@@ -82,6 +145,24 @@ module Make (R : Sbd_regex.Regex.S) : sig
   (** The guarded out-edges of a DNF transition regex: satisfiable
       guards, non-⊥ targets, guards merged per target.  This is the edge
       relation of the corresponding SBFA.  [check] as in {!dnf}. *)
+
+  val intern_size : unit -> int
+  (** Nodes in this instantiation's intern table (never evicted). *)
+
+  val memo_entries : unit -> int
+  (** Entries across the neg/nnf/dnf/concat memo tables (excluding the
+      intern table): the cache-pressure gauge for [--memo-cap]. *)
+
+  val clear_memos : unit -> unit
+  (** Drop the normalization memo tables.  The intern table survives:
+      clearing it would hand out fresh ids for structures equal to
+      values still held by callers, breaking O(1) equality.  Safe at any
+      point; subsequent calls recompute. *)
+
+  val cache_stats : unit -> (string * float) list
+  (** Current table sizes of this instantiation, as (name, value) gauges
+      for the [--stats] surfaces: [tregex.intern.size] and
+      [tregex.memo.{neg,nnf,dnf,concat}]. *)
 
   val pp : Format.formatter -> t -> unit
   val to_string : t -> string

@@ -126,7 +126,11 @@ module Deadline = struct
   type limits = {
     started : float;
     until : float option;  (** absolute wall-clock bound *)
-    mutable nodes_left : int option;
+    mutable nodes_left : int;
+        (** remaining node budget; [max_int] means unbounded.  A plain
+            int, not an option: [check] runs once per visited DNF node,
+            and re-boxing [Some (n - 1)] there is an allocation per node
+            of the hottest loop in the system. *)
     mutable ticks : int;  (** checks since the last clock sample *)
     mutable wall_hit : bool;  (** latched once the clock sample trips *)
   }
@@ -141,15 +145,14 @@ module Deadline = struct
       {
         started;
         until = Option.map (fun s -> started +. s) wall;
-        nodes_left = nodes;
+        nodes_left = Option.value ~default:max_int nodes;
         ticks = 0;
         wall_hit = false;
       }
 
   let of_seconds s = make ~wall:s ()
   let is_none t = t = None
-
-  let nodes_out l = match l.nodes_left with Some n -> n <= 0 | None -> false
+  let nodes_out l = l.nodes_left <= 0
 
   (* Sample the clock unconditionally (used when a caller explicitly asks
      whether the deadline has expired, e.g. once per solver pop). *)
@@ -168,11 +171,8 @@ module Deadline = struct
   let check = function
     | None -> ()
     | Some l ->
-      (match l.nodes_left with
-      | Some n ->
-        if n <= 0 then raise (Deadline_exceeded "nodes");
-        l.nodes_left <- Some (n - 1)
-      | None -> ());
+      if l.nodes_left <= 0 then raise (Deadline_exceeded "nodes");
+      l.nodes_left <- l.nodes_left - 1;
       if l.wall_hit then raise (Deadline_exceeded "wall");
       l.ticks <- l.ticks + 1;
       if l.ticks >= clock_stride then begin
@@ -181,12 +181,7 @@ module Deadline = struct
       end
 
   let charge t n =
-    match t with
-    | None -> ()
-    | Some l ->
-      (match l.nodes_left with
-      | Some left -> l.nodes_left <- Some (left - n)
-      | None -> ())
+    match t with None -> () | Some l -> l.nodes_left <- l.nodes_left - n
 
   let elapsed = function None -> 0.0 | Some l -> now () -. l.started
 

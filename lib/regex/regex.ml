@@ -119,13 +119,34 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
 
   (* -- hash-consing ------------------------------------------------- *)
 
+  (* Manual integer mixing instead of the polymorphic [Hashtbl.hash]:
+     no tuple allocation, no block traversal (this is on the [mk] hot
+     path of every derivative computation).  [land max_int] keeps the
+     result non-negative as [Hashtbl.Make] requires. *)
+  let mix a b = ((a * 0x9e3779b1) lxor b) land max_int
+  let mix_list seed xs = List.fold_left (fun h x -> mix h x.id) seed xs
+
+  let hash_node = function
+    | Pred p -> mix 0 (A.hash p)
+    | Eps -> 1
+    | Concat (a, b) -> mix (mix 2 a.id) b.id
+    | Star a -> mix 3 a.id
+    | Loop (a, m, n) ->
+      mix (mix (mix 4 a.id) m) (match n with None -> -1 | Some n -> n)
+    | Or xs -> mix_list 5 xs
+    | And xs -> mix_list 6 xs
+    | Not a -> mix 7 a.id
+
+  (* The intern table is keyed by the bare [node] -- the value the
+     caller of [mk] has already allocated -- so a hit allocates nothing
+     (no candidate record, no [nullable] computation). *)
   module H = struct
-    type nonrec t = t
+    type t = node
 
     (* Catch-all covers the mixed-constructor pairs; enumerating all 64
        would drown the structural rows. *)
     let equal a b =
-      match[@warning "-4"] (a.node, b.node) with
+      match[@warning "-4"] (a, b) with
       | Pred p, Pred q -> A.equal p q
       | Eps, Eps -> true
       | Concat (a1, a2), Concat (b1, b2) -> a1 == b1 && a2 == b2
@@ -136,23 +157,13 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
       | Not a, Not b -> a == b
       | _ -> false
 
-    let hash t = t.hash
+    let hash = hash_node
   end
 
   module Tbl = Hashtbl.Make (H)
 
-  let table : t Tbl.t = Tbl.create 4096
+  let table : t Tbl.t = Tbl.create 32768
   let next_id = ref 0
-
-  let hash_node = function
-    | Pred p -> Hashtbl.hash (0, A.hash p)
-    | Eps -> 1
-    | Concat (a, b) -> Hashtbl.hash (2, a.id, b.id)
-    | Star a -> Hashtbl.hash (3, a.id)
-    | Loop (a, m, n) -> Hashtbl.hash (4, a.id, m, n)
-    | Or xs -> Hashtbl.hash (5 :: List.map (fun x -> x.id) xs)
-    | And xs -> Hashtbl.hash (6 :: List.map (fun x -> x.id) xs)
-    | Not a -> Hashtbl.hash (7, a.id)
 
   let nullable_node = function
     | Pred _ -> false
@@ -165,15 +176,19 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
     | Not a -> not a.nullable
 
   let mk node =
-    let candidate =
-      { id = 0; node; nullable = nullable_node node; hash = hash_node node }
-    in
-    match Tbl.find_opt table candidate with
-    | Some t -> t
-    | None ->
-      let t = { candidate with id = !next_id } in
+    match Tbl.find table node with
+    | t -> t
+    | exception Not_found ->
+      let t =
+        {
+          id = !next_id;
+          node;
+          nullable = nullable_node node;
+          hash = hash_node node;
+        }
+      in
       incr next_id;
-      Tbl.add table t t;
+      Tbl.add table node t;
       t
 
   (* -- smart constructors ------------------------------------------- *)
@@ -255,6 +270,20 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
     let xs = List.sort_uniq (fun a b -> Int.compare a.id b.id) xs in
     xs
 
+  (* Binary [alt]/[inter] are the hot path of derivative construction --
+     every union/intersection leaf of a transition regex rebuilds through
+     them -- and the list-based normalization below re-flattens, re-sorts
+     and re-scans for complementary pairs on every call.  Both operations
+     are commutative and ids are dense, so a pair-keyed memo (ids packed
+     into one immediate int, smaller id first) turns repeats into a
+     single probe.  Entries are never invalidated: the intern table is
+     append-only, so a cached result stays canonical forever. *)
+  let pair_key a b =
+    if a.id <= b.id then (a.id lsl 31) lor b.id else (b.id lsl 31) lor a.id
+
+  let alt_memo : (int, t) Hashtbl.t = Hashtbl.create 4096
+  let inter_memo : (int, t) Hashtbl.t = Hashtbl.create 4096
+
   let rec alt_list rs =
     let flat =
       List.concat_map
@@ -283,7 +312,16 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
         in
         (match flat' with [ r ] -> r | _ -> mk (Or flat'))
 
-  and alt a b = alt_list [ a; b ]
+  and alt a b =
+    if a == b then a
+    else
+      let k = pair_key a b in
+      match Hashtbl.find alt_memo k with
+      | r -> r
+      | exception Not_found ->
+        let r = alt_list [ a; b ] in
+        Hashtbl.add alt_memo k r;
+        r
 
   let inter_list rs =
     let flat =
@@ -301,7 +339,16 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
     else
       match flat with [] -> full | [ r ] -> r | _ -> mk (And flat)
 
-  let inter a b = inter_list [ a; b ]
+  let inter a b =
+    if a == b then a
+    else
+      let k = pair_key a b in
+      match Hashtbl.find inter_memo k with
+      | r -> r
+      | exception Not_found ->
+        let r = inter_list [ a; b ] in
+        Hashtbl.add inter_memo k r;
+        r
 
   (* Complement applies De Morgan's laws eagerly: the paper's derivation
      states are conjunctions/disjunctions of complemented regexes (e.g.
@@ -321,10 +368,10 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
   (* Reversal recurses on the hash-consed DAG; a memo table keeps shared
      subterms from being revisited (regexes are DAG-shaped after
      similarity normalization, so naive recursion could re-do work). *)
-  let rev_memo : t Tbl.t = Tbl.create 64
+  let rev_memo : (int, t) Hashtbl.t = Hashtbl.create 64
 
   let rec rev r =
-    match Tbl.find_opt rev_memo r with
+    match Hashtbl.find_opt rev_memo r.id with
     | Some r' -> r'
     | None ->
       let r' =
@@ -337,7 +384,7 @@ module Make (A : Sbd_alphabet.Algebra.S) : S with module A = A = struct
         | And xs -> inter_list (List.map rev xs)
         | Not a -> compl (rev a)
       in
-      Tbl.add rev_memo r r';
+      Hashtbl.add rev_memo r.id r';
       r'
 
   let chr c = pred (A.of_ranges [ (c, c) ])

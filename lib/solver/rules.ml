@@ -81,25 +81,26 @@ module Make (R : Sbd_regex.Regex.S) = struct
              [ fand [ FAtom (Len0 i); (if R.nullable r then FTrue else FFalse) ]
              ; fand [ FAtom (Lenpos i); FAtom (In_tr (i, d)) ] ])
       end
-    | In_tr (i, Tr.Ite (p, t, f)) ->
-      (* ite: split on the conditional's predicate at position i *)
-      Some
-        (for_
-           [ fand [ FAtom (Char (i, p)); FAtom (In_tr (i, t)) ]
-           ; fand [ FAtom (Char (i, A.neg p)); FAtom (In_tr (i, f)) ] ])
-    | In_tr (i, Tr.Union (a, b)) ->
-      (* or *)
-      Some (for_ [ FAtom (In_tr (i, a)); FAtom (In_tr (i, b)) ])
-    | In_tr (i, Tr.Leaf r) ->
-      (* ere: recurse on the suffix *)
-      Some (if R.is_empty r then FFalse else FAtom (In (i + 1, r)))
-    | In_tr (i, (Tr.Inter _ | Tr.Compl _)) ->
-      (* Figure 3a deliberately has no rules for conjunction or
-         complement of transition regexes -- propagating them separately
-         is incomplete (Section 5, "Transition Regex Normal Form").  A
-         DNF is required first. *)
-      ignore i;
-      None
+    | In_tr (i, tr) -> (
+      match tr.Tr.node with
+      | Tr.Ite (p, t, f) ->
+        (* ite: split on the conditional's predicate at position i *)
+        Some
+          (for_
+             [ fand [ FAtom (Char (i, p)); FAtom (In_tr (i, t)) ]
+             ; fand [ FAtom (Char (i, A.neg p)); FAtom (In_tr (i, f)) ] ])
+      | Tr.Union (a, b) ->
+        (* or *)
+        Some (for_ [ FAtom (In_tr (i, a)); FAtom (In_tr (i, b)) ])
+      | Tr.Leaf r ->
+        (* ere: recurse on the suffix *)
+        Some (if R.is_empty r then FFalse else FAtom (In (i + 1, r)))
+      | Tr.Inter _ | Tr.Compl _ ->
+        (* Figure 3a deliberately has no rules for conjunction or
+           complement of transition regexes -- propagating them separately
+           is incomplete (Section 5, "Transition Regex Normal Form").  A
+           DNF is required first. *)
+        None)
     | Len0 _ | Lenpos _ | Char _ -> None
 
   (** Saturate: apply {!step} to every reducible atom, repeatedly, until

@@ -117,6 +117,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       ("session.wall_time_s", s.wall_time);
       ("session.last_wall_time_s", s.last_wall_time);
     ]
+    @ D.cache_stats ()
 
   (* Conjunction of all positional predicates at position [i]. *)
   let char_constraint side i =

@@ -15,6 +15,7 @@ let () =
     ; Test_rules.suite
     ; Test_ranges_stack.suite
     ; Test_obs.suite
+    ; Test_tregex_hashcons.suite
     ; Test_service.suite
     ; Test_engine.suite
     ; Test_analysis.suite ]

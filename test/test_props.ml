@@ -159,7 +159,7 @@ let t_nnf_semantics =
     (fun (r, c) -> Printf.sprintf "%s / %c" (R.to_string r) (Char.chr c))
     (fun (r, c) ->
       (* build a transition regex with an explicit complement node *)
-      let t = Tr.Compl (D.delta r) in
+      let t = Tr.raw_compl (D.delta r) in
       let lhs = Tr.apply (Tr.nnf t) c and rhs = Tr.apply t c in
       if R.equal lhs rhs then true
       else List.for_all (fun w -> Ref.matches lhs w = Ref.matches rhs w) short_words)

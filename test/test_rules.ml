@@ -35,7 +35,7 @@ let test_der_rule () =
 let test_ite_rule () =
   let g = Rules.G.create () in
   let phi = A.of_ranges [ (Char.code '0', Char.code '0') ] in
-  let t = Rules.Tr.Ite (phi, Rules.Tr.leaf (re "1.*"), Rules.Tr.bot) in
+  let t = Rules.Tr.raw_ite phi (Rules.Tr.leaf (re "1.*")) Rules.Tr.bot in
   match Rules.step g (Rules.In_tr (3, t)) with
   | Some
       (Rules.FOr
@@ -49,7 +49,7 @@ let test_ite_rule () =
 
 let test_or_and_ere_rules () =
   let g = Rules.G.create () in
-  let t = Rules.Tr.Union (Rules.Tr.leaf (re "ab"), Rules.Tr.leaf (re "cd")) in
+  let t = Rules.Tr.raw_union (Rules.Tr.leaf (re "ab")) (Rules.Tr.leaf (re "cd")) in
   (match Rules.step g (Rules.In_tr (1, t)) with
   | Some (Rules.FOr [ Rules.FAtom (Rules.In_tr (1, _)); Rules.FAtom (Rules.In_tr (1, _)) ])
     -> ()
@@ -67,11 +67,13 @@ let test_no_rule_for_inter_compl () =
   (* Figure 3a has no propagation rules for & / ~ of transition regexes:
      propagating them separately would be incomplete (Section 5) *)
   let g = Rules.G.create () in
-  let t = Rules.Tr.Inter (Rules.Tr.leaf (re ".*a"), Rules.Tr.leaf (re ".*b")) in
+  let t = Rules.Tr.raw_inter (Rules.Tr.leaf (re ".*a")) (Rules.Tr.leaf (re ".*b")) in
   (match Rules.step g (Rules.In_tr (0, t)) with
   | None -> ()
   | Some _ -> Alcotest.fail "no rule should apply to a conjunction");
-  match Rules.step g (Rules.In_tr (0, Rules.Tr.Compl (Rules.Tr.leaf (re "a")))) with
+  match
+    Rules.step g (Rules.In_tr (0, Rules.Tr.raw_compl (Rules.Tr.leaf (re "a"))))
+  with
   | None -> ()
   | Some _ -> Alcotest.fail "no rule should apply to a complement"
 

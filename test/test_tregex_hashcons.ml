@@ -1,0 +1,270 @@
+(* Tests for the hash-consing layer of transition regexes: interned
+   [equal]/[hash] agree with the structural oracle, rebuilding a
+   structure hits the intern table (physical equality), the
+   normalizations are stable under re-interning, DNF disjuncts are
+   deduplicated by id, and derivative-based verdicts still agree with
+   the reference matcher.  Also covers the running-max semantics of the
+   [deriv.dnf.size_max] counter. *)
+
+module A = Sbd_alphabet.Bdd
+module R = Sbd_regex.Regex.Make (A)
+module P = Sbd_regex.Parser.Make (R)
+module D = Sbd_core.Deriv.Make (R)
+module Tr = D.Tr
+module Ref = Sbd_classic.Refmatch.Make (R)
+module Obs = Sbd_obs.Obs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let ca = Char.code 'a'
+let cb = Char.code 'b'
+let c0 = Char.code '0'
+let c1 = Char.code '1'
+let sample_alphabet = [ ca; cb; c0; c1; Char.code 'x' ]
+
+(* -- generators ------------------------------------------------------- *)
+
+let gen_pred : A.pred QCheck2.Gen.t =
+  QCheck2.Gen.oneofl
+    [ A.of_ranges [ (ca, ca) ]
+    ; A.of_ranges [ (cb, cb) ]
+    ; A.of_ranges [ (c0, c1) ]
+    ; A.of_ranges [ (ca, cb); (c1, c1) ]
+    ; A.neg (A.of_ranges [ (cb, cb) ])
+    ; A.top
+    ]
+
+let gen_regex : R.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let leaf =
+    frequency
+      [ (6, map R.pred gen_pred); (1, pure R.eps); (1, pure R.empty) ]
+  in
+  fix
+    (fun self n ->
+      if n <= 1 then leaf
+      else
+        let sub = self (n / 2) in
+        frequency
+          [ (4, map2 R.concat sub sub)
+          ; (3, map2 R.alt sub sub)
+          ; (2, map R.star sub)
+          ; (2, map2 R.inter sub sub)
+          ; (1, map R.compl sub)
+          ; (2, leaf)
+          ])
+    6
+
+(* A transition regex as a first-order shape, so one random shape can be
+   instantiated twice through the smart constructors and the two copies
+   compared: the intern table must map both builds to one node. *)
+type shape =
+  | SLeaf of R.t
+  | SIte of A.pred * shape * shape
+  | SUnion of shape * shape
+  | SInter of shape * shape
+  | SCompl of shape
+
+let rec build = function
+  | SLeaf r -> Tr.leaf r
+  | SIte (p, a, b) -> Tr.ite p (build a) (build b)
+  | SUnion (a, b) -> Tr.union (build a) (build b)
+  | SInter (a, b) -> Tr.inter (build a) (build b)
+  | SCompl a -> Tr.compl (build a)
+
+(* The same shape through the raw (unsimplified) constructors: exercises
+   intern paths the smart constructors would rewrite away. *)
+let rec build_raw = function
+  | SLeaf r -> Tr.leaf r
+  | SIte (p, a, b) -> Tr.raw_ite p (build_raw a) (build_raw b)
+  | SUnion (a, b) -> Tr.raw_union (build_raw a) (build_raw b)
+  | SInter (a, b) -> Tr.raw_inter (build_raw a) (build_raw b)
+  | SCompl a -> Tr.raw_compl (build_raw a)
+
+let gen_shape : shape QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  fix
+    (fun self n ->
+      if n <= 1 then map (fun r -> SLeaf r) gen_regex
+      else
+        let sub = self (n / 2) in
+        frequency
+          [ (2, map (fun r -> SLeaf r) gen_regex)
+          ; (3, map3 (fun p a b -> SIte (p, a, b)) gen_pred sub sub)
+          ; (3, map2 (fun a b -> SUnion (a, b)) sub sub)
+          ; (2, map2 (fun a b -> SInter (a, b)) sub sub)
+          ; (1, map (fun a -> SCompl a) sub)
+          ])
+    5
+
+let rec pp_shape = function
+  | SLeaf r -> Printf.sprintf "leaf(%s)" (R.to_string r)
+  | SIte (_, a, b) -> Printf.sprintf "ite(_,%s,%s)" (pp_shape a) (pp_shape b)
+  | SUnion (a, b) -> Printf.sprintf "(%s|%s)" (pp_shape a) (pp_shape b)
+  | SInter (a, b) -> Printf.sprintf "(%s&%s)" (pp_shape a) (pp_shape b)
+  | SCompl a -> Printf.sprintf "~%s" (pp_shape a)
+
+let count = 200
+let prop name gen print f = QCheck2.Test.make ~name ~count ~print gen f
+
+(* -- interning invariants --------------------------------------------- *)
+
+(* Two independent builds of one shape intern to the same node: physical
+   equality, equal ids, equal hashes. *)
+let t_intern_identity =
+  prop "same shape interns to one node" gen_shape pp_shape (fun s ->
+      let a = build s and b = build s in
+      let ra = build_raw s and rb = build_raw s in
+      a == b && Tr.id a = Tr.id b && Tr.hash a = Tr.hash b
+      && ra == rb
+      && Tr.equal_structural a b
+      && Tr.equal_structural ra rb)
+
+(* [equal] (physical) coincides with the structural oracle on arbitrary
+   pairs, and equal nodes hash equally. *)
+let t_equal_agrees_with_structural =
+  prop "equal = equal_structural; equal => same hash"
+    QCheck2.Gen.(pair gen_shape gen_shape)
+    (fun (s1, s2) -> pp_shape s1 ^ " vs " ^ pp_shape s2)
+    (fun (s1, s2) ->
+      let a = build_raw s1 and b = build_raw s2 in
+      Tr.equal a b = Tr.equal_structural a b
+      && ((not (Tr.equal a b)) || Tr.hash a = Tr.hash b))
+
+(* -- normalizations under interning ----------------------------------- *)
+
+(* dnf/nnf/neg are deterministic functions of the interned node: a
+   rebuilt argument (same id) yields the physically same result, and
+   [nnf]/[dnf] are idempotent through the memo tables.  ([neg] is {e
+   semantically} involutive -- Lemma 4.2 -- but not structurally so on
+   raw unsimplified terms, since it rebuilds through the smart
+   constructors; the semantic property lives in test_props.) *)
+let t_normalizations_stable =
+  prop "dnf/nnf/neg stable across rebuilds" gen_shape pp_shape (fun s ->
+      let a = build_raw s and b = build_raw s in
+      Tr.dnf a == Tr.dnf b
+      && Tr.nnf a == Tr.nnf b
+      && Tr.neg a == Tr.neg b
+      && Tr.nnf (Tr.nnf a) == Tr.nnf a
+      && Tr.dnf (Tr.dnf a) == Tr.dnf a)
+
+(* Clearing the memo tables must not change any result: the intern table
+   survives, so recomputation lands on the same nodes. *)
+let t_clear_memos_coherent =
+  prop "results unchanged after clear_memos" gen_shape pp_shape (fun s ->
+      let a = build_raw s in
+      let d1 = Tr.dnf a and n1 = Tr.nnf a and g1 = Tr.neg a in
+      Tr.clear_memos ();
+      Tr.dnf a == d1 && Tr.nnf a == n1 && Tr.neg a == g1)
+
+(* DNF disjuncts are deduplicated: pairwise distinct ids at the top
+   level, even when the input repeats whole disjuncts. *)
+let t_dnf_disjuncts_distinct =
+  prop "dnf disjuncts pairwise distinct by id" gen_shape pp_shape (fun s ->
+      let a = build_raw s in
+      (* Repeat the whole term: the union collapses either in the smart
+         constructor or in the DNF dedup, never in the output. *)
+      let doubled = Tr.raw_union a a in
+      let distinct t =
+        let ds = Tr.disjuncts (Tr.dnf t) in
+        let ids = List.map Tr.id ds in
+        List.length ids = List.length (List.sort_uniq compare ids)
+      in
+      distinct a && distinct doubled
+      && Tr.dnf doubled == Tr.dnf a)
+
+(* Semantics of the normalizations, via [apply] at sample characters:
+   hash-consing and memoization must not change denotations. *)
+let t_normalizations_semantics =
+  prop "dnf/nnf preserve apply semantics"
+    QCheck2.Gen.(pair gen_shape (oneofl sample_alphabet))
+    (fun (s, c) -> Printf.sprintf "%s at %c" (pp_shape s) (Char.chr c))
+    (fun (s, c) ->
+      let a = build_raw s in
+      let lang r = Ref.matches r in
+      let words =
+        [ []; [ ca ]; [ cb ]; [ c0; c1 ]; [ ca; cb; ca ] ]
+      in
+      let same r1 r2 = List.for_all (fun w -> lang r1 w = lang r2 w) words in
+      same (Tr.apply a c) (Tr.apply (Tr.dnf a) c)
+      && same (Tr.apply a c) (Tr.apply (Tr.nnf a) c))
+
+(* -- differential matching ------------------------------------------- *)
+
+let gen_word : int list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_bound 5) (oneofl sample_alphabet))
+
+let t_deriv_vs_refmatch =
+  prop "derivative verdicts = Refmatch"
+    QCheck2.Gen.(pair gen_regex gen_word)
+    (fun (r, w) ->
+      Printf.sprintf "%s on [%s]" (R.to_string r)
+        (String.concat ";" (List.map string_of_int w)))
+    (fun (r, w) -> D.matches r w = Ref.matches r w)
+
+(* -- counters --------------------------------------------------------- *)
+
+(* [Counter.max_to] keeps a running maximum -- it must never decrease
+   when later observations are smaller. *)
+let test_counter_max_to () =
+  let c = Obs.Counter.make "test.hashcons.max" in
+  Obs.Counter.max_to c 5;
+  Obs.Counter.max_to c 3;
+  check_int "max(5,3) = 5" 5 (Obs.Counter.value c);
+  Obs.Counter.max_to c 7;
+  Obs.Counter.max_to c 1;
+  check_int "max stays 7" 7 (Obs.Counter.value c)
+
+(* [deriv.dnf.size_max] through the real pipeline: deriving a small
+   regex after a large one must not lower the reported maximum. *)
+let test_dnf_size_max_monotone () =
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  let big = P.parse_exn "(a|b)*abb&~(.*bb.*)|(0|1)*01" in
+  let small = P.parse_exn "a" in
+  ignore (D.delta_dnf big);
+  let v1 =
+    match List.assoc_opt "deriv.dnf.size_max" (Obs.snapshot ()) with
+    | Some v -> v
+    | None -> Alcotest.fail "deriv.dnf.size_max not in snapshot"
+  in
+  ignore (D.delta_dnf small);
+  let v2 =
+    match List.assoc_opt "deriv.dnf.size_max" (Obs.snapshot ()) with
+    | Some v -> v
+    | None -> Alcotest.fail "deriv.dnf.size_max not in snapshot"
+  in
+  Obs.set_enabled was;
+  check "size_max is monotone" true (v2 >= v1 && v1 >= 1.0)
+
+(* Interning sanity on a couple of fixed terms, for readable failures. *)
+let test_intern_spot () =
+  let p = A.of_ranges [ (ca, ca) ] in
+  let t1 = Tr.ite p (Tr.leaf R.eps) Tr.bot in
+  let t2 = Tr.ite p (Tr.leaf R.eps) Tr.bot in
+  check "spot: physically equal" true (t1 == t2);
+  check_int "spot: same id" (Tr.id t1) (Tr.id t2);
+  let u1 = Tr.union t1 Tr.bot in
+  check "spot: union unit" true (u1 == t1);
+  let n = Tr.raw_compl t1 in
+  check "spot: raw_compl distinct" false (Tr.equal n t1);
+  check "spot: structural oracle agrees" true
+    (Tr.equal_structural n (Tr.raw_compl t2))
+
+let suite =
+  ( "tregex-hashcons",
+    [ Alcotest.test_case "intern spot checks" `Quick test_intern_spot
+    ; Alcotest.test_case "Counter.max_to running max" `Quick
+        test_counter_max_to
+    ; Alcotest.test_case "dnf size_max monotone" `Quick
+        test_dnf_size_max_monotone
+    ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [ t_intern_identity
+        ; t_equal_agrees_with_structural
+        ; t_normalizations_stable
+        ; t_clear_memos_coherent
+        ; t_dnf_disjuncts_distinct
+        ; t_normalizations_semantics
+        ; t_deriv_vs_refmatch
+        ] )
