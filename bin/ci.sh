@@ -40,6 +40,14 @@ echo "== derivation bench gates =="
 # throughput timing, which is meaningless on shared CI runners
 dune exec bin/experiments.exe -- deriv-bench --no-bench --check
 
+echo "== engine throughput matrix gates =="
+# steady-state (hot) MB/s floors per pattern class (literal / class /
+# boolean / counter) plus engine-vs-scan span agreement; floors are
+# conservative so shared runners pass — the gate catches
+# order-of-magnitude regressions (a lost prefilter, a de-flattened
+# transition table), not noise
+dune exec bin/experiments.exe -- engine-bench --no-bench --check
+
 echo "== service smoke =="
 # --selftest also replays match and analyze requests through the worker
 # pool and fails on any engine-vs-oracle span mismatch

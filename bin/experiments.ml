@@ -238,7 +238,7 @@ let dump_cmd =
       const dump_smt2
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"))
 
-let engine_bench no_bench out =
+let engine_bench no_bench out gate =
   let report =
     if no_bench then Engine_bench.run ()
     else Engine_bench.run_and_append ?path:out ()
@@ -250,11 +250,18 @@ let engine_bench no_bench out =
     Format.fprintf fmt "appended engine run to %s@."
       (match out with
       | Some p -> p
-      | None -> Sbd_service.Server.default_bench_path ())
+      | None -> Sbd_service.Server.default_bench_path ());
+  if gate then begin
+    match Engine_bench.check report with
+    | [] -> Format.fprintf fmt "engine-bench gates: ok@."
+    | fails ->
+      List.iter (Format.fprintf fmt "engine-bench gate FAILED: %s@.") fails;
+      failwith "engine-bench: per-class throughput floor failed"
+  end
 
 let engine_bench_cmd =
   cmd "engine-bench"
-    "match-engine throughput vs the per-position scan and the DP oracle"
+    "match-engine throughput matrix vs the per-position scan and the DP oracle"
     Term.(
       const engine_bench
       $ Arg.(
@@ -265,7 +272,14 @@ let engine_bench_cmd =
           value
           & opt (some string) None
           & info [ "out" ] ~docv:"FILE"
-              ~doc:"Trajectory file (default BENCH_<date>.json)."))
+              ~doc:"Trajectory file (default BENCH_<date>.json).")
+      $ Arg.(
+          value & flag
+          & info [ "check" ]
+              ~doc:
+                "Enforce the per-pattern-class steady-state MB/s floors \
+                 (literal / class / boolean / counter); non-zero exit on \
+                 violation."))
 
 let analyze_bench no_bench out =
   let report =

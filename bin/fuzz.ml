@@ -114,6 +114,25 @@ let ref_count r (w : int list) : int =
   done;
   !count
 
+(* Brute-force earliest match end: the minimal [j] such that some
+   [w.[i..j)] matches, as an index into [w]. *)
+let ref_earliest_end r (w : int list) : int option =
+  let a = Array.of_list w in
+  let n = Array.length a in
+  let sub i j = Array.to_list (Array.sub a i (j - i)) in
+  let res = ref None in
+  (try
+     for j = 0 to n do
+       for i = 0 to j do
+         if !res = None && Ref.matches r (sub i j) then begin
+           res := Some j;
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !res
+
 (* Feed [s] to a fresh stream in random chunks. *)
 let stream_random_chunks rand (eng : Eng.t) (s : string) : EngStream.result =
   let st = EngStream.create eng in
@@ -155,6 +174,7 @@ let run ~rounds ~seed ~size =
   let rand = Random.State.make [| seed |] in
   let session = S.create_session () in
   let total_resets = ref 0 in
+  let total_prefilter = ref 0 and total_accel = ref 0 in
   for round = 1 to rounds do
     let r = gen_regex rand size in
     let w = gen_word rand in
@@ -201,6 +221,66 @@ let run ~rounds ~seed ~size =
     let st8 = stream_random_chunks rand eng8 s8 in
     if st8.EngStream.full <> expected8 then
       fail_at ~word:w8 round "stream utf8 (chunk-split scalars)" r;
+    (* Utf8 spans and counts are byte offsets over scalar boundaries:
+       map the scalar-indexed brute force through the width table *)
+    let offs8 = Array.make (List.length w8 + 1) 0 in
+    List.iteri
+      (fun i cp -> offs8.(i + 1) <- offs8.(i) + String.length (U.encode [ cp ]))
+      w8;
+    let span8 =
+      match ref_find r w8 with
+      | Some (i, j) -> Some (offs8.(i), offs8.(j))
+      | None -> None
+    in
+    if Eng.find eng8 s8 <> span8 then fail_at ~word:w8 round "engine utf8 find span" r;
+    if Eng.contains eng8 s8 <> Option.map (fun j -> offs8.(j)) (ref_earliest_end r w8)
+    then fail_at ~word:w8 round "engine utf8 earliest end" r;
+    if Eng.count_matching_prefixes eng8 s8 <> ref_count r w8 then
+      fail_at ~word:w8 round "engine utf8 prefix count" r;
+    (* the cache-reset path in Utf8 mode: spans must be unchanged *)
+    let eng8_2 = Eng.create ~max_states:2 ~mode:Sbd_engine.Byteclass.Utf8 r in
+    if Eng.matches eng8_2 s8 <> expected8 then
+      fail_at ~word:w8 round "engine utf8 (max_states=2) matches" r;
+    if Eng.find eng8_2 s8 <> span8 then
+      fail_at ~word:w8 round "engine utf8 (max_states=2) find span" r;
+    total_resets := !total_resets + (Eng.stats eng8_2).Eng.resets;
+    (* literal-heavy rounds: [.*lit.*] has a forced factor, so these
+       drive the required-factor prefilter and the start-state skip
+       loop — the paths the generated boolean patterns above almost
+       never reach.  The word contains the literal half the time. *)
+    let lit =
+      List.init
+        (1 + Random.State.int rand 3)
+        (fun _ -> List.nth alphabet (Random.State.int rand (List.length alphabet)))
+    in
+    let rl =
+      let lit_re =
+        List.fold_right
+          (fun cp acc -> R.concat (R.pred (A.of_ranges [ (cp, cp) ])) acc)
+          lit R.eps
+      in
+      let top_star = R.star (R.pred A.top) in
+      R.concat top_star (R.concat lit_re top_star)
+    in
+    let wl =
+      let tail = gen_word rand in
+      if Random.State.bool rand then gen_word rand @ lit @ tail
+      else gen_word rand @ tail
+    in
+    let sl = string_of_word wl in
+    let engl = Eng.create ~mode:Sbd_engine.Byteclass.Byte rl in
+    let ml = Matcher.create rl in
+    let rspanl = ref_find rl wl in
+    if Eng.find engl sl <> rspanl then fail_at ~word:wl round "literal find span" r;
+    if Matcher.find_scan ml sl <> rspanl then
+      fail_at ~word:wl round "literal find_scan" r;
+    if Eng.contains engl sl <> ref_earliest_end rl wl then
+      fail_at ~word:wl round "literal earliest end" r;
+    if Eng.count_matching_prefixes engl sl <> ref_count rl wl then
+      fail_at ~word:wl round "literal prefix count" r;
+    let stl = Eng.stats engl in
+    if stl.Eng.factor_len > 0 then incr total_prefilter;
+    if stl.Eng.accel_bytes > 0 then incr total_accel;
     (match Sbfa.build ~max_states:500 r with
     | Some m -> if Sbfa.accepts m w <> expected then fail_at round "SBFA" r
     | None -> ());
@@ -279,10 +359,17 @@ let run ~rounds ~seed ~size =
     | _ -> ());
     if round mod 500 = 0 then Printf.printf "... %d rounds ok\n%!" round
   done;
-  (* the graceful-degradation path must actually have been taken *)
+  (* the graceful-degradation and acceleration paths must actually have
+     been taken, or the rounds above tested nothing *)
   if rounds >= 100 && !total_resets = 0 then
     raise (Mismatch "engine cache-reset path was never exercised");
-  Printf.printf "fuzz: engine cache resets exercised %d times\n%!" !total_resets
+  if rounds >= 100 && !total_prefilter = 0 then
+    raise (Mismatch "engine required-factor prefilter was never exercised");
+  if rounds >= 100 && !total_accel = 0 then
+    raise (Mismatch "engine skip-loop acceleration was never exercised");
+  Printf.printf
+    "fuzz: engine cache resets exercised %d times, prefilter %d, skip loop %d\n%!"
+    !total_resets !total_prefilter !total_accel
 
 open Cmdliner
 

@@ -304,6 +304,9 @@ let run_match ~deadline ~stats ~json ~input pattern =
         ("engine.unanch_states", float_of_int st.Eng.unanch_states);
         ("engine.back_states", float_of_int st.Eng.back_states);
         ("engine.resets", float_of_int st.Eng.resets);
+        ("engine.accel_bytes", float_of_int st.Eng.accel_bytes);
+        ("engine.back_accel_bytes", float_of_int st.Eng.back_accel_bytes);
+        ("engine.factor_len", float_of_int st.Eng.factor_len);
       ]
       @ active_counters ()
       @ [ ("query.wall_time_s", wall) ]

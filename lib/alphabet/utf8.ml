@@ -70,8 +70,25 @@ let encode (cps : int list) : string =
     cps;
   Buffer.contents buf
 
+(** [truncated_tail s i] holds when the bytes [s.[i..]] are a truncated
+    multi-byte sequence cut off by end of input: a 2- or 3-byte lead
+    followed only by continuation bytes, but fewer than the sequence
+    needs.  Per the Unicode "maximal subpart" convention such a tail
+    decodes as a {e single} U+FFFD, not one per byte. *)
+let truncated_tail (s : string) (i : int) : bool =
+  let n = String.length s in
+  let b0 = Char.code s.[i] in
+  if b0 < 0xC0 || b0 >= 0xF0 then false
+  else
+    let needed = if b0 < 0xE0 then 2 else 3 in
+    n - i < needed
+    &&
+    let rec conts j = j >= n || (Char.code s.[j] land 0xC0 = 0x80 && conts (j + 1)) in
+    conts (i + 1)
+
 (** Decode, replacing malformed sequences with U+FFFD and continuing at
-    the next byte (lossy, total). *)
+    the next byte (lossy, total).  A truncated sequence at end of input
+    is its own maximal subpart and reads as exactly one U+FFFD. *)
 let decode_lossy (s : string) : int list =
   let n = String.length s in
   let rec go i acc =
@@ -94,6 +111,8 @@ let decode_lossy (s : string) : int list =
       in
       match attempt with
       | Some (len, cp) -> go (i + len) (cp :: acc)
-      | None -> go (i + 1) (0xFFFD :: acc)
+      | None ->
+        if truncated_tail s i then List.rev (0xFFFD :: acc)
+        else go (i + 1) (0xFFFD :: acc)
   in
   go 0 []

@@ -1,0 +1,182 @@
+(** Forced-literal extraction: required prefix / suffix / factor hints
+    for the match engine's prefilter (DESIGN.md §13).
+
+    [study r] computes, by a purely structural pass over the
+    hash-consed AST, code-point strings that {e every} word of [L(r)]
+    is guaranteed to contain:
+
+    - [prefix]: every word of [L(r)] starts with it;
+    - [suffix]: every word of [L(r)] ends with it;
+    - [factor]: every word of [L(r)] contains it as a contiguous
+      factor (always at least as long as the better of prefix/suffix);
+    - [exact]: [Some w] certifies [L(r) ⊆ {w}] (the language is the
+      singleton [w] or empty).
+
+    All claims are one-sided: an empty [factor] just means nothing was
+    proven, and [L(r)] may be empty (every claim is then vacuous).  The
+    engine turns a non-empty factor into a sublinear substring
+    prefilter for [find]/[contains]: if the factor's encoding does not
+    occur in the input, no match can exist and the DFA never runs
+    (RE#'s prefilter optimization, arXiv 2407.20479 §5).
+
+    Lengths are clamped to {!cap} code points: a prefix of a forced
+    prefix (resp. suffix of a suffix, substring of a factor) is itself
+    forced, so clamping preserves soundness; [exact] is demoted to
+    [None] rather than truncated. *)
+
+module Make (R : Sbd_regex.Regex.S) = struct
+  module A = R.A
+
+  type t = {
+    prefix : int list;
+    suffix : int list;
+    factor : int list;
+    exact : int list option;
+  }
+
+  (** Clamp bound on extracted literal lengths (code points). *)
+  let cap = 24
+
+  let none = { prefix = []; suffix = []; factor = []; exact = None }
+
+  let take n l =
+    let rec go n = function
+      | x :: rest when n > 0 -> x :: go (n - 1) rest
+      | _ -> []
+    in
+    go n l
+
+  let last n l =
+    let k = List.length l in
+    if k <= n then l
+    else
+      let rec drop i = function
+        | _ :: rest when i > 0 -> drop (i - 1) rest
+        | rest -> rest
+      in
+      drop (k - n) l
+
+  let longest a b = if List.length b > List.length a then b else a
+
+  let rec lcp a b =
+    match (a, b) with
+    | x :: a', y :: b' when x = y -> x :: lcp a' b'
+    | _ -> []
+
+  let lcsuffix a b = List.rev (lcp (List.rev a) (List.rev b))
+
+  let clamp (t : t) : t =
+    {
+      prefix = take cap t.prefix;
+      suffix = last cap t.suffix;
+      factor = take cap t.factor;
+      exact =
+        (match t.exact with
+        | Some w when List.length w <= cap -> t.exact
+        | _ -> None);
+    }
+
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 256
+
+  let rec study (r : R.t) : t =
+    match Hashtbl.find_opt memo r.R.id with
+    | Some l -> l
+    | None ->
+      let l = clamp (study_node r) in
+      Hashtbl.add memo r.R.id l;
+      l
+
+  and study_node (r : R.t) : t =
+    match r.R.node with
+    | R.Eps -> { prefix = []; suffix = []; factor = []; exact = Some [] }
+    | R.Pred p -> (
+      match A.ranges p with
+      | [ (lo, hi) ] when lo = hi ->
+        { prefix = [ lo ]; suffix = [ lo ]; factor = [ lo ]; exact = Some [ lo ] }
+      | _ -> none)
+    | R.Concat (a, b) ->
+      let la = study a and lb = study b in
+      let prefix =
+        match la.exact with Some w -> w @ lb.prefix | None -> la.prefix
+      in
+      let suffix =
+        match lb.exact with Some w -> la.suffix @ w | None -> lb.suffix
+      in
+      (* a forced suffix of [a] meets a forced prefix of [b] at the seam:
+         their concatenation is a forced factor of every word of [ab] *)
+      let bridge = la.suffix @ lb.prefix in
+      let factor =
+        longest la.factor
+          (longest lb.factor (longest bridge (longest prefix suffix)))
+      in
+      let exact =
+        match (la.exact, lb.exact) with
+        | Some u, Some v -> Some (u @ v)
+        | _ -> None
+      in
+      { prefix; suffix; factor; exact }
+    | R.Star _ -> none (* ε ∈ L: nothing is forced *)
+    | R.Loop (_, 0, _) -> none
+    | R.Loop (a, m, n) -> (
+      let la = study a in
+      match la.exact with
+      | Some w ->
+        let len = List.length w in
+        let rep k = List.concat (List.init k (fun _ -> w)) in
+        let base =
+          if len = 0 then [] else rep (min m ((cap + len - 1) / len))
+        in
+        let exact =
+          match n with
+          | Some hi when hi = m && m * len <= cap -> Some (rep m)
+          | _ -> None
+        in
+        { prefix = base; suffix = base; factor = base; exact }
+      | None -> { la with exact = None })
+    | R.Or xs -> (
+      match List.map study xs with
+      | [] -> none
+      | l0 :: rest ->
+        (* only what is forced in every branch is forced for the union *)
+        let prefix = List.fold_left (fun acc l -> lcp acc l.prefix) l0.prefix rest in
+        let suffix =
+          List.fold_left (fun acc l -> lcsuffix acc l.suffix) l0.suffix rest
+        in
+        let exact =
+          List.fold_left
+            (fun acc l ->
+              match (acc, l.exact) with
+              | Some u, Some v when u = v -> Some u
+              | _ -> None)
+            l0.exact rest
+        in
+        { prefix; suffix; factor = longest prefix suffix; exact })
+    | R.And xs -> (
+      match List.map study xs with
+      | [] -> none
+      | l0 :: rest ->
+        (* L(∧ xs) ⊆ L(x): anything forced in any branch is forced for
+           the intersection (vacuously so when the intersection is ∅) *)
+        let prefix = List.fold_left (fun acc l -> longest acc l.prefix) l0.prefix rest in
+        let suffix = List.fold_left (fun acc l -> longest acc l.suffix) l0.suffix rest in
+        let factor =
+          List.fold_left
+            (fun acc l -> longest acc l.factor)
+            (longest l0.factor (longest prefix suffix))
+            rest
+        in
+        let exact =
+          List.fold_left
+            (fun acc l -> match acc with Some _ -> acc | None -> l.exact)
+            l0.exact rest
+        in
+        { prefix; suffix; factor; exact })
+    | R.Not _ -> none
+
+  (** The best (longest) literal that every word of [L(r)] must contain
+      as a contiguous factor; [[]] when nothing was proven. *)
+  let required_factor (r : R.t) : int list = (study r).factor
+
+  (** The literal every word of [L(r)] must start with. *)
+  let required_prefix (r : R.t) : int list = (study r).prefix
+end

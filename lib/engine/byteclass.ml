@@ -11,11 +11,13 @@
       for decoded non-ASCII scalars in [Utf8] mode.
 
     Multi-byte UTF-8 handling is deliberately scalar-at-a-time with
-    lossy (U+FFFD per offending byte) error semantics, matching
-    {!Sbd_alphabet.Utf8.decode_lossy}, so the engine is total on
-    arbitrary byte strings.  The scalar codec here additionally
-    supports {e backward} iteration (for the reverse pass of the linear
-    search) and truncation detection (for chunked streaming). *)
+    lossy error semantics matching {!Sbd_alphabet.Utf8.decode_lossy}
+    (one U+FFFD per malformed byte; a truncated sequence at end of
+    input is one maximal subpart, hence one U+FFFD), so the engine is
+    total on arbitrary byte strings.  The scalar codec here
+    additionally supports {e backward} iteration (for the reverse pass
+    of the linear search) and truncation detection (for chunked
+    streaming). *)
 
 (* -- UTF-8 scalar codec (BMP, 1-3 bytes, strict + lossy-total) ----------- *)
 
@@ -60,16 +62,22 @@ let classify_scalar (s : string) (pos : int) (limit : int) :
   else `Malformed (* beyond the BMP *)
 
 (** Lossy forward step: the scalar at [pos] and the position after it.
-    Malformed or input-final truncated bytes decode as one U+FFFD. *)
+    A malformed byte decodes as one U+FFFD; a sequence truncated by
+    [limit] is a maximal subpart and decodes as one U+FFFD {e consuming
+    the whole tail} (callers that instead carry truncated bytes across
+    chunk boundaries use {!classify_scalar} directly). *)
 let scalar_forward (s : string) (pos : int) (limit : int) : int * int =
   match classify_scalar s pos limit with
   | `Cp (cp, len) -> (cp, pos + len)
-  | `Malformed | `Truncated -> (replacement, pos + 1)
+  | `Malformed -> (replacement, pos + 1)
+  | `Truncated -> (replacement, limit)
 
 (** Lossy backward step: the scalar {e ending} at [pos] (exclusive) and
     its start position, never looking below [lo].  Mirrors the forward
     lossy segmentation: a window [q, pos) qualifies only when it decodes
-    strictly as exactly one scalar; otherwise the byte at [pos - 1] is a
+    strictly as exactly one scalar — or, when [pos] is the very end of
+    [s], as one truncated maximal subpart (one U+FFFD spanning the whole
+    tail, like {!scalar_forward}); otherwise the byte at [pos - 1] is a
     lone U+FFFD. *)
 let scalar_backward (s : string) (pos : int) (lo : int) : int * int =
   let b = Char.code s.[pos - 1] in
@@ -84,6 +92,7 @@ let scalar_backward (s : string) (pos : int) (lo : int) : int * int =
     else
       match classify_scalar s !q pos with
       | `Cp (cp, len) when !q + len = pos -> (cp, !q)
+      | `Truncated when pos = String.length s -> (replacement, !q)
       | _ -> (replacement, pos - 1)
   end
 

@@ -1,11 +1,29 @@
-(** Dense lazy DFA over a byte-class alphabet.
+(** Dense lazy DFA over a byte-class alphabet, flat-table layout.
 
-    States are small integers; each materialized state owns an
-    [int array] transition row of width [num_classes], filled lazily
-    from classical Brzozowski derivatives ({!Sbd_classic.Brzozowski})
-    taken at each class's representative code point.  Hash-consing in
-    {!Sbd_regex.Regex} makes the regex → state-id mapping a plain
-    physical-identity hashtable lookup.
+    States are small integers.  All transitions live in one flat
+    [int array]: the successor of state [q] on byte class [cls] sits at
+    [trans.(q * num_classes + cls)], with [-1] marking a cell not yet
+    filled.  Rows are materialized lazily from classical Brzozowski
+    derivatives ({!Sbd_classic.Brzozowski}) taken at each class's
+    representative code point; hash-consing in {!Sbd_regex.Regex} makes
+    the regex → state-id mapping a plain physical-identity hashtable
+    lookup.
+
+    The single-array layout (RE#'s choice, arXiv 2407.20479) exists for
+    the scan loops in {!Search}/{!Stream}: the hot path is one
+    multiply-add index into one array the CPU can keep streaming from,
+    instead of chasing a per-state row pointer.  Two further
+    invariants let those loops hoist work out of the per-byte path:
+
+    - {e dead} (⊥) and {e full} ([.*]) states have their whole row
+      pre-filled with a self-loop at creation.  This is exact — the
+      derivative of ⊥ (resp. [.*]) by any character is itself — so a
+      scan never takes the slow path through such a state, and the
+      dead/full early-exit checks can run once per {e block} rather
+      than once per byte.
+    - per-state flags (nullable / dead / full) are packed into one byte
+      of {!flags}, so the post-step nullability test is a single byte
+      load and mask.
 
     Unbounded state growth (complement/intersection blowups) is bounded
     by a hard [max_states] cap: exceeding it {e resets} the cache —
@@ -22,6 +40,11 @@ let c_resets = Sbd_obs.Obs.Counter.make "engine.resets"
 let c_transitions = Sbd_obs.Obs.Counter.make "engine.transitions"
 
 let default_max_states = 10_000
+
+(* flag bits in {!flags} *)
+let f_nullable = 1
+let f_dead = 2
+let f_full = 4
 
 module Make (R : Sbd_regex.Regex.S) = struct
   module Brz = Sbd_classic.Brzozowski.Make (R)
@@ -40,11 +63,13 @@ module Make (R : Sbd_regex.Regex.S) = struct
     max_states : int;
     mutable index : int Tbl.t;  (** regex → state id *)
     mutable regexes : R.t array;  (** state id → regex *)
-    mutable rows : int array array;
-        (** state id → transition row; [-1] marks an unfilled cell *)
-    mutable nullable : Bytes.t;
-    mutable dead : Bytes.t;  (** state is ⊥: no suffix can match *)
-    mutable full : Bytes.t;  (** state is [.*]: every suffix matches *)
+    mutable trans : int array;
+        (** flat transition table, [state * num_classes + cls];
+            [-1] marks an unfilled cell.  Reallocated by {!grow} and
+            invalidated by a cache reset: scan loops that cache this
+            array locally must refetch it after any slow-path
+            {!step}. *)
+    mutable flags : Bytes.t;  (** per-state [f_nullable]/[f_dead]/[f_full] *)
     mutable n : int;  (** number of materialized states *)
     mutable resets : int;
   }
@@ -55,19 +80,13 @@ module Make (R : Sbd_regex.Regex.S) = struct
       let cap' = min t.max_states (max 8 (2 * cap)) in
       let regexes = Array.make cap' t.start in
       Array.blit t.regexes 0 regexes 0 t.n;
-      let rows = Array.make cap' [||] in
-      Array.blit t.rows 0 rows 0 t.n;
-      let nullable = Bytes.make cap' '\000' in
-      Bytes.blit t.nullable 0 nullable 0 t.n;
-      let dead = Bytes.make cap' '\000' in
-      Bytes.blit t.dead 0 dead 0 t.n;
-      let full = Bytes.make cap' '\000' in
-      Bytes.blit t.full 0 full 0 t.n;
+      let trans = Array.make (cap' * t.num_classes) (-1) in
+      Array.blit t.trans 0 trans 0 (t.n * t.num_classes);
+      let flags = Bytes.make cap' '\000' in
+      Bytes.blit t.flags 0 flags 0 t.n;
       t.regexes <- regexes;
-      t.rows <- rows;
-      t.nullable <- nullable;
-      t.dead <- dead;
-      t.full <- full
+      t.trans <- trans;
+      t.flags <- flags
     end
 
   (* Materialize [r] as a fresh state (capacity is doubled as needed,
@@ -78,12 +97,19 @@ module Make (R : Sbd_regex.Regex.S) = struct
     t.n <- id + 1;
     Tbl.add t.index r id;
     t.regexes.(id) <- r;
-    t.rows.(id) <- Array.make t.num_classes (-1);
+    let dead = R.is_empty r and full = R.is_full r in
+    let row = id * t.num_classes in
     (* overwrite, don't just set: after a cache reset the slot may hold
-       the bits of its previous occupant *)
-    Bytes.set t.nullable id (if R.nullable r then '\001' else '\000');
-    Bytes.set t.dead id (if R.is_empty r then '\001' else '\000');
-    Bytes.set t.full id (if R.is_full r then '\001' else '\000');
+       the bits of its previous occupant.  Dead and full states are
+       fixpoints of derivation, so their rows are complete self-loops
+       from birth and the hot loops never fault through them. *)
+    Array.fill t.trans row t.num_classes (if dead || full then id else -1);
+    let f =
+      (if R.nullable r then f_nullable else 0)
+      lor (if dead then f_dead else 0)
+      lor if full then f_full else 0
+    in
+    Bytes.set t.flags id (Char.chr f);
     Sbd_obs.Obs.Counter.incr c_states;
     id
 
@@ -114,14 +140,12 @@ module Make (R : Sbd_regex.Regex.S) = struct
       {
         start;
         representatives;
-        num_classes = Array.length representatives;
+        num_classes = max 1 (Array.length representatives);
         max_states;
         index = Tbl.create 256;
         regexes = [||];
-        rows = [||];
-        nullable = Bytes.empty;
-        dead = Bytes.empty;
-        full = Bytes.empty;
+        trans = [||];
+        flags = Bytes.empty;
         n = 0;
         resets = 0;
       }
@@ -131,14 +155,15 @@ module Make (R : Sbd_regex.Regex.S) = struct
 
   let start_id = 0
 
-  (** The hot path: follow the transition for byte class [cls] out of
-      state [id], deriving and interning the successor on a row miss.
-      Returns the successor id.  A cache reset inside [intern] can
-      invalidate [id]'s row, so the row write is guarded by re-checking
-      the reset counter. *)
+  (** The slow path behind the scan loops' inlined table hit: follow the
+      transition for byte class [cls] out of state [id], deriving and
+      interning the successor on a cell miss.  Returns the successor id.
+      A cache reset inside [intern] can invalidate [id]'s row (and
+      {!grow} reallocates {!trans}), so the cell write is guarded by
+      re-checking the reset counter — and callers caching [t.trans]
+      locally must refetch it after calling this. *)
   let step (t : t) (id : int) (cls : int) : int =
-    let row = Array.unsafe_get t.rows id in
-    let tgt = Array.unsafe_get row cls in
+    let tgt = Array.unsafe_get t.trans ((id * t.num_classes) + cls) in
     if tgt >= 0 then tgt
     else begin
       Sbd_obs.Obs.Counter.incr c_transitions;
@@ -148,15 +173,16 @@ module Make (R : Sbd_regex.Regex.S) = struct
       let tgt = intern t d in
       (* After a reset [id] names a different (or vacant) state; only
          memoize into the row when the table it belongs to survived. *)
-      if t.resets = resets_before then row.(cls) <- tgt;
+      if t.resets = resets_before then t.trans.((id * t.num_classes) + cls) <- tgt;
       tgt
     end
 
   (* Unsafe reads are fine: ids only come from [intern]/[step], so they
      are always below [t.n] for the current table. *)
-  let is_nullable t id = Bytes.unsafe_get t.nullable id <> '\000'
-  let is_dead t id = Bytes.unsafe_get t.dead id <> '\000'
-  let is_full t id = Bytes.unsafe_get t.full id <> '\000'
+  let flag t id bit = Char.code (Bytes.unsafe_get t.flags id) land bit <> 0
+  let is_nullable t id = flag t id f_nullable
+  let is_dead t id = flag t id f_dead
+  let is_full t id = flag t id f_full
   let num_states t = t.n
   let resets t = t.resets
 end

@@ -19,26 +19,141 @@
     All three byte-class tables are shared: [⊤] contributes no new
     predicate and reversal permutes subterms without changing the
     predicate set, so the minterms of [r], [⊤*·r] and [⊤*·rev r]
-    coincide. *)
+    coincide.
+
+    {2 The hot path (DESIGN.md §13)}
+
+    The scan loops are block-structured: the per-byte path is one
+    byte→class table read plus one flat-table hit
+    ([trans.(q * num_classes + cls)], {!Dfa}) plus a one-byte flags
+    load, with deadline polling and dead/full short-circuits hoisted to
+    block boundaries (dead and full states self-loop by construction,
+    so deferring their detection by up to a block is sound).  Two
+    sublinear prefilters sit in front, in the style of RE#
+    (arXiv 2407.20479):
+
+    - {e start-state acceleration}: while the unanchored (or backward)
+      DFA is parked in its start state, a compare loop skips straight
+      over bytes whose class provably self-loops the start.  The
+      candidate byte set (≤ 3 bytes) is computed once per DFA from the
+      start state's actual transitions, so the skip is exact, not an
+      approximation — see {!compute_accel} for the UTF-8 alignment
+      argument.
+    - {e required-factor containment}: {!Sbd_analysis.Literals} proves
+      a literal every match must contain; if its encoding does not
+      occur in the input ({!contains_sub}, Horspool), [find]/[contains]
+      answer without running any DFA. *)
 
 let c_compiles = Sbd_obs.Obs.Counter.make "engine.compiles"
 let default_max_states = Dfa.default_max_states
 
 module Obs = Sbd_obs.Obs
 
+(** Bytes per inner-loop block: the spacing of deadline polls and
+    dead/full-state checks.  Small enough that a deadline overrun is
+    bounded by microseconds, large enough that the checks vanish from
+    the per-byte path. *)
+let block = 4096
+
+(* -- substring search (the factor prefilter's engine) -------------------- *)
+
+(** Boyer–Moore–Horspool bad-character shift table for [needle]. *)
+let horspool_shift (needle : string) : int array =
+  let m = String.length needle in
+  let shift = Array.make 256 m in
+  for i = 0 to m - 2 do
+    shift.(Char.code (String.unsafe_get needle i)) <- m - 1 - i
+  done;
+  shift
+
+(** Does [needle] occur in [s]?  Horspool: sublinear on typical text
+    (the common no-match case advances [length needle] bytes per
+    probe). *)
+let contains_sub (s : string) (needle : string) (shift : int array) : bool =
+  let m = String.length needle and n = String.length s in
+  if m = 0 then true
+  else if m = 1 then
+    (* String.index is a memchr stub: far faster than any byte loop *)
+    String.contains s (String.unsafe_get needle 0)
+  else begin
+    let last = m - 1 in
+    let lc = String.unsafe_get needle last in
+    let i = ref last in
+    let found = ref false in
+    while (not !found) && !i < n do
+      let c = String.unsafe_get s !i in
+      if c = lc then begin
+        let j = ref (m - 2) in
+        let base = !i - last in
+        while !j >= 0 && String.unsafe_get needle !j = String.unsafe_get s (base + !j)
+        do
+          decr j
+        done;
+        if !j < 0 then found := true
+        else i := !i + Array.unsafe_get shift (Char.code c)
+      end
+      else i := !i + Array.unsafe_get shift (Char.code c)
+    done;
+    !found
+  end
+
 module Make (R : Sbd_regex.Regex.S) = struct
   module Bc = Byteclass.Make (R)
   module Dfa = Dfa.Make (R)
+  module Lit = Sbd_analysis.Literals.Make (R)
+
+  (** Start-state byte-skip acceleration: while the DFA sits in its
+      start state, bytes outside the candidate set provably keep it
+      there and a three-way compare loop can skip them without touching
+      the class table. *)
+  type accel =
+    | No_accel
+    | Skip of { b1 : char; b2 : char; b3 : char; count : int }
+        (** unused slots duplicate [b1]; [count] is the true number of
+            candidate bytes (for stats) *)
+
+  (** Required-factor prefilter state for [find]/[contains]. *)
+  type prefilter =
+    | Pre_none
+    | Pre_impossible
+        (** the pattern forces a literal no byte input can contain
+            (e.g. a non-Latin-1 code point in [Byte] mode): no input
+            has a match *)
+    | Pre_factor of { bytes : string; shift : int array }
+        (** every match contains [bytes]; [shift] is its Horspool
+            table *)
 
   type t = {
     pattern : R.t;
     mode : Byteclass.mode;
     bc : Bc.t;
     max_states : int;
+    prefilter : prefilter;
     fwd : Dfa.t;  (** anchored: start = pattern *)
     mutable unanch : Dfa.t option;  (** start = ⊤*·pattern, built lazily *)
     mutable back : Dfa.t option;  (** start = ⊤*·rev pattern, built lazily *)
+    mutable un_accel : accel;  (** computed when [unanch] is built *)
+    mutable back_accel : accel;  (** computed when [back] is built *)
   }
+
+  let prefilter_of ~(mode : Byteclass.mode) (fac : int list) : prefilter =
+    match fac with
+    | [] -> Pre_none
+    | cps -> (
+      let factor bytes = Pre_factor { bytes; shift = horspool_shift bytes } in
+      match mode with
+      | Byteclass.Byte ->
+        if List.for_all (fun c -> c < 256) cps then
+          factor (String.init (List.length cps) (fun i -> Char.chr (List.nth cps i)))
+        else Pre_impossible
+      | Byteclass.Utf8 ->
+        (* U+FFFD also stands for malformed bytes in the decoded
+           stream, so its canonical encoding is not a faithful witness;
+           surrogates can never be decoded at all *)
+        if List.mem Byteclass.replacement cps then Pre_none
+        else if List.exists (fun c -> c >= 0xD800 && c <= 0xDFFF) cps then
+          Pre_impossible
+        else factor (Sbd_alphabet.Utf8.encode cps))
 
   let create ?(max_states = default_max_states)
       ?(mode = Byteclass.Byte) (pattern : R.t) : t =
@@ -49,10 +164,93 @@ module Make (R : Sbd_regex.Regex.S) = struct
       mode;
       bc;
       max_states;
+      prefilter = prefilter_of ~mode (Lit.required_factor pattern);
       fwd = Dfa.create ~max_states ~representatives:bc.Bc.representatives pattern;
       unanch = None;
       back = None;
+      un_accel = No_accel;
+      back_accel = No_accel;
     }
+
+  (** Candidate start bytes for skip-scanning while [dfa] is parked in
+      its start state.  A byte is a candidate iff its class steps the
+      start state somewhere else; the self-loop test is exact because
+      {!Dfa.step} consults the actual (lazily derived) transition.
+
+      Soundness of skipping the complement, [`Fwd] UTF-8 case: the
+      candidate set contains every ASCII byte of a candidate class and
+      every UTF-8 {e lead} byte whose code-point range intersects a
+      candidate class, and U+FFFD's class must self-loop (else no
+      acceleration) so malformed bytes are skippable.  Candidate bytes
+      are never continuation bytes (ASCII < 0x80 < conts < 0xC0 ≤
+      leads), so the skip loop always halts on a scalar start, and
+      every wholly-skipped scalar — ASCII, well-formed multi-byte with
+      a non-candidate lead, or malformed→U+FFFD — has a self-looping
+      class.  [`Back] additionally requires every candidate class to be
+      pure ASCII, so that skipping right-to-left can never stop in the
+      middle of a multi-byte scalar. *)
+  let compute_accel (t : t) (dfa : Dfa.t) (dir : [ `Fwd | `Back ]) : accel =
+    if Dfa.is_nullable dfa Dfa.start_id then No_accel
+      (* every position is a hit: the scan must visit them all *)
+    else begin
+      let nc = dfa.Dfa.num_classes in
+      let cand_cls = Array.make nc false in
+      for cls = 0 to nc - 1 do
+        if Dfa.step dfa Dfa.start_id cls <> Dfa.start_id then
+          cand_cls.(cls) <- true
+      done;
+      let member = Bytes.make 256 '\000' in
+      let count = ref 0 in
+      let add b =
+        if Bytes.get member b = '\000' then begin
+          Bytes.set member b '\001';
+          incr count
+        end
+      in
+      let ok = ref true in
+      (match t.mode with
+      | Byteclass.Byte ->
+        for b = 0 to 255 do
+          let cls = t.bc.Bc.table.(b) in
+          if cls >= 0 && cand_cls.(cls) then add b
+        done
+      | Byteclass.Utf8 ->
+        for b = 0 to 127 do
+          let cls = t.bc.Bc.table.(b) in
+          if cls >= 0 && cand_cls.(cls) then add b
+        done;
+        if cand_cls.(Bc.classify_cp t.bc Byteclass.replacement) then ok := false
+        else
+          Array.iter
+            (fun (lo, hi, cls) ->
+              if !ok && cand_cls.(cls) && hi >= 0x80 then
+                match dir with
+                | `Back -> ok := false
+                | `Fwd ->
+                  let lo = max lo 0x80 in
+                  if lo <= 0x7FF then
+                    for x = 0xC0 lor (lo lsr 6) to 0xC0 lor (min hi 0x7FF lsr 6) do
+                      add x
+                    done;
+                  if hi >= 0x800 then
+                    for x = 0xE0 lor (max lo 0x800 lsr 12) to 0xE0 lor (hi lsr 12)
+                    do
+                      add x
+                    done)
+            t.bc.Bc.ranges);
+      if (not !ok) || !count = 0 || !count > 3 then No_accel
+      else begin
+        let cs = ref [] in
+        for b = 255 downto 0 do
+          if Bytes.get member b <> '\000' then cs := Char.chr b :: !cs
+        done;
+        match !cs with
+        | [ c1 ] -> Skip { b1 = c1; b2 = c1; b3 = c1; count = 1 }
+        | [ c1; c2 ] -> Skip { b1 = c1; b2 = c2; b3 = c2; count = 2 }
+        | [ c1; c2; c3 ] -> Skip { b1 = c1; b2 = c2; b3 = c3; count = 3 }
+        | _ -> No_accel
+      end
+    end
 
   let unanchored t =
     match t.unanch with
@@ -64,6 +262,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
           (R.concat R.full t.pattern)
       in
       t.unanch <- Some d;
+      t.un_accel <- compute_accel t d `Fwd;
       d
 
   let backward t =
@@ -76,14 +275,22 @@ module Make (R : Sbd_regex.Regex.S) = struct
           (R.concat R.full (R.rev t.pattern))
       in
       t.back <- Some d;
+      t.back_accel <- compute_accel t d `Back;
       d
 
   (* -- scan loops -------------------------------------------------------- *)
 
-  (* Every loop below inlines the byte→class table hit (one string read,
-     one array read) and only calls into {!Bc} on the multi-byte slow
-     path: [Bc.next]/[Bc.prev] return a tuple, and an allocation per
-     byte would dominate the scan. *)
+  (* Every loop below is block-structured.  Within a block the fast
+     path is fully inlined — byte→class table read, flat-table hit,
+     flags byte — with [String.unsafe_get]/[Array.unsafe_get]
+     throughout (indices are bounded by the loop guards; state ids come
+     from the table itself).  [Dfa.step] can grow or reset the
+     transition array, so any slow-path step ends the current block:
+     the locally-cached [trans] is refetched at the block boundary.
+     Deadline polling and dead/full short-circuits also live at block
+     boundaries; dead and full states self-loop (prefilled rows), so
+     deferring their detection costs at most one block of table hits
+     and never changes an answer. *)
 
   (** Run the anchored DFA over [s.[pos..limit)]; full-match verdict.
       Early exit on dead (no extension matches) and full (every
@@ -92,24 +299,36 @@ module Make (R : Sbd_regex.Regex.S) = struct
       (pos : int) (limit : int) : bool =
     let dfa = t.fwd in
     let table = t.bc.Bc.table in
+    let nc = dfa.Dfa.num_classes in
+    let poll = not (Obs.Deadline.is_none deadline) in
     let q = ref Dfa.start_id and p = ref pos in
     (* -1 undecided, 0 no, 1 yes *)
     let verdict = ref (-1) in
     while !verdict < 0 && !p < limit do
-      if not (Obs.Deadline.is_none deadline) then Obs.Deadline.check deadline;
+      if poll then Obs.Deadline.check_now deadline;
       if Dfa.is_dead dfa !q then verdict := 0
       else if Dfa.is_full dfa !q then verdict := 1
       else begin
-        let cls = Array.unsafe_get table (Char.code (String.unsafe_get s !p)) in
-        if cls >= 0 then begin
-          q := Dfa.step dfa !q cls;
-          incr p
-        end
-        else begin
-          let cls, p' = Bc.next t.bc s !p limit in
-          q := Dfa.step dfa !q cls;
-          p := p'
-        end
+        let stop = ref (min limit (!p + block)) in
+        let trans = dfa.Dfa.trans in
+        while !p < !stop do
+          let cls =
+            Array.unsafe_get table (Char.code (String.unsafe_get s !p))
+          in
+          let tgt =
+            if cls >= 0 then Array.unsafe_get trans ((!q * nc) + cls) else -1
+          in
+          if tgt >= 0 then begin
+            q := tgt;
+            incr p
+          end
+          else begin
+            let cls, p' = Bc.next t.bc s !p limit in
+            q := Dfa.step dfa !q cls;
+            p := p';
+            stop := !p
+          end
+        done
       end
     done;
     if !verdict >= 0 then !verdict = 1 else Dfa.is_nullable dfa !q
@@ -120,23 +339,61 @@ module Make (R : Sbd_regex.Regex.S) = struct
       (pos : int) (limit : int) : int option =
     let dfa = unanchored t in
     if Dfa.is_nullable dfa Dfa.start_id then Some pos
+    else if Dfa.is_dead dfa Dfa.start_id then None
     else begin
       let table = t.bc.Bc.table in
+      let nc = dfa.Dfa.num_classes in
+      let accel = t.un_accel in
+      let has_accel = accel <> No_accel in
+      let poll = not (Obs.Deadline.is_none deadline) in
       let q = ref Dfa.start_id and p = ref pos in
       let found = ref (-1) in
       while !found < 0 && !p < limit do
-        if not (Obs.Deadline.is_none deadline) then Obs.Deadline.check deadline;
-        let cls = Array.unsafe_get table (Char.code (String.unsafe_get s !p)) in
-        if cls >= 0 then begin
-          q := Dfa.step dfa !q cls;
-          incr p
+        if poll then Obs.Deadline.check_now deadline;
+        (match accel with
+        | Skip { b1; b2; b3; _ } when !q = Dfa.start_id ->
+          let i = ref !p in
+          while
+            !i < limit
+            &&
+            let c = String.unsafe_get s !i in
+            c <> b1 && c <> b2 && c <> b3
+          do
+            incr i
+          done;
+          p := !i
+        | No_accel | Skip _ -> ());
+        if !p < limit then begin
+          let stop = ref (min limit (!p + block)) in
+          let trans = dfa.Dfa.trans in
+          let flags = dfa.Dfa.flags in
+          while !p < !stop do
+            let cls =
+              Array.unsafe_get table (Char.code (String.unsafe_get s !p))
+            in
+            let tgt =
+              if cls >= 0 then Array.unsafe_get trans ((!q * nc) + cls) else -1
+            in
+            if tgt >= 0 then begin
+              q := tgt;
+              incr p;
+              if Char.code (Bytes.unsafe_get flags tgt) land 1 <> 0 then begin
+                found := !p;
+                stop := !p
+              end
+              else if has_accel && tgt = Dfa.start_id then
+                (* back in the start state: hop out to the skip loop *)
+                stop := !p
+            end
+            else begin
+              let cls, p' = Bc.next t.bc s !p limit in
+              q := Dfa.step dfa !q cls;
+              p := p';
+              if Dfa.is_nullable dfa !q then found := !p;
+              stop := !p
+            end
+          done
         end
-        else begin
-          let cls, p' = Bc.next t.bc s !p limit in
-          q := Dfa.step dfa !q cls;
-          p := p'
-        end;
-        if Dfa.is_nullable dfa !q then found := !p
       done;
       if !found < 0 then None else Some !found
     end
@@ -151,35 +408,86 @@ module Make (R : Sbd_regex.Regex.S) = struct
       (on_hit : int -> unit) : unit =
     let dfa = backward t in
     let table = t.bc.Bc.table in
+    let nc = dfa.Dfa.num_classes in
     let byte_mode = t.mode = Byteclass.Byte in
     let n = String.length s in
     if Dfa.is_nullable dfa Dfa.start_id then on_hit n;
-    let q = ref Dfa.start_id and p = ref n in
-    while !p > 0 do
-      if not (Obs.Deadline.is_none deadline) then Obs.Deadline.check deadline;
-      let b = Char.code (String.unsafe_get s (!p - 1)) in
-      let cls = Array.unsafe_get table b in
-      if cls >= 0 && (byte_mode || b < 0x80) then begin
-        q := Dfa.step dfa !q cls;
-        decr p
-      end
-      else begin
-        let cls, p' = Bc.prev t.bc s !p 0 in
-        q := Dfa.step dfa !q cls;
-        p := p'
-      end;
-      if Dfa.is_nullable dfa !q then on_hit !p
-    done
+    if not (Dfa.is_dead dfa Dfa.start_id) then begin
+      let accel = t.back_accel in
+      let has_accel = accel <> No_accel in
+      let poll = not (Obs.Deadline.is_none deadline) in
+      let q = ref Dfa.start_id and p = ref n in
+      while !p > 0 do
+        if poll then Obs.Deadline.check_now deadline;
+        (match accel with
+        | Skip { b1; b2; b3; _ } when !q = Dfa.start_id ->
+          let i = ref !p in
+          while
+            !i > 0
+            &&
+            let c = String.unsafe_get s (!i - 1) in
+            c <> b1 && c <> b2 && c <> b3
+          do
+            decr i
+          done;
+          p := !i
+        | No_accel | Skip _ -> ());
+        if !p > 0 then begin
+          let stop = ref (max 0 (!p - block)) in
+          let trans = dfa.Dfa.trans in
+          let flags = dfa.Dfa.flags in
+          while !p > !stop do
+            let b = Char.code (String.unsafe_get s (!p - 1)) in
+            let cls = Array.unsafe_get table b in
+            if cls >= 0 && (byte_mode || b < 0x80) then begin
+              let tgt = Array.unsafe_get trans ((!q * nc) + cls) in
+              if tgt >= 0 then begin
+                q := tgt;
+                decr p;
+                if Char.code (Bytes.unsafe_get flags tgt) land 1 <> 0 then
+                  on_hit !p
+                else if has_accel && tgt = Dfa.start_id then stop := !p
+              end
+              else begin
+                q := Dfa.step dfa !q cls;
+                decr p;
+                if Dfa.is_nullable dfa !q then on_hit !p;
+                stop := !p
+              end
+            end
+            else begin
+              let cls, p' = Bc.prev t.bc s !p 0 in
+              q := Dfa.step dfa !q cls;
+              p := p';
+              if Dfa.is_nullable dfa !q then on_hit !p;
+              stop := !p
+            end
+          done
+        end
+      done
+    end
 
   (* -- public API -------------------------------------------------------- *)
 
   let matches ?deadline (t : t) (s : string) : bool =
     run_anchored ?deadline t s 0 (String.length s)
 
+  (** Does the factor prefilter rule out any match in [s]?  Entry
+      deadline check included so that prefilter short-circuits still
+      honor an already-expired deadline. *)
+  let prefilter_rules_out ?deadline (t : t) (s : string) : bool =
+    (match deadline with Some d -> Obs.Deadline.check_now d | None -> ());
+    match t.prefilter with
+    | Pre_none -> false
+    | Pre_impossible -> true
+    | Pre_factor { bytes; shift } -> not (contains_sub s bytes shift)
+
   (** [contains t s]: earliest byte offset at which a match of the
       pattern ends, or [None] when no substring of [s] matches. *)
   let contains ?deadline (t : t) (s : string) : int option =
-    first_nullable ?deadline t s 0 (String.length s)
+    if R.nullable t.pattern then Some 0
+    else if prefilter_rules_out ?deadline t s then None
+    else first_nullable ?deadline t s 0 (String.length s)
 
   (** Forward anchored pass from [pos]: earliest [j] with
       [s.[pos..j) ∈ L(pattern)]. *)
@@ -189,21 +497,42 @@ module Make (R : Sbd_regex.Regex.S) = struct
     if Dfa.is_nullable dfa Dfa.start_id then Some pos
     else begin
       let table = t.bc.Bc.table in
+      let nc = dfa.Dfa.num_classes in
+      let poll = not (Obs.Deadline.is_none deadline) in
       let q = ref Dfa.start_id and p = ref pos in
       let found = ref (-1) in
-      while !found < 0 && !p < limit && not (Dfa.is_dead dfa !q) do
-        if not (Obs.Deadline.is_none deadline) then Obs.Deadline.check deadline;
-        let cls = Array.unsafe_get table (Char.code (String.unsafe_get s !p)) in
-        if cls >= 0 then begin
-          q := Dfa.step dfa !q cls;
-          incr p
-        end
+      let dead = ref false in
+      while (not !dead) && !found < 0 && !p < limit do
+        if poll then Obs.Deadline.check_now deadline;
+        if Dfa.is_dead dfa !q then dead := true
         else begin
-          let cls, p' = Bc.next t.bc s !p limit in
-          q := Dfa.step dfa !q cls;
-          p := p'
-        end;
-        if Dfa.is_nullable dfa !q then found := !p
+          let stop = ref (min limit (!p + block)) in
+          let trans = dfa.Dfa.trans in
+          let flags = dfa.Dfa.flags in
+          while !p < !stop do
+            let cls =
+              Array.unsafe_get table (Char.code (String.unsafe_get s !p))
+            in
+            let tgt =
+              if cls >= 0 then Array.unsafe_get trans ((!q * nc) + cls) else -1
+            in
+            if tgt >= 0 then begin
+              q := tgt;
+              incr p;
+              if Char.code (Bytes.unsafe_get flags tgt) land 1 <> 0 then begin
+                found := !p;
+                stop := !p
+              end
+            end
+            else begin
+              let cls, p' = Bc.next t.bc s !p limit in
+              q := Dfa.step dfa !q cls;
+              p := p';
+              if Dfa.is_nullable dfa !q then found := !p;
+              stop := !p
+            end
+          done
+        end
       done;
       if !found < 0 then None else Some !found
     end
@@ -217,6 +546,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       start. *)
   let find ?deadline (t : t) (s : string) : (int * int) option =
     if R.nullable t.pattern then Some (0, 0)
+    else if prefilter_rules_out ?deadline t s then None
     else begin
       let n = String.length s in
       let min_start = ref (-1) in
@@ -236,10 +566,13 @@ module Make (R : Sbd_regex.Regex.S) = struct
       "matching prefixes" used by the matcher API.  One backward
       pass. *)
   let count_matching_prefixes ?deadline (t : t) (s : string) : int =
-    let n = String.length s in
-    let count = ref 0 in
-    backward_scan ?deadline t s (fun i -> if i < n then incr count);
-    !count
+    if (not (R.nullable t.pattern)) && prefilter_rules_out ?deadline t s then 0
+    else begin
+      let n = String.length s in
+      let count = ref 0 in
+      backward_scan ?deadline t s (fun i -> if i < n then incr count);
+      !count
+    end
 
   (** The state cap this engine was created with (per DFA: forward,
       unanchored and backward each get their own budget).  Exposed so
@@ -253,7 +586,15 @@ module Make (R : Sbd_regex.Regex.S) = struct
     unanch_states : int;
     back_states : int;
     resets : int;
+    accel_bytes : int;
+        (** candidate bytes of the unanchored skip loop; 0 = none (or
+            the unanchored DFA was never built) *)
+    back_accel_bytes : int;  (** same for the backward skip loop *)
+    factor_len : int;
+        (** byte length of the required-factor prefilter; 0 = none *)
   }
+
+  let accel_count = function No_accel -> 0 | Skip { count; _ } -> count
 
   let stats (t : t) : stats =
     let opt f = function None -> 0 | Some d -> f d in
@@ -264,5 +605,11 @@ module Make (R : Sbd_regex.Regex.S) = struct
       back_states = opt Dfa.num_states t.back;
       resets =
         Dfa.resets t.fwd + opt Dfa.resets t.unanch + opt Dfa.resets t.back;
+      accel_bytes = accel_count t.un_accel;
+      back_accel_bytes = accel_count t.back_accel;
+      factor_len =
+        (match t.prefilter with
+        | Pre_factor { bytes; _ } -> String.length bytes
+        | Pre_none | Pre_impossible -> 0);
     }
 end

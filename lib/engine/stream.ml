@@ -71,32 +71,114 @@ module Make (R : Sbd_regex.Regex.S) = struct
     t.bytes <- t.bytes + width;
     step_class t (Bc.classify_cp t.search.Search.bc cp)
 
+  (* Bytes per hot-loop block: the spacing of deadline polls and
+     dead/full short-circuit checks, mirroring {!Search}. *)
+  let block = 4096
+
+  (* Is the anchored DFA pinned (dead or full)?  Pinned states are
+     complete self-loops, so stepping them is a no-op and the hot loops
+     skip it. *)
+  let fwd_pinned (t : t) =
+    Dfa.is_dead t.fwd t.fwd_q || Dfa.is_full t.fwd t.fwd_q
+
+  (* Does the unanchored DFA still need stepping?  Once [found] is set
+     it never changes, and a dead unanchored state (empty pattern
+     language) never becomes nullable. *)
+  let un_live (t : t) = t.found = None && not (Dfa.is_dead t.un t.un_q)
+
   (* Consume scalars of [s.[pos..limit)], returning where consumption
      stopped: [limit], or the start of a truncated trailing sequence
-     (Utf8 mode only). *)
+     (Utf8 mode only).
+
+     Structured like the {!Search} scan loops: an inner loop over one
+     {!block} steps both DFAs through locally cached flat transition
+     tables ([trans.(q * num_classes + cls)]) with unsafe reads, and
+     everything else — deadline polls, dead/full short-circuits, the
+     settling of [found] — lives at block boundaries.  A slow-path
+     {!Dfa.step} (cell miss) may grow or reset the table it belongs to,
+     so it shrinks [stop] to force block re-entry, refetching the
+     cached arrays.  The invariant [t.bytes = base + !p] lets the inner
+     loop defer the byte counter to block exit while still recording
+     exact end offsets into [found]. *)
   let consume ~deadline (t : t) (s : string) (pos : int) (limit : int) : int =
-    let bc = t.search.Search.bc in
+    let table = t.search.Search.bc.Bc.table in
+    let fwd = t.fwd and un = t.un in
+    let base = t.bytes - pos in
     let p = ref pos in
-    let stop = ref (-1) in
-    while !stop < 0 && !p < limit do
-      if not (Obs.Deadline.is_none deadline) then Obs.Deadline.check deadline;
-      let cls = Array.unsafe_get bc.Bc.table (Char.code (String.unsafe_get s !p)) in
-      if cls >= 0 then begin
-        t.bytes <- t.bytes + 1;
-        step_class t cls;
-        incr p
+    let trunc = ref (-1) in
+    let poll = not (Obs.Deadline.is_none deadline) in
+    while !trunc < 0 && !p < limit do
+      if poll then Obs.Deadline.check_now deadline;
+      let f_live = not (fwd_pinned t) in
+      let u_live = un_live t in
+      if (not f_live) && not u_live then begin
+        (* both DFAs self-loop from here on: no byte of the tail can
+           change any state or settle [found], so only the byte count
+           matters.  This also absorbs a truncated trailing sequence —
+           carrying it and flushing U+FFFD at finish would step the
+           same pinned states and count the same bytes. *)
+        t.bytes <- t.bytes + (limit - !p);
+        p := limit
       end
-      else
-        match Byteclass.classify_scalar s !p limit with
-        | `Cp (cp, w) ->
-          step_cp t cp w;
-          p := !p + w
-        | `Malformed ->
-          step_cp t Byteclass.replacement 1;
-          incr p
-        | `Truncated -> stop := !p
+      else begin
+        let stop = ref (min limit (!p + block)) in
+        let ftrans = fwd.Dfa.trans and fnc = fwd.Dfa.num_classes in
+        let utrans = un.Dfa.trans and unc = un.Dfa.num_classes in
+        let uflags = un.Dfa.flags in
+        let fq = ref t.fwd_q and uq = ref t.un_q in
+        let ascii = ref true in
+        while !ascii && !p < !stop do
+          let cls =
+            Array.unsafe_get table (Char.code (String.unsafe_get s !p))
+          in
+          if cls < 0 then ascii := false
+          else begin
+            (if f_live then begin
+               let tgt = Array.unsafe_get ftrans ((!fq * fnc) + cls) in
+               if tgt >= 0 then fq := tgt
+               else begin
+                 fq := Dfa.step fwd !fq cls;
+                 stop := !p + 1
+               end
+             end);
+            (if u_live then begin
+               let tgt = Array.unsafe_get utrans ((!uq * unc) + cls) in
+               if tgt >= 0 then begin
+                 uq := tgt;
+                 (* flags land 1 = f_nullable *)
+                 if
+                   t.found = None
+                   && Char.code (Bytes.unsafe_get uflags tgt) land 1 <> 0
+                 then t.found <- Some (base + !p + 1)
+               end
+               else begin
+                 uq := Dfa.step un !uq cls;
+                 if t.found = None && Dfa.is_nullable un !uq then
+                   t.found <- Some (base + !p + 1);
+                 stop := !p + 1
+               end
+             end);
+            incr p
+          end
+        done;
+        t.fwd_q <- !fq;
+        t.un_q <- !uq;
+        t.bytes <- base + !p;
+        if not !ascii then begin
+          (* one non-ASCII scalar through the general path, then back
+             to the block loop *)
+          match Byteclass.classify_scalar s !p limit with
+          | `Cp (cp, w) ->
+            step_cp t cp w;
+            p := !p + w
+          | `Malformed ->
+            step_cp t Byteclass.replacement 1;
+            incr p
+          | `Truncated -> trunc := !p
+        end
+      end
     done;
-    if !stop < 0 then limit else !stop
+    if !trunc < 0 then limit else !trunc
 
   (** Feed the next chunk (or a slice of it).  Raises [Invalid_argument]
       after {!finish}. *)
@@ -108,16 +190,10 @@ module Make (R : Sbd_regex.Regex.S) = struct
       invalid_arg "Sbd_engine.Stream.feed: bad slice";
     match t.search.Search.mode with
     | Byteclass.Byte ->
-      (* every byte is a scalar: one table read each, no carry ever *)
-      let bc = t.search.Search.bc in
-      for p = off to off + len - 1 do
-        if not (Obs.Deadline.is_none deadline) then Obs.Deadline.check deadline;
-        let cls =
-          Array.unsafe_get bc.Bc.table (Char.code (String.unsafe_get chunk p))
-        in
-        t.bytes <- t.bytes + 1;
-        step_class t cls
-      done
+      (* every byte is a scalar (the class table has no deferred
+         entries), so [consume] runs the pure block loop: no carry,
+         no truncation *)
+      ignore (consume ~deadline t chunk off (off + len) : int)
     | Byteclass.Utf8 ->
       let chunk_limit = off + len in
       let chunk_pos = ref off in
@@ -167,14 +243,17 @@ module Make (R : Sbd_regex.Regex.S) = struct
         end
       end
 
-  (** End of stream: flush any dangling carry (one U+FFFD per byte, the
-      lossy-decoding convention) and return the verdict.  Idempotent. *)
+  (** End of stream: flush any dangling carry and return the verdict.
+      The carry is by construction a truncated prefix of a well-formed
+      sequence, i.e. one maximal subpart: it reads as exactly {e one}
+      U+FFFD, matching the one-shot lossy decode of the concatenated
+      chunks ({!Sbd_alphabet.Utf8.decode_lossy}).  Idempotent. *)
   let finish (t : t) : result =
     if not t.finished then begin
-      for _ = 1 to t.carry_len do
-        step_cp t Byteclass.replacement 1
-      done;
-      t.carry_len <- 0;
+      if t.carry_len > 0 then begin
+        step_cp t Byteclass.replacement t.carry_len;
+        t.carry_len <- 0
+      end;
       t.finished <- true
     end;
     {

@@ -239,12 +239,29 @@ module Make (R : Sbd_regex.Regex.S) = struct
       derivative computations, hits the amortized fast path. *)
   let cache_stats (m : t) = (m.cache_hits, m.cache_misses)
 
-  (** Machine-readable per-matcher counters, for the stats surface. *)
+  (** Machine-readable per-matcher counters, for the stats surface.
+      Once a byte engine has been built (first [find]/[count]/
+      [matches_utf8]), its acceleration gauges ride along: how many
+      skip-loop candidate bytes and how long a required-factor
+      prefilter the search runs with (0 = that path is off). *)
   let stats (m : t) : (string * float) list =
+    let f = float_of_int in
+    let engine_gauges prefix = function
+      | None -> []
+      | Some e ->
+        let st = Eng.stats e in
+        [
+          (prefix ^ ".accel_bytes", f st.Eng.accel_bytes);
+          (prefix ^ ".factor_len", f st.Eng.factor_len);
+          (prefix ^ ".resets", f st.Eng.resets);
+        ]
+    in
     [
-      ("matcher.states", float_of_int m.num_states);
-      ("matcher.alphabet", float_of_int (Array.length m.representatives));
-      ("matcher.cache_hits", float_of_int m.cache_hits);
-      ("matcher.cache_misses", float_of_int m.cache_misses);
+      ("matcher.states", f m.num_states);
+      ("matcher.alphabet", f (Array.length m.representatives));
+      ("matcher.cache_hits", f m.cache_hits);
+      ("matcher.cache_misses", f m.cache_misses);
     ]
+    @ engine_gauges "matcher.engine" m.engine
+    @ engine_gauges "matcher.engine_utf8" m.engine_utf8
 end

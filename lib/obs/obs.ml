@@ -156,10 +156,15 @@ module Deadline = struct
 
   (* Sample the clock unconditionally (used when a caller explicitly asks
      whether the deadline has expired, e.g. once per solver pop). *)
+  (* [>=], not [>]: a sub-microsecond wall budget can be absorbed below
+     one ulp of the epoch float ([until = started]), and the clock may
+     not advance between creation and the first sample.  Reaching
+     [until] means the budget is consumed, so expiring on equality errs
+     toward raising rather than silently overrunning. *)
   let wall_out l =
     l.wall_hit
     || match l.until with
-       | Some u when now () > u ->
+       | Some u when now () >= u ->
          l.wall_hit <- true;
          true
        | _ -> false
@@ -179,6 +184,17 @@ module Deadline = struct
         l.ticks <- 0;
         if wall_out l then raise (Deadline_exceeded "wall")
       end
+
+  (* Like [check], but samples the wall clock unconditionally instead
+     of every [clock_stride] calls.  For coarse poll sites (scan entry,
+     once per block) where only a handful of checks ever run and the
+     stride sampling would never trip. *)
+  let check_now = function
+    | None -> ()
+    | Some l ->
+      if l.nodes_left <= 0 then raise (Deadline_exceeded "nodes");
+      l.nodes_left <- l.nodes_left - 1;
+      if wall_out l then raise (Deadline_exceeded "wall")
 
   let charge t n =
     match t with None -> () | Some l -> l.nodes_left <- l.nodes_left - n

@@ -101,6 +101,12 @@ module Deadline : sig
       deadline has expired.  Cheap enough for per-node use in hot
       recursions: the wall clock is sampled every 256 checks. *)
 
+  val check_now : t -> unit
+  (** Like {!check}, but samples the wall clock unconditionally instead
+      of every 256 calls.  For coarse poll sites — scan entry, once per
+      block — where only a few checks ever run, so the stride sampling
+      of {!check} would never notice an expired wall clock. *)
+
   val charge : t -> int -> unit
   (** Charge [n] units against the node budget (no raise; observe with
       {!expired}/{!check}). *)

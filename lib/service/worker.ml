@@ -285,6 +285,10 @@ let create ?(memo_cap = 200_000) () : (module WORKER) =
               ("engine.unanch_states", f st.Eng.unanch_states);
               ("engine.back_states", f st.Eng.back_states);
               ("engine.resets", f st.Eng.resets);
+              (* acceleration gauges: 0 = that fast path is off *)
+              ("engine.accel_bytes", f st.Eng.accel_bytes);
+              ("engine.back_accel_bytes", f st.Eng.back_accel_bytes);
+              ("engine.factor_len", f st.Eng.factor_len);
             ] )
 
     let match_ref ~pattern ~input =

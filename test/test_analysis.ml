@@ -194,6 +194,45 @@ let test_json_shape () =
     check "SBD201 in rules" true (List.mem "SBD201" (rules rep))
   | _ -> Alcotest.fail "report must be a JSON object"
 
+(* -- forced-literal extraction (engine prefilter hints) --------------- *)
+
+module Lit = Sbd_analysis.Literals.Make (R)
+
+let cps s = List.init (String.length s) (fun i -> Char.code s.[i])
+
+(* Every claim of [Lit.study] is one-sided ("all words of L(r) contain
+   this"), so the tests pin the exact literals on shapes the engine
+   prefilter relies on: concat extension and seam bridging, Or taking
+   the common affixes, And taking any branch, loop unrolling, the
+   nullable vacuity, and the cap clamp. *)
+let test_literals () =
+  let study p = Lit.study (re p) in
+  let fac p = (study p).Lit.factor in
+  let check_cps = Alcotest.(check (list int)) in
+  check_cps "dotstar factor" (cps "needle") (fac ".*needle.*");
+  check_cps "literal factor" (cps "needle") (fac "needle");
+  (match (study "needle").Lit.exact with
+  | Some w -> check_cps "literal is exact" (cps "needle") w
+  | None -> Alcotest.fail "a literal pattern must be exact");
+  (* a forced suffix of the left factor meets a forced prefix of the
+     right across the concat seam *)
+  check_cps "seam bridge" (cps "cd") (fac "(a|b)cd(a|b)");
+  check_cps "or common prefix" (cps "ab") ((study "abc|abd").Lit.prefix);
+  check_cps "or common suffix" (cps "bc") ((study "abc|xbc").Lit.suffix);
+  check_int "and takes the longest branch" 3
+    (List.length (fac ".*abc.*&.*xyz.*"));
+  check_cps "loop unrolls an exact body" (cps "ababab") (fac "(ab){3}");
+  (match (study "(ab){3}").Lit.exact with
+  | Some w -> check_cps "bounded loop stays exact" (cps "ababab") w
+  | None -> Alcotest.fail "(ab){3} must be exact");
+  check_cps "nullable forces nothing" [] (fac "a*");
+  check_cps "complement forces nothing" [] (fac "~(abc)");
+  check_int "clamped to the cap" Lit.cap (List.length (fac "a{30}"));
+  check "over-cap exact demoted, not truncated" true
+    ((study "a{30}").Lit.exact = None);
+  check_cps "date forces its dash" [ Char.code '-' ]
+    (fac "\\d{4}-[a-zA-Z]{3}-\\d{2}")
+
 (* Soundness spot-check over the handwritten corpus: any Proved verdict
    must agree with the reference matcher on short words (the fuzzer does
    this at scale; here it guards the test suite). *)
@@ -236,4 +275,5 @@ let suite =
     ; Alcotest.test_case "hints" `Quick test_hints
     ; Alcotest.test_case "hints drive consumers" `Quick test_hint_consumer
     ; Alcotest.test_case "json report shape" `Quick test_json_shape
+    ; Alcotest.test_case "forced literals" `Quick test_literals
     ; Alcotest.test_case "corpus soundness" `Quick test_corpus_soundness ] )

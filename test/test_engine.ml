@@ -169,15 +169,21 @@ let test_utf8 () =
   (* spans are byte offsets: é is one '.', two bytes wide *)
   Alcotest.check span "span over é" (Some (1, 5))
     (Eng.find (eng "\\.(.)\\.") "x.\xc3\xa9.y");
-  (* malformed bytes decode as one U+FFFD each, like decode_lossy *)
+  (* malformed bytes mid-string decode as one U+FFFD each, like
+     decode_lossy *)
   let malformed = "h\xc3llo" in
   let cps = U.decode_lossy malformed in
   check "oracle on lossy decode" (Ref.matches (re "h.llo") cps) true;
   check "engine is total on malformed input" true
     (Eng.matches (eng "h.llo") malformed);
   check "stray continuation" true (Eng.matches (eng "a.b") "a\x80b");
-  (* truncated sequence at end of input: one U+FFFD per byte *)
-  check "truncated tail" true (Eng.matches (eng "a..") "a\xe4\xb8")
+  (* a truncated sequence at end of input is one maximal subpart: the
+     two-byte tail reads as exactly one U+FFFD, not one per byte *)
+  check "truncated tail is one scalar" true (Eng.matches (eng "a.") "a\xe4\xb8");
+  check "truncated tail is not two" false (Eng.matches (eng "a..") "a\xe4\xb8");
+  Alcotest.(check (list int))
+    "decode_lossy agrees" [ Char.code 'a'; 0xFFFD ]
+    (U.decode_lossy "a\xe4\xb8")
 
 (* -- streaming ------------------------------------------------------------ *)
 
@@ -231,6 +237,103 @@ let test_stream_equals_batch () =
   let r2 = EngStream.finish st in
   check "finish idempotent" true (r1 = r2)
 
+(* -- chunk splits are invisible (maximal-subpart carry at every seam) ----- *)
+
+(* Mixed valid/invalid UTF-8: every way a scalar can go wrong, at the
+   start, middle and end of the input. *)
+let utf8_corpus =
+  [
+    "a\xc3\xa9b" (* valid 2-byte *)
+  ; "a\xe4\xb8\xadb" (* valid 3-byte *)
+  ; "a\xe4\xb8" (* truncated 3-byte at EOF *)
+  ; "a\xc3" (* truncated 2-byte at EOF *)
+  ; "\xe4\xb8" (* truncated, no prefix *)
+  ; "\xe4" (* lone lead *)
+  ; "a\x80b" (* stray continuation *)
+  ; "\xc3\x41" (* lead + non-continuation *)
+  ; "a\xc0\x80b" (* overlong *)
+  ; "\xed\xa0\x80" (* surrogate *)
+  ; "x\xf0\x9f\x98\x80y" (* beyond BMP (4-byte) *)
+  ; "\xc3\xa9\xe4\xb8" (* valid then truncated *)
+  ; "ab\xe4\xb8\xc3\xa9" (* truncated mid-string then valid *)
+  ]
+
+(* Every 3-way split of every corpus string (2-way and whole-string
+   feeds are the degenerate cases k1 = k2 / k2 = n) must agree with the
+   batch engine and with the one-shot lossy decode — in particular a
+   chunk boundary inside a multi-byte sequence followed by EOF reads as
+   exactly one U+FFFD, never one per carried byte. *)
+let test_stream_all_splits () =
+  List.iter
+    (fun pat ->
+      let r = re pat in
+      let eng = Eng.create ~mode:Sbd_engine.Byteclass.Utf8 r in
+      List.iter
+        (fun s ->
+          let n = String.length s in
+          let batch_full = Eng.matches eng s in
+          let batch_found = Eng.contains eng s in
+          check
+            (Printf.sprintf "batch vs decode_lossy %s %S" pat s)
+            (Ref.matches r (U.decode_lossy s))
+            batch_full;
+          for k1 = 0 to n do
+            for k2 = k1 to n do
+              let st = EngStream.create eng in
+              if k1 > 0 then EngStream.feed ~off:0 ~len:k1 st s;
+              if k2 - k1 > 0 then EngStream.feed ~off:k1 ~len:(k2 - k1) st s;
+              if n - k2 > 0 then EngStream.feed ~off:k2 ~len:(n - k2) st s;
+              let res = EngStream.finish st in
+              check
+                (Printf.sprintf "full %s %S @%d,%d" pat s k1 k2)
+                batch_full res.EngStream.full;
+              Alcotest.(check (option int))
+                (Printf.sprintf "found %s %S @%d,%d" pat s k1 k2)
+                batch_found res.EngStream.found_end;
+              check_int
+                (Printf.sprintf "bytes %s %S @%d,%d" pat s k1 k2)
+                n res.EngStream.bytes
+            done
+          done)
+        utf8_corpus)
+    [ "a.."; ".."; ".*\\u{FFFD}.*"; "a\\u{E9}b"; ".{2,4}"; "~(..)" ]
+
+(* -- leftmost-earliest tie-breaking on nullable patterns ------------------ *)
+
+(* A nullable pattern matches the empty word at every position, so
+   [find] must return the span the leftmost-earliest rule certifies:
+   minimal start, then minimal end — and the engine's backward [rev]
+   pass, the per-position scan, and brute force must all agree. *)
+let test_nullable_leftmost_earliest () =
+  let nullable_patterns =
+    [ "a*"; "(a|b)*"; "a?"; "a{0,3}"; "~(a)"; "~()"; "a*|bc"; "(ab)*"; "b*a*"
+    ; "~(a.*)"; "c?ab"; "(|a)b?" ]
+  in
+  let inputs =
+    [ ""; "a"; "b"; "c"; "ab"; "ba"; "ca"; "abc"; "cab"; "bca"; "ccc"; "cba"
+    ; "aabca"; "bcacab" ]
+  in
+  List.iter
+    (fun pat ->
+      let r = re pat in
+      let eng = Eng.create r in
+      let m = Matcher.create r in
+      List.iter
+        (fun s ->
+          let expected = brute_find r s in
+          Alcotest.check span
+            (Printf.sprintf "find %s on %S" pat s)
+            expected (Eng.find eng s);
+          Alcotest.check span
+            (Printf.sprintf "find_scan %s on %S" pat s)
+            expected (Matcher.find_scan m s);
+          check_int
+            (Printf.sprintf "count %s on %S" pat s)
+            (Matcher.count_matching_prefixes_scan m s)
+            (Eng.count_matching_prefixes eng s))
+        inputs)
+    nullable_patterns
+
 (* -- the linearity regression --------------------------------------------- *)
 
 (* The motivating pathology: searching [a*b] in 300k 'a's has no match,
@@ -271,6 +374,10 @@ let suite =
     ; Alcotest.test_case "max_states reset path" `Quick test_max_states_reset
     ; Alcotest.test_case "utf8 decoding" `Quick test_utf8
     ; Alcotest.test_case "stream equals batch" `Quick test_stream_equals_batch
+    ; Alcotest.test_case "stream invariant under all splits" `Quick
+        test_stream_all_splits
+    ; Alcotest.test_case "nullable leftmost-earliest" `Quick
+        test_nullable_leftmost_earliest
     ; Alcotest.test_case "linear find under deadline" `Quick
         test_linear_find_within_deadline
     ] )
