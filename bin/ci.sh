@@ -29,8 +29,29 @@ dune exec bin/fuzz.exe -- --rounds 300 --seed 1234
 
 echo "== analyzer corpus lint =="
 # analyzes every corpus instance; exits 1 if any Proved verdict
-# contradicts the corpus ground-truth label, 2 on a parse failure
+# contradicts the corpus ground-truth label or any SBD203-SBD206
+# replacement suggestion fails the solver equivalence check, 2 on a
+# parse failure
 dune exec bin/sbdsolve.exe -- --lint --corpus all --json > /dev/null
+
+echo "== containment smoke =="
+# exit codes: 0 = decided, 3 = unknown, 2 = parse error — assert all
+# three so scripts can rely on the scheme
+dune exec bin/sbdsolve.exe -- --subset 'a{2,3}' 'a{1,4}' > /dev/null
+dune exec bin/sbdsolve.exe -- --equiv --witness '(ab)*a' 'a(ba)*' > /dev/null
+rc=0; dune exec bin/sbdsolve.exe -- --subset 'a(' 'a' > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 on parse error, got $rc"; exit 1; }
+rc=0; dune exec bin/sbdsolve.exe -- --budget 17 --subset \
+  '~(.*a{9,17}.*)&.*b{8,16}.*' '~(.*a{8,16}.*)' > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected exit 3 on budget exhaustion, got $rc"; exit 1; }
+
+echo "== containment bench gates =="
+# sweeps the pair corpus (textbook inclusions, counter nestings,
+# boolean lattice facts): exits non-zero on any disagreement with the
+# is_empty (r & ~s) reduction, any witness the oracle rejects, any
+# mislabeled expected verdict, a decided rate < 95%, or a pairs/s
+# collapse; --no-bench skips wall-clock floors on shared runners
+dune exec bin/experiments.exe -- contain-bench --no-bench --check
 
 echo "== derivation bench gates =="
 # cold-derives every state of the boolean + handwritten + dz3 suites,

@@ -16,6 +16,8 @@
                                           predicted-vs-measured difficulty
      experiments deriv-bench              derivation/DNF throughput on the
                                           Boolean + handwritten generators
+     experiments contain-bench            containment prover throughput and
+                                          reduction agreement on the pair corpus
      experiments all                      everything above (except dump)
 *)
 
@@ -356,6 +358,53 @@ let deriv_bench_cmd =
                 "Enforce the pinned regression floors (boolean dz3 solved%, \
                  warm deriv.dnf memo hit rate); non-zero exit on violation."))
 
+let contain_bench no_bench out label gate =
+  let report =
+    if no_bench then Contain_bench.run ?label ()
+    else Contain_bench.run_and_append ?label ?path:out ()
+  in
+  Contain_bench.pp fmt report;
+  if not no_bench then
+    Format.fprintf fmt "appended contain run to %s@."
+      (match out with
+      | Some p -> p
+      | None -> Sbd_service.Server.default_bench_path ());
+  if gate then begin
+    match Contain_bench.check report with
+    | [] -> Format.fprintf fmt "contain-bench gates: ok@."
+    | fails ->
+      List.iter (Format.fprintf fmt "contain-bench gate FAILED: %s@.") fails;
+      failwith "contain-bench: regression gate failed"
+  end
+
+let contain_bench_cmd =
+  cmd "contain-bench"
+    "containment prover throughput, witness validity and agreement with the \
+     emptiness reduction on the pair corpus"
+    Term.(
+      const contain_bench
+      $ Arg.(
+          value & flag
+          & info [ "no-bench" ]
+              ~doc:"Do not append the report to the BENCH trajectory.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~docv:"FILE"
+              ~doc:"Trajectory file (default BENCH_<date>.json).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "label" ] ~docv:"LABEL"
+              ~doc:"Variant label recorded in the report (default contain).")
+      $ Arg.(
+          value & flag
+          & info [ "check" ]
+              ~doc:
+                "Enforce the pinned gates (decided%, pairs/s floor, zero \
+                 disagreements / invalid witnesses); non-zero exit on \
+                 violation."))
+
 let all_cmd =
   cmd "all" "run every table, figure and ablation"
     Term.(
@@ -376,4 +425,5 @@ let () =
        (Cmd.group info
           [ table_cmd; fig4b_cmd; fig4c_cmd; ablation_dead_cmd
           ; ablation_simplify_cmd; ablation_algebra_cmd; states_cmd; dump_cmd
-          ; engine_bench_cmd; analyze_bench_cmd; deriv_bench_cmd; all_cmd ]))
+          ; engine_bench_cmd; analyze_bench_cmd; deriv_bench_cmd
+          ; contain_bench_cmd; all_cmd ]))

@@ -14,6 +14,8 @@
      - solver verdicts + witnesses (Sbd_solver, dz3)
      - minterm baseline verdicts (Sbd_classic.Minterm_solver)
      - coinductive equivalence vs complement-based equivalence
+     - containment prover (Sbd_contain) vs the is_empty (r & ~s)
+       reduction, with witness validation against the oracle
 
    Usage: fuzz [--rounds N] [--seed S] [--size K]
    Exits non-zero and prints the offending regex on the first mismatch,
@@ -31,6 +33,7 @@ module Brz = Sbd_classic.Brzozowski.Make (R)
 module MSolve = Sbd_classic.Minterm_solver.Make (R)
 module Matcher = Sbd_matcher.Matcher.Make (R)
 module An = Sbd_analysis.Analyze.Make (R)
+module C = Sbd_service.Default.C
 module Eng = Sbd_engine.Search.Make (R)
 module EngStream = Sbd_engine.Stream.Make (R)
 module U = Sbd_alphabet.Utf8
@@ -173,6 +176,7 @@ let fail_at ?word round what r =
 let run ~rounds ~seed ~size =
   let rand = Random.State.make [| seed |] in
   let session = S.create_session () in
+  let csession = C.create_session () in
   let total_resets = ref 0 in
   let total_prefilter = ref 0 and total_accel = ref 0 in
   for round = 1 to rounds do
@@ -357,6 +361,29 @@ let run ~rounds ~seed ~size =
     | Some a, Some b when a <> b -> fail_at round "equivalence procedures" r
     | Some false, _ -> fail_at round "simplifier equivalence" r
     | _ -> ());
+    (* containment prover vs the emptiness reduction: a random pair
+       (r, rs); when both procedures decide they must agree, and every
+       Refuted witness must be in L(r) \ L(rs) per the oracle *)
+    let rs = gen_regex rand size in
+    (match C.subset ~budget:4_000 csession r rs with
+    | C.Proved -> (
+      match S.solve ~budget:20_000 session (R.inter r (R.compl rs)) with
+      | S.Sat _ -> fail_at round "containment proved vs reduction sat" r
+      | S.Unsat | S.Unknown _ -> ())
+    | C.Refuted cw ->
+      if not (Ref.matches r cw) then
+        fail_at ~word:cw round "containment witness rejected by left" r;
+      if Ref.matches rs cw then
+        fail_at ~word:cw round "containment witness accepted by right" r;
+      (match S.solve ~budget:20_000 session (R.inter r (R.compl rs)) with
+      | S.Unsat -> fail_at round "containment refuted vs reduction unsat" r
+      | S.Sat _ | S.Unknown _ -> ())
+    | C.Unknown _ -> ());
+    (* the simplifier preserves the language, so equiv must never refute *)
+    (match C.equiv ~budget:4_000 csession r r' with
+    | C.Refuted cw ->
+      fail_at ~word:cw round "containment equiv vs simplifier" r
+    | C.Proved | C.Unknown _ -> ());
     if round mod 500 = 0 then Printf.printf "... %d rounds ok\n%!" round
   done;
   (* the graceful-degradation and acceleration paths must actually have

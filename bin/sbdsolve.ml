@@ -15,6 +15,17 @@
    streaming match engine over the UTF-8 input and reports the
    full-match verdict and the leftmost-earliest match span.
 
+   Containment modes: `sbdsolve --subset R S` decides L(R) ⊆ L(S) with
+   the coinductive pair prover of lib/contain (no complement
+   construction); `--equiv R S` decides language equality.  A refutation
+   comes with a distinguishing word (printed with --witness or --json).
+
+   Exit codes, uniform across modes: 0 for a decided answer
+   (sat/unsat/proved/refuted, match/no-match), 2 for usage and parse
+   errors, 3 for unknown (budget or deadline exhausted) — so scripts
+   and CI gates can tell timeouts apart from verdicts.  --lint --corpus
+   keeps exit 1 for unsoundness findings.
+
    Observability: --stats prints the counter/timer snapshot of the run
    (machine-readable names, see DESIGN.md); --json switches the whole
    output to one JSON document; --deadline bounds each query by wall
@@ -24,6 +35,8 @@ module P = Sbd_service.Default.P
 module S = Sbd_service.Default.S
 module E = Sbd_service.Default.E
 module Ref = Sbd_service.Default.Ref
+module C = Sbd_service.Default.C
+module R = Sbd_service.Default.R
 module Eng = Sbd_engine.Search.Make (Sbd_service.Default.R)
 module An = Sbd_analysis.Analyze.Make (Sbd_service.Default.R)
 module Obs = Sbd_obs.Obs
@@ -104,7 +117,7 @@ let run_pattern ~budget ~deadline ~stats ~json pattern =
       Format.printf "%a@." S.pp_result result;
       if stats then print_stats_text all_stats
     end;
-    0
+    (match result with S.Sat _ | S.Unsat -> 0 | S.Unknown _ -> 3)
 
 (* -- lint mode ----------------------------------------------------------- *)
 
@@ -175,6 +188,8 @@ let run_lint_corpus ~budget ~deadline ~json name =
     and proved_universal = ref 0
     and unknown = ref 0
     and unsound = ref 0
+    and replacements = ref 0
+    and replacement_unknown = ref 0
     and parse_failures = ref 0 in
     let t0 = Obs.now () in
     List.iter
@@ -195,6 +210,38 @@ let run_lint_corpus ~budget ~deadline ~json name =
               | An.Error -> incr errors
               | An.Warning -> incr warnings
               | An.Info -> incr infos)
+            report.An.findings;
+          (* replacement suggestions (SBD203–SBD206) must preserve the
+             language: solver-check that the symmetric difference of
+             the original and the suggestion is unsatisfiable *)
+          List.iter
+            (fun (f : An.finding) ->
+              match f.An.replacement with
+              | None -> ()
+              | Some rep -> (
+                incr replacements;
+                match P.parse rep with
+                | Error (pos, msg) ->
+                  incr unsound;
+                  Printf.eprintf
+                    "sbdsolve: UNSOUND %s replacement on %s does not \
+                     parse (at %d: %s): %s\n"
+                    f.An.rule inst.I.id pos msg rep
+                | Ok r' -> (
+                  let sym =
+                    R.alt
+                      (R.inter r (R.compl r'))
+                      (R.inter r' (R.compl r))
+                  in
+                  match S.solve ~budget:200_000 ~deadline:2.0 session sym with
+                  | S.Sat _ ->
+                    incr unsound;
+                    Printf.eprintf
+                      "sbdsolve: UNSOUND %s replacement on %s: %s is \
+                       not equivalent to %s\n"
+                      f.An.rule inst.I.id rep inst.I.pattern
+                  | S.Unsat -> ()
+                  | S.Unknown _ -> incr replacement_unknown)))
             report.An.findings;
           (match report.An.semantic with
           | None -> incr unknown
@@ -254,6 +301,8 @@ let run_lint_corpus ~budget ~deadline ~json name =
                 ("proved_universal", Obs.Json.Int !proved_universal);
                 ("unknown", Obs.Json.Int !unknown);
                 ("unsound", Obs.Json.Int !unsound);
+                ("replacements", Obs.Json.Int !replacements);
+                ("replacement_unknown", Obs.Json.Int !replacement_unknown);
                 ("parse_failures", Obs.Json.Int !parse_failures);
                 ("wall_s", Obs.Json.Float wall);
                 ( "patterns_per_s",
@@ -262,9 +311,10 @@ let run_lint_corpus ~budget ~deadline ~json name =
     else
       Printf.printf
         "corpus %s: %d patterns in %.2fs — %d errors, %d warnings, %d \
-         infos; proved empty %d, nonempty %d, universal %d; unsound %d\n"
+         infos; proved empty %d, nonempty %d, universal %d; %d \
+         replacement suggestions; unsound %d\n"
         name !n wall !errors !warnings !infos !proved_empty !refuted_empty
-        !proved_universal !unsound;
+        !proved_universal !replacements !unsound;
     if ok then 0 else if !unsound > 0 then 1 else 2
 
 (* -- match mode ---------------------------------------------------------- *)
@@ -349,7 +399,99 @@ let run_match ~deadline ~stats ~json ~input pattern =
       | Error what -> Printf.printf "unknown (deadline:%s)\n" what);
       if stats then print_stats_text engine_stats
     end;
-    (match outcome with Ok _ -> 0 | Error _ -> 1)
+    (match outcome with Ok _ -> 0 | Error _ -> 3)
+
+(* -- containment mode ---------------------------------------------------- *)
+
+let word_of_codepoints (w : int list) : string =
+  let buf = Buffer.create 16 in
+  List.iter
+    (fun c ->
+      if c >= 0x20 && c < 0x7F then Buffer.add_char buf (Char.chr c)
+      else Buffer.add_string buf (Printf.sprintf "\\u{%04X}" c))
+    w;
+  Buffer.contents buf
+
+(* The contain --budget counts pair expansions, a much coarser unit than
+   der-rule applications; rescale the solver default accordingly. *)
+let contain_budget budget =
+  if budget = 1_000_000 then C.default_budget else max 16 budget
+
+let run_contain ~budget ~deadline ~stats ~json ~witness ~mode l_pat r_pat =
+  let parse_error which pos msg =
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("result", Obs.Json.Str "error");
+                ( "error",
+                  Obs.Json.Str
+                    (Printf.sprintf "%s: parse error at %d: %s" which pos msg)
+                );
+              ]))
+    else
+      Printf.printf "(error \"%s: parse error at %d: %s\")\n" which pos msg;
+    2
+  in
+  match (P.parse l_pat, P.parse r_pat) with
+  | Error (pos, msg), _ -> parse_error "left pattern" pos msg
+  | _, Error (pos, msg) -> parse_error "right pattern" pos msg
+  | Ok l, Ok r ->
+    let session = C.create_session () in
+    let dl = Option.map Obs.Deadline.of_seconds deadline in
+    let budget = contain_budget budget in
+    let t0 = Obs.now () in
+    let verdict =
+      match mode with
+      | `Subset -> C.subset ~budget ?deadline:dl session l r
+      | `Equiv -> C.equiv ~budget ?deadline:dl session l r
+    in
+    let wall = Obs.now () -. t0 in
+    let all_stats =
+      C.session_stats session @ active_counters ()
+      @ [ ("query.wall_time_s", wall) ]
+    in
+    let relation = match mode with `Subset -> "subset" | `Equiv -> "equiv" in
+    if json then begin
+      let base =
+        match verdict with
+        | C.Proved -> [ ("result", Obs.Json.Str "proved") ]
+        | C.Refuted w ->
+          [
+            ("result", Obs.Json.Str "refuted");
+            ("witness", Obs.Json.Str (word_of_codepoints w));
+            ( "witness_codepoints",
+              Obs.Json.Arr (List.map (fun c -> Obs.Json.Int c) w) );
+          ]
+        | C.Unknown why ->
+          [
+            ("result", Obs.Json.Str "unknown"); ("reason", Obs.Json.Str why);
+          ]
+      in
+      let doc =
+        base
+        @ [
+            ("relation", Obs.Json.Str relation);
+            ("left", Obs.Json.Str l_pat);
+            ("right", Obs.Json.Str r_pat);
+            ("wall_s", Obs.Json.Float wall);
+          ]
+        @ if stats then [ ("stats", json_of_stats all_stats) ] else []
+      in
+      print_endline (Obs.Json.to_string (Obs.Json.Obj doc))
+    end
+    else begin
+      (match verdict with
+      | C.Proved -> Printf.printf "proved\n"
+      | C.Refuted w ->
+        if witness then
+          Printf.printf "refuted witness=\"%s\"\n" (word_of_codepoints w)
+        else Printf.printf "refuted\n"
+      | C.Unknown why -> Printf.printf "unknown (%s)\n" why);
+      if stats then print_stats_text all_stats
+    end;
+    (match verdict with C.Proved | C.Refuted _ -> 0 | C.Unknown _ -> 3)
 
 (* -- SMT-LIB script mode ------------------------------------------------- *)
 
@@ -402,9 +544,24 @@ let run_script ~budget ~deadline ~stats ~json file =
 
 open Cmdliner
 
-let run input budget deadline force_re stats json do_match match_text
-    match_file do_lint corpus =
-  if do_lint || corpus <> None then begin
+let run input input2 budget deadline force_re stats json do_match match_text
+    match_file do_lint corpus do_subset do_equiv witness =
+  if do_subset || do_equiv then begin
+    if do_subset && do_equiv then begin
+      prerr_endline "sbdsolve: --subset and --equiv are mutually exclusive";
+      2
+    end
+    else
+      match (input, input2) with
+      | Some l, Some r ->
+        let mode = if do_subset then `Subset else `Equiv in
+        run_contain ~budget ~deadline ~stats ~json ~witness ~mode l r
+      | _ ->
+        Printf.eprintf "sbdsolve: --%s needs two PATTERN arguments\n"
+          (if do_subset then "subset" else "equiv");
+        2
+  end
+  else if do_lint || corpus <> None then begin
     match (corpus, input) with
     | Some name, _ -> run_lint_corpus ~budget ~deadline ~json name
     | None, Some pattern -> run_lint ~budget ~deadline ~json pattern
@@ -448,6 +605,15 @@ let () =
             "SMT-LIB script ($(b,-) for stdin), or an ERE pattern when the \
              argument is not an existing file (see $(b,--re)).  Required \
              except under $(b,--lint --corpus).")
+  in
+  let input2_t =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"PATTERN2"
+          ~doc:
+            "Second ERE pattern, the right-hand side of $(b,--subset) / \
+             $(b,--equiv).")
   in
   let budget_t =
     Arg.(
@@ -525,12 +691,38 @@ let () =
              every Proved/Refuted analyzer verdict against the solver and \
              the reference matcher.  Exit 1 on any unsoundness.")
   in
+  let subset_t =
+    Arg.(
+      value & flag
+      & info [ "subset" ]
+          ~doc:
+            "Decide language containment L(PATTERN) ⊆ L(PATTERN2) with the \
+             coinductive pair prover (no complement construction).  Prints \
+             proved/refuted/unknown; see $(b,--witness).")
+  in
+  let equiv_t =
+    Arg.(
+      value & flag
+      & info [ "equiv" ]
+          ~doc:
+            "Decide language equality L(PATTERN) = L(PATTERN2); the answer \
+             is independent of argument order.")
+  in
+  let witness_t =
+    Arg.(
+      value & flag
+      & info [ "witness" ]
+          ~doc:
+            "With $(b,--subset)/$(b,--equiv): on refutation, print the \
+             distinguishing word (always present under $(b,--json)).")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "sbdsolve"
          ~doc:"Solve, match and lint regex (ERE / SMT-LIB QF_S) constraints")
       Term.(
-        const run $ input_t $ budget_t $ deadline_t $ re_t $ stats_t $ json_t
-        $ match_t $ match_input_t $ match_file_t $ lint_t $ corpus_t)
+        const run $ input_t $ input2_t $ budget_t $ deadline_t $ re_t
+        $ stats_t $ json_t $ match_t $ match_input_t $ match_file_t $ lint_t
+        $ corpus_t $ subset_t $ equiv_t $ witness_t)
   in
   exit (Cmd.eval' cmd)

@@ -46,11 +46,22 @@
     - [SBD203] (warning) an alternation branch is proved empty and can
       be removed;
     - [SBD204] (warning) an intersection conjunct is proved universal
-      and can be removed. *)
+      and can be removed;
+    - [SBD205] (warning) an alternation branch is contained in the
+      union of its siblings (containment prover): it is redundant;
+    - [SBD206] (warning) an intersection conjunct is entailed by the
+      conjunction of the others: it is redundant.
+
+    Rules SBD203–SBD206 attach a [replacement]: the whole pattern with
+    the redundant branch removed.  Each replacement is justified by a
+    [Proved] containment/emptiness theorem, and the corpus sweep
+    ([sbdsolve --lint --corpus]) additionally re-checks every suggestion
+    against the solver (symmetric difference must be unsatisfiable). *)
 
 module Make (R : Sbd_regex.Regex.S) = struct
   module A = R.A
   module D = Sbd_core.Deriv.Make (R)
+  module C = Sbd_contain.Contain.Make (R)
   module Mt = Sbd_alphabet.Minterm.Make (A)
   module Obs = Sbd_obs.Obs
   module J = Obs.Json
@@ -274,10 +285,13 @@ module Make (R : Sbd_regex.Regex.S) = struct
     message : string;
     subterm : string option;
         (** rendering of the offending subterm; [None] = whole pattern *)
+    replacement : string option;
+        (** rendering of an equivalent simplified whole pattern, when
+            the rule proves one (SBD203–SBD206) *)
   }
 
-  let finding ?subterm rule severity message =
-    { rule; severity; message; subterm }
+  let finding ?subterm ?replacement rule severity message =
+    { rule; severity; message; subterm; replacement }
 
   (* ⊥-propagation: a cheap syntactic under-approximation of emptiness.
      Sound: [cheap_empty r = true] implies [L(r) = ∅].  The smart
@@ -580,38 +594,66 @@ module Make (R : Sbd_regex.Regex.S) = struct
         | (O_empty | O_witness _), O_unknown ->
           false) }
 
-  (** Semantic simplification suggestions: dead alternation branches and
-      universal intersection conjuncts at the root.  Bounded both in
-      branch count and per-branch budget; only [Proved] verdicts are
-      reported. *)
+  (** The containment prover's session for entailment lints
+      (SBD205/SBD206): memoized pair verdicts survive across [analyze]
+      calls, like the derivative memo. *)
+  let csession = C.create_session ()
+
+  (** Semantic simplification suggestions at the root: dead alternation
+      branches (SBD203), universal intersection conjuncts (SBD204), and
+      entailment-based redundancy via the coinductive containment
+      prover — an [|]-branch contained in the union of its siblings
+      (SBD205), an [&]-conjunct entailed by the conjunction of the
+      remaining ones (SBD206).  Bounded both in branch count and
+      per-branch budget; only [Proved] verdicts are reported, and every
+      finding carries the simplified whole pattern as [replacement]. *)
   let lint_semantic ?(budget = default_budget)
       ?(deadline = Obs.Deadline.none) (r : R.t) : finding list =
     let branch_limit = 8 in
-    let check_branches xs mk =
-      if List.length xs > branch_limit then []
-      else
-        let slice = max 64 (budget / List.length xs) in
-        List.filter_map (fun x -> mk slice x) xs
-    in
+    let rest_of xs i = List.filteri (fun j _ -> j <> i) xs in
     match r.R.node with
-    | Or xs ->
-      check_branches xs (fun slice (x : R.t) ->
-          match explore ~budget:slice ~deadline x with
-          | O_empty, _ ->
-            Some
-              (finding "SBD203" Warning ~subterm:(R.to_string x)
-                 "alternation branch proved empty: it can be removed")
-          | (O_witness _ | O_unknown), _ -> None)
-    | And xs ->
-      check_branches xs (fun slice (x : R.t) ->
-          match explore ~budget:slice ~deadline (R.compl x) with
-          | O_empty, _ ->
-            Some
-              (finding "SBD204" Warning ~subterm:(R.to_string x)
-                 "intersection conjunct proved universal: it can be \
-                  removed")
-          | (O_witness _ | O_unknown), _ -> None)
-    | Pred _ | Eps | Concat _ | Star _ | Loop _ | Not _ -> []
+    | Or xs when List.length xs <= branch_limit ->
+      let slice = max 64 (budget / List.length xs) in
+      List.concat
+        (List.mapi
+           (fun i (x : R.t) ->
+             let rest = R.alt_list (rest_of xs i) in
+             match explore ~budget:slice ~deadline x with
+             | O_empty, _ ->
+               [ finding "SBD203" Warning ~subterm:(R.to_string x)
+                   ~replacement:(R.to_string rest)
+                   "alternation branch proved empty: it can be removed" ]
+             | (O_witness _ | O_unknown), _ -> (
+               match C.subset ~budget:slice ~deadline csession x rest with
+               | C.Proved ->
+                 [ finding "SBD205" Warning ~subterm:(R.to_string x)
+                     ~replacement:(R.to_string rest)
+                     "alternation branch is contained in the union of \
+                      the other branches: it is redundant" ]
+               | C.Refuted _ | C.Unknown _ -> []))
+           xs)
+    | And xs when List.length xs <= branch_limit ->
+      let slice = max 64 (budget / List.length xs) in
+      List.concat
+        (List.mapi
+           (fun i (x : R.t) ->
+             let rest = R.inter_list (rest_of xs i) in
+             match explore ~budget:slice ~deadline (R.compl x) with
+             | O_empty, _ ->
+               [ finding "SBD204" Warning ~subterm:(R.to_string x)
+                   ~replacement:(R.to_string rest)
+                   "intersection conjunct proved universal: it can be \
+                    removed" ]
+             | (O_witness _ | O_unknown), _ -> (
+               match C.subset ~budget:slice ~deadline csession rest x with
+               | C.Proved ->
+                 [ finding "SBD206" Warning ~subterm:(R.to_string x)
+                     ~replacement:(R.to_string rest)
+                     "intersection conjunct is entailed by the other \
+                      conjuncts: it is redundant" ]
+               | C.Refuted _ | C.Unknown _ -> []))
+           xs)
+    | Pred _ | Eps | Concat _ | Star _ | Loop _ | Not _ | Or _ | And _ -> []
 
   (* ------------------------------------------------------------------ *)
   (* Hints                                                               *)
@@ -780,7 +822,9 @@ module Make (R : Sbd_regex.Regex.S) = struct
       ; ("severity", J.Str (severity_name f.severity))
       ; ("message", J.Str f.message)
       ; ( "subterm",
-          match f.subterm with None -> J.Null | Some s -> J.Str s ) ]
+          match f.subterm with None -> J.Null | Some s -> J.Str s )
+      ; ( "replacement",
+          match f.replacement with None -> J.Null | Some s -> J.Str s ) ]
 
   let json_of_semantic (s : semantic) : J.t =
     J.Obj
@@ -821,9 +865,12 @@ module Make (R : Sbd_regex.Regex.S) = struct
   let pp_finding ppf (f : finding) =
     Format.fprintf ppf "%s %s: %s" f.rule (severity_name f.severity)
       f.message;
-    match f.subterm with
+    (match f.subterm with
     | None -> ()
-    | Some s -> Format.fprintf ppf "  [in: %s]" s
+    | Some s -> Format.fprintf ppf "  [in: %s]" s);
+    match f.replacement with
+    | None -> ()
+    | Some s -> Format.fprintf ppf "  [suggest: %s]" s
 
   let pp_report ppf (r : report) =
     let m = r.metrics in
@@ -860,9 +907,12 @@ module Make (R : Sbd_regex.Regex.S) = struct
   let memo_entries () =
     D.memo_entries () + Hashtbl.length scan_memo
     + Hashtbl.length cheap_empty_memo
+    + C.memo_entries csession + C.D.memo_entries ()
 
   let clear () =
     D.clear ();
     Hashtbl.reset scan_memo;
-    Hashtbl.reset cheap_empty_memo
+    Hashtbl.reset cheap_empty_memo;
+    C.clear csession;
+    C.D.clear ()
 end

@@ -1,0 +1,166 @@
+(** Containment benchmark corpus: [(left, right)] pattern pairs with an
+    optional ground-truth verdict, consumed by the containment prover
+    benchmark ([Sbd_harness.Contain_bench]) and the CI smoke sweep.
+
+    Four families, mirroring the satisfiability suites of Figure 4(c):
+
+    - {b textbook}: classical inclusions and equivalences with known
+      answers (star unrollings, [(ab)*a = a(ba)*], ...);
+    - {b counters}: counter nestings and loosenings [a{l,h} ⊑ a{l',h'}],
+      including two-level nestings, labeled by interval arithmetic;
+    - {b boolean}: lattice facts over realistic patterns — [r&s ⊑ r],
+      [r ⊑ r|s], De Morgan equivalences — true by construction, plus
+      deliberately false flips;
+    - {b regexlib}: cross pairs of the realistic pattern library, mostly
+      unlabeled (the benchmark cross-checks the prover against the
+      [is_empty (l & ~r)] reduction instead). *)
+
+type mode = Subset | Equiv
+
+type expected =
+  | Holds
+  | Fails
+  | Unlabeled  (** verdict established by the reduction cross-check *)
+
+type t = {
+  id : string;
+  family : string;
+  mode : mode;
+  left : string;  (** concrete syntax of [Sbd_regex.Parser] *)
+  right : string;
+  expected : expected;
+}
+
+let string_of_mode = function Subset -> "subset" | Equiv -> "equiv"
+
+let string_of_expected = function
+  | Holds -> "holds"
+  | Fails -> "fails"
+  | Unlabeled -> "unlabeled"
+
+let make family mode expected i left right =
+  { id = Printf.sprintf "%s-%03d" family i; family; mode; left; right; expected }
+
+let number family items =
+  List.mapi (fun i (mode, expected, l, r) -> make family mode expected (i + 1) l r) items
+
+(* -- textbook ----------------------------------------------------------- *)
+
+let textbook () : t list =
+  number "textbook"
+    [ (Subset, Holds, "(ab)*a", "a(ba)*");
+      (Subset, Holds, "a(ba)*", "(ab)*a");
+      (Equiv, Holds, "(ab)*a", "a(ba)*");
+      (Equiv, Holds, "a*", "(a|aa)*");
+      (Equiv, Holds, "(a|b)*", "(a*b*)*");
+      (Equiv, Holds, "(a|b)*", "(a|b)*(a|b)*");
+      (Subset, Holds, "a*b*&b*a*", "a*|b*");
+      (Subset, Fails, "(ab)*", "(ba)*");
+      (Subset, Holds, "abc", "[a-z]+");
+      (Subset, Fails, "[a-z]+", "abc");
+      (Subset, Holds, "a+", "a*");
+      (Subset, Fails, "a*", "a+");
+      (Equiv, Fails, "a*", "a+");
+      (Subset, Holds, "(abc)+", "(abc)*");
+      (Equiv, Holds, "(a+)+", "a+");
+      (Equiv, Holds, "(a*)*", "a*");
+      (Subset, Holds, "a?b", "a{0,1}b");
+      (Equiv, Holds, "a?b", "b|ab");
+      (Subset, Fails, ".*ab.*", ".*ba.*");
+      (Subset, Holds, "a(b|c)d", "a[b-c]d");
+      (Equiv, Holds, "a(b|c)d", "a[b-c]d");
+      (Subset, Holds, "(a|b)(a|b)", ".{2}");
+      (Equiv, Fails, "(a|b)(a|b)", ".{2}") ]
+
+(* -- counters ----------------------------------------------------------- *)
+
+(** Counter loosenings and nestings, labeled by interval arithmetic:
+    [a{l,h} ⊑ a{l',h'}] iff [l' <= l] and [h <= h'], and the two-level
+    [(a{p,q}){m,n}] denotes lengths coverable from [{p..q}] repeated
+    [m..n] times — contiguous ([p*m .. q*n]) whenever successive bands
+    overlap ([p*(k+1) <= q*k + 1] for [m <= k < n]). *)
+let counters () : t list =
+  let rng = Instance.Rng.create 909 in
+  let flat =
+    List.init 14 (fun _ ->
+        let l = Instance.Rng.int rng 5 in
+        let h = l + 1 + Instance.Rng.int rng 5 in
+        let dl = Instance.Rng.int rng 3 and dh = Instance.Rng.int rng 3 in
+        let l' = max 0 (l - dl) and h' = h + dh in
+        (* randomly flip to a strictly tighter right side *)
+        if Instance.Rng.int rng 3 = 0 then
+          ( Subset,
+            Fails,
+            Printf.sprintf "a{%d,%d}" l h,
+            Printf.sprintf "a{%d,%d}" (l + 1) h )
+        else
+          ( Subset,
+            (if l' <= l && h <= h' then Holds else Fails),
+            Printf.sprintf "a{%d,%d}" l h,
+            Printf.sprintf "a{%d,%d}" l' h' ))
+  in
+  let nested =
+    [ (Subset, Holds, "(a{2}){3}", "a{6}");
+      (Equiv, Holds, "(a{2}){3}", "a{6}");
+      (Subset, Holds, "(a{1,3}){2,4}", "a{2,12}");
+      (Equiv, Holds, "(a{1,3}){2,4}", "a{2,12}");
+      (Subset, Fails, "a{2,12}", "(a{2,3}){2,4}");
+      (Subset, Holds, "(a{2,3}){2}", "a{4,6}");
+      (Equiv, Fails, "(a{2}){2,3}", "a{4,7}");
+      (Subset, Holds, "a{2,3}", "a{1,4}");
+      (Subset, Fails, "a{1,4}", "a{2,3}");
+      (Subset, Holds, "(ab){3,5}", "(ab){2,9}");
+      (Subset, Fails, "(ab){2,9}", "(ab){3,5}");
+      (Equiv, Holds, "a{3}a{2}", "a{5}") ]
+  in
+  number "counters" (flat @ nested)
+
+(* -- boolean ------------------------------------------------------------ *)
+
+(** Lattice facts over realistic patterns: true by construction for any
+    [r], [s] — plus their deliberately false flips (the flip can only
+    hold if the languages coincide, which these pairs avoid). *)
+let boolean () : t list =
+  let rng = Instance.Rng.create 808 in
+  let pats = Patterns.all in
+  let pick () = snd (Instance.Rng.pick rng pats) in
+  let rows =
+    List.concat
+      (List.init 8 (fun _ ->
+           let r = pick () and s = pick () in
+           let both = Printf.sprintf "(%s)&(%s)" r s in
+           let either = Printf.sprintf "(%s)|(%s)" r s in
+           [ (Subset, Holds, both, r);
+             (Subset, Holds, r, either);
+             (Subset, Holds, both, either);
+             (Equiv, Holds,
+              Printf.sprintf "~((%s)|(%s))" r s,
+              Printf.sprintf "~(%s)&~(%s)" r s) ]))
+  in
+  let flips =
+    [ (Subset, Fails, "(\\d+)|([a-z]+)", "\\d+");
+      (Subset, Fails, "\\d+", "(\\d+)&(\\d{2,3})");
+      (Equiv, Fails, "(\\d+)&(\\d{2,3})", "\\d+");
+      (Subset, Holds, "~(.*)", "\\d{5}");
+      (Subset, Holds, "(\\w+)&~([a-z]+)", "\\w+") ]
+  in
+  number "boolean" (rows @ flips)
+
+(* -- regexlib ----------------------------------------------------------- *)
+
+(** Cross pairs of the realistic pattern library.  Reflexive pairs hold
+    by construction; the rest are left to the reduction cross-check. *)
+let regexlib ?(count = 40) () : t list =
+  let rng = Instance.Rng.create 707 in
+  let pats = Patterns.all in
+  let rows =
+    List.init count (fun _ ->
+        let n1, p1 = Instance.Rng.pick rng pats
+        and n2, p2 = Instance.Rng.pick rng pats in
+        if n1 = n2 then (Subset, Holds, p1, p2)
+        else if Instance.Rng.int rng 4 = 0 then (Equiv, Unlabeled, p1, p2)
+        else (Subset, Unlabeled, p1, p2))
+  in
+  number "regexlib" rows
+
+let all () : t list = textbook () @ counters () @ boolean () @ regexlib ()

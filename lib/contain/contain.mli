@@ -1,0 +1,71 @@
+(** Containment and equivalence of extended regular expressions, decided
+    directly by coinduction on symbolic derivatives (Keil–Thiemann,
+    "Symbolic Solving of Extended Regular Expression Inequalities",
+    arXiv 1410.3227), without ever constructing the complement-based
+    reduction [r & ~s].
+
+    The prover explores pairs [(deriv_a r, deriv_a s)] over the joint
+    minterm partition of the two sides' transition guards.  A pair
+    refutes containment when the left component is nullable and the
+    right is not; frontier exhaustion proves it.  Refutations come with
+    a distinguishing word reconstructed from the derivation path. *)
+
+module Make (R : Sbd_regex.Regex.S) : sig
+  module A : Sbd_alphabet.Algebra.S with type pred = R.A.pred
+  module D : module type of Sbd_core.Deriv.Make (R)
+
+  type verdict =
+    | Proved
+    | Refuted of int list
+        (** distinguishing word (code points): for [subset r s] a word in
+            [L(r) \ L(s)]; for [equiv r s] a word in exactly one of the
+            two languages *)
+    | Unknown of string  (** budget or deadline exhausted *)
+
+  val string_of_verdict : verdict -> string
+  val pp_verdict : Format.formatter -> verdict -> unit
+
+  (** A prover session: persistent id-pair memo tables (proved and
+      refuted pairs survive across queries) plus work counters.  Pair
+      keys are O(1) thanks to hash-consing: two packed node ids. *)
+  type session
+
+  val create_session : unit -> session
+
+  val session_stats : session -> (string * float) list
+  (** Machine-readable counters (name, value): queries, pair expansions,
+      memo hits, peak frontier, verdict tallies, memo sizes, wall time. *)
+
+  val memo_entries : session -> int
+  (** Total entries across the pair memo tables (cache-pressure gauge;
+      the derivative memos are accounted separately via {!D}). *)
+
+  val clear : session -> unit
+  (** Drop the pair memo tables (not the underlying derivative memos).
+      Safe at any query boundary. *)
+
+  val default_budget : int
+
+  val subset :
+    ?budget:int ->
+    ?deadline:Sbd_obs.Obs.Deadline.t ->
+    session ->
+    R.t ->
+    R.t ->
+    verdict
+  (** Decide [L(r) ⊆ L(s)].  [budget] bounds pair expansions (default
+      {!default_budget}); on exhaustion the verdict is [Unknown], never
+      a guess.  [deadline] is additionally enforced between expansions
+      and inside the derivative/DNF machinery. *)
+
+  val equiv :
+    ?budget:int ->
+    ?deadline:Sbd_obs.Obs.Deadline.t ->
+    session ->
+    R.t ->
+    R.t ->
+    verdict
+  (** Decide [L(r) = L(s)] by direct pair coinduction (one pass over
+      unordered pairs, not two containment runs).  The memo key is
+      canonical under argument order. *)
+end

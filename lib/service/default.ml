@@ -19,3 +19,4 @@ module S = Sbd_solver.Solve.Make (R)
 module E = Sbd_smtlib.Eval.Make (R)
 module Simp = Sbd_regex.Simplify.Make (R)
 module Ref = Sbd_classic.Refmatch.Make (R)
+module C = Sbd_contain.Contain.Make (R)

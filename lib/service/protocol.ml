@@ -3,8 +3,9 @@
 
     Requests:
     {v {"id": <any>, "op": "solve"|"assert"|"check"|"match"|"analyze"
-              |"stats"|"shutdown",
+              |"subset"|"equiv"|"stats"|"shutdown",
         "re": <ERE pattern> | "smt2": <SMT-LIB script>,
+        "re2": <ERE pattern, ops "subset"/"equiv" only>,
         "input": <UTF-8 text, op "match" only>,
         "deadline_s": <seconds>, "budget": <steps>, "stats": <bool>} v}
 
@@ -28,6 +29,12 @@ type payload =
   | Analyze_re of string
       (** static analysis of a pattern: metrics, lint findings, sound
           emptiness/universality verdicts, routing hints *)
+  | Subset_re of { left : string; right : string }
+      (** decide L(left) ⊆ L(right) with the coinductive containment
+          prover *)
+  | Equiv_re of { left : string; right : string }
+      (** decide L(left) = L(right); the cache key is canonical under
+          argument order *)
   | Stats  (** server/pool/cache counters *)
   | Shutdown  (** drain in-flight requests, then stop *)
 
@@ -75,6 +82,14 @@ let parse_request (line : string) : (request, J.t * string) result =
       match re with
       | Some pat -> finish (Analyze_re pat)
       | None -> Error (id, "op \"analyze\" needs a \"re\" field"))
+    | Some (("subset" | "equiv") as op) -> (
+      match (re, Jsonin.str_member "re2" json) with
+      | Some left, Some right ->
+        finish
+          (if op = "subset" then Subset_re { left; right }
+           else Equiv_re { left; right })
+      | None, _ -> Error (id, Printf.sprintf "op %S needs a \"re\" field" op)
+      | _, None -> Error (id, Printf.sprintf "op %S needs a \"re2\" field" op))
     | Some "stats" -> finish Stats
     | Some "shutdown" -> finish Shutdown
     | Some other -> Error (id, Printf.sprintf "unknown op %S" other))
@@ -111,6 +126,27 @@ let solve_response ~id ~(cached : bool) ~(wall_s : float)
     ?(stats : (string * float) list option) (v : verdict) : J.t =
   with_id id
     (verdict_fields v
+    @ [ ("cached", J.Bool cached); ("wall_s", J.Float wall_s) ]
+    @ match stats with None -> [] | Some s -> [ ("stats", json_of_stats s) ])
+
+(** Response to a containment/equivalence request.  The carried
+    {!verdict} reuses the solver shape via the emptiness reduction view
+    — [subset l r] iff [is_empty (l & ~r)] — so the shared LRU stays a
+    [verdict Lru.t]: [Unsat] means {e proved}, [Sat] means {e refuted}
+    with the distinguishing word as the witness. *)
+let contain_response ~id ~(cached : bool) ~(wall_s : float)
+    ?(stats : (string * float) list option) (v : verdict) : J.t =
+  with_id id
+    ((match v with
+     | Unsat -> [ ("status", J.Str "proved") ]
+     | Sat { witness; codepoints } ->
+       [
+         ("status", J.Str "refuted");
+         ("witness", J.Str witness);
+         ("witness_codepoints", J.Arr (List.map (fun c -> J.Int c) codepoints));
+       ]
+     | Unknown reason ->
+       [ ("status", J.Str "unknown"); ("reason", J.Str reason) ])
     @ [ ("cached", J.Bool cached); ("wall_s", J.Float wall_s) ]
     @ match stats with None -> [] | Some s -> [ ("stats", json_of_stats s) ])
 

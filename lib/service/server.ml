@@ -125,6 +125,38 @@ let solve_job t ~id ~want_stats ~deadline ~budget ~use_cache ~respond patterns
              ?stats:(if want_stats then Some stats else None)
              verdict)))
 
+(** The pool-side work of a containment/equivalence request: canonical
+    order-independent cache key for [equiv], shared-LRU lookup, prover
+    on miss.  Like solve, only the deterministic verdicts (proved /
+    refuted) are cached, never [Unknown]. *)
+let contain_job t ~id ~want_stats ~deadline ~budget ~use_cache ~respond ~equiv
+    ~left ~right (module W : Worker.WORKER) =
+  let t0 = Obs.now () in
+  (* the solver budget default (der-rule scale) is not meaningful for
+     pair expansions; only honor an explicit request budget *)
+  let budget = if budget = t.cfg.default_budget then None else Some budget in
+  match W.contain_cache_key ~equiv left right with
+  | Error msg -> respond (Protocol.error_response ~id msg)
+  | Ok key -> (
+    match if use_cache then Lru.find t.cache key else None with
+    | Some v ->
+      respond
+        (Protocol.contain_response ~id ~cached:true
+           ~wall_s:(Obs.now () -. t0) v)
+    | None -> (
+      match W.contain_pattern ?deadline ?budget ~equiv left right with
+      | Error msg -> respond (Protocol.error_response ~id msg)
+      | Ok (verdict, stats) ->
+        (match verdict with
+        | Protocol.Sat _ | Protocol.Unsat ->
+          if use_cache then Lru.put t.cache key verdict
+        | Protocol.Unknown _ -> ());
+        respond
+          (Protocol.contain_response ~id ~cached:false
+             ~wall_s:(Obs.now () -. t0)
+             ?stats:(if want_stats then Some stats else None)
+             verdict)))
+
 (** The pool-side work of a [match] request: compile (or reuse) the
     worker's byte-level engine for the pattern and run the anchored and
     unanchored scans over the input. *)
@@ -214,6 +246,18 @@ let handle_line t session line : [ `Continue | `Shutdown ] =
     | Protocol.Analyze_re pat ->
       dispatch (analyze_job ~id ~deadline ~budget ~respond:respond_cb pat);
       `Continue
+    | Protocol.Subset_re { left; right } ->
+      dispatch
+        (contain_job t ~id ~want_stats:req.want_stats ~deadline ~budget
+           ~use_cache:t.cfg.use_cache ~respond:respond_cb ~equiv:false ~left
+           ~right);
+      `Continue
+    | Protocol.Equiv_re { left; right } ->
+      dispatch
+        (contain_job t ~id ~want_stats:req.want_stats ~deadline ~budget
+           ~use_cache:t.cfg.use_cache ~respond:respond_cb ~equiv:true ~left
+           ~right);
+      `Continue
     | Protocol.Solve_smt2 script ->
       dispatch (smt2_job ~id ~deadline ~budget ~respond:respond_cb script);
       `Continue)
@@ -294,8 +338,12 @@ let install_sigterm t =
 (* -- self-test / load generator ------------------------------------------ *)
 
 (** Deterministic benchgen-derived request mix: the non-Boolean and
-    Boolean standard suites, shuffled by a fixed-seed LCG and cycled
-    to [n] patterns. *)
+    Boolean standard suites, shuffled by a fixed-seed LCG, then sampled
+    {b Zipfian} over the shuffled ranks (weight 1/(rank+1)) — real query
+    traffic re-asks a small head of popular patterns, which is exactly
+    the regime the shared LRU exists for, so the selftest's measured hit
+    rate says something about production caching rather than cycling
+    uniformly through the corpus (every repeat a guaranteed hit). *)
 let selftest_mix n : string list =
   let module I = Sbd_benchgen.Instance in
   let base =
@@ -312,7 +360,19 @@ let selftest_mix n : string list =
     base.(i) <- base.(j);
     base.(j) <- tmp
   done;
-  List.init n (fun i -> base.(i mod len))
+  let weights = Array.init len (fun k -> 1.0 /. float_of_int (k + 1)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let scale = 1_000_000 in
+  let draw () =
+    let u = float_of_int (I.Rng.int rng scale) /. float_of_int scale *. total in
+    let k = ref 0 and acc = ref 0.0 in
+    while !k < len - 1 && !acc +. weights.(!k) <= u do
+      acc := !acc +. weights.(!k);
+      incr k
+    done;
+    !k
+  in
+  List.init n (fun _ -> base.(draw ()))
 
 let percentile sorted p =
   match Array.length sorted with
@@ -475,6 +535,13 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
   Array.sort compare sorted;
   let seq_rps = float_of_int n /. max seq_s 1e-9 in
   let pool_rps = float_of_int n /. max pool_s 1e-9 in
+  (* Measured shared-LRU hit rate over the Zipfian replay (0 with the
+     cache off): the service-bench gauge for ROADMAP item 2. *)
+  let cache_hit_rate =
+    let h = float_of_int (Lru.hits t.cache)
+    and m = float_of_int (Lru.misses t.cache) in
+    h /. Float.max (h +. m) 1.0
+  in
   let report =
     J.Obj
       [
@@ -492,6 +559,7 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
         ("bad_witnesses", J.Int !bad_witnesses);
         ("match_checked", J.Int !match_checked);
         ("match_mismatches", J.Int !match_mismatches);
+        ("cache_hit_rate", J.Float cache_hit_rate);
         ("cache_stats", Protocol.json_of_stats (Lru.stats t.cache));
       ]
   in

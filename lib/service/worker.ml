@@ -68,11 +68,32 @@ module type WORKER = sig
       boundaries) the leftmost-earliest span.  Exponential in the input
       length — selftest-sized inputs only.  [None] on parse error. *)
 
+  val contain_pattern :
+    ?deadline:float ->
+    ?budget:int ->
+    equiv:bool ->
+    string ->
+    string ->
+    (Protocol.verdict * (string * float) list, string) result
+  (** Decide containment (or, with [equiv], language equality) of two
+      ERE patterns with the coinductive pair prover ({!Sbd_contain}).
+      The verdict reuses the solver shape via the emptiness-reduction
+      view: [Unsat] = proved, [Sat] = refuted with the distinguishing
+      word as witness.  [budget] bounds pair expansions (not der-rule
+      applications); [Error] is a parse error. *)
+
   val cache_key : string -> (string, string) result
   (** Digest of the canonical form of the pattern (worker-independent,
       see above); [Error] is a parse error. *)
 
   val conj_cache_key : string list -> (string, string) result
+
+  val contain_cache_key :
+    equiv:bool -> string -> string -> (string, string) result
+  (** Cache key of a containment query: digest over the op tag and the
+      canonical forms of both sides.  For [equiv] the two renderings are
+      sorted first, so the key — hence the shared LRU line — is
+      canonical under argument order. *)
 
   val check_witness : ?ref_limit:int -> string -> int list -> bool option
   (** Validate a witness against the pattern.  Witnesses up to
@@ -116,8 +137,10 @@ let create ?(memo_cap = 200_000) () : (module WORKER) =
   let module E = Sbd_smtlib.Eval.Make (R) in
   let module Ref = Sbd_classic.Refmatch.Make (R) in
   let module An = Sbd_analysis.Analyze.Make (R) in
+  let module C = Sbd_contain.Contain.Make (R) in
   (module struct
     let session = S.create_session ()
+    let csession = C.create_session ()
     let nqueries = ref 0
 
     let parse pat =
@@ -162,21 +185,38 @@ let create ?(memo_cap = 200_000) () : (module WORKER) =
 
     let conj_cache_key pats = Result.map key_of_regex (parse_conj pats)
 
+    let contain_cache_key ~equiv left right =
+      match (parse left, parse right) with
+      | Error msg, _ | _, Error msg -> Error msg
+      | Ok l, Ok r ->
+        let cl = canon l and cr = canon r in
+        (* equiv is symmetric: sort the renderings so both argument
+           orders land on the same LRU line *)
+        let cl, cr = if equiv && cr < cl then (cr, cl) else (cl, cr) in
+        let tag = if equiv then "equiv" else "subset" in
+        Ok
+          (Digest.to_hex
+             (Digest.string (tag ^ "\x00" ^ cl ^ "\x00" ^ cr)))
+
     let verdict_of = function
       | S.Sat w ->
         Protocol.Sat { witness = S.string_of_witness w; codepoints = w }
       | S.Unsat -> Protocol.Unsat
       | S.Unknown why -> Protocol.Unknown why
 
-    (* The analyzer keeps its own derivative memo (a separate functor
-       application over the same R), so its entries count against the
-       same cap and are cleared together. *)
-    let memo_entries () = S.D.memo_entries () + An.memo_entries ()
+    (* The analyzer and containment prover keep their own memos (separate
+       functor applications over the same R), so their entries count
+       against the same cap and are cleared together. *)
+    let memo_entries () =
+      S.D.memo_entries () + An.memo_entries () + C.memo_entries csession
+      + C.D.memo_entries ()
 
     let relieve_pressure () =
       if memo_entries () > memo_cap then begin
         S.D.clear ();
         An.clear ();
+        C.clear csession;
+        C.D.clear ();
         Obs.Counter.incr c_memo_clears;
         true
       end
@@ -195,6 +235,29 @@ let create ?(memo_cap = 200_000) () : (module WORKER) =
 
     let solve_conj ?deadline ?budget pats =
       Result.map (solve_regex ?deadline ?budget) (parse_conj pats)
+
+    let contain_pattern ?deadline ?(budget = C.default_budget) ~equiv left
+        right =
+      match (parse left, parse right) with
+      | Error msg, _ | _, Error msg -> Error msg
+      | Ok l, Ok r ->
+        incr nqueries;
+        Obs.Counter.incr c_queries;
+        let deadline = Option.map Obs.Deadline.of_seconds deadline in
+        let res =
+          if equiv then C.equiv ~budget ?deadline csession l r
+          else C.subset ~budget ?deadline csession l r
+        in
+        let verdict =
+          match res with
+          | C.Proved -> Protocol.Unsat
+          | C.Refuted w ->
+            Protocol.Sat { witness = S.string_of_witness w; codepoints = w }
+          | C.Unknown why -> Protocol.Unknown why
+        in
+        let stats = C.session_stats csession in
+        ignore (relieve_pressure ());
+        Ok (verdict, stats)
 
     let run_smt2 ?deadline ?(budget = 1_000_000) script =
       incr nqueries;

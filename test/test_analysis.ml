@@ -116,6 +116,69 @@ let test_semantic_verdicts () =
     check "budget-starved empty is unknown" true (sem.An.empty = An.Unknown)
   | None -> Alcotest.fail "layer 2 missing"
 
+(* -- entailment lints (SBD205/SBD206, containment-backed) ------------- *)
+
+let find_rule rule (rep : An.report) =
+  List.find_opt (fun (f : An.finding) -> f.An.rule = rule) rep.An.findings
+
+(* all words of length <= 3 over {a, b} *)
+let short_words =
+  let letters = [ Char.code 'a'; Char.code 'b' ] in
+  let extend ws = List.concat_map (fun w -> List.map (fun c -> c :: w) letters) ws in
+  let l1 = extend [ [] ] in
+  let l2 = extend l1 in
+  ([] :: l1) @ l2 @ extend l2
+
+(* the suggested replacement must be language-equal to the original:
+   cross-check with the reference matcher on all short words *)
+let check_replacement (orig : R.t) (f : An.finding) =
+  match f.An.replacement with
+  | None -> Alcotest.failf "%s must carry a replacement" f.An.rule
+  | Some src ->
+    let simp = re src in
+    List.iter
+      (fun w ->
+        check
+          (Printf.sprintf "%s replacement %S agrees" f.An.rule src)
+          (Ref.matches orig w) (Ref.matches simp w))
+      short_words
+
+let test_entailment_lints () =
+  let analyze s = An.analyze ~source:s (re s) in
+  (* SBD205: a ⊑ a*, so the branch "a" of a|a* is redundant *)
+  let rep = analyze "a|a*" in
+  (match find_rule "SBD205" rep with
+  | Some f ->
+    check "SBD205 names the branch" true (f.An.subterm <> None);
+    check_replacement (re "a|a*") f
+  | None -> Alcotest.fail "SBD205 expected on a|a*");
+  (* SBD206: in (a|b)&a the conjunct a|b is entailed by a *)
+  let rep = analyze "(a|b)&a" in
+  (match find_rule "SBD206" rep with
+  | Some f -> check_replacement (re "(a|b)&a") f
+  | None -> Alcotest.fail "SBD206 expected on (a|b)&a");
+  (* textbook pair: the two branches denote the same language *)
+  check "SBD205 on equal-language branches" true
+    (has_rule "SBD205" (analyze "(ab)*a|a(ba)*"));
+  (* incomparable branches / conjuncts stay clean *)
+  check "no SBD205 on a|b" false (has_rule "SBD205" (analyze "a|b"));
+  check "no SBD206 on .*a.*&.*b.*" false
+    (has_rule "SBD206" (analyze ".*a.*&.*b.*"));
+  (* the JSON rendering carries the replacement *)
+  match find_rule "SBD205" (analyze "a|a*") with
+  | None -> Alcotest.fail "SBD205 expected"
+  | Some f -> (
+    match An.json_of_finding f with
+    | J.Obj kvs ->
+      check "json replacement is a string" true
+        (match List.assoc_opt "replacement" kvs with
+        | Some (J.Str _) -> true
+        | Some (J.Null | J.Bool _ | J.Int _ | J.Float _ | J.Arr _ | J.Obj _)
+        | None ->
+          false)
+    | J.Null | J.Bool _ | J.Int _ | J.Float _ | J.Str _ | J.Arr _ ->
+      Alcotest.fail "finding must render as a JSON object")
+
 (* -- hints and their consumers ---------------------------------------- *)
 
 let test_hints () =
@@ -272,6 +335,7 @@ let suite =
     [ Alcotest.test_case "metrics and fragments" `Quick test_metrics
     ; Alcotest.test_case "lint rules" `Quick test_lint_rules
     ; Alcotest.test_case "semantic verdicts" `Quick test_semantic_verdicts
+    ; Alcotest.test_case "entailment lints" `Quick test_entailment_lints
     ; Alcotest.test_case "hints" `Quick test_hints
     ; Alcotest.test_case "hints drive consumers" `Quick test_hint_consumer
     ; Alcotest.test_case "json report shape" `Quick test_json_shape

@@ -18,4 +18,5 @@ let () =
     ; Test_tregex_hashcons.suite
     ; Test_service.suite
     ; Test_engine.suite
-    ; Test_analysis.suite ]
+    ; Test_analysis.suite
+    ; Test_contain.suite ]

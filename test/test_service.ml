@@ -137,6 +137,53 @@ let test_worker_witness () =
   | Ok _ -> Alcotest.fail "expected unsat"
   | Error msg -> Alcotest.fail msg
 
+(* -- containment requests ------------------------------------------------ *)
+
+let test_contain_op () =
+  (* request parsing *)
+  (match Protocol.parse_request {|{"id":1,"op":"subset","re":"a","re2":"a*"}|} with
+  | Ok { Protocol.payload = Protocol.Subset_re { left = "a"; right = "a*" }; _ }
+    -> ()
+  | Ok _ -> Alcotest.fail "wrong subset payload"
+  | Error (_, msg) -> Alcotest.fail msg);
+  (match Protocol.parse_request {|{"op":"equiv","re":"a"}|} with
+  | Error (_, msg) -> check "missing re2 reported" true (msg <> "")
+  | Ok _ -> Alcotest.fail "equiv without re2 must be rejected");
+  let (module W) = Worker.create () in
+  (* verdicts through the worker: Unsat = proved, Sat = refuted *)
+  (match W.contain_pattern ~equiv:false "(ab)*a" "a(ba)*" with
+  | Ok (Protocol.Unsat, _) -> ()
+  | Ok _ -> Alcotest.fail "expected proved"
+  | Error msg -> Alcotest.fail msg);
+  (match W.contain_pattern ~equiv:false "a{1,4}" "a{2,3}" with
+  | Ok (Protocol.Sat { codepoints; _ }, _) ->
+    (* the distinguishing word is in the left language, not the right *)
+    check "witness in left" true
+      (W.check_witness "a{1,4}" codepoints = Some true);
+    check "witness not in right" true
+      (W.check_witness "a{2,3}" codepoints = Some false)
+  | Ok _ -> Alcotest.fail "expected refuted"
+  | Error msg -> Alcotest.fail msg);
+  (match W.contain_pattern ~equiv:true "(a|b)*" "(a*b*)*" with
+  | Ok (Protocol.Unsat, _) -> ()
+  | Ok _ -> Alcotest.fail "expected equiv proved"
+  | Error msg -> Alcotest.fail msg);
+  (* cache keys: equiv is order-canonical, subset is not *)
+  let key ~equiv l r =
+    match W.contain_cache_key ~equiv l r with
+    | Ok k -> k
+    | Error msg -> Alcotest.fail msg
+  in
+  check_str "equiv key order-canonical" (key ~equiv:true "a|b" "c*")
+    (key ~equiv:true "c*" "b|a");
+  check "subset key is ordered" true
+    (key ~equiv:false "a" "a*" <> key ~equiv:false "a*" "a");
+  check "subset and equiv keys distinct" true
+    (key ~equiv:false "a" "a*" <> key ~equiv:true "a" "a*");
+  match W.contain_cache_key ~equiv:false "a|(" "a" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse error must not produce a key"
+
 (* -- match requests ------------------------------------------------------- *)
 
 let test_parse_match_request () =
@@ -359,6 +406,7 @@ let suite =
     ; Alcotest.test_case "worker witness validation" `Quick test_worker_witness
     ; Alcotest.test_case "session round-trip" `Quick test_session_roundtrip
     ; Alcotest.test_case "analyze op" `Quick test_analyze_op
+    ; Alcotest.test_case "contain ops" `Quick test_contain_op
     ; Alcotest.test_case "deadline isolation" `Quick test_deadline_isolation
     ; Alcotest.test_case "pool vs sequential agreement" `Quick
         test_pool_agreement
