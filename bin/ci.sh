@@ -34,6 +34,14 @@ echo "== analyzer corpus lint =="
 # parse failure
 dune exec bin/sbdsolve.exe -- --lint --corpus all --json > /dev/null
 
+echo "== lookaround corpus gates =="
+# located engine vs the all-splits oracle vs hand labels on the
+# anchored/lookaround corpus, plus byte-at-a-time streaming replay and
+# solver cross-checks of the anchor-elimination translation; exits
+# non-zero on any mismatch (2 on a parse failure)
+dune exec bin/sbdsolve.exe -- --lint --corpus lookaround > /dev/null
+dune exec bin/experiments.exe -- lookaround-bench --no-bench --check
+
 echo "== containment smoke =="
 # exit codes: 0 = decided, 3 = unknown, 2 = parse error — assert all
 # three so scripts can rely on the scheme

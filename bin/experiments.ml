@@ -18,6 +18,8 @@
                                           Boolean + handwritten generators
      experiments contain-bench            containment prover throughput and
                                           reduction agreement on the pair corpus
+     experiments lookaround-bench         located engine vs oracle vs labels on
+                                          the anchored/lookaround corpus
      experiments all                      everything above (except dump)
 *)
 
@@ -405,6 +407,55 @@ let contain_bench_cmd =
                  disagreements / invalid witnesses); non-zero exit on \
                  violation."))
 
+let lookaround_bench no_bench out label gate =
+  let report =
+    if no_bench then Lookaround_bench.run ?label ()
+    else Lookaround_bench.run_and_append ?label ?path:out ()
+  in
+  Lookaround_bench.pp fmt report;
+  if not no_bench then
+    Format.fprintf fmt "appended lookaround run to %s@."
+      (match out with
+      | Some p -> p
+      | None -> Sbd_service.Server.default_bench_path ());
+  if gate then begin
+    match Lookaround_bench.check report with
+    | [] -> Format.fprintf fmt "lookaround-bench gates: ok@."
+    | fails ->
+      List.iter
+        (Format.fprintf fmt "lookaround-bench gate FAILED: %s@.")
+        fails;
+      failwith "lookaround-bench: regression gate failed"
+  end
+
+let lookaround_bench_cmd =
+  cmd "lookaround-bench"
+    "located engine / all-splits oracle / hand-label agreement over the \
+     anchored and lookaround corpus"
+    Term.(
+      const lookaround_bench
+      $ Arg.(
+          value & flag
+          & info [ "no-bench" ]
+              ~doc:"Do not append the report to the BENCH trajectory.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~docv:"FILE"
+              ~doc:"Trajectory file (default BENCH_<date>.json).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "label" ] ~docv:"LABEL"
+              ~doc:"Variant label recorded in the report (default lookaround).")
+      $ Arg.(
+          value & flag
+          & info [ "check" ]
+              ~doc:
+                "Enforce the pinned gates (zero parse failures, zero \
+                 engine/oracle/label/stream mismatches); non-zero exit on \
+                 violation."))
+
 let all_cmd =
   cmd "all" "run every table, figure and ablation"
     Term.(
@@ -426,4 +477,4 @@ let () =
           [ table_cmd; fig4b_cmd; fig4c_cmd; ablation_dead_cmd
           ; ablation_simplify_cmd; ablation_algebra_cmd; states_cmd; dump_cmd
           ; engine_bench_cmd; analyze_bench_cmd; deriv_bench_cmd
-          ; contain_bench_cmd; all_cmd ]))
+          ; contain_bench_cmd; lookaround_bench_cmd; all_cmd ]))

@@ -16,6 +16,11 @@
      - coinductive equivalence vs complement-based equivalence
      - containment prover (Sbd_contain) vs the is_empty (r & ~s)
        reduction, with witness validation against the oracle
+     - located engine (Sbd_engine.Locmatch) on random anchored /
+       lookaround patterns vs the all-splits oracle (Locref): full
+       verdicts and earliest match ends in Byte and Utf8 modes,
+       chunk-split streaming for lookahead-free patterns, and the
+       anchor-elimination translation (lower) vs the plain oracle
 
    Usage: fuzz [--rounds N] [--seed S] [--size K]
    Exits non-zero and prints the offending regex on the first mismatch,
@@ -37,6 +42,9 @@ module C = Sbd_service.Default.C
 module Eng = Sbd_engine.Search.Make (R)
 module EngStream = Sbd_engine.Stream.Make (R)
 module U = Sbd_alphabet.Utf8
+module LR = Sbd_service.Default.LR
+module LRef = Sbd_service.Default.LRef
+module LM = Sbd_service.Default.LM
 
 let alphabet = List.map Char.code [ 'a'; 'b'; '0'; '1'; 'x' ]
 
@@ -67,6 +75,34 @@ let gen_regex rand size =
         R.loop (sub ()) m (Some (m + Random.State.int rand 3))
       | 9 | 10 -> R.inter (sub ()) (sub ())
       | 11 | 12 -> R.compl (sub ())
+      | _ -> go 1
+  in
+  go size
+
+(* Located patterns: the leaf pool adds anchors and lookarounds (with
+   small plain bodies from [gen_regex]), the spine reuses the extended
+   combinators.  Leaf count is bounded by [size], so the distinct
+   zero-width atoms stay well under the engine's mask width. *)
+let gen_loc_regex rand size =
+  let rec go n =
+    if n <= 1 then
+      match Random.State.int rand 10 with
+      | 0 -> LR.eps
+      | 1 -> LR.begin_
+      | 2 -> LR.end_
+      | 3 | 4 ->
+        let behind = Random.State.bool rand in
+        let neg = Random.State.bool rand in
+        LR.look ~behind ~neg (gen_regex rand 3)
+      | _ -> LR.pred (List.nth preds (Random.State.int rand (List.length preds)))
+    else
+      let sub () = go (n / 2) in
+      match Random.State.int rand 12 with
+      | 0 | 1 | 2 | 3 -> LR.concat (sub ()) (sub ())
+      | 4 | 5 | 6 -> LR.alt (sub ()) (sub ())
+      | 7 | 8 -> LR.star (sub ())
+      | 9 -> LR.inter (sub ()) (sub ())
+      | 10 -> LR.compl (sub ())
       | _ -> go 1
   in
   go size
@@ -148,6 +184,19 @@ let stream_random_chunks rand (eng : Eng.t) (s : string) : EngStream.result =
   done;
   EngStream.finish st
 
+(* Feed [s] to a fresh located stream in random chunks (including
+   splits inside multi-byte scalars in Utf8 mode). *)
+let loc_stream_random_chunks rand (leng : LM.t) (s : string) : LM.result =
+  let st = LM.Stream.create leng in
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = 1 + Random.State.int rand (n - !pos) in
+    LM.Stream.feed ~off:!pos ~len st s;
+    pos := !pos + len
+  done;
+  LM.Stream.finish st
+
 let words_upto n =
   let rec go n =
     if n = 0 then [ [] ]
@@ -173,12 +222,27 @@ let fail_at ?word round what r =
        (Printf.sprintf "round %d: %s disagrees on %s%s" round what
           (R.to_string r) ctx))
 
+let fail_at_loc ?word round what (lr : LR.t) =
+  let ctx =
+    match word with
+    | None -> ""
+    | Some w ->
+      Printf.sprintf " (word [%s])"
+        (String.concat ";" (List.map string_of_int w))
+  in
+  raise
+    (Mismatch
+       (Printf.sprintf "round %d: %s disagrees on located %s%s" round what
+          (LR.to_string lr) ctx))
+
 let run ~rounds ~seed ~size =
   let rand = Random.State.make [| seed |] in
   let session = S.create_session () in
   let csession = C.create_session () in
   let total_resets = ref 0 in
   let total_prefilter = ref 0 and total_accel = ref 0 in
+  let total_loc_anchor = ref 0 and total_loc_look = ref 0 in
+  let total_loc_stream = ref 0 and total_loc_lower = ref 0 in
   for round = 1 to rounds do
     let r = gen_regex rand size in
     let w = gen_word rand in
@@ -384,6 +448,56 @@ let run ~rounds ~seed ~size =
     | C.Refuted cw ->
       fail_at ~word:cw round "containment equiv vs simplifier" r
     | C.Proved | C.Unknown _ -> ());
+    (* located patterns: anchors + lookarounds vs the all-splits oracle.
+       Byte mode on ASCII words keeps byte offsets = scalar indices; the
+       Utf8 round maps the oracle's scalar ends through the width table. *)
+    let lr = gen_loc_regex rand size in
+    if List.length (LR.atoms lr) <= LM.max_atoms then begin
+      if LR.has_anchor lr then incr total_loc_anchor;
+      if LR.has_look lr then incr total_loc_look;
+      let lw = gen_word rand in
+      let ls = string_of_word lw in
+      let o = LRef.make lr (Array.of_list lw) in
+      let leng = LM.create ~mode:Sbd_engine.Byteclass.Byte lr in
+      let res = LM.run leng ls in
+      if res.LM.full <> LRef.full o then
+        fail_at_loc ~word:lw round "located engine full" lr;
+      if res.LM.found_end <> LRef.earliest_end o then
+        fail_at_loc ~word:lw round "located engine earliest end" lr;
+      (* the anchor-elimination translation must agree with the oracle
+         whenever it is defined (no lookarounds) *)
+      (match LR.lower lr with
+      | Some p ->
+        incr total_loc_lower;
+        if Ref.matches p lw <> res.LM.full then
+          fail_at_loc ~word:lw round "located lower vs plain oracle" lr
+      | None -> ());
+      if not (LM.has_lookahead leng) then begin
+        incr total_loc_stream;
+        let st = loc_stream_random_chunks rand leng ls in
+        if st.LM.full <> res.LM.full || st.LM.found_end <> res.LM.found_end
+        then fail_at_loc ~word:lw round "located stream (chunk splits)" lr
+      end;
+      (* Utf8 mode: multi-byte scalars under anchors and obligations *)
+      let lw8 = gen_word_u rand in
+      let ls8 = U.encode lw8 in
+      let o8 = LRef.make lr (Array.of_list lw8) in
+      let leng8 = LM.create ~mode:Sbd_engine.Byteclass.Utf8 lr in
+      let res8 = LM.run leng8 ls8 in
+      if res8.LM.full <> LRef.full o8 then
+        fail_at_loc ~word:lw8 round "located engine utf8 full" lr;
+      let offs8 = Array.make (List.length lw8 + 1) 0 in
+      List.iteri
+        (fun i cp -> offs8.(i + 1) <- offs8.(i) + String.length (U.encode [ cp ]))
+        lw8;
+      if res8.LM.found_end <> Option.map (fun j -> offs8.(j)) (LRef.earliest_end o8)
+      then fail_at_loc ~word:lw8 round "located engine utf8 earliest end" lr;
+      if not (LM.has_lookahead leng8) then begin
+        let st8 = loc_stream_random_chunks rand leng8 ls8 in
+        if st8.LM.full <> res8.LM.full || st8.LM.found_end <> res8.LM.found_end
+        then fail_at_loc ~word:lw8 round "located stream utf8 (chunk splits)" lr
+      end
+    end;
     if round mod 500 = 0 then Printf.printf "... %d rounds ok\n%!" round
   done;
   (* the graceful-degradation and acceleration paths must actually have
@@ -394,9 +508,20 @@ let run ~rounds ~seed ~size =
     raise (Mismatch "engine required-factor prefilter was never exercised");
   if rounds >= 100 && !total_accel = 0 then
     raise (Mismatch "engine skip-loop acceleration was never exercised");
+  if rounds >= 100 && !total_loc_anchor = 0 then
+    raise (Mismatch "located anchor patterns were never exercised");
+  if rounds >= 100 && !total_loc_look = 0 then
+    raise (Mismatch "located lookaround patterns were never exercised");
+  if rounds >= 100 && !total_loc_stream = 0 then
+    raise (Mismatch "located streaming path was never exercised");
+  if rounds >= 100 && !total_loc_lower = 0 then
+    raise (Mismatch "located lower translation was never exercised");
   Printf.printf
     "fuzz: engine cache resets exercised %d times, prefilter %d, skip loop %d\n%!"
-    !total_resets !total_prefilter !total_accel
+    !total_resets !total_prefilter !total_accel;
+  Printf.printf
+    "fuzz: located rounds — anchors %d, lookarounds %d, streamed %d, lowered %d\n%!"
+    !total_loc_anchor !total_loc_look !total_loc_stream !total_loc_lower
 
 open Cmdliner
 

@@ -37,6 +37,10 @@ module E = Sbd_service.Default.E
 module Ref = Sbd_service.Default.Ref
 module C = Sbd_service.Default.C
 module R = Sbd_service.Default.R
+module L = Sbd_service.Default.LR
+module LP = Sbd_service.Default.LP
+module LM = Sbd_service.Default.LM
+module LA = Sbd_service.Default.LA
 module Eng = Sbd_engine.Search.Make (Sbd_service.Default.R)
 module An = Sbd_analysis.Analyze.Make (Sbd_service.Default.R)
 module Obs = Sbd_obs.Obs
@@ -68,22 +72,7 @@ let print_stats_text stats =
 
 (* -- single-pattern mode ------------------------------------------------- *)
 
-let run_pattern ~budget ~deadline ~stats ~json pattern =
-  match P.parse pattern with
-  | Error (pos, msg) ->
-    if json then
-      print_endline
-        (Obs.Json.to_string
-           (Obs.Json.Obj
-              [
-                ("result", Obs.Json.Str "error");
-                ( "error",
-                  Obs.Json.Str (Printf.sprintf "parse error at %d: %s" pos msg)
-                );
-              ]))
-    else Printf.printf "(error \"parse error at %d: %s\")\n" pos msg;
-    2
-  | Ok r ->
+let solve_regex ~budget ~deadline ~stats ~json pattern r =
     let session = S.create_session () in
     let t0 = Obs.now () in
     let result = S.solve ~budget ?deadline session r in
@@ -119,6 +108,55 @@ let run_pattern ~budget ~deadline ~stats ~json pattern =
     end;
     (match result with S.Sat _ | S.Unsat -> 0 | S.Unknown _ -> 3)
 
+let print_parse_error ~json pos msg =
+  if json then
+    print_endline
+      (Obs.Json.to_string
+         (Obs.Json.Obj
+            [
+              ("result", Obs.Json.Str "error");
+              ( "error",
+                Obs.Json.Str (Printf.sprintf "parse error at %d: %s" pos msg)
+              );
+            ]))
+  else Printf.printf "(error \"parse error at %d: %s\")\n" pos msg;
+  2
+
+let print_unknown ~json ~pattern reason =
+  if json then
+    print_endline
+      (Obs.Json.to_string
+         (Obs.Json.Obj
+            [
+              ("result", Obs.Json.Str "unknown");
+              ("reason", Obs.Json.Str reason);
+              ("pattern", Obs.Json.Str pattern);
+            ]))
+  else Printf.printf "unknown (%s)\n" reason;
+  3
+
+(* The plain grammar is primary (its corpora treat '^'/'$' as literal
+   characters); when it rejects, retry with the extended located
+   grammar.  Anchor-only patterns are lowered to plain regexes
+   (Locregex.lower) and solved; lookaround obligations are outside the
+   solver's universe and answer unknown (exit 3). *)
+let run_pattern ~budget ~deadline ~stats ~json pattern =
+  match P.parse pattern with
+  | Ok r -> solve_regex ~budget ~deadline ~stats ~json pattern r
+  | Error (pos, msg) -> (
+    match LP.parse pattern with
+    | Error _ ->
+      (* report the plain parser's error: extended syntax that fails
+         both grammars is noise here *)
+      print_parse_error ~json pos msg
+    | Ok t when not (L.zero_width t) -> print_parse_error ~json pos msg
+    | Ok t -> (
+      match L.lower t with
+      | Some r -> solve_regex ~budget ~deadline ~stats ~json pattern r
+      | None ->
+        print_unknown ~json ~pattern
+          "lookaround obligations are not supported by the solver"))
+
 (* -- lint mode ----------------------------------------------------------- *)
 
 (* The solver --budget (der-rule applications, default 1M) is
@@ -126,33 +164,37 @@ let run_pattern ~budget ~deadline ~stats ~json pattern =
    gets 1% of a solve budget (default 10k state expansions). *)
 let lint_budget budget = max 64 (min (budget / 100) 100_000)
 
+(* Lint accepts the extended grammar: plain patterns go through the
+   full two-layer analyzer; located ones through the structural
+   located analyzer (degenerate lookarounds, dead anchors, fragment),
+   plus — when anchors eliminate — the plain analyzer on the lowered
+   regex. *)
 let run_lint ~budget ~deadline ~json pattern =
-  match P.parse pattern with
-  | Error (pos, msg) ->
-    if json then
-      print_endline
-        (Obs.Json.to_string
-           (Obs.Json.Obj
-              [
-                ("result", Obs.Json.Str "error");
-                ( "error",
-                  Obs.Json.Str (Printf.sprintf "parse error at %d: %s" pos msg)
-                );
-              ]))
-    else Printf.printf "(error \"parse error at %d: %s\")\n" pos msg;
-    2
-  | Ok r ->
-    let dl = Option.map Obs.Deadline.of_seconds deadline in
-    let report =
-      An.analyze ~source:pattern ~budget:(lint_budget budget) ?deadline:dl r
-    in
-    if json then
-      print_endline (Obs.Json.to_string (An.json_of_report report))
-    else begin
-      Printf.printf "pattern: %s\n" pattern;
-      Format.printf "%a" An.pp_report report
-    end;
-    0
+  match LP.parse pattern with
+  | Error (pos, msg) -> print_parse_error ~json pos msg
+  | Ok t -> (
+    match L.to_plain t with
+    | Some r ->
+      let dl = Option.map Obs.Deadline.of_seconds deadline in
+      let report =
+        An.analyze ~source:pattern ~budget:(lint_budget budget) ?deadline:dl r
+      in
+      if json then
+        print_endline (Obs.Json.to_string (An.json_of_report report))
+      else begin
+        Printf.printf "pattern: %s\n" pattern;
+        Format.printf "%a" An.pp_report report
+      end;
+      0
+    | None ->
+      let report = LA.analyze t in
+      if json then
+        print_endline (Obs.Json.to_string (LA.json_of_report report))
+      else begin
+        Printf.printf "pattern: %s\n" pattern;
+        Format.printf "%a" LA.pp_report report
+      end;
+      0)
 
 (* Corpus lint: analyze every instance of a benchgen corpus and
    cross-check each Proved/Refuted verdict against the solver (and,
@@ -166,10 +208,31 @@ let corpus_instances = function
   | "all" -> Some (Sbd_benchgen.Standard.all ())
   | _ -> None
 
+(* The lookaround corpus has match labels rather than solver labels:
+   the soundness sweep is engine vs all-splits oracle vs hand labels
+   (plus lowered-satisfiability and streaming/batch agreement), reusing
+   the harness phase.  Same exit contract as the solver corpora: 1 on
+   unsoundness, 2 on a corpus pattern that fails to parse. *)
+let run_lint_lookaround ~json () =
+  let module LB = Sbd_harness.Lookaround_bench in
+  let report = LB.run () in
+  if json then print_endline (Obs.Json.to_string report.LB.json)
+  else Format.printf "%a" LB.pp report;
+  match LB.check report with
+  | [] -> 0
+  | fails ->
+    List.iter
+      (fun f -> Printf.eprintf "sbdsolve: lookaround gate FAILED: %s\n" f)
+      fails;
+    if report.LB.parse_failures > 0 then 2 else 1
+
 let run_lint_corpus ~budget ~deadline ~json name =
+  if name = "lookaround" then run_lint_lookaround ~json ()
+  else
   match corpus_instances name with
   | None ->
-    Printf.eprintf "sbdsolve: unknown corpus %S (standard|handwritten|all)\n"
+    Printf.eprintf
+      "sbdsolve: unknown corpus %S (standard|handwritten|lookaround|all)\n"
       name;
     2
   | Some instances ->
@@ -319,22 +382,57 @@ let run_lint_corpus ~budget ~deadline ~json name =
 
 (* -- match mode ---------------------------------------------------------- *)
 
+(* Located match path: anchors and lookarounds run on the
+   location-aware engine (valuation-indexed derivatives + obligation
+   automata).  It reports the earliest match end rather than a span —
+   located search has no backward start-recovery pass yet. *)
+let run_loc_match ~stats ~json ~input pattern (t : L.t) =
+  let eng = LM.create ~mode:Sbd_engine.Byteclass.Utf8 t in
+  let t0 = Obs.now () in
+  let res = LM.run eng input in
+  let wall = Obs.now () -. t0 in
+  let engine_stats =
+    [
+      ("locmatch.atoms", float_of_int (LM.num_atoms eng));
+      ("locmatch.memo_entries", float_of_int (LM.memo_entries eng));
+    ]
+    @ active_counters ()
+    @ [ ("query.wall_time_s", wall) ]
+  in
+  if json then begin
+    let doc =
+      [
+        ("result", Obs.Json.Str "ok");
+        ("matched", Obs.Json.Bool (res.LM.found_end <> None));
+        ("full", Obs.Json.Bool res.LM.full);
+      ]
+      @ (match res.LM.found_end with
+        | Some j -> [ ("found_end", Obs.Json.Int j) ]
+        | None -> [])
+      @ [
+          ("pattern", Obs.Json.Str pattern);
+          ("input_bytes", Obs.Json.Int (String.length input));
+          ("wall_s", Obs.Json.Float wall);
+        ]
+      @ if stats then [ ("stats", json_of_stats engine_stats) ] else []
+    in
+    print_endline (Obs.Json.to_string (Obs.Json.Obj doc))
+  end
+  else begin
+    (match res.LM.found_end with
+    | None -> Printf.printf "no-match full=%b\n" res.LM.full
+    | Some j -> Printf.printf "match end=%d full=%b\n" j res.LM.full);
+    if stats then print_stats_text engine_stats
+  end;
+  0
+
 let run_match ~deadline ~stats ~json ~input pattern =
-  match P.parse pattern with
-  | Error (pos, msg) ->
-    if json then
-      print_endline
-        (Obs.Json.to_string
-           (Obs.Json.Obj
-              [
-                ("result", Obs.Json.Str "error");
-                ( "error",
-                  Obs.Json.Str (Printf.sprintf "parse error at %d: %s" pos msg)
-                );
-              ]))
-    else Printf.printf "(error \"parse error at %d: %s\")\n" pos msg;
-    2
-  | Ok r ->
+  match LP.parse pattern with
+  | Error (pos, msg) -> print_parse_error ~json pos msg
+  | Ok t when L.to_plain t = None ->
+    run_loc_match ~stats ~json ~input pattern t
+  | Ok t ->
+    let r = Option.get (L.to_plain t) in
     let eng = Eng.create ~mode:Sbd_engine.Byteclass.Utf8 r in
     let dl = Option.map Obs.Deadline.of_seconds deadline in
     let t0 = Obs.now () in

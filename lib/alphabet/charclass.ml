@@ -55,3 +55,25 @@ let ranges_of = function
   | Ascii -> [ (0x00, 0x7F) ]
   | Printable -> [ (0x20, 0x7E) ]
   | Any -> [ (0, Algebra.max_char) ]
+
+(* POSIX bracket-expression classes ([[:alpha:]] etc.).  Names shared
+   with the escape classes resolve to the same range tables, so [[:digit:]]
+   and [\d] denote one predicate; the remaining names (punct, graph,
+   cntrl, blank, xdigit, print) are the ASCII definitions. *)
+let posix_ranges = function
+  | "alpha" -> Some alpha_ranges
+  | "digit" -> Some digit_ranges
+  | "alnum" -> Some (digit_ranges @ alpha_ranges)
+  | "upper" -> Some upper_ranges
+  | "lower" -> Some lower_ranges
+  | "space" -> Some space_ranges
+  | "word" -> Some word_ranges
+  | "ascii" -> Some [ (0x00, 0x7F) ]
+  | "print" -> Some [ (0x20, 0x7E) ]
+  | "graph" -> Some [ (0x21, 0x7E) ]
+  | "punct" -> Some [ (0x21, 0x2F); (0x3A, 0x40); (0x5B, 0x60); (0x7B, 0x7E) ]
+  | "cntrl" -> Some [ (0x00, 0x1F); (0x7F, 0x7F) ]
+  | "blank" -> Some [ (0x09, 0x09); (0x20, 0x20) ]
+  | "xdigit" ->
+    Some [ (0x30, 0x39); (0x41, 0x46); (0x61, 0x66) ]
+  | _ -> None

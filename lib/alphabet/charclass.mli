@@ -28,3 +28,8 @@ val alpha_ranges : (int * int) list
 val word_ranges : (int * int) list
 val space_ranges : (int * int) list
 val bmp_letter_blocks : (int * int) list
+
+val posix_ranges : string -> (int * int) list option
+(** Ranges of a POSIX bracket-expression class name ([[:alpha:]] etc.):
+    alpha, digit, alnum, upper, lower, space, word, ascii, print, graph,
+    punct, cntrl, blank, xdigit.  [None] for unknown names. *)

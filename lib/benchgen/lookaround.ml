@@ -1,0 +1,116 @@
+(** Labeled corpus for the location-aware pattern universe (anchors,
+    lookarounds, POSIX bracket syntax) of {!Sbd_locregex}.
+
+    Unlike the solver suites ({!Handwritten}, {!Standard}), every case
+    here carries {e match labels}: concrete inputs with hand-derived
+    full-match verdicts.  The harness ({!Sbd_harness.Lookaround_bench})
+    runs each input through the located engine {e and} the brute-force
+    all-splits oracle and gates on three-way agreement — engine,
+    oracle, label — so a wrong label is as loud as a wrong engine.
+
+    Patterns use the extended concrete syntax of
+    {!Sbd_locregex.Locparser}: ['^']/['$'] anchors, [(?=r)] [(?!r)]
+    [(?<=r)] [(?<!r)] lookarounds, plus the POSIX bracket algebra
+    ([[:alpha:]], [&&], [--]) shared with the plain parser.  The
+    [expected_sat] label states language (non)emptiness of the whole
+    located pattern, by construction of each case. *)
+
+open Instance
+
+type case = {
+  id : string;
+  pattern : string;
+  expected_sat : expected;
+  inputs : (string * bool) list;
+      (** input, hand-labeled full-match verdict *)
+}
+
+let mk idx (expected_sat, pattern, inputs) =
+  { id = Printf.sprintf "lookaround-%03d" (idx + 1)
+  ; pattern
+  ; expected_sat
+  ; inputs }
+
+(* Families: anchors, positive lookahead, lookbehind, negative
+   lookarounds, degenerate placements (lint food), POSIX classes and
+   class algebra, and combined real-world idioms.  Keep every label
+   boring to verify by hand: the corpus is the trust anchor. *)
+let raw : (expected * string * (string * bool) list) list =
+  [ (* -- anchors -------------------------------------------------- *)
+    (Sat, "^abc$", [ ("abc", true); ("abcd", false); ("", false) ])
+  ; (Sat, "^a+", [ ("aaa", true); ("ba", false); ("", false) ])
+  ; (Sat, "a+$", [ ("aaa", true); ("ab", false) ])
+  ; (Sat, "^$", [ ("", true); ("a", false) ])
+  ; (Sat, "^", [ ("", true); ("a", false) ])
+  ; (Sat, "$", [ ("", true); ("a", false) ])
+  ; (Unsat, "a^b", [ ("ab", false); ("", false) ])
+  ; (Unsat, "a$b", [ ("ab", false) ])
+  ; (Sat, "(^|a)b", [ ("b", true); ("ab", true); ("cb", false) ])
+  ; (Sat, "^(a|b)*$", [ ("abab", true); ("abc", false); ("", true) ])
+  ; (Sat, "(a$|b)c?", [ ("b", true); ("bc", true); ("a", true); ("ac", false) ])
+  ; (Sat, "^ab|ba$", [ ("ab", true); ("ba", true); ("aba", false) ])
+  ; (Sat, "a$b*", [ ("a", true); ("ab", false) ])
+  ; (* -- positive lookahead --------------------------------------- *)
+    (Sat, "(?=a)[ab]+", [ ("ab", true); ("ba", false); ("aa", true) ])
+  ; (Sat, "(?=ab)a.", [ ("ab", true); ("ac", false) ])
+  ; (Sat, "(?=[a-z]).", [ ("q", true); ("7", false) ])
+  ; (Sat, "x(?=y)yz", [ ("xyz", true); ("xz", false) ])
+  ; (Sat, "(?=a+b)a*b", [ ("aab", true); ("ab", true); ("b", false) ])
+  ; (Sat, "(?=\\d\\d)\\d+", [ ("12", true); ("1", false) ])
+  ; (Sat, "((?=[ab]).)*", [ ("ab", true); ("ac", false); ("", true) ])
+  ; (* -- lookbehind ----------------------------------------------- *)
+    (Sat, "[ab]+(?<=a)", [ ("ba", true); ("ab", false) ])
+  ; (Sat, ".*(?<=ab)", [ ("ab", true); ("ba", false); ("aab", true) ])
+  ; (Sat, "ab(?<=ab)c", [ ("abc", true); ("abd", false) ])
+  ; (Sat, "\\w+(?<=\\d)", [ ("ab7", true); ("7ab", false) ])
+  ; (Sat, "a(?<=a)b", [ ("ab", true) ])
+  ; (Sat, ".*(?<=a|bb)", [ ("xa", true); ("xbb", true); ("xb", false) ])
+  ; (Sat, "((?<=a)b|c)+", [ ("cc", true); ("cb", false) ])
+  ; (Sat, "x*(?<=x)y", [ ("xy", true); ("y", false) ])
+  ; (* -- negative lookarounds ------------------------------------- *)
+    (Sat, "(?!a).*", [ ("b", true); ("a", false); ("", true) ])
+  ; (Sat, "(?!ab)..", [ ("ba", true); ("ab", false); ("aa", true) ])
+  ; (Sat, "(?!.*b).*", [ ("aaa", true); ("aab", false) ])
+  ; (Sat, "[ab]+(?<!a)", [ ("ab", true); ("ba", false) ])
+  ; (Sat, "(?<!\\d)ab", [ ("ab", true) ])
+  ; (Sat, ".(?<!a)b", [ ("cb", true); ("ab", false) ])
+  ; (Sat, "(?!a)(?!b).", [ ("c", true); ("a", false); ("b", false) ])
+  ; (* -- degenerate placements (lint corpus) ---------------------- *)
+    (Unsat, "(?!a*)b", [ ("b", false); ("", false) ])
+  ; (Sat, "(?=a*)b", [ ("b", true); ("a", false) ])
+  ; (Unsat, "x(?!.?)y", [ ("xy", false) ])
+  ; (Unsat, "$.", [ ("a", false); ("", false) ])
+  ; (Unsat, "(?=a)b", [ ("b", false); ("ab", false) ])
+  ; (* -- POSIX classes and class algebra -------------------------- *)
+    (Sat, "[[:digit:]]+", [ ("123", true); ("12a", false) ])
+  ; (Sat, "^[[:alpha:]]+$", [ ("abc", true); ("ab1", false) ])
+  ; (Sat, "[[:alnum:]--[0-9]]+", [ ("abc", true); ("ab1", false) ])
+  ; (Sat, "[a-z&&[^aeiou]]+", [ ("bcd", true); ("bce", false) ])
+  ; (Sat, "[[:xdigit:]]{2}", [ ("fA", true); ("g1", false) ])
+  ; (Sat, "^[[:upper:]][[:lower:]]*$", [ ("Hello", true); ("hello", false) ])
+  ; (* -- combined idioms ------------------------------------------ *)
+    (Sat, "^\\[\\d+\\] .*", [ ("[12] ok", true); ("12 ok", false) ])
+  ; (Sat, "^(?!#).*", [ ("x=1", true); ("#c", false) ])
+  ; (Sat, "^.*(?<=\\.log)$", [ ("app.log", true); ("app.txt", false) ])
+  ; (Sat, "^(?=.{4,})[a-z]+$", [ ("abcde", true); ("abc", false) ])
+  ; (Sat, "^/(?=[a-z])[a-z/]+$", [ ("/usr/bin", true); ("/7x", false) ])
+  ; (Sat, "^(a|b)*(?<=ab)$", [ ("ab", true); ("ba", false); ("aab", true) ])
+  ; (Sat, "^(?!.*aa)[ab]*$", [ ("abab", true); ("baa", false) ])
+  ; ( Sat,
+      "^(?=.*\\d)(?=.*[a-z])\\w{4,8}$",
+      [ ("ab1c", true); ("abcd", false); ("A1B2", false); ("a1", false) ] )
+  ]
+
+let cases () : case list = List.mapi mk raw
+
+(** The corpus as solver-style instances (pattern + satisfiability
+    label), for uniform listing alongside the other suites. *)
+let instances () : Instance.t list =
+  List.map
+    (fun c ->
+      { id = c.id
+      ; suite = "lookaround"
+      ; category = Handwritten
+      ; pattern = c.pattern
+      ; expected = c.expected_sat })
+    (cases ())

@@ -1,0 +1,390 @@
+(** Match engine for location-aware patterns ({!Sbd_locregex}): anchors
+    and lookarounds on top of the byte-level machinery, linear time.
+
+    The classical engine's state is a derivative regex; here a state is
+    a {e located} derivative, and a transition depends on the input
+    character {e and} the truth of the pattern's zero-width atoms at the
+    current position — the "position kind" of RE#.  Concretely a
+    transition is memoized under the key [(term, byte class, mask)]
+    where [mask] packs one bit per distinct atom, so states carry their
+    position kind without the term itself growing.
+
+    The mask bits are produced by small parallel automata, one per
+    obligation, running in lockstep with the main derivative walk
+    (obligation threading):
+
+    - [^] is true exactly at offset 0 and [$] exactly at end of input
+      ([$]'s bit is raised only in the final nullability check — during
+      a step the position provably has a next character);
+    - a lookbehind body [b] holds at position [i] iff some suffix of
+      [w[0..i)] is in [L(b)]: the forward DFA of [⊤*·b] is nullable
+      there — streamable, one int of state;
+    - a lookahead body [b] holds at [i] iff some prefix of [w[i..)] is
+      in [L(b)]: the DFA of [⊤*·rev b] over the {e reversed} input is
+      nullable — computed by one backward pre-pass into a bitvector of
+      truth per position.  This is why lookaheads are rejected by
+      {!Stream} (they need the future); anchors and lookbehinds stream
+      fine and are chunk-split-invariant.
+
+    With [k] distinct atoms the whole match is [O((k+1)·n)] — each
+    obligation automaton plus the main walk see each scalar once.
+
+    Search ([found_end]) reuses the paper's padding trick located: the
+    derivative walk of [⊤*·pattern] under the {e same} valuation stream
+    is nullable at the earliest end of a match, because anchors and
+    lookarounds reference absolute input positions, which padding does
+    not shift. *)
+
+module Make (L : Sbd_locregex.Locregex.S) = struct
+  module R = L.R
+  module Bc = Byteclass.Make (R)
+  module Dfa = Dfa.Make (R)
+
+  let max_atoms = 16
+
+  type t = {
+    pattern : L.t;
+    search : L.t;  (** [⊤*·pattern]: same atoms, search semantics *)
+    mode : Byteclass.mode;
+    bc : Bc.t;
+    atoms : L.atom array;
+    k : int;
+    bit_begin : int;  (** mask bit of [^], or -1 *)
+    bit_end : int;
+    behinds : (int * Dfa.t) array;  (** (mask bit, DFA of ⊤*·body) *)
+    aheads : (int * Dfa.t) array;  (** (mask bit, DFA of ⊤*·rev body) *)
+    trans : (int, L.t) Hashtbl.t;  (** (term, class, mask) → derivative *)
+    nulm : (int, bool) Hashtbl.t;  (** (term, mask) → ν *)
+    max_memo : int;
+  }
+
+  type result = {
+    full : bool;  (** the whole input is in the located language *)
+    found_end : int option;
+        (** earliest byte offset at which some match ends, the start
+            ranging over all positions (absolute anchor semantics) *)
+    bytes : int;
+  }
+
+  let create ?(mode = Byteclass.Utf8) ?(max_memo = 200_000) (pattern : L.t) : t
+      =
+    let atoms = Array.of_list (L.atoms pattern) in
+    let k = Array.length atoms in
+    if k > max_atoms then
+      invalid_arg
+        (Printf.sprintf "Locmatch.create: more than %d distinct zero-width \
+                         atoms" max_atoms);
+    let bc = Bc.compile ~mode (L.pred_carrier pattern) in
+    let bit_begin = ref (-1) and bit_end = ref (-1) in
+    let behinds = ref [] and aheads = ref [] in
+    Array.iteri
+      (fun i a ->
+        match a with
+        | L.Abegin -> bit_begin := i
+        | L.Aend -> bit_end := i
+        | L.Alook { behind; body } ->
+          let dfa body =
+            Dfa.create ~representatives:bc.Bc.representatives
+              (R.concat R.full body)
+          in
+          if behind then behinds := (i, dfa body) :: !behinds
+          else aheads := (i, dfa (R.rev body)) :: !aheads)
+      atoms;
+    {
+      pattern;
+      search = L.concat L.full pattern;
+      mode;
+      bc;
+      atoms;
+      k;
+      bit_begin = !bit_begin;
+      bit_end = !bit_end;
+      behinds = Array.of_list (List.rev !behinds);
+      aheads = Array.of_list (List.rev !aheads);
+      trans = Hashtbl.create 256;
+      nulm = Hashtbl.create 256;
+      max_memo;
+    }
+
+  let num_atoms t = t.k
+  let has_lookahead t = Array.length t.aheads > 0
+  let memo_entries t = Hashtbl.length t.trans + Hashtbl.length t.nulm
+
+  (* The valuation encoded by a mask.  Atom counts are tiny (≤ 16, and in
+     practice ≤ 4), so a linear scan beats any indexing structure. *)
+  let sat_of t mask (a : L.atom) =
+    let rec idx i =
+      if i >= t.k then -1
+      else if L.atom_equal t.atoms.(i) a then i
+      else idx (i + 1)
+    in
+    let i = idx 0 in
+    i >= 0 && mask land (1 lsl i) <> 0
+
+  (* ν of a located derivative under a mask, memoized: zero-width atoms
+     survive inside derivative terms, so this runs once per step. *)
+  let nul_term t (term : L.t) mask =
+    if not term.L.zw then term.L.nul
+    else
+      let key = (term.L.id lsl t.k) lor mask in
+      match Hashtbl.find_opt t.nulm key with
+      | Some v -> v
+      | None ->
+        let v = L.nullable ~sat:(sat_of t mask) term in
+        if Hashtbl.length t.nulm >= t.max_memo then Hashtbl.reset t.nulm;
+        Hashtbl.add t.nulm key v;
+        v
+
+  (* One transition of the located derivative walk.  Memo entries are
+     never invalidated (the hash-cons table is append-only); the cap
+     resets the table wholesale, degrading throughput, never answers. *)
+  let step_term t (term : L.t) cls mask =
+    let key = (((term.L.id * t.bc.Bc.num_classes) + cls) lsl t.k) lor mask in
+    match Hashtbl.find_opt t.trans key with
+    | Some d -> d
+    | None ->
+      let d =
+        L.deriv ~sat:(sat_of t mask) t.bc.Bc.representatives.(cls) term
+      in
+      if Hashtbl.length t.trans >= t.max_memo then Hashtbl.reset t.trans;
+      Hashtbl.add t.trans key d;
+      d
+
+  (** Match [s] whole ([full]) and find the earliest end of any match
+      ([found_end]) in one forward pass (plus one backward pre-pass per
+      lookahead obligation). *)
+  let run (t : t) (s : string) : result =
+    let n = String.length s in
+    (* forward segmentation, shared by every pass so the lossy-decode
+       boundaries are identical by construction *)
+    let cls = Array.make (max 1 n) 0 and bnd = Array.make (n + 2) 0 in
+    let m = ref 0 in
+    let pos = ref 0 in
+    while !pos < n do
+      let c, pos' = Bc.next t.bc s !pos n in
+      cls.(!m) <- c;
+      incr m;
+      bnd.(!m) <- pos';
+      pos := pos'
+    done;
+    let m = !m in
+    (* lookahead truth per boundary: one backward DFA walk each *)
+    let aheadbits =
+      Array.map
+        (fun (_, dfa) ->
+          let bits = Bytes.make (m + 1) '\000' in
+          let q = ref Dfa.start_id in
+          if Dfa.is_nullable dfa !q then Bytes.set bits m '\001';
+          for i = m - 1 downto 0 do
+            q := Dfa.step dfa !q cls.(i);
+            if Dfa.is_nullable dfa !q then Bytes.set bits i '\001'
+          done;
+          bits)
+        t.aheads
+    in
+    let bq = Array.map (fun _ -> Dfa.start_id) t.behinds in
+    (* the mask at scalar boundary [i]; behind bits read the obligation
+       states as currently advanced, i.e. through [i] scalars *)
+    let mask_at i at_end =
+      let mask = ref 0 in
+      if i = 0 && t.bit_begin >= 0 then mask := !mask lor (1 lsl t.bit_begin);
+      if at_end && t.bit_end >= 0 then mask := !mask lor (1 lsl t.bit_end);
+      Array.iteri
+        (fun j (ai, dfa) ->
+          if Dfa.is_nullable dfa bq.(j) then mask := !mask lor (1 lsl ai))
+        t.behinds;
+      Array.iteri
+        (fun j (ai, _) ->
+          if Bytes.get aheadbits.(j) i = '\001' then
+            mask := !mask lor (1 lsl ai))
+        t.aheads;
+      !mask
+    in
+    let cur = ref t.pattern and curs = ref t.search in
+    let found = ref None in
+    if nul_term t !curs (mask_at 0 (m = 0)) then found := Some 0;
+    for i = 0 to m - 1 do
+      let mask = mask_at i false in
+      let c = cls.(i) in
+      cur := step_term t !cur c mask;
+      curs := step_term t !curs c mask;
+      Array.iteri
+        (fun j (_, dfa) -> bq.(j) <- Dfa.step dfa bq.(j) c)
+        t.behinds;
+      if !found = None && nul_term t !curs (mask_at (i + 1) (i + 1 = m)) then
+        found := Some bnd.(i + 1)
+    done;
+    { full = nul_term t !cur (mask_at m true); found_end = !found; bytes = n }
+
+  let matches t s = (run t s).full
+  let contains t s = (run t s).found_end <> None
+
+  (** Constant-memory streaming over chunked input, chunk-split
+      invariant: any split of the input yields the same verdict and
+      offsets as feeding it whole (or as {!run}).  Rejects patterns
+      with lookaheads — their truth depends on input that has not
+      arrived; anchors and lookbehinds only ever reference the consumed
+      prefix (plus the one end-of-input bit, resolved at {!finish}).
+
+      End-of-input subtlety: while feeding, the frontier boundary may
+      still turn out to be final, so a ν-success there (under [$] =
+      false) is held {e tentative} and committed only when the next
+      scalar proves the boundary interior; {!finish} re-checks the
+      final boundary under [$] = true. *)
+  module Stream = struct
+    type matcher = t
+
+    type nonrec t = {
+      m : matcher;
+      mutable cur : L.t;
+      mutable curs : L.t;
+      bq : int array;
+      mutable scalars : int;
+      mutable found : int option;
+      mutable tentative : int option;
+      mutable bytes : int;
+      carry : Bytes.t;  (** truncated UTF-8 prefix awaiting more input *)
+      mutable carry_len : int;
+      mutable finished : bool;
+    }
+
+    let cur_mask st at_end =
+      let m = st.m in
+      let mask = ref 0 in
+      if st.scalars = 0 && m.bit_begin >= 0 then
+        mask := !mask lor (1 lsl m.bit_begin);
+      if at_end && m.bit_end >= 0 then mask := !mask lor (1 lsl m.bit_end);
+      Array.iteri
+        (fun j (ai, dfa) ->
+          if Dfa.is_nullable dfa st.bq.(j) then mask := !mask lor (1 lsl ai))
+        m.behinds;
+      !mask
+
+    let create (m : matcher) =
+      if Array.length m.aheads > 0 then
+        invalid_arg
+          "Locmatch.Stream.create: lookahead obligations are not streamable";
+      let st =
+        {
+          m;
+          cur = m.pattern;
+          curs = m.search;
+          bq = Array.map (fun _ -> Dfa.start_id) m.behinds;
+          scalars = 0;
+          found = None;
+          tentative = None;
+          bytes = 0;
+          carry = Bytes.create 3;
+          carry_len = 0;
+          finished = false;
+        }
+      in
+      if nul_term m st.curs (cur_mask st false) then st.tentative <- Some 0;
+      st
+
+    let step_cp st cp width =
+      let m = st.m in
+      (* a scalar arrived: the previous frontier boundary is interior *)
+      if st.found = None then st.found <- st.tentative;
+      st.tentative <- None;
+      let mask = cur_mask st false in
+      let c = Bc.classify_cp m.bc cp in
+      st.cur <- step_term m st.cur c mask;
+      st.curs <- step_term m st.curs c mask;
+      Array.iteri
+        (fun j (_, dfa) -> st.bq.(j) <- Dfa.step dfa st.bq.(j) c)
+        m.behinds;
+      st.scalars <- st.scalars + 1;
+      st.bytes <- st.bytes + width;
+      if st.found = None && nul_term m st.curs (cur_mask st false) then
+        st.tentative <- Some st.bytes
+
+    (** Feed the next chunk (or a slice of it).  Raises
+        [Invalid_argument] after {!finish}. *)
+    let feed ?(off = 0) ?len st (chunk : string) : unit =
+      if st.finished then
+        invalid_arg "Locmatch.Stream.feed: stream finished";
+      let len =
+        match len with Some l -> l | None -> String.length chunk - off
+      in
+      if off < 0 || len < 0 || off + len > String.length chunk then
+        invalid_arg "Locmatch.Stream.feed: bad slice";
+      match st.m.mode with
+      | Byteclass.Byte ->
+        for i = off to off + len - 1 do
+          step_cp st (Char.code chunk.[i]) 1
+        done
+      | Byteclass.Utf8 ->
+        let chunk_limit = off + len in
+        let chunk_pos = ref off in
+        if st.carry_len > 0 then begin
+          (* splice the carry with ≤ 6 chunk bytes; see Stream.feed for
+             why 6 settles every scalar starting inside the carry *)
+          let take = min 6 len in
+          let cl = st.carry_len in
+          let head = Bytes.create (cl + take) in
+          Bytes.blit st.carry 0 head 0 cl;
+          Bytes.blit_string chunk off head cl take;
+          let head = Bytes.unsafe_to_string head in
+          let hlimit = cl + take in
+          let p = ref 0 in
+          let truncated = ref false in
+          while (not !truncated) && !p < cl do
+            match Byteclass.classify_scalar head !p hlimit with
+            | `Cp (cp, w) ->
+              step_cp st cp w;
+              p := !p + w
+            | `Malformed ->
+              step_cp st Byteclass.replacement 1;
+              incr p
+            | `Truncated -> truncated := true
+          done;
+          if !truncated then begin
+            let rest = hlimit - !p in
+            Bytes.blit_string head !p st.carry 0 rest;
+            st.carry_len <- rest;
+            chunk_pos := chunk_limit
+          end
+          else begin
+            st.carry_len <- 0;
+            chunk_pos := off + (!p - cl)
+          end
+        end;
+        let p = ref !chunk_pos in
+        let trunc = ref (-1) in
+        while !trunc < 0 && !p < chunk_limit do
+          match Byteclass.classify_scalar chunk !p chunk_limit with
+          | `Cp (cp, w) ->
+            step_cp st cp w;
+            p := !p + w
+          | `Malformed ->
+            step_cp st Byteclass.replacement 1;
+            incr p
+          | `Truncated -> trunc := !p
+        done;
+        if !trunc >= 0 then begin
+          let rest = chunk_limit - !trunc in
+          Bytes.blit_string chunk !trunc st.carry 0 rest;
+          st.carry_len <- rest
+        end
+
+    (** End of stream: flush a dangling carry as one U+FFFD, resolve the
+        final boundary under [$] = true, return the verdict.
+        Idempotent. *)
+    let finish st : result =
+      if not st.finished then begin
+        if st.carry_len > 0 then begin
+          step_cp st Byteclass.replacement st.carry_len;
+          st.carry_len <- 0
+        end;
+        st.finished <- true;
+        if st.found = None && nul_term st.m st.curs (cur_mask st true) then
+          st.found <- Some st.bytes
+      end;
+      {
+        full = nul_term st.m st.cur (cur_mask st true);
+        found_end = st.found;
+        bytes = st.bytes;
+      }
+  end
+end

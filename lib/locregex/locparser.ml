@@ -1,0 +1,183 @@
+(** Parser for the location-aware pattern syntax: everything
+    {!Sbd_regex.Parser} accepts — including POSIX bracket classes and
+    class algebra — plus anchors and lookarounds:
+
+    {v atom ::= ... | '^' | '$'
+              | '(?=' alt ')' | '(?!' alt ')'
+              | '(?<=' alt ')' | '(?<!' alt ')' v}
+
+    Lookaround bodies are parsed with the same grammar and then required
+    to be zero-width-free (plain EREs): nested lookarounds/anchors are
+    rejected with an error at the construct's opening '(' — as are
+    unknown [(?...] group kinds, so a typo like [(?<x)] points at the
+    offset a reader will actually look at, not end-of-input.
+
+    Note the asymmetry with the plain parser, where [^] and [$] are
+    ordinary literal characters: benchmark corpora of real-world
+    patterns use them literally, and changing the plain syntax would
+    silently re-interpret existing inputs.  Code that wants anchors opts
+    in by parsing with this module (the CLI and service do, routing
+    zero-width-free results back to the plain machinery). *)
+
+open Sbd_regex.Parser
+
+module Make (L : Locregex.S) = struct
+  exception Parse_error = Sbd_regex.Parser.Parse_error
+
+  let rec parse_alt st =
+    let first = parse_inter st in
+    let rec loop acc =
+      match peek st with
+      | Some '|' ->
+        advance st;
+        loop (parse_inter st :: acc)
+      | _ -> List.rev acc
+    in
+    L.alt_list (loop [ first ])
+
+  and parse_inter st =
+    let first = parse_cat st in
+    let rec loop acc =
+      match peek st with
+      | Some '&' ->
+        advance st;
+        loop (parse_cat st :: acc)
+      | _ -> List.rev acc
+    in
+    L.inter_list (loop [ first ])
+
+  and parse_cat st =
+    let rec loop acc =
+      match peek st with
+      | None -> List.rev acc
+      | Some c when List.mem c stop_chars -> List.rev acc
+      | _ -> loop (parse_prefix st :: acc)
+    in
+    match loop [] with [] -> L.eps | rs -> L.concat_list rs
+
+  and parse_prefix st =
+    match peek st with
+    | Some '~' ->
+      advance st;
+      L.compl (parse_prefix st)
+    | _ -> parse_postfix st
+
+  and parse_postfix st =
+    let atom = parse_atom st in
+    let rec loop r =
+      match peek st with
+      | Some '*' ->
+        advance st;
+        loop (L.star r)
+      | Some '+' ->
+        advance st;
+        loop (L.plus r)
+      | Some '?' ->
+        advance st;
+        loop (L.opt r)
+      | Some '{' -> (
+        let qpos = st.pos in
+        match try_quantifier st with
+        | Some (m, n) -> (
+          (* counted repetition of a zero-width-containing term is
+             expanded by L.loop, with a bound; surface the bound as a
+             positioned syntax error *)
+          try loop (L.loop r m n)
+          with Invalid_argument msg -> error_at qpos msg)
+        | None -> r (* literal '{': picked up by the next atom *))
+      | _ -> r
+    in
+    loop atom
+
+  (* A lookaround body: parsed with the full grammar, then required to
+     be zero-width-free.  [open_pos] is the offset of the construct's
+     '(' — every error in here points at it. *)
+  and parse_look_body st open_pos =
+    let body = parse_alt st in
+    (match peek st with
+    | Some ')' -> advance st
+    | _ -> error_at open_pos "unterminated lookaround (expected ')')");
+    match L.to_plain body with
+    | Some r -> r
+    | None ->
+      error_at open_pos
+        "lookaround body must not contain anchors or lookarounds"
+
+  and parse_atom st =
+    match peek st with
+    | None -> error st "expected atom"
+    | Some '^' ->
+      advance st;
+      L.begin_
+    | Some '$' ->
+      advance st;
+      L.end_
+    | Some '(' when peek2 st = Some '?' -> (
+      let open_pos = st.pos in
+      advance st;
+      advance st;
+      match peek st with
+      | Some '=' ->
+        advance st;
+        L.look ~behind:false ~neg:false (parse_look_body st open_pos)
+      | Some '!' ->
+        advance st;
+        L.look ~behind:false ~neg:true (parse_look_body st open_pos)
+      | Some '<' -> (
+        advance st;
+        match peek st with
+        | Some '=' ->
+          advance st;
+          L.look ~behind:true ~neg:false (parse_look_body st open_pos)
+        | Some '!' ->
+          advance st;
+          L.look ~behind:true ~neg:true (parse_look_body st open_pos)
+        | _ -> error_at open_pos "expected '(?<=' or '(?<!'")
+      | _ ->
+        error_at open_pos
+          "unknown group kind (expected '(?=', '(?!', '(?<=' or '(?<!')")
+    | Some '(' ->
+      advance st;
+      (match peek st with
+      | Some ')' ->
+        advance st;
+        L.eps
+      | _ ->
+        let r = parse_alt st in
+        expect st ')';
+        r)
+    | Some '[' ->
+      advance st;
+      (match peek st with
+      | Some ']' -> error st "empty character class"
+      | _ -> L.pred (L.R.A.of_ranges (parse_class st)))
+    | Some '.' ->
+      advance st;
+      L.any
+    | Some '\\' ->
+      advance st;
+      (match parse_escape st with
+      | Point p -> L.chr p
+      | Class rs -> L.pred (L.R.A.of_ranges rs))
+    | Some (('*' | '+' | '?' | ']' | '|' | '&' | ')') as c) ->
+      error st (Printf.sprintf "unexpected '%c'" c)
+    | Some c ->
+      advance st;
+      L.chr (Char.code c)
+
+  (** Parse a complete location-aware pattern; the whole input must be
+      consumed. *)
+  let parse (input : string) : (L.t, int * string) result =
+    let st = { input; pos = 0 } in
+    try
+      let r = parse_alt st in
+      if st.pos < String.length input then Error (st.pos, "trailing characters")
+      else Ok r
+    with Parse_error (pos, msg) -> Error (pos, msg)
+
+  let parse_exn input =
+    match parse input with
+    | Ok r -> r
+    | Error (pos, msg) ->
+      invalid_arg (Printf.sprintf "pattern %S: at %d: %s" input pos msg)
+end

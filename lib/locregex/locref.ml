@@ -1,0 +1,107 @@
+(** Brute-force reference semantics for location-aware patterns: the
+    differential oracle for {!Sbd_engine.Locmatch}.
+
+    [eval] decides "does the scalar slice [w[i..j)] match [t]" by
+    structural recursion that literally tries {e every} split position
+    for concatenations and stars, and resolves a lookaround atom at
+    position [p] by trying every span ending (lookbehind) or starting
+    (lookahead) at [p].  Anchors consult the absolute offsets: [^] holds
+    only at 0, [$] only at [n].  Zero-width-free subterms are decided by
+    a plain derivative walk over the slice (itself oracle-verified by
+    the existing engine fuzz), so the quadratic blow-up is confined to
+    the located structure under test.
+
+    Everything is memoized per input — [(term, i, j)] keys — but the
+    intended inputs are fuzz/corpus sized (tens of code points), not
+    engine sized.  Positions are scalar indices; callers translate to
+    byte offsets with the boundary table of their decoder. *)
+
+module Make (L : Locregex.S) = struct
+  type t = {
+    pat : L.t;
+    cps : int array;
+    n : int;
+    memo : (int * int * int, bool) Hashtbl.t;
+  }
+
+  let make pat cps = { pat; cps; n = Array.length cps; memo = Hashtbl.create 256 }
+
+  let sat_false _ = false
+
+  (* Plain (zw-free) span match by a derivative walk; the all-false
+     valuation is vacuous on terms without atoms. *)
+  let plain_span o (p : L.t) i j =
+    let key = (p.L.id, i, j) in
+    match Hashtbl.find_opt o.memo key with
+    | Some v -> v
+    | None ->
+      let rec go p k =
+        if L.equal p L.empty then false
+        else if k = j then p.L.nul
+        else go (L.deriv ~sat:sat_false o.cps.(k) p) (k + 1)
+      in
+      let v = go p i in
+      Hashtbl.add o.memo key v;
+      v
+
+  let rec eval o (t : L.t) i j =
+    if not t.L.zw then plain_span o t i j
+    else
+      let key = (t.L.id, i, j) in
+      match Hashtbl.find_opt o.memo key with
+      | Some v -> v
+      | None ->
+        let v =
+          match t.L.node with
+          | L.Pred _ | L.Eps | L.Loop _ ->
+            assert false (* zw-free: handled above (Loop bodies are zw-free) *)
+          | L.Begin -> i = j && i = 0
+          | L.Endl -> i = j && j = o.n
+          | L.Look { behind; neg; body } ->
+            i = j
+            &&
+            let bl = L.of_plain body in
+            let holds =
+              if behind then
+                (* some span ending here, i.e. a suffix of the consumed
+                   prefix, is in the body *)
+                let rec any s = s <= i && (plain_span o bl s i || any (s + 1)) in
+                any 0
+              else
+                let rec any e = e <= o.n && (plain_span o bl i e || any (e + 1)) in
+                any i
+            in
+            if neg then not holds else holds
+          | L.Concat (a, b) ->
+            let rec split k = k <= j && ((eval o a i k && eval o b k j) || split (k + 1)) in
+            split i
+          | L.Star a ->
+            i = j
+            ||
+            (* first iteration nonempty: ε iterations add nothing *)
+            let rec split k =
+              k <= j && ((eval o a i k && eval o t k j) || split (k + 1))
+            in
+            split (i + 1)
+          | L.Or xs -> List.exists (fun x -> eval o x i j) xs
+          | L.And xs -> List.for_all (fun x -> eval o x i j) xs
+          | L.Not a -> not (eval o a i j)
+        in
+        Hashtbl.add o.memo key v;
+        v
+
+  let full o = eval o o.pat 0 o.n
+
+  (* Earliest end position of any match starting anywhere: the located
+     analogue of the engine's [found_end] (leftmost-earliest search). *)
+  let earliest_end o =
+    let rec ends e =
+      if e > o.n then None
+      else
+        let rec starts s = s <= e && (eval o o.pat s e || starts (s + 1)) in
+        if starts 0 then Some e else ends (e + 1)
+    in
+    ends 0
+
+  let contains o = earliest_end o <> None
+end

@@ -10,167 +10,283 @@
        postfix::= atom ('*' | '+' | '?' | '{m}' | '{m,}' | '{m,n}')*
        atom   ::= '(' alt? ')' | '.' | class | escape | literal char v}
 
-    Character classes support ranges, negation ([^...]) and the escapes
-    [\d \D \w \W \s \S \t \n \r \f \v \xHH \u{H+} \\ \<punct>].  An empty
-    group [()] denotes the empty string.  An empty class [[]] and a
-    reversed range ([[z-a]]) are rejected with a positioned error rather
-    than silently denoting the empty language: every real-world pattern
-    containing one is a typo, and a silent ⊥ absorbs the whole
-    concatenation around it.  [~] is prefix complement, [&] is
-    intersection.  A [{] that does not
-    start a valid [{m}], [{m,}] or [{m,n}] quantifier is a literal brace
-    (as are all [}]), matching how benchmark suites of real-world
-    patterns use braces.
+    Character classes support ranges, negation ([^...]), the escapes
+    [\d \D \w \W \s \S \t \n \r \f \v \0 \xHH \u{H+} \\ \<punct>], POSIX
+    named classes ([[:alpha:]], negated [[:^alpha:]]) and the class
+    algebra [&&[...]] (intersection) and [--[...]] (difference), whose
+    right operand must be a bracketed class so that lone ['&'] and ['-']
+    stay ordinary class members.  An empty group [()] denotes the empty
+    string.  An empty class [[]] and a reversed range ([[z-a]]) are
+    rejected with a positioned error rather than silently denoting the
+    empty language: every real-world pattern containing one is a typo,
+    and a silent ⊥ absorbs the whole concatenation around it.  [~] is
+    prefix complement, [&] is intersection.  A [{] that does not start a
+    valid [{m}], [{m,}] or [{m,n}] quantifier is a literal brace (as are
+    all [}]), matching how benchmark suites of real-world patterns use
+    braces.
+
+    The lexical layer (escapes, classes, quantifiers) lives outside the
+    functor so {!Sbd_locregex.Locparser} reuses it verbatim; multi-byte
+    constructs ([[:name:]], class operators) report errors at their
+    opening offset, not wherever scanning stopped.
 
     The parser is total on its input: errors are reported as
     [Error (position, message)]. *)
 
-module Make (R : Regex.S) = struct
-  exception Parse_error of int * string
+exception Parse_error of int * string
 
-  type state = { input : string; mutable pos : int }
+type state = { input : string; mutable pos : int }
 
-  let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
-  let advance st = st.pos <- st.pos + 1
-  let error st msg = raise (Parse_error (st.pos, msg))
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
 
-  let expect st c =
+let peek2 st =
+  if st.pos + 1 < String.length st.input then Some st.input.[st.pos + 1]
+  else None
+
+let advance st = st.pos <- st.pos + 1
+let error_at pos msg = raise (Parse_error (pos, msg))
+let error st msg = error_at st.pos msg
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> error st (Printf.sprintf "expected '%c'" c)
+
+let is_digit c = c >= '0' && c <= '9'
+
+let parse_int st =
+  let start = st.pos in
+  while match peek st with Some c when is_digit c -> true | _ -> false do
+    advance st
+  done;
+  if st.pos = start then error st "expected integer";
+  int_of_string (String.sub st.input start (st.pos - start))
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+let parse_hex st count =
+  let v = ref 0 in
+  for _ = 1 to count do
     match peek st with
-    | Some c' when c' = c -> advance st
-    | _ -> error st (Printf.sprintf "expected '%c'" c)
-
-  let is_digit c = c >= '0' && c <= '9'
-
-  let parse_int st =
-    let start = st.pos in
-    while match peek st with Some c when is_digit c -> true | _ -> false do
+    | Some c when hex_value c >= 0 ->
+      v := (!v * 16) + hex_value c;
       advance st
-    done;
-    if st.pos = start then error st "expected integer";
-    int_of_string (String.sub st.input start (st.pos - start))
+    | _ -> error st "expected hex digit"
+  done;
+  !v
 
-  let hex_value c =
-    match c with
-    | '0' .. '9' -> Char.code c - Char.code '0'
-    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-    | _ -> -1
+let parse_hex_braced st =
+  expect st '{';
+  let v = ref 0 and n = ref 0 in
+  while match peek st with Some c when hex_value c >= 0 -> true | _ -> false do
+    v := (!v * 16) + hex_value (Option.get (peek st));
+    incr n;
+    advance st
+  done;
+  if !n = 0 then error st "expected hex digits";
+  expect st '}';
+  if !v > Sbd_alphabet.Algebra.max_char then error st "code point beyond BMP";
+  !v
 
-  let parse_hex st count =
-    let v = ref 0 in
-    for _ = 1 to count do
-      match peek st with
-      | Some c when hex_value c >= 0 ->
-        v := (!v * 16) + hex_value c;
-        advance st
-      | _ -> error st "expected hex digit"
-    done;
-    !v
+(* An escape denotes either a single code point or a character class. *)
+type escape = Point of int | Class of (int * int) list
 
-  let parse_hex_braced st =
-    expect st '{';
-    let v = ref 0 and n = ref 0 in
-    while match peek st with Some c when hex_value c >= 0 -> true | _ -> false do
-      v := (!v * 16) + hex_value (Option.get (peek st));
-      incr n;
-      advance st
-    done;
-    if !n = 0 then error st "expected hex digits";
-    expect st '}';
-    if !v > Sbd_alphabet.Algebra.max_char then error st "code point beyond BMP";
-    !v
+let class_ranges name =
+  Sbd_alphabet.Charclass.ranges_of name |> Sbd_alphabet.Algebra.normalize_ranges
 
-  (* An escape denotes either a single code point or a character class. *)
-  type escape = Point of int | Class of (int * int) list
+let negate_ranges rs =
+  Sbd_alphabet.Algebra.(complement_ranges (normalize_ranges rs))
 
-  let class_ranges name =
-    Sbd_alphabet.Charclass.ranges_of name |> Sbd_alphabet.Algebra.normalize_ranges
+let parse_escape st =
+  match peek st with
+  | None -> error st "dangling backslash"
+  | Some c ->
+    advance st;
+    (match c with
+    | 'd' -> Class (class_ranges Digit)
+    | 'D' -> Class (negate_ranges (class_ranges Digit))
+    | 'w' -> Class (class_ranges Word)
+    | 'W' -> Class (negate_ranges (class_ranges Word))
+    | 's' -> Class (class_ranges Space)
+    | 'S' -> Class (negate_ranges (class_ranges Space))
+    | 't' -> Point 0x09
+    | 'n' -> Point 0x0A
+    | 'r' -> Point 0x0D
+    | 'f' -> Point 0x0C
+    | 'v' -> Point 0x0B
+    | '0' -> Point 0x00
+    | 'x' -> Point (parse_hex st 2)
+    | 'u' -> Point (parse_hex_braced st)
+    | c -> Point (Char.code c))
 
-  let negate_ranges rs =
-    Sbd_alphabet.Algebra.(complement_ranges (normalize_ranges rs))
+(* -- character classes ------------------------------------------- *)
 
-  let parse_escape st =
+(* A POSIX named class [[:name:]] / [[:^name:]]; [st.pos] is at the
+   opening '['.  Errors (unknown name, missing ':]') point at that
+   opening offset -- by the time the name has been scanned, [st.pos] is
+   deep inside the construct and useless for diagnostics. *)
+let parse_posix_class st =
+  let open_pos = st.pos in
+  advance st (* '[' *);
+  advance st (* ':' *);
+  let negated =
     match peek st with
-    | None -> error st "dangling backslash"
+    | Some '^' ->
+      advance st;
+      true
+    | _ -> false
+  in
+  let start = st.pos in
+  while
+    match peek st with Some ('a' .. 'z') -> true | _ -> false
+  do
+    advance st
+  done;
+  let name = String.sub st.input start (st.pos - start) in
+  (match (peek st, peek2 st) with
+  | Some ':', Some ']' ->
+    advance st;
+    advance st
+  | _ -> error_at open_pos "unterminated POSIX class (expected ':]')");
+  match Sbd_alphabet.Charclass.posix_ranges name with
+  | Some rs -> if negated then negate_ranges rs else Sbd_alphabet.Algebra.normalize_ranges rs
+  | None -> error_at open_pos (Printf.sprintf "unknown POSIX class [:%s:]" name)
+
+(* Is [st.pos] at a class-algebra operator ('&&' or '--' followed by a
+   bracketed operand)?  The bracket requirement keeps lone '&'/'-' and
+   even doubled ones before ']' ordinary class members, as they always
+   were. *)
+let class_op st =
+  let i = st.pos and s = st.input in
+  if
+    i + 2 < String.length s
+    && ((s.[i] = '&' && s.[i + 1] = '&') || (s.[i] = '-' && s.[i + 1] = '-'))
+    && s.[i + 2] = '['
+  then Some s.[i]
+  else None
+
+(* A class item's left-hand side: a single code point that may open a
+   range, or an escape/POSIX class contributing whole ranges. *)
+type lo_result = Lo of int | Ranges of (int * int) list
+
+(* Parse a bracket expression; called with [st.pos] just past the
+   opening '['.  Returns the final normalized ranges (negation and class
+   algebra applied).  Grammar:
+
+   {v class   ::= '^'? items (('&&' | '--') operand)* ']'
+      operand ::= '[' class | posix
+      items   ::= (char | range | escape | posix)* v}
+
+   The algebra is left-associative and union binds tighter only in the
+   sense that all items before an operator form one union operand. *)
+let rec parse_class st =
+  let negated =
+    match peek st with
+    | Some '^' ->
+      advance st;
+      true
+    | _ -> false
+  in
+  let rec seq current =
+    match peek st with
+    | None -> error st "unterminated character class"
+    | Some ']' ->
+      advance st;
+      current
+    | Some _ when class_op st <> None -> (
+      let op = Option.get (class_op st) in
+      advance st;
+      advance st;
+      (* operand: '[' then either a POSIX class or a nested class *)
+      let rhs =
+        match peek2 st with
+        | Some ':' -> parse_posix_class st
+        | _ ->
+          advance st;
+          parse_class st
+      in
+      let open Sbd_alphabet.Algebra in
+      match op with
+      | '&' -> seq (inter_ranges current rhs)
+      | _ -> seq (inter_ranges current (complement_ranges rhs)))
+    | Some '[' when peek2 st = Some ':' ->
+      let rs = parse_posix_class st in
+      seq (Sbd_alphabet.Algebra.normalize_ranges (rs @ current))
     | Some c ->
       advance st;
-      (match c with
-      | 'd' -> Class (class_ranges Digit)
-      | 'D' -> Class (negate_ranges (class_ranges Digit))
-      | 'w' -> Class (class_ranges Word)
-      | 'W' -> Class (negate_ranges (class_ranges Word))
-      | 's' -> Class (class_ranges Space)
-      | 'S' -> Class (negate_ranges (class_ranges Space))
-      | 't' -> Point 0x09
-      | 'n' -> Point 0x0A
-      | 'r' -> Point 0x0D
-      | 'f' -> Point 0x0C
-      | 'v' -> Point 0x0B
-      | '0' -> Point 0x00
-      | 'x' -> Point (parse_hex st 2)
-      | 'u' -> Point (parse_hex_braced st)
-      | c -> Point (Char.code c))
+      let lo =
+        if c = '\\' then
+          match parse_escape st with
+          | Point p -> Lo p
+          | Class rs -> Ranges rs
+        else Lo (Char.code c)
+      in
+      (match lo with
+      | Ranges rs -> seq (Sbd_alphabet.Algebra.normalize_ranges (rs @ current))
+      | Lo lo ->
+        (match peek st with
+        | Some '-'
+          when st.pos + 1 < String.length st.input
+               && st.input.[st.pos + 1] <> ']'
+               && class_op st = None ->
+          advance st;
+          let hi =
+            match peek st with
+            | Some '\\' ->
+              advance st;
+              (match parse_escape st with
+              | Point p -> p
+              | Class _ -> error st "character class in range bound")
+            | Some c ->
+              advance st;
+              Char.code c
+            | None -> error st "unterminated range"
+          in
+          if hi < lo then error st "inverted range";
+          seq (Sbd_alphabet.Algebra.normalize_ranges ((lo, hi) :: current))
+        | _ -> seq (Sbd_alphabet.Algebra.normalize_ranges ((lo, lo) :: current))))
+  in
+  let rs = seq [] in
+  if negated then negate_ranges rs else rs
 
-  (* -- character classes ------------------------------------------- *)
+(* -- quantifiers -------------------------------------------------- *)
 
-  let parse_class st =
-    (* called after consuming '['. *)
-    let negated =
+(* Attempt to read a [{m}], [{m,}] or [{m,n}] quantifier.  On any
+   mismatch the position is restored and [None] returned, so the brace
+   can be re-read as a literal character: RegExLib-style benchmark
+   patterns contain braces that do not start a quantifier (e.g.
+   [a{b]). *)
+let try_quantifier st =
+  let saved = st.pos in
+  try
+    expect st '{';
+    let m = parse_int st in
+    let n =
       match peek st with
-      | Some '^' ->
+      | Some ',' ->
         advance st;
-        true
-      | _ -> false
+        (match peek st with
+        | Some '}' -> None
+        | _ -> Some (parse_int st))
+      | _ -> Some m
     in
-    let ranges = ref [] in
-    let rec item () =
-      match peek st with
-      | None -> error st "unterminated character class"
-      | Some ']' -> advance st
-      | Some c ->
-        advance st;
-        let lo =
-          if c = '\\' then
-            match parse_escape st with
-            | Point p -> Some p
-            | Class rs ->
-              ranges := rs @ !ranges;
-              None
-          else Some (Char.code c)
-        in
-        (match lo with
-        | None -> item ()
-        | Some lo ->
-          (match peek st with
-          | Some '-' when st.pos + 1 < String.length st.input
-                          && st.input.[st.pos + 1] <> ']' ->
-            advance st;
-            let hi =
-              match peek st with
-              | Some '\\' ->
-                advance st;
-                (match parse_escape st with
-                | Point p -> p
-                | Class _ -> error st "character class in range bound")
-              | Some c ->
-                advance st;
-                Char.code c
-              | None -> error st "unterminated range"
-            in
-            if hi < lo then error st "inverted range";
-            ranges := (lo, hi) :: !ranges;
-            item ()
-          | _ ->
-            ranges := (lo, lo) :: !ranges;
-            item ()))
-    in
-    item ();
-    let rs = Sbd_alphabet.Algebra.normalize_ranges !ranges in
-    if negated then negate_ranges rs else rs
+    expect st '}';
+    Some (m, n)
+  with Parse_error _ ->
+    st.pos <- saved;
+    None
 
-  (* -- expression grammar ------------------------------------------ *)
+(* -- expression grammar ------------------------------------------ *)
 
-  let stop_chars = [ ')'; '|'; '&' ]
+let stop_chars = [ ')'; '|'; '&' ]
+
+module Make (R : Regex.S) = struct
+  exception Parse_error = Parse_error
 
   let rec parse_alt st =
     let first = parse_inter st in
@@ -209,31 +325,6 @@ module Make (R : Regex.S) = struct
       advance st;
       R.compl (parse_prefix st)
     | _ -> parse_postfix st
-
-  (* Attempt to read a [{m}], [{m,}] or [{m,n}] quantifier.  On any
-     mismatch the position is restored and [None] returned, so the brace
-     can be re-read as a literal character: RegExLib-style benchmark
-     patterns contain braces that do not start a quantifier (e.g.
-     [a{b]). *)
-  and try_quantifier st =
-    let saved = st.pos in
-    try
-      expect st '{';
-      let m = parse_int st in
-      let n =
-        match peek st with
-        | Some ',' ->
-          advance st;
-          (match peek st with
-          | Some '}' -> None
-          | _ -> Some (parse_int st))
-        | _ -> Some m
-      in
-      expect st '}';
-      Some (m, n)
-    with Parse_error _ ->
-      st.pos <- saved;
-      None
 
   and parse_postfix st =
     let atom = parse_atom st in

@@ -20,3 +20,13 @@ module E = Sbd_smtlib.Eval.Make (R)
 module Simp = Sbd_regex.Simplify.Make (R)
 module Ref = Sbd_classic.Refmatch.Make (R)
 module C = Sbd_contain.Contain.Make (R)
+
+(* Location-aware layer (anchors, lookarounds): one application over the
+   same [R], so lookaround bodies and plain terms share one hash-cons
+   table and plain results route back to the classical machinery with
+   physical equality intact. *)
+module LR = Sbd_locregex.Locregex.Make (R)
+module LP = Sbd_locregex.Locparser.Make (LR)
+module LRef = Sbd_locregex.Locref.Make (LR)
+module LA = Sbd_analysis.Locanalyze.Make (LR)
+module LM = Sbd_engine.Locmatch.Make (LR)

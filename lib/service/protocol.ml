@@ -151,24 +151,33 @@ let contain_response ~id ~(cached : bool) ~(wall_s : float)
     @ match stats with None -> [] | Some s -> [ ("stats", json_of_stats s) ])
 
 (** Outcome of a [match] request: either the engine ran to completion
-    (full-match flag + leftmost-earliest span in byte offsets), or it
-    hit the deadline. *)
+    (full-match flag + leftmost-earliest span in byte offsets; located
+    patterns report the earliest match end instead of a span, since the
+    located engine does not recover start positions), or it hit the
+    deadline. *)
 type match_verdict =
-  | Matched of { full : bool; span : (int * int) option }
+  | Matched of {
+      full : bool;
+      span : (int * int) option;
+      found_end : int option;
+    }
   | Match_unknown of string
 
 let match_response ~id ~(wall_s : float)
     ?(stats : (string * float) list option) (v : match_verdict) : J.t =
   with_id id
     ((match v with
-     | Matched { full; span } ->
+     | Matched { full; span; found_end } ->
        [
          ("status", J.Str "ok");
-         ("matched", J.Bool (span <> None));
+         ("matched", J.Bool (span <> None || found_end <> None));
          ("full", J.Bool full);
        ]
        @ (match span with
          | Some (i, j) -> [ ("span", J.Arr [ J.Int i; J.Int j ]) ]
+         | None -> [])
+       @ (match found_end with
+         | Some j -> [ ("found_end", J.Int j) ]
          | None -> [])
      | Match_unknown reason ->
        [ ("status", J.Str "unknown"); ("reason", J.Str reason) ])

@@ -502,7 +502,7 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
   Array.iteri
     (fun i (pat, input) ->
       match[@warning "-4"] (match_verdicts.(i), W0.match_ref ~pattern:pat ~input) with
-      | Some (Protocol.Matched { full; span }), Some (ref_full, ref_span) ->
+      | Some (Protocol.Matched { full; span; _ }), Some (ref_full, ref_span) ->
         incr match_checked;
         if full <> ref_full || span <> ref_span then incr match_mismatches
       | _ -> ())

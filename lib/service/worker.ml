@@ -58,7 +58,16 @@ module type WORKER = sig
       leftmost-earliest span in byte offsets.  Engines are cached per
       pattern within the worker.  A deadline expiry yields
       [Ok (Match_unknown "deadline", _)]; [Error] is a parse error.
-      The stats list reports engine state/reset gauges. *)
+      The stats list reports engine state/reset gauges.
+
+      The pattern grammar is the {e extended} one
+      ({!Sbd_locregex.Locparser}): ['^']/['$'] anchors and lookarounds
+      route to the location-aware engine ({!Sbd_engine.Locmatch}).
+      That engine reports the earliest match {e end} but no span start;
+      located verdicts carry [span = None] (the located engine does not
+      recover start positions) and report the earliest match end in the
+      verdict's [found_end] field, mirrored as the
+      ["locmatch.found_end"] stat (-1 = no match). *)
 
   val match_ref :
     pattern:string -> input:string -> (bool * (int * int) option) option
@@ -112,7 +121,13 @@ module type WORKER = sig
       structural metrics, lint findings, budgeted sound
       emptiness/universality verdicts, and routing hints, as the
       analyzer's JSON report.  [budget] bounds Layer-2 state
-      expansions (default 2000); [Error] is a parse error. *)
+      expansions (default 2000); [Error] is a parse error.
+
+      Extended patterns (anchors/lookarounds) are analyzed by the
+      located analyzer ({!Sbd_analysis.Locanalyze}) instead — its JSON
+      report (fragment, degenerate-lookaround and dead-anchor findings,
+      lowered form) has a different shape, distinguished by its
+      ["zero_width"] field. *)
 
   val engine_max_states : string -> (int, string) result
   (** The analyzer-chosen engine state cap for the pattern — the cap
@@ -138,6 +153,13 @@ let create ?(memo_cap = 200_000) () : (module WORKER) =
   let module Ref = Sbd_classic.Refmatch.Make (R) in
   let module An = Sbd_analysis.Analyze.Make (R) in
   let module C = Sbd_contain.Contain.Make (R) in
+  (* Located layer over the same generative R: lookaround bodies share
+     this worker's hash-cons table, so plain results route back to the
+     classical machinery with physical equality intact. *)
+  let module LR = Sbd_locregex.Locregex.Make (R) in
+  let module LP = Sbd_locregex.Locparser.Make (LR) in
+  let module LA = Sbd_analysis.Locanalyze.Make (LR) in
+  let module LM = Sbd_engine.Locmatch.Make (LR) in
   (module struct
     let session = S.create_session ()
     let csession = C.create_session ()
@@ -146,6 +168,15 @@ let create ?(memo_cap = 200_000) () : (module WORKER) =
     let parse pat =
       match P.parse pat with
       | Ok r -> Ok r
+      | Error (pos, msg) ->
+        Error (Printf.sprintf "parse error at %d: %s" pos msg)
+
+    (* Extended grammar (anchors, lookarounds) for the match/analyze
+       workloads; the solver workloads stay on the plain grammar, whose
+       corpora treat '^'/'$' as literals. *)
+    let parse_ext pat =
+      match LP.parse pat with
+      | Ok t -> Ok t
       | Error (pos, msg) ->
         Error (Printf.sprintf "parse error at %d: %s" pos msg)
 
@@ -287,6 +318,20 @@ let create ?(memo_cap = 200_000) () : (module WORKER) =
     let engines : (string, Eng.t) Hashtbl.t = Hashtbl.create 16
     let engine_cap = 64
 
+    (* Located engines are cached separately: same cap, same churn
+       bound.  A pattern lands in exactly one of the two tables. *)
+    let loc_engines : (string, LM.t) Hashtbl.t = Hashtbl.create 16
+
+    let loc_engine_for pat (t : LR.t) : LM.t =
+      match Hashtbl.find_opt loc_engines pat with
+      | Some e -> e
+      | None ->
+        if Hashtbl.length loc_engines >= engine_cap then
+          Hashtbl.reset loc_engines;
+        let e = LM.create ~mode:Sbd_engine.Byteclass.Utf8 t in
+        Hashtbl.add loc_engines pat e;
+        e
+
     (* Engine state caps come from the structural analyzer: a tight cap
        (Theorem 7.3 bound with slack) for linear-fragment patterns, the
        default for general EREs, and extra headroom for blowup-prone
@@ -317,16 +362,38 @@ let create ?(memo_cap = 200_000) () : (module WORKER) =
       incr nqueries;
       Obs.Counter.incr c_queries;
       Result.map
-        (fun r ->
-          let deadline = Option.map Obs.Deadline.of_seconds deadline in
-          let report = An.analyze ~source:pat ?budget ?deadline r in
-          ignore (relieve_pressure ());
-          An.json_of_report report)
-        (parse pat)
+        (fun t ->
+          match LR.to_plain t with
+          | Some r ->
+            let deadline = Option.map Obs.Deadline.of_seconds deadline in
+            let report = An.analyze ~source:pat ?budget ?deadline r in
+            ignore (relieve_pressure ());
+            An.json_of_report report
+          | None -> LA.json_of_report (LA.analyze t))
+        (parse_ext pat)
+
+    let loc_match_input ~pattern ~input (t : LR.t) =
+      let e = loc_engine_for pattern t in
+      let res = LM.run e input in
+      let f = float_of_int in
+      Ok
+        ( Protocol.Matched
+            { full = res.LM.full; span = None; found_end = res.LM.found_end },
+          [
+            ("locmatch.atoms", f (LM.num_atoms e));
+            ("locmatch.memo_entries", f (LM.memo_entries e));
+            ( "locmatch.found_end",
+              match res.LM.found_end with None -> -1.0 | Some j -> f j );
+          ] )
 
     let match_input ?deadline ~pattern ~input () =
       incr nqueries;
       Obs.Counter.incr c_queries;
+      match parse_ext pattern with
+      | Error msg -> Error msg
+      | Ok t when LR.to_plain t = None ->
+        loc_match_input ~pattern ~input t
+      | Ok _ ->
       match engine_for pattern with
       | Error msg -> Error msg
       | Ok e ->
@@ -335,7 +402,7 @@ let create ?(memo_cap = 200_000) () : (module WORKER) =
           try
             let full = Eng.matches ?deadline:dl e input in
             let span = Eng.find ?deadline:dl e input in
-            Protocol.Matched { full; span }
+            Protocol.Matched { full; span; found_end = None }
           with Obs.Deadline_exceeded _ -> Protocol.Match_unknown "deadline"
         in
         let st = Eng.stats e in

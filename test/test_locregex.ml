@@ -1,0 +1,378 @@
+(* Tests for the location-aware derivative layer (lib/locregex,
+   DESIGN.md §15): parser syntax and error offsets (lookarounds, POSIX
+   bracket classes, class algebra), location-indexed nullability and
+   derivative semantics via the engine (Locmatch) against the
+   brute-force all-splits oracle (Locref), anchor elimination (lower)
+   against word enumeration, and chunk-split invariance of anchored
+   streaming. *)
+
+module R = Sbd_service.Default.R
+module P = Sbd_service.Default.P
+module L = Sbd_service.Default.LR
+module LP = Sbd_service.Default.LP
+module LRef = Sbd_service.Default.LRef
+module Ref = Sbd_service.Default.Ref
+module LEng = Sbd_service.Default.LM
+module LA = Sbd_service.Default.LA
+module Byteclass = Sbd_engine.Byteclass
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let lre s =
+  match LP.parse s with
+  | Ok r -> r
+  | Error (pos, msg) ->
+    Alcotest.fail (Printf.sprintf "parse %S: %d: %s" s pos msg)
+
+let re s =
+  match P.parse s with
+  | Ok r -> r
+  | Error (pos, msg) ->
+    Alcotest.fail (Printf.sprintf "parse %S: %d: %s" s pos msg)
+
+(* Lossy-decode [s] exactly as the engine segments it: the code points
+   and the byte offset of each scalar boundary. *)
+let segment s =
+  let n = String.length s in
+  let cps = ref [] and bnd = ref [ 0 ] and pos = ref 0 in
+  while !pos < n do
+    let cp, pos' = Byteclass.scalar_forward s !pos n in
+    cps := cp :: !cps;
+    bnd := pos' :: !bnd;
+    pos := pos'
+  done;
+  (Array.of_list (List.rev !cps), Array.of_list (List.rev !bnd))
+
+(* -- parser: syntax ------------------------------------------------------- *)
+
+let test_parse_syntax () =
+  (* anchors and lookarounds build the expected nodes *)
+  check "begin" true (L.equal (lre "^") L.begin_);
+  check "end" true (L.equal (lre "$") L.end_);
+  check "lookahead" true
+    (L.equal (lre "(?=ab)") (L.look ~behind:false ~neg:false (re "ab")));
+  check "neg lookahead" true
+    (L.equal (lre "(?!ab)") (L.look ~behind:false ~neg:true (re "ab")));
+  check "lookbehind" true
+    (L.equal (lre "(?<=ab)") (L.look ~behind:true ~neg:false (re "ab")));
+  check "neg lookbehind" true
+    (L.equal (lre "(?<!ab)") (L.look ~behind:true ~neg:true (re "ab")));
+  (* plain sub-syntax is untouched and round-trips through of_plain *)
+  check "plain embedding" true
+    (L.equal (lre "a(b|c)*") (L.of_plain (re "a(b|c)*")));
+  (* to_plain inverts of_plain on zw-free terms *)
+  (match L.to_plain (lre "a(b|c)*[0-9]{2,}") with
+  | Some p -> check "to_plain" true (R.equal p (re "a(b|c)*[0-9]{2,}"))
+  | None -> Alcotest.fail "to_plain returned None on a plain term");
+  check "zw-term has no plain form" true (L.to_plain (lre "^a") = None);
+  (* pp round-trips through the parser *)
+  List.iter
+    (fun s ->
+      let t = lre s in
+      check (Printf.sprintf "pp roundtrip %S" s) true
+        (L.equal t (lre (L.to_string t))))
+    [ "^a+b$"; "(?=ab)c*"; "(?<!x)y|z&~w"; "^(a|$)"; "(?<=a[0-9])b" ];
+  (* the plain parser keeps '^'/'$' literal: opting into anchors is the
+     extended grammar's job *)
+  check "plain caret literal" true (R.equal (re "^") (re "\\^"));
+  check "plain dollar literal" true (R.equal (re "a$b") (re "a\\$b"))
+
+(* -- parser: POSIX classes and class algebra ------------------------------ *)
+
+let test_parse_posix () =
+  (* named classes coincide with the escape classes *)
+  check "[[:digit:]] = \\d" true (R.equal (re "[[:digit:]]") (re "\\d"));
+  check "[[:word:]] = \\w" true (R.equal (re "[[:word:]]") (re "\\w"));
+  check "[[:^space:]] = \\S" true (R.equal (re "[[:^space:]]") (re "\\S"));
+  check "alnum union" true
+    (R.equal (re "[[:alpha:][:digit:]]") (re "[[:alnum:]]"));
+  (* class algebra: difference and intersection *)
+  check "difference" true
+    (R.equal (re "[a-z--[aeiou]]") (re "[bcdfghjklmnpqrstvwxyz]"));
+  check "intersection" true
+    (R.equal (re "[[:alnum:]&&[^0-9]]") (re "[[:alpha:]]"));
+  check "nested algebra" true
+    (R.equal (re "[0-9--[4-6--[5]]]") (re "[01235789]"));
+  (* both parsers share the lexical layer *)
+  check "loc parser posix" true
+    (L.equal (lre "[[:digit:]]+$") (L.concat (L.of_plain (re "\\d+")) L.end_));
+  (* '[' not followed by ':' stays a literal class member, as before *)
+  check "literal bracket" true (R.equal (re "[[a]") (re "[a[]"));
+  (* lone '&' / '-' stay ordinary members *)
+  check "lone amp" true (R.equal (re "[a&]") (re "[&a]"));
+  check "trailing dash" true (R.equal (re "[a-]") (re "[\\-a]"))
+
+(* -- parser: error offsets for multi-byte constructs ---------------------- *)
+
+let err_pos p s =
+  match p s with
+  | Ok _ -> Alcotest.fail (Printf.sprintf "%S unexpectedly parsed" s)
+  | Error (pos, _) -> pos
+
+let test_parse_error_offsets () =
+  (* unknown POSIX class: the opening '[' of '[:', not end-of-input *)
+  check_int "[[:bogus:]]" 1 (err_pos P.parse "[[:bogus:]]");
+  check_int "prefixed bogus" 3 (err_pos P.parse "ab[[:bogus:]]");
+  check_int "unterminated posix" 1 (err_pos P.parse "[[:alpha]");
+  check_int "loc parser same" 3 (err_pos LP.parse "ab[[:bogus:]]");
+  (* unknown/truncated group kinds: the opening '(' *)
+  check_int "(?<" 0 (err_pos LP.parse "(?<");
+  check_int "a(?<x)" 1 (err_pos LP.parse "a(?<x)");
+  check_int "(?#...)" 0 (err_pos LP.parse "(?#comment)");
+  check_int "unterminated look" 2 (err_pos LP.parse "ab(?=cd");
+  (* nested zero-width in a lookaround body: the construct's '(' *)
+  check_int "nested anchor in body" 1 (err_pos LP.parse "a(?=b$)");
+  (* oversized counter over a zero-width-containing term: the '{' *)
+  check_int "zw loop bound" 5 (err_pos LP.parse "(?=a){99}")
+
+(* -- engine vs the brute-force all-splits oracle -------------------------- *)
+
+let loc_patterns =
+  [ "^abc$"; "^a+"; "a$"; "^"; "$"; "^$"; "a^b"; "(^|a)b*$"
+  ; "(?=ab)a."; "(?!ab)a."; "(?<=ab)c"; "(?<!ab)c"; ".*(?<=ab)"
+  ; "(?=a+b)a*b?"; "(?!.*b).*"; "\\w+(?<=\\d)"; "(?<!\\d)ab"
+  ; "(^a|b$){1,2}"; "~(^a)&.?.?"; "((?=a).)*"; "^\\d{2}(?=[a-z])[a-z]+$"
+  ; "^a(?<=a)b"; "x$(?<=x)"; "(?<=a)(?=b).?" ]
+
+let loc_inputs =
+  [ ""; "a"; "b"; "ab"; "ba"; "abc"; "aab"; "abab"; "7ab"; "ab7"; "aaa"
+  ; "bbb"; "cab"; "abcab"; "12ab"; "a\xc3\xa9b"; "\xc3\xa9" ]
+
+let test_engine_vs_oracle () =
+  List.iter
+    (fun pat ->
+      let t = lre pat in
+      let eng = LEng.create ~mode:Byteclass.Utf8 t in
+      List.iter
+        (fun s ->
+          let cps, bnd = segment s in
+          let o = LRef.make t cps in
+          let res = LEng.run eng s in
+          check
+            (Printf.sprintf "full %s %S" pat s)
+            (LRef.full o) res.LEng.full;
+          Alcotest.(check (option int))
+            (Printf.sprintf "found %s %S" pat s)
+            (Option.map (fun e -> bnd.(e)) (LRef.earliest_end o))
+            res.LEng.found_end)
+        loc_inputs)
+    loc_patterns
+
+(* -- targeted semantic spot checks ---------------------------------------- *)
+
+let full pat s =
+  (LEng.run (LEng.create (lre pat)) s).LEng.full
+
+let test_semantics () =
+  check "^abc$ abc" true (full "^abc$" "abc");
+  check "anchored no slack" false (full "^abc$" "xabc");
+  check "a^b empty" false (full "a^b" "ab");
+  check "dollar mid" false (full "a$b" "ab");
+  check "lookahead guard" true (full "(?=\\d)\\w+" "7ab");
+  check "lookahead guard neg" false (full "(?=\\d)\\w+" "ab7");
+  check "lookbehind close" true (full "\\w+(?<=\\d)" "ab7");
+  check "lookbehind close neg" false (full "\\w+(?<=\\d)" "7ab");
+  check "neg lookahead" true (full "(?!.*b).*" "aaa");
+  check "neg lookahead hit" false (full "(?!.*b).*" "aab");
+  check "password idiom" true
+    (full "^(?=.*\\d)(?=.*[a-z]).{4,}$" "ab1c");
+  check "password idiom miss" false
+    (full "^(?=.*\\d)(?=.*[a-z]).{4,}$" "abcd");
+  (* boolean ops over located terms *)
+  check "compl of anchored" true (full "~(^a)&.?.?" "b");
+  check "compl of anchored neg" false (full "~(^a)&.?.?" "a");
+  (* counted repetition over zero-width-containing bodies expands *)
+  check "zw loop" true (full "(^|a){2}b" "ab");
+  check "zw loop eps uses anchor" true (full "(^|a){2}b" "b");
+  check "star of guarded dot" true (full "((?=[a-z]).)*" "abc");
+  check "star of guarded dot miss" false (full "((?=[a-z]).)*" "ab7")
+
+(* -- anchor elimination (lower) vs word enumeration ----------------------- *)
+
+let enum_words alphabet max_len =
+  let rec go n =
+    if n = 0 then [ [] ]
+    else
+      let shorter = go (n - 1) in
+      List.concat_map
+        (fun w -> List.map (fun c -> Char.code c :: w) alphabet)
+        (List.filter (fun w -> List.length w = n - 1) shorter)
+      @ shorter
+  in
+  go max_len
+
+let test_lower () =
+  let words = enum_words [ 'a'; 'b' ] 4 in
+  List.iter
+    (fun pat ->
+      let t = lre pat in
+      match L.lower t with
+      | None -> Alcotest.fail (Printf.sprintf "lower refused %s" pat)
+      | Some p ->
+        List.iter
+          (fun w ->
+            let cps = Array.of_list w in
+            let o = LRef.make t cps in
+            check
+              (Printf.sprintf "lower %s on %s" pat
+                 (String.concat "" (List.map (fun c -> String.make 1 (Char.chr c)) w)))
+              (LRef.full o) (Ref.matches p w))
+          words)
+    [ "^a*"; "a$"; "^a*b$"; "(^|a)b*"; "a^b"; "(^a|b$){1,2}"; "~(^a)&.*"
+    ; "^$"; "(a|$)(b|^)?"; "b*($|a)" ];
+  (* lookarounds do not lower *)
+  check "look refuses" true (L.lower (lre "(?=a)b") = None);
+  (* plain terms lower to themselves modulo nonempty-splitting *)
+  (match L.lower (lre "ab*") with
+  | Some p ->
+    List.iter
+      (fun w -> check "plain lower" (Ref.matches (re "ab*") w) (Ref.matches p w))
+      (List.map (fun w -> w) words)
+  | None -> Alcotest.fail "plain lower refused")
+
+(* -- streaming: anchors at every chunk split ------------------------------ *)
+
+let stream_corpus =
+  [ ""; "a"; "ab"; "abc"; "aabc"; "ab\xc3\xa9"; "\xc3\xa9ab"; "a\xe4\xb8\xadb"
+  ; "ab\xe4\xb8" (* truncated at EOF *); "\x80ab" (* stray continuation *) ]
+
+let test_stream_all_splits () =
+  List.iter
+    (fun pat ->
+      let t = lre pat in
+      let eng = LEng.create ~mode:Byteclass.Utf8 t in
+      List.iter
+        (fun s ->
+          let n = String.length s in
+          let batch = LEng.run eng s in
+          for k1 = 0 to n do
+            for k2 = k1 to n do
+              let st = LEng.Stream.create eng in
+              if k1 > 0 then LEng.Stream.feed ~off:0 ~len:k1 st s;
+              if k2 - k1 > 0 then LEng.Stream.feed ~off:k1 ~len:(k2 - k1) st s;
+              if n - k2 > 0 then LEng.Stream.feed ~off:k2 ~len:(n - k2) st s;
+              let res = LEng.Stream.finish st in
+              check
+                (Printf.sprintf "full %s %S @%d,%d" pat s k1 k2)
+                batch.LEng.full res.LEng.full;
+              Alcotest.(check (option int))
+                (Printf.sprintf "found %s %S @%d,%d" pat s k1 k2)
+                batch.LEng.found_end res.LEng.found_end;
+              check_int
+                (Printf.sprintf "bytes %s %S @%d,%d" pat s k1 k2)
+                n res.LEng.bytes
+            done
+          done)
+        stream_corpus)
+    [ "^a"; "a$"; "^.*$"; "^$"; "$"; "^"; "(?<=ab)."; "(?<!a)b"; "a+$"
+    ; "^ab$|b" ];
+  (* lookaheads are rejected up front, not silently mis-streamed *)
+  let eng = LEng.create (lre "(?=a)b") in
+  check "lookahead rejected" true
+    (match LEng.Stream.create eng with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* -- lints ---------------------------------------------------------------- *)
+
+let rules pat =
+  List.map (fun f -> f.LA.rule) (LA.analyze (lre pat)).LA.findings
+
+let test_lints () =
+  let has r pat = check (pat ^ " has " ^ r) true (List.mem r (rules pat)) in
+  let clean pat = check (pat ^ " clean") true (rules pat = []) in
+  (* trivially-true positive lookaround (nullable body) *)
+  has "SBD301" "(?=a*)b";
+  has "SBD301" "(?<=a?)b";
+  (* impossible negative lookaround, incl. the ⊤* contradiction *)
+  has "SBD302" "(?!a*)b";
+  has "SBD302" "(?!(a|b*)c?)x";
+  (* lookahead in tail position *)
+  has "SBD303" "a(?=b)";
+  has "SBD303" "a((?=b)|c)";
+  has "SBD303" "a(x(?=b))*";
+  check "guarded head is fine" false (List.mem "SBD303" (rules "(?=b)a"));
+  (* anchors that empty the language *)
+  has "SBD304" "a^b";
+  has "SBD304" "$a";
+  has "SBD304" "a$b+";
+  check "usable anchors are fine" false (List.mem "SBD304" (rules "^a|b$"));
+  check "eps-tolerant anchors fine" false (List.mem "SBD304" (rules "a$b*"));
+  clean "^a+b$";
+  clean "(?<=\\d)ab";
+  (* fragment classification *)
+  let frag pat = (LA.analyze (lre pat)).LA.fragment in
+  Alcotest.(check string) "plain" "RE" (frag "a(b|c)*");
+  Alcotest.(check string) "bool" "B(RE)" (frag "a&~b");
+  Alcotest.(check string) "loc re" "Loc(RE)" (frag "^a(b|c)*$");
+  Alcotest.(check string) "loc look" "Loc(RE)" (frag "(?=ab)c");
+  Alcotest.(check string) "loc bool" "Loc(B(RE))" (frag "^(a&~b)");
+  Alcotest.(check string) "loc body counts" "Loc(B(RE))" (frag "(?=a&b)c");
+  (* report fields *)
+  let r = LA.analyze (lre "^a(?=b)c$") in
+  check_int "n_anchors" 2 r.LA.n_anchors;
+  check_int "n_looks" 1 r.LA.n_looks;
+  check "zero_width" true r.LA.zero_width;
+  check "lowered refused (look)" true (r.LA.lowered = None);
+  let r2 = LA.analyze (lre "^ab$") in
+  check "lowered present" true (r2.LA.lowered <> None)
+
+(* -- service worker: extended match/analyze ------------------------------- *)
+
+let test_worker () =
+  let module W = (val Sbd_service.Worker.create ()) in
+  (* located pattern routes to the located engine *)
+  (match W.match_input ~pattern:"^a+$" ~input:"aaa" () with
+  | Ok (Sbd_service.Protocol.Matched { full; span; found_end }, stats) ->
+    check "worker loc full" true full;
+    check "worker loc span absent" true (span = None);
+    check "worker loc found_end" true (found_end = Some 3);
+    check "worker loc found_end stat" true
+      (List.assoc_opt "locmatch.found_end" stats = Some 3.0)
+  | Ok _ -> Alcotest.fail "unexpected verdict"
+  | Error msg -> Alcotest.fail msg);
+  (* plain pattern keeps the classical engine (span present) *)
+  (match W.match_input ~pattern:"a+" ~input:"xaay" () with
+  | Ok (Sbd_service.Protocol.Matched { full; span; found_end }, _) ->
+    check "worker plain full" false full;
+    check "worker plain span" true (span = Some (1, 2));
+    check "worker plain found_end absent" true (found_end = None)
+  | Ok _ -> Alcotest.fail "unexpected verdict"
+  | Error msg -> Alcotest.fail msg);
+  (* lookaround match *)
+  (match W.match_input ~pattern:"(?<=a)b" ~input:"ab" () with
+  | Ok (Sbd_service.Protocol.Matched { full; found_end; _ }, stats) ->
+    check "worker look full" false full;
+    check "worker look found_end" true (found_end = Some 2);
+    check "worker look found" true
+      (List.assoc_opt "locmatch.found_end" stats = Some 2.0)
+  | Ok _ -> Alcotest.fail "unexpected verdict"
+  | Error msg -> Alcotest.fail msg);
+  (* extended analyze returns the located report shape *)
+  (match W.analyze_pattern "(?!a*)b" with
+  | Ok (Sbd_obs.Obs.Json.Obj fields) ->
+    check "worker loc analyze" true
+      (List.assoc_opt "zero_width" fields = Some (Sbd_obs.Obs.Json.Bool true))
+  | Ok _ -> Alcotest.fail "unexpected analyze shape"
+  | Error msg -> Alcotest.fail msg);
+  (* plain analyze unchanged *)
+  match W.analyze_pattern "a*b" with
+  | Ok (Sbd_obs.Obs.Json.Obj fields) ->
+    check "worker plain analyze" true
+      (List.mem_assoc "metrics" fields)
+  | Ok _ -> Alcotest.fail "unexpected analyze shape"
+  | Error msg -> Alcotest.fail msg
+
+let suite =
+  ( "locregex",
+    [ Alcotest.test_case "parse syntax" `Quick test_parse_syntax
+    ; Alcotest.test_case "posix classes" `Quick test_parse_posix
+    ; Alcotest.test_case "error offsets" `Quick test_parse_error_offsets
+    ; Alcotest.test_case "engine vs oracle" `Quick test_engine_vs_oracle
+    ; Alcotest.test_case "semantics" `Quick test_semantics
+    ; Alcotest.test_case "lower" `Quick test_lower
+    ; Alcotest.test_case "stream all splits" `Quick test_stream_all_splits
+    ; Alcotest.test_case "lints" `Quick test_lints
+    ; Alcotest.test_case "worker extended ops" `Quick test_worker
+    ] )

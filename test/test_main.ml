@@ -19,4 +19,5 @@ let () =
     ; Test_service.suite
     ; Test_engine.suite
     ; Test_analysis.suite
-    ; Test_contain.suite ]
+    ; Test_contain.suite
+    ; Test_locregex.suite ]
