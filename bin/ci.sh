@@ -26,13 +26,31 @@ echo "== engine + analyzer fuzz smoke =="
 # against the solver; exits non-zero on any disagreement
 dune exec bin/fuzz.exe -- --rounds 300 --seed 42
 dune exec bin/fuzz.exe -- --rounds 300 --seed 1234
+# counter-heavy generation: larger and open-ended {m,n} bounds stress
+# the ultimately-periodic length abstraction and its CRT intersections
+dune exec bin/fuzz.exe -- --rounds 300 --seed 2718 --counters
 
 echo "== analyzer corpus lint =="
-# analyzes every corpus instance; exits 1 if any Proved verdict
-# contradicts the corpus ground-truth label or any SBD203-SBD206
+# analyzes every corpus instance; exits 1 if any Proved verdict or any
+# abstract pre-solver verdict (Absdom Unsat_proved/Sat_witnessed)
+# contradicts the corpus ground-truth label, or any SBD203-SBD206
 # replacement suggestion fails the solver equivalence check, 2 on a
 # parse failure
 dune exec bin/sbdsolve.exe -- --lint --corpus all --json > /dev/null
+
+echo "== lint exit codes =="
+# uniform scheme, same as --subset/--equiv: 0 = semantic verdict
+# decided (emptiness proved or refuted), 3 = undecided within budget,
+# 2 = parse error; structural findings alone never count as decided
+dune exec bin/sbdsolve.exe -- --lint 'ab&cd' > /dev/null
+dune exec bin/sbdsolve.exe -- --lint 'a^b' > /dev/null
+rc=0; dune exec bin/sbdsolve.exe -- --lint '(' > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected lint exit 2 on parse error, got $rc"; exit 1; }
+rc=0; dune exec bin/sbdsolve.exe -- --lint --budget 6400 \
+  'a{80}&~((aa){40})' > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected lint exit 3 on budget exhaustion, got $rc"; exit 1; }
+rc=0; dune exec bin/sbdsolve.exe -- --lint '(?=a)b' > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected lint exit 3 on undecided located pattern, got $rc"; exit 1; }
 
 echo "== lookaround corpus gates =="
 # located engine vs the all-splits oracle vs hand labels on the
@@ -68,6 +86,14 @@ echo "== derivation bench gates =="
 # shows up here before it shows up as wall time); --no-bench skips the
 # throughput timing, which is meaningless on shared CI runners
 dune exec bin/experiments.exe -- deriv-bench --no-bench --check
+
+echo "== abstract pre-solver gates =="
+# runs Absdom.presolve against the full solver over the whole corpus
+# and the containment pair corpus: exits non-zero on any unsound
+# abstract verdict, any witness the reference matcher rejects, a
+# corpus hit rate < 25%, or a pair hit rate < 15%; --no-bench skips
+# the password-family wall-clock A/B on shared runners
+dune exec bin/experiments.exe -- absdom-bench --no-bench --check
 
 echo "== engine throughput matrix gates =="
 # steady-state (hot) MB/s floors per pattern class (literal / class /

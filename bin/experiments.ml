@@ -456,6 +456,53 @@ let lookaround_bench_cmd =
                  engine/oracle/label/stream mismatches); non-zero exit on \
                  violation."))
 
+let absdom_bench no_bench out label gate =
+  let report =
+    if no_bench then Absdom_bench.run ?label ()
+    else Absdom_bench.run_and_append ?label ?path:out ()
+  in
+  Absdom_bench.pp fmt report;
+  if not no_bench then
+    Format.fprintf fmt "appended absdom run to %s@."
+      (match out with
+      | Some p -> p
+      | None -> Sbd_service.Server.default_bench_path ());
+  if gate then begin
+    match Absdom_bench.check report with
+    | [] -> Format.fprintf fmt "absdom-bench gates: ok@."
+    | fails ->
+      List.iter (Format.fprintf fmt "absdom-bench gate FAILED: %s@.") fails;
+      failwith "absdom-bench: regression gate failed"
+  end
+
+let absdom_bench_cmd =
+  cmd "absdom-bench"
+    "abstract-domain pre-solver hit-rate, soundness sweep and time-saved on \
+     the satisfiability and containment corpora"
+    Term.(
+      const absdom_bench
+      $ Arg.(
+          value & flag
+          & info [ "no-bench" ]
+              ~doc:"Do not append the report to the BENCH trajectory.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~docv:"FILE"
+              ~doc:"Trajectory file (default BENCH_<date>.json).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "label" ] ~docv:"LABEL"
+              ~doc:"Variant label recorded in the report (default absdom).")
+      $ Arg.(
+          value & flag
+          & info [ "check" ]
+              ~doc:
+                "Enforce the pinned gates (corpus and pair hit-rate floors, \
+                 zero unsound verdicts, zero invalid witnesses); non-zero \
+                 exit on violation."))
+
 let all_cmd =
   cmd "all" "run every table, figure and ablation"
     Term.(
@@ -477,4 +524,5 @@ let () =
           [ table_cmd; fig4b_cmd; fig4c_cmd; ablation_dead_cmd
           ; ablation_simplify_cmd; ablation_algebra_cmd; states_cmd; dump_cmd
           ; engine_bench_cmd; analyze_bench_cmd; deriv_bench_cmd
-          ; contain_bench_cmd; lookaround_bench_cmd; all_cmd ]))
+          ; contain_bench_cmd; lookaround_bench_cmd; absdom_bench_cmd
+          ; all_cmd ]))

@@ -38,6 +38,7 @@ module Brz = Sbd_classic.Brzozowski.Make (R)
 module MSolve = Sbd_classic.Minterm_solver.Make (R)
 module Matcher = Sbd_matcher.Matcher.Make (R)
 module An = Sbd_analysis.Analyze.Make (R)
+module Ab = Sbd_absdom.Absdom.Make (R)
 module C = Sbd_service.Default.C
 module Eng = Sbd_engine.Search.Make (R)
 module EngStream = Sbd_engine.Stream.Make (R)
@@ -57,7 +58,11 @@ let preds =
   [ r 'a' 'a'; r 'b' 'b'; r '0' '0'; r '1' '1'; r 'a' 'b'; r '0' '1'
   ; A.neg (r 'a' 'a'); A.top ]
 
-let gen_regex rand size =
+(* [counters:true] biases generation toward counted loops with larger
+   (and sometimes open-ended) bounds, so a dedicated seed can soak the
+   counter arithmetic of the abstract length domain and the loop
+   unrolling of every engine. *)
+let gen_regex ?(counters = false) rand size =
   let rec go n =
     if n <= 1 then
       match Random.State.int rand 8 with
@@ -66,16 +71,24 @@ let gen_regex rand size =
       | _ -> R.pred (List.nth preds (Random.State.int rand (List.length preds)))
     else
       let sub () = go (n / 2) in
-      match Random.State.int rand 14 with
-      | 0 | 1 | 2 -> R.concat (sub ()) (sub ())
-      | 3 | 4 | 5 -> R.alt (sub ()) (sub ())
-      | 6 | 7 -> R.star (sub ())
-      | 8 ->
-        let m = Random.State.int rand 3 in
-        R.loop (sub ()) m (Some (m + Random.State.int rand 3))
-      | 9 | 10 -> R.inter (sub ()) (sub ())
-      | 11 | 12 -> R.compl (sub ())
-      | _ -> go 1
+      if counters && Random.State.int rand 3 = 0 then
+        let lo = Random.State.int rand 5 in
+        let hi =
+          if Random.State.bool rand then Some (lo + Random.State.int rand 5)
+          else None
+        in
+        R.loop (sub ()) lo hi
+      else
+        match Random.State.int rand 14 with
+        | 0 | 1 | 2 -> R.concat (sub ()) (sub ())
+        | 3 | 4 | 5 -> R.alt (sub ()) (sub ())
+        | 6 | 7 -> R.star (sub ())
+        | 8 ->
+          let m = Random.State.int rand 3 in
+          R.loop (sub ()) m (Some (m + Random.State.int rand 3))
+        | 9 | 10 -> R.inter (sub ()) (sub ())
+        | 11 | 12 -> R.compl (sub ())
+        | _ -> go 1
   in
   go size
 
@@ -235,7 +248,7 @@ let fail_at_loc ?word round what (lr : LR.t) =
        (Printf.sprintf "round %d: %s disagrees on located %s%s" round what
           (LR.to_string lr) ctx))
 
-let run ~rounds ~seed ~size =
+let run ~rounds ~seed ~size ~counters =
   let rand = Random.State.make [| seed |] in
   let session = S.create_session () in
   let csession = C.create_session () in
@@ -243,8 +256,9 @@ let run ~rounds ~seed ~size =
   let total_prefilter = ref 0 and total_accel = ref 0 in
   let total_loc_anchor = ref 0 and total_loc_look = ref 0 in
   let total_loc_stream = ref 0 and total_loc_lower = ref 0 in
+  let total_presolve_unsat = ref 0 and total_presolve_sat = ref 0 in
   for round = 1 to rounds do
-    let r = gen_regex rand size in
+    let r = gen_regex ~counters rand size in
     let w = gen_word rand in
     let expected = Ref.matches r w in
     (* matching engines *)
@@ -370,8 +384,34 @@ let run ~rounds ~seed ~size =
       if not (D.delta r == tr && D.delta_dnf r == d) then
         fail_at round "tregex re-derivation after memo flush" r
     end;
-    (* solvers *)
-    let solver_res = S.solve ~budget:20_000 session r in
+    (* solvers: ground truth runs with the abstract fast path off *)
+    let solver_res = S.solve ~budget:20_000 ~presolve:false session r in
+    (* the integrated fast path must agree with the raw search whenever
+       both decide *)
+    (match (S.solve ~budget:20_000 session r, solver_res) with
+    | S.Sat _, S.Unsat | S.Unsat, S.Sat _ ->
+      fail_at round "solver presolve on/off verdicts" r
+    | _ -> ());
+    (* abstract-domain pre-solver differential: its verdicts are
+       theorems, so any disagreement with the solver or the oracle is a
+       bug *)
+    (match Ab.presolve r with
+    | Ab.Unsat_proved ->
+      incr total_presolve_unsat;
+      if List.exists (Ref.matches r) short_words then
+        fail_at round "presolve unsat verdict vs oracle" r;
+      (match solver_res with
+      | S.Sat _ -> fail_at round "presolve unsat vs solver sat" r
+      | S.Unsat | S.Unknown _ -> ())
+    | Ab.Sat_witnessed ws ->
+      incr total_presolve_sat;
+      let w' = List.init (String.length ws) (fun i -> Char.code ws.[i]) in
+      if not (Ref.matches r w') then
+        fail_at ~word:w' round "presolve witness rejected by oracle" r;
+      (match solver_res with
+      | S.Unsat -> fail_at ~word:w' round "presolve sat vs solver unsat" r
+      | S.Sat _ | S.Unknown _ -> ())
+    | Ab.Unknown -> ());
     (match (solver_res, MSolve.solve ~budget:20_000 r) with
     | S.Sat w', MSolve.Sat _ ->
       if not (Ref.matches r w') then fail_at round "dz3 witness" r
@@ -516,6 +556,13 @@ let run ~rounds ~seed ~size =
     raise (Mismatch "located streaming path was never exercised");
   if rounds >= 100 && !total_loc_lower = 0 then
     raise (Mismatch "located lower translation was never exercised");
+  if rounds >= 100 && !total_presolve_unsat = 0 then
+    raise (Mismatch "abstract pre-solver unsat path was never exercised");
+  if rounds >= 100 && !total_presolve_sat = 0 then
+    raise (Mismatch "abstract pre-solver sat path was never exercised");
+  Printf.printf
+    "fuzz: abstract pre-solver decided %d unsat, %d sat\n%!"
+    !total_presolve_unsat !total_presolve_sat;
   Printf.printf
     "fuzz: engine cache resets exercised %d times, prefilter %d, skip loop %d\n%!"
     !total_resets !total_prefilter !total_accel;
@@ -525,9 +572,9 @@ let run ~rounds ~seed ~size =
 
 open Cmdliner
 
-let main rounds seed size =
+let main rounds seed size counters =
   try
-    run ~rounds ~seed ~size;
+    run ~rounds ~seed ~size ~counters;
     Printf.printf "fuzz: %d rounds, no discrepancies\n" rounds;
     0
   with Mismatch msg ->
@@ -542,9 +589,17 @@ let () =
   let size =
     Arg.(value & opt int 8 & info [ "size" ] ~doc:"Size bound for generated regexes.")
   in
+  let counters =
+    Arg.(
+      value & flag
+      & info [ "counters" ]
+          ~doc:
+            "Bias generation toward counter-heavy patterns (larger and \
+             open-ended loop bounds).")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "fuzz" ~doc:"Differential fuzzing of all regex engines")
-      Term.(const main $ rounds $ seed $ size)
+      Term.(const main $ rounds $ seed $ size $ counters)
   in
   exit (Cmd.eval' cmd)

@@ -43,6 +43,7 @@ module LM = Sbd_service.Default.LM
 module LA = Sbd_service.Default.LA
 module Eng = Sbd_engine.Search.Make (Sbd_service.Default.R)
 module An = Sbd_analysis.Analyze.Make (Sbd_service.Default.R)
+module Ab = Sbd_absdom.Absdom.Make (Sbd_service.Default.R)
 module Obs = Sbd_obs.Obs
 
 let read_all ic =
@@ -166,9 +167,13 @@ let lint_budget budget = max 64 (min (budget / 100) 100_000)
 
 (* Lint accepts the extended grammar: plain patterns go through the
    full two-layer analyzer; located ones through the structural
-   located analyzer (degenerate lookarounds, dead anchors, fragment),
-   plus — when anchors eliminate — the plain analyzer on the lowered
-   regex. *)
+   located analyzer (degenerate lookarounds, dead anchors, fragment).
+
+   Exit codes follow the uniform 0/2/3 contract of the other modes:
+   0 when the analyzer reached a decided semantic emptiness verdict
+   (Proved/Refuted, including SBD304's whole-pattern emptiness theorem
+   on located patterns), 2 on parse errors, 3 when the verdict stayed
+   unknown (structural findings alone never count as decided). *)
 let run_lint ~budget ~deadline ~json pattern =
   match LP.parse pattern with
   | Error (pos, msg) -> print_parse_error ~json pos msg
@@ -185,7 +190,9 @@ let run_lint ~budget ~deadline ~json pattern =
         Printf.printf "pattern: %s\n" pattern;
         Format.printf "%a" An.pp_report report
       end;
-      0
+      (match report.An.semantic with
+      | Some { An.empty = An.Proved | An.Refuted; _ } -> 0
+      | Some { An.empty = An.Unknown; _ } | None -> 3)
     | None ->
       let report = LA.analyze t in
       if json then
@@ -194,11 +201,21 @@ let run_lint ~budget ~deadline ~json pattern =
         Printf.printf "pattern: %s\n" pattern;
         Format.printf "%a" LA.pp_report report
       end;
-      0)
+      (* SBD304 is an emptiness theorem about the whole pattern; the
+         located analyzer has no other semantic layer *)
+      if
+        List.exists
+          (fun (f : LA.finding) -> f.LA.rule = "SBD304")
+          report.LA.findings
+      then 0
+      else 3)
 
 (* Corpus lint: analyze every instance of a benchgen corpus and
    cross-check each Proved/Refuted verdict against the solver (and,
-   for witnesses, the independent reference matcher).  Exit 1 on any
+   for witnesses, the independent reference matcher).  Each instance
+   also runs through the abstract pre-solver ({!Sbd_absdom.Absdom}):
+   Unsat_proved/Sat_witnessed verdicts are checked against the corpus
+   label, the solver, and the reference matcher.  Exit 1 on any
    unsoundness, 2 on a corpus pattern that fails to parse — both are
    CI failures; findings themselves don't affect the exit code. *)
 let corpus_instances = function
@@ -253,6 +270,9 @@ let run_lint_corpus ~budget ~deadline ~json name =
     and unsound = ref 0
     and replacements = ref 0
     and replacement_unknown = ref 0
+    and abs_unsat = ref 0
+    and abs_sat = ref 0
+    and abs_unknown = ref 0
     and parse_failures = ref 0 in
     let t0 = Obs.now () in
     List.iter
@@ -264,6 +284,48 @@ let run_lint_corpus ~budget ~deadline ~json name =
           Printf.eprintf "sbdsolve: corpus %s: parse error at %d: %s\n"
             inst.I.id pos msg
         | Ok r ->
+          (* abstract pre-solver sweep: every verdict the length/char
+             abstraction commits to is checked against the ground-truth
+             label, the full solver (for unsat claims), and the
+             reference matcher (for witnesses) — an unsound abstract
+             verdict is a CI failure like an unsound Proved *)
+          (match Ab.presolve r with
+          | Ab.Unknown -> incr abs_unknown
+          | Ab.Unsat_proved -> (
+            incr abs_unsat;
+            if inst.I.expected = I.Sat then begin
+              incr unsound;
+              Printf.eprintf
+                "sbdsolve: UNSOUND abstract unsat on sat-labeled %s: %s\n"
+                inst.I.id inst.I.pattern
+            end
+            else
+              match S.solve ~budget:200_000 ~deadline:2.0 session r with
+              | S.Sat _ ->
+                incr unsound;
+                Printf.eprintf
+                  "sbdsolve: UNSOUND abstract unsat on %s: solver found \
+                   a witness: %s\n"
+                  inst.I.id inst.I.pattern
+              | S.Unsat | S.Unknown _ -> ())
+          | Ab.Sat_witnessed w ->
+            incr abs_sat;
+            let word =
+              List.init (String.length w) (fun i -> Char.code w.[i])
+            in
+            if inst.I.expected = I.Unsat then begin
+              incr unsound;
+              Printf.eprintf
+                "sbdsolve: UNSOUND abstract sat on unsat-labeled %s: %s\n"
+                inst.I.id inst.I.pattern
+            end;
+            if not (Ref.matches r word) then begin
+              incr unsound;
+              Printf.eprintf
+                "sbdsolve: UNSOUND abstract witness on %s rejected by \
+                 the reference matcher: %s\n"
+                inst.I.id inst.I.pattern
+            end);
           let report =
             An.analyze ~source:inst.I.pattern ~budget ~deadline:(dl ()) r
           in
@@ -366,6 +428,9 @@ let run_lint_corpus ~budget ~deadline ~json name =
                 ("unsound", Obs.Json.Int !unsound);
                 ("replacements", Obs.Json.Int !replacements);
                 ("replacement_unknown", Obs.Json.Int !replacement_unknown);
+                ("abs_unsat", Obs.Json.Int !abs_unsat);
+                ("abs_sat", Obs.Json.Int !abs_sat);
+                ("abs_unknown", Obs.Json.Int !abs_unknown);
                 ("parse_failures", Obs.Json.Int !parse_failures);
                 ("wall_s", Obs.Json.Float wall);
                 ( "patterns_per_s",
@@ -375,9 +440,11 @@ let run_lint_corpus ~budget ~deadline ~json name =
       Printf.printf
         "corpus %s: %d patterns in %.2fs — %d errors, %d warnings, %d \
          infos; proved empty %d, nonempty %d, universal %d; %d \
-         replacement suggestions; unsound %d\n"
+         replacement suggestions; abstract unsat %d, sat %d, unknown \
+         %d; unsound %d\n"
         name !n wall !errors !warnings !infos !proved_empty !refuted_empty
-        !proved_universal !replacements !unsound;
+        !proved_universal !replacements !abs_unsat !abs_sat !abs_unknown
+        !unsound;
     if ok then 0 else if !unsound > 0 then 1 else 2
 
 (* -- match mode ---------------------------------------------------------- *)

@@ -50,11 +50,28 @@
     - [SBD205] (warning) an alternation branch is contained in the
       union of its siblings (containment prover): it is redundant;
     - [SBD206] (warning) an intersection conjunct is entailed by the
-      conjunction of the others: it is redundant.
+      conjunction of the others: it is redundant;
+    - [SBD401] (error) unsatisfiable by the length abstraction
+      (infeasible min/max interval or residue conflict);
+    - [SBD402] (error) unsatisfiable by the character abstraction (a
+      required class is disjoint from the possible characters);
+    - [SBD403] (warning) a counted repetition collapses (abstractly
+      empty body, or a body that only matches the empty word);
+    - [SBD404] (warning) an intersection imposes incompatible length
+      constraints on its conjuncts (with a [replacement] at the root);
+    - [SBD405] (info) the overall length bound caps every starred
+      subterm: a counter would make the bound explicit;
+    - [SBD406] (info) the abstract length bound tightens the suggested
+      engine state cap below the structural suggestion;
+    - [SBD407] (info) every accepted word has exactly one length;
+    - [SBD408] (warning) an alternation branch is abstractly empty and
+      can be removed (the O(|r|) sibling of SBD203).
 
-    Rules SBD203–SBD206 attach a [replacement]: the whole pattern with
-    the redundant branch removed.  Each replacement is justified by a
-    [Proved] containment/emptiness theorem, and the corpus sweep
+    Rules SBD203–SBD206, SBD404 and SBD408 attach a [replacement]: the
+    whole pattern with the redundant branch removed (resp. the empty
+    language for SBD404).  Each replacement is justified by a [Proved]
+    containment/emptiness theorem or an abstract-interpretation theorem
+    ({!Sbd_absdom.Absdom}), and the corpus sweep
     ([sbdsolve --lint --corpus]) additionally re-checks every suggestion
     against the solver (symmetric difference must be unsatisfiable). *)
 
@@ -63,6 +80,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
   module D = Sbd_core.Deriv.Make (R)
   module C = Sbd_contain.Contain.Make (R)
   module Mt = Sbd_alphabet.Minterm.Make (A)
+  module Ab = Sbd_absdom.Absdom.Make (R)
   module Obs = Sbd_obs.Obs
   module J = Obs.Json
 
@@ -116,6 +134,9 @@ module Make (R : Sbd_regex.Regex.S) = struct
     fragment : fragment;
     state_bound : int option;
       (** Theorem 7.3: for RE/B(RE), at most [unfolded + 1] derivatives *)
+    abs : Ab.summary;
+      (** abstract-domain summary: length progression, character sets,
+          three-valued emptiness (see {!Sbd_absdom.Absdom}) *)
   }
 
   (* Per-node structural summary, combined bottom-up over the hash-consed
@@ -253,18 +274,31 @@ module Make (R : Sbd_regex.Regex.S) = struct
     ; ascii_only = List.for_all ascii_pred preds
     ; nullable = R.nullable r
     ; fragment
-    ; state_bound }
+    ; state_bound
+    ; abs = Ab.summarize r }
 
   (** A scalar difficulty score used by the bench harness to correlate
       prediction with measured solver effort.  Monotone in the blowup
       signals; the absolute value is meaningless. *)
   let difficulty (m : metrics) : float =
+    (* Abstract length contribution: a finite maximum length bounds the
+       depth of any derivative exploration, so the counter bounds that
+       the structural metrics ignore enter through [lmax]; a non-trivial
+       period (stride > 1) signals counting structure the search has to
+       track.  Unbounded patterns contribute via [lmin] only. *)
+    let abs_len =
+      let l = m.abs.Ab.len in
+      let reach = match l.Ab.lmax with Some mx -> mx | None -> l.Ab.lmin in
+      (0.25 *. log (float_of_int (1 + reach)))
+      +. (if l.Ab.stride > 1 then 0.5 else 0.0)
+    in
     log (float_of_int (1 + m.unfolded))
     +. (2.0 *. float_of_int m.compl_depth)
     +. (1.5 *. float_of_int m.n_and)
     +. (0.5 *. float_of_int m.star_height)
     +. (if m.counter_under_compl then 4.0 else 0.0)
     +. (if m.and_counter_branches >= 2 then 3.0 else 0.0)
+    +. abs_len
     +.
     (match m.fragment with Ext_re -> 2.0 | Bool_re -> 1.0 | Plain_re -> 0.0)
 
@@ -683,30 +717,50 @@ module Make (R : Sbd_regex.Regex.S) = struct
      here (test_analysis checks they stay in sync). *)
   let default_max_states = 10_000
 
+  let risk_of (m : metrics) : risk =
+    if m.counter_under_compl || m.and_counter_branches >= 2 then High
+    else
+      match m.fragment with
+      | Ext_re -> Moderate
+      | Plain_re | Bool_re -> Low
+
+  let clamp lo hi v = max lo (min hi v)
+
+  let base_max_states (m : metrics) (risk : risk) : int =
+    match risk with
+    | Low ->
+      (* Theorem 7.3: at most [unfolded + 1] derivatives.  4x slack
+         covers the engine's unanchored variant (.* r), the backward
+         pass, and UTF-8 byte expansion. *)
+      let bound =
+        match m.state_bound with Some b -> b | None -> m.unfolded + 1
+      in
+      clamp 256 default_max_states ((4 * bound) + 64)
+    | Moderate -> default_max_states
+    | High ->
+      (* A reset throws away the whole cache; give blowup-prone
+         patterns headroom before thrashing. *)
+      32_768
+
+  (* Abstraction-tightened state cap: a finite abstract maximum word
+     length [M] bounds the depth of any anchored run at [M] characters
+     (the engine additionally runs an unanchored [.*r] variant and a
+     backward pass, covered by the per-depth slack factor), so the lazy
+     DFA cannot usefully populate more cache than a few states per
+     reachable depth. *)
+  let abs_state_cap (m : metrics) : int option =
+    match m.abs.Ab.len.Ab.lmax with
+    | Some mx when m.abs.Ab.empty <> Ab.Empty ->
+      Some (clamp 256 default_max_states ((64 * (mx + 1)) + 64))
+    | _ -> None
+
   let hints_of (m : metrics) : hints =
-    let risk =
-      if m.counter_under_compl || m.and_counter_branches >= 2 then High
-      else
-        match m.fragment with
-        | Ext_re -> Moderate
-        | Plain_re | Bool_re -> Low
-    in
-    let clamp lo hi v = max lo (min hi v) in
+    let risk = risk_of m in
     let max_states =
-      match risk with
-      | Low ->
-        (* Theorem 7.3: at most [unfolded + 1] derivatives.  4x slack
-           covers the engine's unanchored variant (.* r), the backward
-           pass, and UTF-8 byte expansion. *)
-        let bound =
-          match m.state_bound with Some b -> b | None -> m.unfolded + 1
-        in
-        clamp 256 default_max_states ((4 * bound) + 64)
-      | Moderate -> default_max_states
-      | High ->
-        (* A reset throws away the whole cache; give blowup-prone
-           patterns headroom before thrashing. *)
-        32_768
+      let base = base_max_states m risk in
+      match abs_state_cap m with
+      | Some cap -> min base cap
+      | None -> base
     in
     { risk
     ; max_states
@@ -718,6 +772,142 @@ module Make (R : Sbd_regex.Regex.S) = struct
         | Low -> 50_000
         | Moderate -> 200_000
         | High -> 1_000_000) }
+
+  (* ------------------------------------------------------------------ *)
+  (* Layer 1.5: abstract-domain lints (SBD401-SBD408)                    *)
+  (* ------------------------------------------------------------------ *)
+
+  (** Lints fed by the {!Sbd_absdom.Absdom} sweep: O(|r|) like the
+      structural rules, but semantic like Layer 2 — every Error below is
+      a theorem of the abstraction.  SBD401/402 classify a root
+      emptiness proof by the domain that found the conflict; SBD403/404
+      flag collapsed counters and infeasible intersections on subterms;
+      SBD405-407 surface length facts; SBD408 prunes abstractly dead
+      alternation branches (the O(|r|) sibling of SBD203). *)
+  let lint_abstract (r : R.t) (m : metrics) : finding list =
+    let out = ref [] in
+    let add f = out := f :: !out in
+    let s = m.abs in
+    let pp_bound = function Some b -> string_of_int b | None -> "inf" in
+    (* root emptiness, classified by conflicting domain; SBD101/102
+       already cover the syntactic cases *)
+    if s.Ab.empty = Ab.Empty && (not (R.is_empty r)) && not (cheap_empty r)
+    then begin
+      if Ab.char_conflict s.Ab.chars then
+        add
+          (finding "SBD402" Error
+             "pattern is unsatisfiable: a required character class is \
+              disjoint from the characters the pattern can contain")
+      else
+        add
+          (finding "SBD401" Error
+             (Printf.sprintf
+                "pattern is unsatisfiable by length abstraction: accepted \
+                 word lengths would need min %d, max %s (period %d)"
+                s.Ab.len.Ab.lmin
+                (pp_bound s.Ab.len.Ab.lmax)
+                s.Ab.len.Ab.stride))
+    end;
+    (* subterm rules: one DAG walk *)
+    let seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let rec walk (x : R.t) ~top =
+      if not (Hashtbl.mem seen x.R.id) then begin
+        Hashtbl.add seen x.R.id ();
+        (match x.R.node with
+        | Loop (a, lo, hi) when lo >= 1 ->
+          let sa = Ab.summarize a in
+          if sa.Ab.empty = Ab.Empty && not (cheap_empty x) then
+            add
+              (finding "SBD403" Warning ~subterm:(R.to_string x)
+                 "counted repetition of an abstractly empty language: \
+                  the counter range collapses to nothing")
+          else if sa.Ab.len.Ab.lmax = Some 0 && (hi <> Some lo || lo > 1)
+          then
+            add
+              (finding "SBD403" Warning ~subterm:(R.to_string x)
+                 "counted repetition collapses: its body only matches \
+                  the empty word, so the bounds are vacuous")
+        | And _ ->
+          let sx = Ab.summarize x in
+          if
+            (not (Ab.feasible sx.Ab.len))
+            && (not (cheap_empty x))
+            && not (Ab.char_conflict sx.Ab.chars)
+          then
+            if top then
+              add
+                (finding "SBD404" Warning ~subterm:(R.to_string x)
+                   ~replacement:"~(.*)"
+                   "intersection imposes incompatible length constraints: \
+                    the whole pattern is equivalent to the empty language")
+            else
+              add
+                (finding "SBD404" Warning ~subterm:(R.to_string x)
+                   "intersection imposes incompatible length constraints \
+                    on its conjuncts")
+        | Pred _ | Eps | Concat _ | Star _ | Loop _ | Or _ | Not _ -> ());
+        match x.R.node with
+        | Pred _ | Eps -> ()
+        | Concat (a, b) ->
+          walk a ~top:false;
+          walk b ~top:false
+        | Star a | Loop (a, _, _) | Not a -> walk a ~top:false
+        | Or xs | And xs -> List.iter (fun y -> walk y ~top:false) xs
+      end
+    in
+    walk r ~top:true;
+    if s.Ab.empty <> Ab.Empty then begin
+      (* length-bounded star: the iteration count is capped anyway *)
+      (match s.Ab.len.Ab.lmax with
+      | Some mx when m.star_height >= 1 ->
+        add
+          (finding "SBD405" Info
+             (Printf.sprintf
+                "the overall length bound caps every starred subterm at \
+                 %d iterations: a counted repetition {0,%d} would make \
+                 the bound explicit"
+                mx mx))
+      | Some _ | None -> ());
+      (* exact-length patterns, when the exactness is computed rather
+         than spelled out *)
+      (match (s.Ab.len.Ab.lmin, s.Ab.len.Ab.lmax) with
+      | lo, Some hi
+        when lo = hi && lo >= 2 && (m.n_loop >= 1 || m.n_and >= 1) ->
+        add
+          (finding "SBD407" Info
+             (Printf.sprintf
+                "every accepted word has exactly length %d" lo))
+      | _ -> ());
+      (* abstraction-tightened engine cap *)
+      match abs_state_cap m with
+      | Some cap when cap < base_max_states m (risk_of m) ->
+        add
+          (finding "SBD406" Info
+             (Printf.sprintf
+                "abstract length bound tightens the suggested lazy-DFA \
+                 state cap to %d (structural suggestion: %d)"
+                cap
+                (base_max_states m (risk_of m))))
+      | Some _ | None -> ()
+    end;
+    (* abstractly dead alternation branches at the root *)
+    (match r.R.node with
+    | Or xs ->
+      List.iteri
+        (fun i (x : R.t) ->
+          let sx = Ab.summarize x in
+          if sx.Ab.empty = Ab.Empty && not (cheap_empty x) then
+            let rest =
+              R.alt_list (List.filteri (fun j _ -> j <> i) xs)
+            in
+            add
+              (finding "SBD408" Warning ~subterm:(R.to_string x)
+                 ~replacement:(R.to_string rest)
+                 "alternation branch is abstractly empty: it can be \
+                  removed"))
+        xs
+    | Pred _ | Eps | Concat _ | Star _ | Loop _ | And _ | Not _ -> ());
+    List.rev !out
 
   (* ------------------------------------------------------------------ *)
   (* Reports                                                             *)
@@ -735,7 +925,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       ?(deadline = Obs.Deadline.none) (r : R.t) : report =
     Obs.Counter.incr c_runs;
     let m = metrics_of r in
-    let structural = lint_structural ?source r m in
+    let structural = lint_structural ?source r m @ lint_abstract r m in
     let semantic, sem_findings =
       if not layer2 then (None, [])
       else begin
@@ -814,7 +1004,33 @@ module Make (R : Sbd_regex.Regex.S) = struct
       ; ("fragment", J.Str (fragment_name m.fragment))
       ; ( "state_bound",
           match m.state_bound with None -> J.Null | Some b -> J.Int b )
-      ; ("difficulty", J.Float (difficulty m)) ]
+      ; ("difficulty", J.Float (difficulty m))
+      ; ( "lengths",
+          J.Obj
+            [ ("min", J.Int m.abs.Ab.len.Ab.lmin)
+            ; ( "max",
+                match m.abs.Ab.len.Ab.lmax with
+                | None -> J.Null
+                | Some b -> J.Int b )
+            ; ("period", J.Int m.abs.Ab.len.Ab.stride)
+            ; ( "empty",
+                J.Str
+                  (match m.abs.Ab.empty with
+                  | Ab.Empty -> "empty"
+                  | Ab.Nonempty -> "nonempty"
+                  | Ab.Maybe_empty -> "unknown") ) ] )
+      ; ( "chars",
+          J.Obj
+            [ ( "possible",
+                J.Str (Format.asprintf "%a" A.pp m.abs.Ab.chars.Ab.possible)
+              )
+            ; ( "required",
+                J.Arr
+                  (List.map
+                     (fun p -> J.Str (Format.asprintf "%a" A.pp p))
+                     m.abs.Ab.chars.Ab.required) )
+            ; ( "required_disjoint",
+                J.Int (Ab.disjoint_count m.abs.Ab.chars.Ab.required) ) ] ) ]
 
   let json_of_finding (f : finding) : J.t =
     J.Obj
@@ -882,6 +1098,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
     (match m.state_bound with
     | Some b -> Format.fprintf ppf "  state-bound %d" b
     | None -> ());
+    Format.fprintf ppf "  lengths %a" Ab.pp_len m.abs.Ab.len;
     Format.fprintf ppf "@\n";
     (match r.semantic with
     | None -> ()
@@ -908,11 +1125,13 @@ module Make (R : Sbd_regex.Regex.S) = struct
     D.memo_entries () + Hashtbl.length scan_memo
     + Hashtbl.length cheap_empty_memo
     + C.memo_entries csession + C.D.memo_entries ()
+    + Ab.memo_entries ()
 
   let clear () =
     D.clear ();
     Hashtbl.reset scan_memo;
     Hashtbl.reset cheap_empty_memo;
     C.clear csession;
-    C.D.clear ()
+    C.D.clear ();
+    Ab.clear ()
 end

@@ -20,14 +20,19 @@
       more often a misplaced guard than an intent;
     - [SBD304] (error) anchor placement makes the pattern empty: the
       anchor-eliminating translation ({!Sbd_locregex.Locregex.S.lower})
-      yields the empty language (e.g. [a^b], [$a]).
+      yields the empty language (e.g. [a^b], [$a]) — either
+      syntactically ([R.is_empty]) or by the abstract length/character
+      domains ({!Sbd_absdom.Absdom}), which prove emptiness of lowered
+      patterns like [^a{3}$ & ^a{5}$] without any derivation.
 
-    Everything here is structural and O(|pattern|); there is no
-    budgeted layer.  Findings reuse the severity vocabulary of
-    {!Analyze} so the CLI and service render both uniformly. *)
+    Everything here is structural and O(|pattern|) plus one memoized
+    abstract sweep; there is no budgeted layer.  Findings reuse the
+    severity vocabulary of {!Analyze} so the CLI and service render
+    both uniformly. *)
 
 module Make (L : Sbd_locregex.Locregex.S) = struct
   module R = L.R
+  module Ab = Sbd_absdom.Absdom.Make (R)
 
   type severity = Error | Warning | Info
 
@@ -172,13 +177,20 @@ module Make (L : Sbd_locregex.Locregex.S) = struct
       (List.sort_uniq
          (fun (a : L.t) (b : L.t) -> compare a.L.id b.L.id)
          (tail_looks t []));
-    (* anchors that empty the language *)
+    (* anchors that empty the language: syntactically, or by the
+       abstract length/character domains on the lowered pattern *)
     (match L.lower t with
     | Some p when R.is_empty p ->
       add
         (finding "SBD304" Error
            "anchor placement makes the pattern unsatisfiable: no \
             string can place ^/$ as required")
+    | Some p when (Ab.summarize p).Ab.empty = Ab.Empty ->
+      add
+        (finding "SBD304" Error
+           "anchor placement makes the pattern unsatisfiable: the \
+            anchor-eliminated form is empty by length/character \
+            abstraction")
     | Some _ | None -> ());
     List.rev !out
 

@@ -33,11 +33,13 @@ module Make (R : Sbd_regex.Regex.S) = struct
   module D = Sbd_core.Deriv.Make (R)
   module Mt = Sbd_alphabet.Minterm.Make (A)
   module Obs = Sbd_obs.Obs
+  module Ab = Sbd_absdom.Absdom.Make (R)
 
   let c_queries = Obs.Counter.make "contain.queries"
   let c_expansions = Obs.Counter.make "contain.expansions"
   let c_memo_hits = Obs.Counter.make "contain.memo_hits"
   let c_deadline_hits = Obs.Counter.make "contain.deadline_hits"
+  let c_presolve_hits = Obs.Counter.make "contain.presolve_hits"
   let sp_contain = Obs.Span.make "contain"
 
   type verdict =
@@ -89,6 +91,8 @@ module Make (R : Sbd_regex.Regex.S) = struct
     mutable n_proved : int;
     mutable n_refuted : int;
     mutable n_unknown : int;
+    mutable presolve_hits : int;
+        (** queries decided by the abstract-domain prescan *)
     mutable wall_time : float;
     mutable last_wall_time : float;
   }
@@ -105,6 +109,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       n_proved = 0;
       n_refuted = 0;
       n_unknown = 0;
+      presolve_hits = 0;
       wall_time = 0.0;
       last_wall_time = 0.0;
     }
@@ -129,6 +134,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       ("contain.proved", float_of_int s.n_proved);
       ("contain.refuted", float_of_int s.n_refuted);
       ("contain.unknown", float_of_int s.n_unknown);
+      ("contain.presolve_hits", float_of_int s.presolve_hits);
       ("contain.memo_entries", float_of_int (memo_entries s));
       ("contain.wall_time_s", s.wall_time);
       ("contain.last_wall_time_s", s.last_wall_time);
@@ -158,11 +164,35 @@ module Make (R : Sbd_regex.Regex.S) = struct
     | Equiv ->
       if x.R.id <= y.R.id then key2 x.R.id y.R.id else key2 y.R.id x.R.id
 
+  (* Abstract-domain prescan over the emptiness reduction: containment
+     holds iff the difference language is empty, so an abstractly proven
+     empty difference proves the containment without exploring a single
+     pair, and a matcher-validated member of the difference is already a
+     distinguishing word.  [None] on any doubt — the coinductive search
+     then runs as before. *)
+  let prescan (mode : mode) (r : R.t) (s : R.t) : verdict option =
+    let diff =
+      match mode with
+      | Subset -> R.diff r s
+      | Equiv -> R.alt (R.diff r s) (R.diff s r)
+    in
+    match Ab.presolve_word diff with
+    | `Unsat -> Some Proved
+    | `Sat w -> Some (Refuted w)
+    | `Unknown -> None
+
   let prove ?(budget = default_budget) ?(deadline = Obs.Deadline.none)
-      (session : session) (mode : mode) (r : R.t) (s : R.t) : verdict =
+      ?(presolve = true) (session : session) (mode : mode) (r : R.t)
+      (s : R.t) : verdict =
     session.queries <- session.queries + 1;
     Obs.Counter.incr c_queries;
     let t_start = Obs.now () in
+    let fast = if presolve then prescan mode r s else None in
+    (match fast with
+    | Some _ ->
+      session.presolve_hits <- session.presolve_hits + 1;
+      Obs.Counter.incr c_presolve_hits
+    | None -> ());
     let memo = match mode with Subset -> session.sub | Equiv -> session.eq in
     (* Backpointers for witness reconstruction:
        pair key -> (parent key, step character). *)
@@ -193,8 +223,8 @@ module Make (R : Sbd_regex.Regex.S) = struct
       go key suffix
     in
     let steps = ref 0 in
-    push r s None;
-    let result = ref None in
+    if fast = None then push r s None;
+    let result = ref fast in
     (try
        while !result = None && not (Queue.is_empty frontier) do
          if Obs.Deadline.expired deadline then
@@ -283,9 +313,9 @@ module Make (R : Sbd_regex.Regex.S) = struct
     Obs.Span.add sp_contain elapsed;
     res
 
-  let subset ?budget ?deadline session r s =
-    prove ?budget ?deadline session Subset r s
+  let subset ?budget ?deadline ?presolve session r s =
+    prove ?budget ?deadline ?presolve session Subset r s
 
-  let equiv ?budget ?deadline session r s =
-    prove ?budget ?deadline session Equiv r s
+  let equiv ?budget ?deadline ?presolve session r s =
+    prove ?budget ?deadline ?presolve session Equiv r s
 end

@@ -49,6 +49,7 @@ module Make (R : Sbd_regex.Regex.S) : sig
   val subset :
     ?budget:int ->
     ?deadline:Sbd_obs.Obs.Deadline.t ->
+    ?presolve:bool ->
     session ->
     R.t ->
     R.t ->
@@ -56,11 +57,19 @@ module Make (R : Sbd_regex.Regex.S) : sig
   (** Decide [L(r) ⊆ L(s)].  [budget] bounds pair expansions (default
       {!default_budget}); on exhaustion the verdict is [Unknown], never
       a guess.  [deadline] is additionally enforced between expansions
-      and inside the derivative/DNF machinery. *)
+      and inside the derivative/DNF machinery.
+
+      [presolve] (default [true]) first runs the abstract-domain
+      prescan on the emptiness reduction [r & ~s]: an abstractly empty
+      difference proves the containment, a matcher-validated member of
+      the difference refutes it with that distinguishing word, and on
+      any doubt the coinductive pair search runs as before.  Set
+      [presolve:false] for A/B measurements. *)
 
   val equiv :
     ?budget:int ->
     ?deadline:Sbd_obs.Obs.Deadline.t ->
+    ?presolve:bool ->
     session ->
     R.t ->
     R.t ->

@@ -101,6 +101,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
   module Bc = Byteclass.Make (R)
   module Dfa = Dfa.Make (R)
   module Lit = Sbd_analysis.Literals.Make (R)
+  module Ab = Sbd_absdom.Absdom.Make (R)
 
   (** Start-state byte-skip acceleration: while the DFA sits in its
       start state, bytes outside the candidate set provably keep it
@@ -134,6 +135,17 @@ module Make (R : Sbd_regex.Regex.S) = struct
     mutable back : Dfa.t option;  (** start = ⊤*·rev pattern, built lazily *)
     mutable un_accel : accel;  (** computed when [unanch] is built *)
     mutable back_accel : accel;  (** computed when [back] is built *)
+    abs_min_bytes : int;
+        (** abstract length hint: every match spans ≥ this many bytes
+            (every code point of the decoded stream — including U+FFFD
+            for malformed input — consumes at least one byte, so a
+            code-point lower bound is a byte lower bound in both
+            modes) *)
+    abs_max_bytes : int option;
+        (** abstract length hint: an anchored full match spans ≤ this
+            many bytes ([lmax] in [Byte] mode where byte = code point;
+            [4·lmax] in [Utf8] mode where a code point consumes ≤ 4
+            bytes).  [None] = unbounded *)
   }
 
   let prefilter_of ~(mode : Byteclass.mode) (fac : int list) : prefilter =
@@ -159,6 +171,17 @@ module Make (R : Sbd_regex.Regex.S) = struct
       ?(mode = Byteclass.Byte) (pattern : R.t) : t =
     Obs.Counter.incr c_compiles;
     let bc = Bc.compile ~mode pattern in
+    let abs = Ab.summarize pattern in
+    let abs_min_bytes = max 0 abs.Ab.len.Ab.lmin in
+    let abs_max_bytes =
+      match abs.Ab.len.Ab.lmax with
+      | Some mx -> (
+        match mode with
+        | Byteclass.Byte -> Some mx
+        | Byteclass.Utf8 when mx <= max_int / 4 -> Some (4 * mx)
+        | Byteclass.Utf8 -> None)
+      | None -> None
+    in
     {
       pattern;
       mode;
@@ -170,6 +193,8 @@ module Make (R : Sbd_regex.Regex.S) = struct
       back = None;
       un_accel = No_accel;
       back_accel = No_accel;
+      abs_min_bytes;
+      abs_max_bytes;
     }
 
   (** Candidate start bytes for skip-scanning while [dfa] is parked in
@@ -470,7 +495,12 @@ module Make (R : Sbd_regex.Regex.S) = struct
   (* -- public API -------------------------------------------------------- *)
 
   let matches ?deadline (t : t) (s : string) : bool =
-    run_anchored ?deadline t s 0 (String.length s)
+    let n = String.length s in
+    if n < t.abs_min_bytes then false
+    else
+      match t.abs_max_bytes with
+      | Some mx when n > mx -> false
+      | Some _ | None -> run_anchored ?deadline t s 0 n
 
   (** Does the factor prefilter rule out any match in [s]?  Entry
       deadline check included so that prefilter short-circuits still
@@ -486,6 +516,9 @@ module Make (R : Sbd_regex.Regex.S) = struct
       pattern ends, or [None] when no substring of [s] matches. *)
   let contains ?deadline (t : t) (s : string) : int option =
     if R.nullable t.pattern then Some 0
+    else if String.length s < t.abs_min_bytes then None
+      (* any match spans ≥ abs_min_bytes bytes, so a shorter haystack
+         cannot contain one (nullable patterns have abs_min_bytes = 0) *)
     else if prefilter_rules_out ?deadline t s then None
     else first_nullable ?deadline t s 0 (String.length s)
 
@@ -546,6 +579,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       start. *)
   let find ?deadline (t : t) (s : string) : (int * int) option =
     if R.nullable t.pattern then Some (0, 0)
+    else if String.length s < t.abs_min_bytes then None
     else if prefilter_rules_out ?deadline t s then None
     else begin
       let n = String.length s in
@@ -566,7 +600,9 @@ module Make (R : Sbd_regex.Regex.S) = struct
       "matching prefixes" used by the matcher API.  One backward
       pass. *)
   let count_matching_prefixes ?deadline (t : t) (s : string) : int =
-    if (not (R.nullable t.pattern)) && prefilter_rules_out ?deadline t s then 0
+    if String.length s < t.abs_min_bytes then 0
+    else if (not (R.nullable t.pattern)) && prefilter_rules_out ?deadline t s
+    then 0
     else begin
       let n = String.length s in
       let count = ref 0 in
@@ -592,6 +628,10 @@ module Make (R : Sbd_regex.Regex.S) = struct
     back_accel_bytes : int;  (** same for the backward skip loop *)
     factor_len : int;
         (** byte length of the required-factor prefilter; 0 = none *)
+    abs_min_bytes : int;
+        (** abstract-length early-exit floor (bytes); 0 = no floor *)
+    abs_max_bytes : int;
+        (** abstract-length full-match ceiling (bytes); -1 = unbounded *)
   }
 
   let accel_count = function No_accel -> 0 | Skip { count; _ } -> count
@@ -611,5 +651,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
         (match t.prefilter with
         | Pre_factor { bytes; _ } -> String.length bytes
         | Pre_none | Pre_impossible -> 0);
+      abs_min_bytes = t.abs_min_bytes;
+      abs_max_bytes = (match t.abs_max_bytes with Some mx -> mx | None -> -1);
     }
 end

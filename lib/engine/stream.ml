@@ -35,9 +35,17 @@ module Make (R : Sbd_regex.Regex.S) = struct
     search : Search.t;
     fwd : Dfa.t;
     un : Dfa.t;
+    max_bytes : int option;
+        (** abstract-length ceiling on a full match (bytes), from
+            {!Search.t.abs_max_bytes}: once the stream is longer, the
+            full-match verdict is settled [false] and the anchored DFA
+            no longer needs stepping *)
     mutable fwd_q : int;
     mutable un_q : int;
     mutable found : int option;
+    mutable overlong : bool;
+        (** the stream has exceeded [max_bytes]: full-match verdict is
+            settled [false]; [fwd_q] may be stale from this point on *)
     mutable bytes : int;  (** stream offset = bytes consumed so far *)
     carry : Bytes.t;  (** truncated UTF-8 prefix awaiting the next chunk *)
     mutable carry_len : int;
@@ -50,9 +58,11 @@ module Make (R : Sbd_regex.Regex.S) = struct
       search;
       fwd = search.Search.fwd;
       un;
+      max_bytes = search.Search.abs_max_bytes;
       fwd_q = Dfa.start_id;
       un_q = Dfa.start_id;
       found = (if Dfa.is_nullable un Dfa.start_id then Some 0 else None);
+      overlong = false;
       bytes = 0;
       carry = Bytes.create 3;
       carry_len = 0;
@@ -75,11 +85,22 @@ module Make (R : Sbd_regex.Regex.S) = struct
      dead/full short-circuit checks, mirroring {!Search}. *)
   let block = 4096
 
-  (* Is the anchored DFA pinned (dead or full)?  Pinned states are
-     complete self-loops, so stepping them is a no-op and the hot loops
-     skip it. *)
+  (* The stream has outgrown the abstract length ceiling: no extension
+     can be a full match, so the anchored DFA is settled.  Checked at
+     block boundaries, so [overlong] may lag by ≤ one block — it is
+     only ever set when [bytes] truly exceeds the ceiling. *)
+  let settle_overlong (t : t) : unit =
+    if not t.overlong then
+      match t.max_bytes with
+      | Some mx when t.bytes > mx -> t.overlong <- true
+      | Some _ | None -> ()
+
+  (* Is the anchored DFA pinned (dead, full, or settled overlong)?
+     Pinned states are complete self-loops (and an overlong verdict
+     never changes), so stepping them is a no-op and the hot loops skip
+     it. *)
   let fwd_pinned (t : t) =
-    Dfa.is_dead t.fwd t.fwd_q || Dfa.is_full t.fwd t.fwd_q
+    t.overlong || Dfa.is_dead t.fwd t.fwd_q || Dfa.is_full t.fwd t.fwd_q
 
   (* Does the unanchored DFA still need stepping?  Once [found] is set
      it never changes, and a dead unanchored state (empty pattern
@@ -109,6 +130,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
     let poll = not (Obs.Deadline.is_none deadline) in
     while !trunc < 0 && !p < limit do
       if poll then Obs.Deadline.check_now deadline;
+      settle_overlong t;
       let f_live = not (fwd_pinned t) in
       let u_live = un_live t in
       if (not f_live) && not u_live then begin
@@ -254,10 +276,13 @@ module Make (R : Sbd_regex.Regex.S) = struct
         step_cp t Byteclass.replacement t.carry_len;
         t.carry_len <- 0
       end;
+      settle_overlong t;
       t.finished <- true
     end;
     {
-      full = Dfa.is_nullable t.fwd t.fwd_q;
+      (* [fwd_q] is stale once [overlong] settles, but then no
+         extension of the stream was a full match anyway *)
+      full = (not t.overlong) && Dfa.is_nullable t.fwd t.fwd_q;
       found_end = t.found;
       bytes = t.bytes;
     }

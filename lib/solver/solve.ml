@@ -24,6 +24,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
   module D = Sbd_core.Deriv.Make (R)
   module Tr = D.Tr
   module Obs = Sbd_obs.Obs
+  module Ab = Sbd_absdom.Absdom.Make (R)
 
   module G = Graph.Make (struct
     type t = R.t
@@ -37,6 +38,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
   let c_dead_hits = Obs.Counter.make "solve.dead_hits"
   let c_queries = Obs.Counter.make "solve.queries"
   let c_deadline_hits = Obs.Counter.make "solve.deadline_hits"
+  let c_presolve_hits = Obs.Counter.make "solve.presolve_hits"
   let sp_solve = Obs.Span.make "solve"
 
   type result =
@@ -86,6 +88,8 @@ module Make (R : Sbd_regex.Regex.S) = struct
     mutable max_depth : int;  (** deepest search depth reached *)
     mutable peak_frontier : int;  (** largest frontier size observed *)
     mutable deadline_hits : int;  (** queries aborted on deadline expiry *)
+    mutable presolve_hits : int;
+        (** queries decided by the abstract-domain pre-solver *)
     mutable wall_time : float;  (** cumulative [solve] wall-clock seconds *)
     mutable last_wall_time : float;  (** wall-clock of the latest query *)
   }
@@ -99,6 +103,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       max_depth = 0;
       peak_frontier = 0;
       deadline_hits = 0;
+      presolve_hits = 0;
       wall_time = 0.0;
       last_wall_time = 0.0;
     }
@@ -113,6 +118,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
       ("session.max_depth", float_of_int s.max_depth);
       ("session.peak_frontier", float_of_int s.peak_frontier);
       ("session.deadline_hits", float_of_int s.deadline_hits);
+      ("session.presolve_hits", float_of_int s.presolve_hits);
       ("session.graph_vertices", float_of_int (G.num_vertices s.graph));
       ("session.wall_time_s", s.wall_time);
       ("session.last_wall_time_s", s.last_wall_time);
@@ -146,12 +152,54 @@ module Make (R : Sbd_regex.Regex.S) = struct
       deep inside blowup-prone state spaces.  [Bfs] explores by depth and
       therefore returns a {e shortest} witness.  Unsatisfiable instances
       explore the same state space either way. *)
+  (* Does the side constraint admit this witness word?  Positional
+     predicates beyond the end of the word are vacuous: the search only
+     applies [char_at i] when extending a word past position [i]. *)
+  let side_admits side (w : int list) : bool =
+    let n = List.length w in
+    n >= side.min_len
+    && (match side.max_len with Some m -> n <= m | None -> true)
+    && List.for_all
+         (fun (i, p) -> i >= n || A.mem (List.nth w i) p)
+         side.char_at
+
   let solve ?(budget = 200_000) ?deadline ?(dead_state_elim = true)
-      ?(side = no_side) ?(strategy = Dfs) (session : session) (r : R.t) :
-      result =
+      ?(side = no_side) ?(strategy = Dfs) ?(presolve = true)
+      (session : session) (r : R.t) : result =
     session.queries <- session.queries + 1;
     Obs.Counter.incr c_queries;
     let t_start = Obs.now () in
+    let finish res =
+      (match[@warning "-4"] res with
+      | Unknown "deadline" ->
+        session.deadline_hits <- session.deadline_hits + 1;
+        Obs.Counter.incr c_deadline_hits
+      | _ -> ());
+      let elapsed = Obs.now () -. t_start in
+      session.wall_time <- session.wall_time +. elapsed;
+      session.last_wall_time <- elapsed;
+      Obs.Span.add sp_solve elapsed;
+      res
+    in
+    (* Abstract-domain fast path: [Unsat] verdicts are theorems of the
+       abstraction and remain sound under any side constraint (which
+       only shrinks the language); [Sat] witnesses are matcher-validated
+       words, usable whenever the side constraint admits them -- except
+       under [Bfs], whose contract promises a *shortest* witness. *)
+    let fast =
+      if not presolve then None
+      else
+        match Ab.presolve_word r with
+        | `Unsat -> Some Unsat
+        | `Sat w when strategy = Dfs && side_admits side w -> Some (Sat w)
+        | `Sat _ | `Unknown -> None
+    in
+    match fast with
+    | Some res ->
+      session.presolve_hits <- session.presolve_hits + 1;
+      Obs.Counter.incr c_presolve_hits;
+      finish res
+    | None ->
     let dl =
       match deadline with
       | None -> Obs.Deadline.none
@@ -301,16 +349,7 @@ module Make (R : Sbd_regex.Regex.S) = struct
            it proves the constrained query unsatisfiable. *)
         Unsat
     in
-    (match[@warning "-4"] res with
-    | Unknown "deadline" ->
-      session.deadline_hits <- session.deadline_hits + 1;
-      Obs.Counter.incr c_deadline_hits
-    | _ -> ());
-    let elapsed = Obs.now () -. t_start in
-    session.wall_time <- session.wall_time +. elapsed;
-    session.last_wall_time <- elapsed;
-    Obs.Span.add sp_solve elapsed;
-    res
+    finish res
 
   (* -- derived queries ------------------------------------------------ *)
 

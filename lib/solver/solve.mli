@@ -48,6 +48,7 @@ module Make (R : Sbd_regex.Regex.S) : sig
     mutable max_depth : int;
     mutable peak_frontier : int;
     mutable deadline_hits : int;
+    mutable presolve_hits : int;
     mutable wall_time : float;
     mutable last_wall_time : float;
   }
@@ -67,6 +68,7 @@ module Make (R : Sbd_regex.Regex.S) : sig
     ?dead_state_elim:bool ->
     ?side:side ->
     ?strategy:strategy ->
+    ?presolve:bool ->
     session ->
     R.t ->
     result
@@ -76,7 +78,15 @@ module Make (R : Sbd_regex.Regex.S) : sig
       [deadline] is a wall-clock limit in seconds, enforced between
       frontier pops and inside the DNF expansion: on expiry the query
       returns [Unknown] (reason [deadline]) shortly after the limit,
-      even when a single exponential expansion is in flight. *)
+      even when a single exponential expansion is in flight.
+
+      [presolve] (default [true]) runs the abstract-domain pre-solver
+      ({!Sbd_absdom.Absdom}) before the derivative search: abstractly
+      proven-empty inputs return [Unsat] without expanding a single
+      state, and matcher-validated abstract witnesses return [Sat]
+      under [Dfs] whenever the side constraint admits them ([Bfs]
+      keeps its shortest-witness contract and never takes the sat
+      fast path).  Set [presolve:false] for A/B measurements. *)
 
   val is_empty_lang :
     ?budget:int -> ?deadline:float -> session -> R.t -> bool option

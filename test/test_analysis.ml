@@ -330,6 +330,87 @@ let test_corpus_soundness () =
         | None -> ()))
     (Sbd_benchgen.Standard.handwritten ())
 
+(* -- abstract domains (lib/analysis/absdom.ml) ------------------------ *)
+
+module Ab = Sbd_absdom.Absdom.Make (R)
+
+(* Length lattice: ultimately-periodic sets with CRT intersection. *)
+let test_absdom_lengths () =
+  let len pat = (Ab.summarize (re pat)).Ab.len in
+  let l3 = len "a{3}" in
+  check_int "a{3} lmin" 3 l3.Ab.lmin;
+  check "a{3} lmax" true (l3.Ab.lmax = Some 3);
+  let evens = len "(aa)*" in
+  check_int "(aa)* lmin" 0 evens.Ab.lmin;
+  check "(aa)* unbounded" true (evens.Ab.lmax = None);
+  check_int "(aa)* stride" 2 evens.Ab.stride;
+  (* CRT: x ≡ 0 (mod 2) ∧ x ≡ 1 (mod 3) has least solution 4, lcm 6 *)
+  let crt = Ab.inter_len evens (len "a(aaa)*") in
+  check_int "CRT lmin" 4 crt.Ab.lmin;
+  check_int "CRT stride" 6 crt.Ab.stride;
+  check "CRT feasible" true (Ab.feasible crt);
+  (* incompatible residues: evens ∩ odds is length-free *)
+  check "evens ∩ odds infeasible" false
+    (Ab.feasible (Ab.inter_len evens (len "a(aa)*")));
+  (* membership predicate agrees with the progression *)
+  check "admits 10" true (Ab.len_admits crt 10);
+  check "rejects 8" false (Ab.len_admits crt 8);
+  (* concat adds, union joins on the gcd *)
+  let c = Ab.concat_len l3 evens in
+  check_int "concat lmin" 3 c.Ab.lmin;
+  check_int "concat stride" 2 c.Ab.stride
+
+(* Emptiness verdicts from each abstraction, and their absence when the
+   constraints are feasible. *)
+let test_absdom_emptiness () =
+  let empty pat = (Ab.summarize (re pat)).Ab.empty = Ab.Empty in
+  (* length: [3,3] ∩ [5,5] *)
+  check "a{3}&a{5} empty" true (empty "a{3}&a{5}");
+  (* length residues: even ∩ odd *)
+  check "(aa)*&a(aa)* empty" true (empty "(aa)*&a(aa)*");
+  (* characters: possible sets are disjoint and lmin > 0 *)
+  check "ab&cd empty" true (empty "ab&cd");
+  (* characters: a required class outside the possible set *)
+  check "required vs possible" true (empty ".*a.*&b*");
+  (* feasible intersections stay undecided-or-nonempty *)
+  check "a{3,5}&a{4} feasible" false (empty "a{3,5}&a{4}");
+  check "same parity feasible" false (empty "(aa)*&(aaaa)*")
+
+(* presolve: verdicts must be sound and witnesses must actually match
+   (validated here against the independent reference matcher). *)
+let test_absdom_presolve () =
+  let word w = List.init (String.length w) (fun i -> Char.code w.[i]) in
+  (match Ab.presolve (re "a{3}&a{5}") with
+  | Ab.Unsat_proved -> ()
+  | Ab.Sat_witnessed _ | Ab.Unknown ->
+    Alcotest.fail "a{3}&a{5} must be proved unsat");
+  (match Ab.presolve (re "a*") with
+  | Ab.Sat_witnessed w -> check "nullable witness is ε" true (w = "")
+  | Ab.Unsat_proved | Ab.Unknown ->
+    Alcotest.fail "a* must be witnessed sat");
+  List.iter
+    (fun pat ->
+      match Ab.presolve (re pat) with
+      | Ab.Sat_witnessed w ->
+        check (pat ^ " witness matches") true (Ref.matches (re pat) (word w))
+      | Ab.Unsat_proved -> Alcotest.failf "unsound unsat on %s" pat
+      | Ab.Unknown -> Alcotest.failf "%s should be witnessed" pat)
+    [ "ab|cd"; "a{2,4}"; "\\d{4}-\\d{2}"; "(ab)*ab" ];
+  (* boolean intersections may or may not be witnessed, but a committed
+     verdict must be correct *)
+  (match Ab.presolve (re "[a-c]{3}&[b-d]{3}") with
+  | Ab.Sat_witnessed w ->
+    check "inter witness matches" true
+      (Ref.matches (re "[a-c]{3}&[b-d]{3}") (word w))
+  | Ab.Unknown -> ()
+  | Ab.Unsat_proved -> Alcotest.fail "unsound unsat on [a-c]{3}&[b-d]{3}");
+  (* abstractly undecidable: empty, but only a real derivation sees it —
+     the pre-solver must answer Unknown, never guess *)
+  (match Ab.presolve (re "a{80}&~((aa){40})") with
+  | Ab.Unknown -> ()
+  | Ab.Unsat_proved | Ab.Sat_witnessed _ ->
+    Alcotest.fail "deep boolean pattern must stay Unknown")
+
 let suite =
   ( "analysis",
     [ Alcotest.test_case "metrics and fragments" `Quick test_metrics
@@ -340,4 +421,7 @@ let suite =
     ; Alcotest.test_case "hints drive consumers" `Quick test_hint_consumer
     ; Alcotest.test_case "json report shape" `Quick test_json_shape
     ; Alcotest.test_case "forced literals" `Quick test_literals
-    ; Alcotest.test_case "corpus soundness" `Quick test_corpus_soundness ] )
+    ; Alcotest.test_case "corpus soundness" `Quick test_corpus_soundness
+    ; Alcotest.test_case "absdom lengths" `Quick test_absdom_lengths
+    ; Alcotest.test_case "absdom emptiness" `Quick test_absdom_emptiness
+    ; Alcotest.test_case "absdom presolve" `Quick test_absdom_presolve ] )

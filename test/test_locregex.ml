@@ -288,6 +288,13 @@ let test_lints () =
   (* impossible negative lookaround, incl. the ⊤* contradiction *)
   has "SBD302" "(?!a*)b";
   has "SBD302" "(?!(a|b*)c?)x";
+  (* behind-variant: a negative lookbehind with a nullable body is just
+     as unsatisfiable — the empty span preceding the position always
+     witnesses the body *)
+  has "SBD302" "(?<!a*)b";
+  has "SBD302" "(?<!a?)b";
+  check "non-nullable lookbehind body fine" false
+    (List.mem "SBD302" (rules "(?<!a)b"));
   (* lookahead in tail position *)
   has "SBD303" "a(?=b)";
   has "SBD303" "a((?=b)|c)";
@@ -299,6 +306,13 @@ let test_lints () =
   has "SBD304" "a$b+";
   check "usable anchors are fine" false (List.mem "SBD304" (rules "^a|b$"));
   check "eps-tolerant anchors fine" false (List.mem "SBD304" (rules "a$b*"));
+  (* emptiness only the abstract domains see: the lowered pattern is
+     not syntactically empty, but its length sets ([3,3] vs [5,5]) or
+     required/possible character sets ({a,b} vs {c,d}) are disjoint *)
+  has "SBD304" "^a{3}$&^a{5}$";
+  has "SBD304" "^ab$&^cd$";
+  check "feasible lengths fine" false
+    (List.mem "SBD304" (rules "^a{3,5}$&^a{4}$"));
   clean "^a+b$";
   clean "(?<=\\d)ab";
   (* fragment classification *)
