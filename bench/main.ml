@@ -117,6 +117,16 @@ let engine_bench () =
   Engine_bench.pp fmt report;
   Format.fprintf fmt "engine run appended to %s@.@." path
 
+(* Service scaling curve (workers sweep, batch protocol A/B), under the
+   "service" section — part of the default phase list so every bench
+   day records it (ROADMAP item 2; `experiments service-bench --check`
+   fails when the section is absent). *)
+let service_bench () =
+  let path = trajectory_path () in
+  let report = Service_bench.run_and_append ~path () in
+  Service_bench.pp fmt report;
+  Format.fprintf fmt "service run appended to %s@.@." path
+
 let fig4c () =
   Format.fprintf fmt "== Figure 4(c): benchmark counts ==@.";
   let count name l = Format.fprintf fmt "  %-20s %5d@." name (List.length l) in
@@ -352,6 +362,7 @@ let () =
   fig4b ();
   write_trajectory ();
   engine_bench ();
+  service_bench ();
   ablation_dead ();
   ablation_dnf ();
   ablation_simplify ();

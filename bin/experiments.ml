@@ -20,6 +20,8 @@
                                           reduction agreement on the pair corpus
      experiments lookaround-bench         located engine vs oracle vs labels on
                                           the anchored/lookaround corpus
+     experiments service-bench            service scaling sweep (workers 1/2/4/
+                                          all-cores, batch protocol A/B)
      experiments all                      everything above (except dump)
 *)
 
@@ -503,6 +505,66 @@ let absdom_bench_cmd =
                  zero unsound verdicts, zero invalid witnesses); non-zero \
                  exit on violation."))
 
+let service_bench no_bench out label requests gate =
+  let report =
+    if no_bench then Service_bench.run ?label ?requests ()
+    else Service_bench.run_and_append ?label ?requests ?path:out ()
+  in
+  Service_bench.pp fmt report;
+  let path =
+    match out with Some p -> p | None -> Sbd_service.Server.default_bench_path ()
+  in
+  if not no_bench then Format.fprintf fmt "appended service run to %s@." path;
+  if gate then begin
+    let fails = Service_bench.check report in
+    let fails =
+      if no_bench || Service_bench.section_present ~path then fails
+      else fails @ [ Printf.sprintf "no \"service\" section in %s" path ]
+    in
+    match fails with
+    | [] -> Format.fprintf fmt "service-bench gates: ok@."
+    | fails ->
+      List.iter (Format.fprintf fmt "service-bench gate FAILED: %s@.") fails;
+      failwith "service-bench: regression gate failed"
+  end
+
+let service_bench_cmd =
+  cmd "service-bench"
+    "service scaling sweep: req/s, latency, cache hit rate and batch-protocol \
+     throughput at workers 1/2/4/all-cores"
+    Term.(
+      const service_bench
+      $ Arg.(
+          value & flag
+          & info [ "no-bench" ]
+              ~doc:"Do not append the report to the BENCH trajectory.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~docv:"FILE"
+              ~doc:"Trajectory file (default BENCH_<date>.json).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "label" ] ~docv:"LABEL"
+              ~doc:
+                "Variant label recorded in the report (default \
+                 service-scaling).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "requests" ] ~docv:"N"
+              ~doc:"Zipfian requests per sweep point (default 400).")
+      $ Arg.(
+          value & flag
+          & info [ "check" ]
+              ~doc:
+                "Enforce the pinned gates (workers=1 at least sequential \
+                 throughput, core-conditional scaling floors, batching at \
+                 least 1.3x unbatched, cache hit-rate sanity, zero \
+                 mismatches/protocol errors, service section present); \
+                 non-zero exit on violation."))
+
 let all_cmd =
   cmd "all" "run every table, figure and ablation"
     Term.(
@@ -525,4 +587,4 @@ let () =
           ; ablation_simplify_cmd; ablation_algebra_cmd; states_cmd; dump_cmd
           ; engine_bench_cmd; analyze_bench_cmd; deriv_bench_cmd
           ; contain_bench_cmd; lookaround_bench_cmd; absdom_bench_cmd
-          ; all_cmd ]))
+          ; service_bench_cmd; all_cmd ]))

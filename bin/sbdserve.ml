@@ -20,21 +20,24 @@
 module Server = Sbd_service.Server
 module Obs = Sbd_obs.Obs
 
-let config workers queue_cap cache_cap memo_cap budget deadline no_cache =
+let config workers queue_cap cache_cap cache_shards memo_cap budget deadline
+    no_cache =
   {
     Server.workers;
     queue_cap;
     cache_cap;
+    cache_shards;
     memo_cap;
     default_budget = budget;
     default_deadline = deadline;
     use_cache = not no_cache;
   }
 
-let run selftest socket workers queue_cap cache_cap memo_cap budget deadline
-    no_cache bench_out no_bench =
+let run selftest socket workers queue_cap cache_cap cache_shards memo_cap
+    budget deadline no_cache bench_out no_bench =
   let cfg =
-    config workers queue_cap cache_cap memo_cap budget deadline no_cache
+    config workers queue_cap cache_cap cache_shards memo_cap budget deadline
+      no_cache
   in
   match selftest with
   | Some n ->
@@ -53,6 +56,7 @@ let run selftest socket workers queue_cap cache_cap memo_cap budget deadline
       result.Server.mismatches = 0
       && result.Server.bad_witnesses = 0
       && result.Server.match_mismatches = 0
+      && result.Server.protocol_errors = 0
     then 0
     else 1
   | None -> (
@@ -111,6 +115,14 @@ let () =
       value & opt int 4096
       & info [ "cache-cap" ] ~doc:"Entries in the shared LRU result cache.")
   in
+  let cache_shards_t =
+    Arg.(
+      value & opt int Server.default_config.Server.cache_shards
+      & info [ "cache-shards" ]
+          ~doc:
+            "Independently locked LRU shards (rounded up to a power of \
+             two); keys are routed by canonical-pattern hash.")
+  in
   let memo_cap_t =
     Arg.(
       value & opt int 200_000
@@ -161,7 +173,7 @@ let () =
             JSON session protocol, cross-query result cache)")
       Term.(
         const run $ selftest_t $ socket_t $ workers_t $ queue_cap_t
-        $ cache_cap_t $ memo_cap_t $ budget_t $ deadline_t $ no_cache_t
-        $ bench_out_t $ no_bench_t)
+        $ cache_cap_t $ cache_shards_t $ memo_cap_t $ budget_t $ deadline_t
+        $ no_cache_t $ bench_out_t $ no_bench_t)
   in
   exit (Cmd.eval' cmd)

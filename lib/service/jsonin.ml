@@ -246,3 +246,58 @@ let int_member key j =
 
 let bool_member key j =
   match[@warning "-4"] member key j with Some (J.Bool b) -> Some b | _ -> None
+
+(* -- draining line reader ------------------------------------------------ *)
+
+(** Batched NDJSON input: one blocking read pulls {e all} bytes the OS
+    has buffered (up to a chunk) and splits them into complete lines,
+    so a client that pipelines requests costs one syscall per burst
+    instead of one per line (DESIGN.md §17).  The trailing fragment of
+    an incomplete line is kept for the next read; at EOF a non-empty
+    fragment is delivered as a final unterminated line (matching
+    [input_line] semantics). *)
+module Lines = struct
+  type t = {
+    ic : in_channel;
+    buf : Bytes.t;
+    pending : Buffer.t;  (** bytes read but not yet terminated by '\n' *)
+    mutable eof : bool;
+  }
+
+  let chunk = 65536
+  let create ic = { ic; buf = Bytes.create chunk; pending = Buffer.create 256; eof = false }
+
+  (* Split [pending] into complete lines, keeping the remainder. *)
+  let split_pending t =
+    let s = Buffer.contents t.pending in
+    match String.rindex_opt s '\n' with
+    | None -> []
+    | Some last ->
+      Buffer.clear t.pending;
+      Buffer.add_substring t.pending s (last + 1) (String.length s - last - 1);
+      String.split_on_char '\n' (String.sub s 0 last)
+
+  (** All complete lines available after one blocking read; [None] at
+      EOF once every buffered byte has been delivered.  Never returns
+      [Some []]: reads repeat until at least one full line (or EOF)
+      arrives. *)
+  let rec read t : string list option =
+    if t.eof then
+      if Buffer.length t.pending > 0 then begin
+        let s = Buffer.contents t.pending in
+        Buffer.clear t.pending;
+        Some [ s ]
+      end
+      else None
+    else begin
+      let n = input t.ic t.buf 0 chunk in
+      if n = 0 then begin
+        t.eof <- true;
+        read t
+      end
+      else begin
+        Buffer.add_subbytes t.pending t.buf 0 n;
+        match split_pending t with [] -> read t | lines -> Some lines
+      end
+    end
+end

@@ -1,8 +1,18 @@
-(** Domain worker pool: N domains, each owning one freshly
-    instantiated {!Worker} stack, all consuming one bounded {!Wq}
-    queue.  A job is a closure over the worker module, so the pool
-    does not know about the wire protocol; jobs must not raise (a
-    defensive catch keeps a failing job from killing its domain). *)
+(** Domain worker pool over the work-stealing {!Sched}: N domains,
+    each owning one freshly instantiated {!Worker} stack and one
+    bounded deque; jobs are routed by pattern-hash affinity so a
+    worker keeps seeing the same patterns (hot hash-cons/memo/engine
+    caches) and idle workers steal from the others.  A job is a
+    closure over the worker module, so the pool does not know about
+    the wire protocol; jobs must not raise (a defensive catch keeps a
+    failing job from killing its domain).
+
+    At [workers = 1] the pool runs {e inline}: no domain is spawned
+    and {!submit} executes the job on the calling thread under an
+    uncontended mutex (one worker means no parallelism to lose), so
+    the queue hand-off and condition-variable wake-ups that made the
+    one-worker pool slower than sequential solving disappear
+    entirely. *)
 
 module Obs = Sbd_obs.Obs
 
@@ -13,9 +23,14 @@ let c_job_errors = Obs.Counter.make "service.pool.job_errors"
 
 type job = (module Worker.WORKER) -> unit
 
+type mode =
+  | Inline of { mutex : Mutex.t; worker : (module Worker.WORKER) }
+      (** workers = 1: run jobs on the submitting thread; the mutex
+          serializes sessions onto the single worker stack *)
+  | Pooled of { sched : job Sched.t; domains : unit Domain.t list }
+
 type t = {
-  queue : job Wq.t;
-  domains : unit Domain.t list;
+  mode : mode;
   workers : int;
   busy : int Atomic.t;
   processed : int Atomic.t;
@@ -24,65 +39,88 @@ type t = {
 
 let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
 
-let worker_loop ?memo_cap t () =
+let run_job t (job : job) worker =
+  ignore (Atomic.fetch_and_add t.busy 1);
+  (try job worker
+   with e ->
+     Obs.Counter.incr c_job_errors;
+     Obs.emit (Printf.sprintf "service: job raised %s" (Printexc.to_string e)));
+  ignore (Atomic.fetch_and_add t.busy (-1));
+  ignore (Atomic.fetch_and_add t.processed 1);
+  Obs.Counter.incr c_processed
+
+let worker_loop ?memo_cap t sched ~me () =
   let worker = Worker.create ?memo_cap () in
   let rec go () =
-    match Wq.pop t.queue with
+    match Sched.pop sched ~me with
     | None -> ()
     | Some job ->
-      ignore (Atomic.fetch_and_add t.busy 1);
-      (try job worker
-       with e ->
-         Obs.Counter.incr c_job_errors;
-         Obs.emit
-           (Printf.sprintf "service: job raised %s" (Printexc.to_string e)));
-      ignore (Atomic.fetch_and_add t.busy (-1));
-      ignore (Atomic.fetch_and_add t.processed 1);
-      Obs.Counter.incr c_processed;
+      run_job t job worker;
       go ()
   in
   go ()
 
 let create ?memo_cap ~workers ~queue_cap () =
   let workers = max 1 workers in
-  let t =
+  let busy = Atomic.make 0 in
+  let processed = Atomic.make 0 in
+  let rejected = Atomic.make 0 in
+  if workers = 1 then
     {
-      queue = Wq.create ~cap:queue_cap;
-      domains = [];
+      mode =
+        Inline { mutex = Mutex.create (); worker = Worker.create ?memo_cap () };
       workers;
-      busy = Atomic.make 0;
-      processed = Atomic.make 0;
-      rejected = Atomic.make 0;
+      busy;
+      processed;
+      rejected;
     }
-  in
-  let domains =
-    List.init workers (fun _ -> Domain.spawn (worker_loop ?memo_cap t))
-  in
-  { t with domains }
-
-(** Non-blocking submit with backpressure: [false] means the queue is
-    full (or closing) and the caller should shed the request. *)
-let submit t (job : job) =
-  if Wq.try_push t.queue job then begin
-    Obs.Counter.incr c_submitted;
-    true
-  end
   else begin
-    ignore (Atomic.fetch_and_add t.rejected 1);
-    Obs.Counter.incr c_rejected;
-    false
+    let sched = Sched.create ~workers ~cap:queue_cap in
+    (* the counter atomics are shared between [t] and the final record,
+       so the spawned loops and callers see the same gauges *)
+    let t = { mode = Pooled { sched; domains = [] }; workers; busy; processed; rejected } in
+    let domains =
+      List.init workers (fun me -> Domain.spawn (worker_loop ?memo_cap t sched ~me))
+    in
+    { t with mode = Pooled { sched; domains } }
   end
+
+(** Non-blocking submit with backpressure.  [affinity] routes the job
+    to a fixed worker deque (same value, same worker — hot caches);
+    [false] means the target and spill-over deques are full (or the
+    pool is closing) and the caller should shed the request. *)
+let submit ?affinity t (job : job) =
+  match t.mode with
+  | Inline { mutex; worker } ->
+    Obs.Counter.incr c_submitted;
+    Mutex.protect mutex (fun () -> run_job t job worker);
+    true
+  | Pooled { sched; _ } ->
+    if Sched.try_push ?affinity sched job then begin
+      Obs.Counter.incr c_submitted;
+      true
+    end
+    else begin
+      ignore (Atomic.fetch_and_add t.rejected 1);
+      Obs.Counter.incr c_rejected;
+      false
+    end
 
 (** Blocking submit, for cooperative producers (self-test generator). *)
-let submit_wait t (job : job) =
-  if Wq.push_wait t.queue job then begin
-    Obs.Counter.incr c_submitted;
-    true
-  end
-  else false
+let submit_wait ?affinity t (job : job) =
+  match t.mode with
+  | Inline _ -> submit ?affinity t job
+  | Pooled { sched; _ } ->
+    if Sched.push_wait ?affinity sched job then begin
+      Obs.Counter.incr c_submitted;
+      true
+    end
+    else false
 
-let queue_length t = Wq.length t.queue
-let in_flight t = Wq.length t.queue + Atomic.get t.busy
+let queue_length t =
+  match t.mode with Inline _ -> 0 | Pooled { sched; _ } -> Sched.length sched
+
+let in_flight t = queue_length t + Atomic.get t.busy
 
 (** Wait until every queued and running job has finished. *)
 let drain t =
@@ -90,17 +128,36 @@ let drain t =
     Unix.sleepf 0.001
   done
 
-(** Drain, close the queue, and join the worker domains. *)
+(** Drain, close the scheduler, and join the worker domains. *)
 let shutdown t =
   drain t;
-  Wq.close t.queue;
-  List.iter Domain.join t.domains
+  match t.mode with
+  | Inline _ -> ()
+  | Pooled { sched; domains } ->
+    Sched.close sched;
+    List.iter Domain.join domains
 
 let stats t : (string * float) list =
   [
     ("service.pool.workers", float_of_int t.workers);
-    ("service.pool.queue_len", float_of_int (Wq.length t.queue));
+    ("service.pool.queue_len", float_of_int (queue_length t));
     ("service.pool.busy", float_of_int (Atomic.get t.busy));
     ("service.pool.processed", float_of_int (Atomic.get t.processed));
     ("service.pool.rejected", float_of_int (Atomic.get t.rejected));
+    ("service.pool.inline", if t.workers = 1 then 1.0 else 0.0);
   ]
+  @ match t.mode with Inline _ -> [] | Pooled { sched; _ } -> Sched.stats sched
+
+let steals t =
+  match t.mode with Inline _ -> 0 | Pooled { sched; _ } -> Sched.steals sched
+
+let spills t =
+  match t.mode with Inline _ -> 0 | Pooled { sched; _ } -> Sched.spills sched
+
+(** The worker deque an affinity value routes to.  The batch handler
+    groups requests by this key: requests that would execute on the
+    same worker anyway become one job with one response flush. *)
+let route t affinity =
+  match t.mode with
+  | Inline _ -> 0
+  | Pooled _ -> (affinity land max_int) mod t.workers

@@ -13,7 +13,19 @@
     ([sat]/[unsat]/[unknown]/[ok]) or ["error"].  A deadline expiry is
     [{"status":"unknown","reason":"deadline"}]; an overloaded queue is
     [{"error":"overloaded"}] — the request is rejected immediately,
-    never queued behind the backlog. *)
+    never queued behind the backlog.
+
+    Batching (DESIGN.md §17): [{"op":"batch","reqs":[...]}] wraps up to
+    {!max_batch} requests in one line.  Every wrapped request {e must}
+    carry a client-assigned ["id"], and the ids must be distinct within
+    the batch, because the responses come back as individual lines
+    correlated by ["id"] and {e in no guaranteed order} (requests of a
+    batch may execute on different workers).  Nested batches are
+    rejected; ["shutdown"] inside a batch is a per-request error (the
+    rest of the batch still runs).  Envelope-level violations — missing
+    or empty ["reqs"], more than {!max_batch} entries, a missing or
+    duplicate ["id"] — produce a single structured error response and
+    leave the session open. *)
 
 module J = Sbd_obs.Obs.Json
 
@@ -37,8 +49,12 @@ type payload =
           argument order *)
   | Stats  (** server/pool/cache counters *)
   | Shutdown  (** drain in-flight requests, then stop *)
+  | Batch of (request, J.t * string) result list
+      (** a validated [{"op":"batch"}] envelope: parse errors of
+          individual wrapped requests are preserved in order so each
+          gets its own correlated error response *)
 
-type request = {
+and request = {
   id : J.t;  (** echoed verbatim in the response; [J.Null] when absent *)
   payload : payload;
   deadline_s : float option;
@@ -46,23 +62,28 @@ type request = {
   want_stats : bool;  (** include per-query session stats in the response *)
 }
 
-(** Parse one request line.  On error, the returned [J.t] is the
-    request id when one could be extracted (so the error response can
-    still be correlated), [J.Null] otherwise. *)
-let parse_request (line : string) : (request, J.t * string) result =
-  match Jsonin.parse line with
-  | Error msg -> Error (J.Null, "malformed JSON: " ^ msg)
-  | Ok json -> (
-    let id = Option.value (Jsonin.member "id" json) ~default:J.Null in
-    let deadline_s = Jsonin.float_member "deadline_s" json in
-    let budget = Jsonin.int_member "budget" json in
-    let want_stats = Option.value (Jsonin.bool_member "stats" json) ~default:false in
-    let re = Jsonin.str_member "re" json in
-    let smt2 = Jsonin.str_member "smt2" json in
-    let finish payload = Ok { id; payload; deadline_s; budget; want_stats } in
-    match Jsonin.str_member "op" json with
-    | None -> Error (id, "missing \"op\" field")
-    | Some "solve" -> (
+(** Maximum number of requests inside one batch envelope. *)
+let max_batch = 128
+
+(** Parse one request from its parsed JSON.  On error, the returned
+    [J.t] is the request id when one could be extracted (so the error
+    response can still be correlated), [J.Null] otherwise. *)
+let rec request_of_json ~nested (json : J.t) : (request, J.t * string) result =
+  let id = Option.value (Jsonin.member "id" json) ~default:J.Null in
+  let deadline_s = Jsonin.float_member "deadline_s" json in
+  let budget = Jsonin.int_member "budget" json in
+  let want_stats = Option.value (Jsonin.bool_member "stats" json) ~default:false in
+  let re = Jsonin.str_member "re" json in
+  let smt2 = Jsonin.str_member "smt2" json in
+  let finish payload = Ok { id; payload; deadline_s; budget; want_stats } in
+  match Jsonin.str_member "op" json with
+  | None -> Error (id, "missing \"op\" field")
+  | Some "batch" ->
+    if nested then Error (id, "nested \"batch\" is not allowed")
+    else parse_batch ~id json ~finish
+  | Some "shutdown" when nested ->
+    Error (id, "\"shutdown\" is not allowed inside a batch")
+  | Some "solve" -> (
       match (re, smt2) with
       | Some pat, None -> finish (Solve_re pat)
       | None, Some script -> finish (Solve_smt2 script)
@@ -90,9 +111,45 @@ let parse_request (line : string) : (request, J.t * string) result =
            else Equiv_re { left; right })
       | None, _ -> Error (id, Printf.sprintf "op %S needs a \"re\" field" op)
       | _, None -> Error (id, Printf.sprintf "op %S needs a \"re2\" field" op))
-    | Some "stats" -> finish Stats
-    | Some "shutdown" -> finish Shutdown
-    | Some other -> Error (id, Printf.sprintf "unknown op %S" other))
+  | Some "stats" -> finish Stats
+  | Some "shutdown" -> finish Shutdown
+  | Some other -> Error (id, Printf.sprintf "unknown op %S" other)
+
+(* Envelope validation: the structural rules that make out-of-order
+   correlation work (ids present and distinct) fail the whole envelope;
+   a bad wrapped request only fails itself. *)
+and parse_batch ~id json ~finish =
+  match[@warning "-4"] Jsonin.member "reqs" json with
+  | None -> Error (id, "op \"batch\" needs a \"reqs\" array")
+  | Some (J.Arr []) -> Error (id, "empty batch")
+  | Some (J.Arr items) ->
+    if List.length items > max_batch then
+      Error
+        (id, Printf.sprintf "batch too large (max %d requests)" max_batch)
+    else begin
+      let reqs = List.map (request_of_json ~nested:true) items in
+      let ids =
+        List.filter_map
+          (function Ok r -> Some r.id | Error (i, _) -> Some i)
+          reqs
+      in
+      if List.exists (fun i -> i = J.Null) ids then
+        Error (id, "every request in a batch needs an \"id\"")
+      else
+        let rec dup = function
+          | [] -> false
+          | x :: rest -> List.mem x rest || dup rest
+        in
+        if dup ids then Error (id, "duplicate \"id\" in batch")
+        else finish (Batch reqs)
+    end
+  | Some _ -> Error (id, "\"reqs\" must be an array")
+
+(** Parse one request line. *)
+let parse_request (line : string) : (request, J.t * string) result =
+  match Jsonin.parse line with
+  | Error msg -> Error (J.Null, "malformed JSON: " ^ msg)
+  | Ok json -> request_of_json ~nested:false json
 
 (* -- responses ----------------------------------------------------------- *)
 

@@ -16,6 +16,7 @@ type config = {
   workers : int;
   queue_cap : int;
   cache_cap : int;
+  cache_shards : int;  (** LRU shard count, rounded up to a power of two *)
   memo_cap : int;  (** per-worker derivative-memo entry cap *)
   default_budget : int;
   default_deadline : float option;
@@ -27,6 +28,7 @@ let default_config =
     workers = Pool.default_workers ();
     queue_cap = 256;
     cache_cap = 4096;
+    cache_shards = 16;
     memo_cap = 200_000;
     default_budget = 1_000_000;
     default_deadline = None;
@@ -46,7 +48,7 @@ let create cfg =
     cfg;
     pool = Pool.create ~memo_cap:cfg.memo_cap ~workers:cfg.workers
              ~queue_cap:cfg.queue_cap ();
-    cache = Lru.create ~cap:cfg.cache_cap;
+    cache = Lru.create ~shards:cfg.cache_shards ~cap:cfg.cache_cap ();
     stopping = Atomic.make false;
     stop_listener = ref (fun () -> ());
   }
@@ -66,6 +68,18 @@ let respond session (doc : J.t) =
       output_string session.oc (J.to_string doc);
       output_char session.oc '\n';
       flush session.oc)
+
+(** Write a burst of response lines under one lock acquisition and one
+    flush — the response half of the batch protocol's amortization. *)
+let respond_many session (docs : J.t list) =
+  if docs <> [] then
+    Mutex.protect session.out_mutex (fun () ->
+        List.iter
+          (fun doc ->
+            output_string session.oc (J.to_string doc);
+            output_char session.oc '\n')
+          docs;
+        flush session.oc)
 
 let stats_doc t ~id =
   (* Pool/cache rows are the exact live values; the Obs snapshot also
@@ -87,43 +101,75 @@ let stats_doc t ~id =
   in
   Protocol.ok_response ~id [ ("stats", Protocol.json_of_stats rows) ]
 
-(** The pool-side work of a solve/check request: canonical cache key,
-    shared-LRU lookup, solve on miss, cache the deterministic verdicts
-    (never [Unknown] — those depend on the budget/deadline of the
-    losing query, not on the language). *)
+(** The pool-side work of a solve/check request: raw-text fast-path
+    lookup, canonical cache key, shared-LRU lookup, solve on miss,
+    cache the deterministic verdicts (never [Unknown] — those depend on
+    the budget/deadline of the losing query, not on the language).
+
+    Deterministic verdicts are stored under {e two} keys: the canonical
+    digest (so commuted/renamed forms of the same language still hit)
+    and a raw-text key ["r:<pattern>"] — an exact repeat of a solved
+    query, the overwhelmingly common case under Zipfian traffic, is
+    then answered without parsing or canonicalizing the pattern at
+    all. *)
 let solve_job t ~id ~want_stats ~deadline ~budget ~use_cache ~respond patterns
     (module W : Worker.WORKER) =
   let t0 = Obs.now () in
-  let key_res =
-    match patterns with
-    | [ one ] -> W.cache_key one
-    | many -> W.conj_cache_key many
+  let raw_key =
+    match patterns with [ one ] -> Some ("r:" ^ one) | _ -> None
   in
-  match key_res with
-  | Error msg -> respond (Protocol.error_response ~id msg)
-  | Ok key -> (
-    match if use_cache then Lru.find t.cache key else None with
-    | Some v ->
-      respond
-        (Protocol.solve_response ~id ~cached:true ~wall_s:(Obs.now () -. t0) v)
-    | None -> (
-      let solved =
-        match patterns with
-        | [ one ] -> W.solve_pattern ?deadline ~budget one
-        | many -> W.solve_conj ?deadline ~budget many
+  let raw_hit =
+    match (use_cache, raw_key) with
+    | true, Some rk -> Lru.find t.cache rk
+    | _ -> None
+  in
+  match raw_hit with
+  | Some v ->
+    respond
+      (Protocol.solve_response ~id ~cached:true ~wall_s:(Obs.now () -. t0) v)
+  | None -> (
+    let key_res =
+      match patterns with
+      | [ one ] -> W.cache_key one
+      | many -> W.conj_cache_key many
+    in
+    match key_res with
+    | Error msg -> respond (Protocol.error_response ~id msg)
+    | Ok key -> (
+      let cache_fill verdict =
+        if use_cache then begin
+          Lru.put t.cache key verdict;
+          match raw_key with
+          | Some rk -> Lru.put t.cache rk verdict
+          | None -> ()
+        end
       in
-      match solved with
-      | Error msg -> respond (Protocol.error_response ~id msg)
-      | Ok (verdict, stats) ->
-        (match verdict with
-        | Protocol.Sat _ | Protocol.Unsat ->
-          if use_cache then Lru.put t.cache key verdict
-        | Protocol.Unknown _ -> ());
+      match if use_cache then Lru.find t.cache key else None with
+      | Some v ->
+        (* seed the raw fast path for the next exact repeat *)
+        (match raw_key with
+        | Some rk when use_cache -> Lru.put t.cache rk v
+        | _ -> ());
         respond
-          (Protocol.solve_response ~id ~cached:false
-             ~wall_s:(Obs.now () -. t0)
-             ?stats:(if want_stats then Some stats else None)
-             verdict)))
+          (Protocol.solve_response ~id ~cached:true ~wall_s:(Obs.now () -. t0)
+             v)
+      | None -> (
+        let solved =
+          match patterns with
+          | [ one ] -> W.solve_pattern ?deadline ~budget one
+          | many -> W.solve_conj ?deadline ~budget many
+        in
+        match solved with
+        | Error msg -> respond (Protocol.error_response ~id msg)
+        | Ok (verdict, stats) ->
+          (match verdict with
+          | Protocol.Sat _ | Protocol.Unsat -> cache_fill verdict
+          | Protocol.Unknown _ -> ());
+          respond
+            (Protocol.solve_response ~id ~cached:false
+               ~wall_s:(Obs.now () -. t0)
+               ?stats:(if want_stats then Some stats else None)
+               verdict))))
 
 (** The pool-side work of a containment/equivalence request: canonical
     order-independent cache key for [equiv], shared-LRU lookup, prover
@@ -191,88 +237,211 @@ let smt2_job ~id ~deadline ~budget ~respond script (module W : Worker.WORKER) =
   | Ok (answers, output) ->
     respond (Protocol.smt2_response ~id ~wall_s:(Obs.now () -. t0) answers output)
 
-(** Handle one request line; [`Shutdown] ends the whole server. *)
-let handle_line t session line : [ `Continue | `Shutdown ] =
-  match Protocol.parse_request line with
+(** How one parsed request is executed: answered by the reader thread
+    itself, or queued onto the pool with a deque-routing affinity. *)
+type dispatchable =
+  | Immediate of J.t
+  | Queued of { affinity : int; job : respond:(J.t -> unit) -> Pool.job }
+
+(** Classify one non-[batch], non-[shutdown] request.  The affinity is
+    the hash of the pattern (or script) text, so repeats of the same
+    query land on the same worker deque and find that worker's
+    hash-cons, memo, and compiled-engine caches hot. *)
+let classify t session (req : Protocol.request) : dispatchable =
+  let id = req.Protocol.id in
+  let deadline =
+    match req.deadline_s with
+    | Some _ as d -> d
+    | None -> t.cfg.default_deadline
+  in
+  let budget = Option.value req.budget ~default:t.cfg.default_budget in
+  let want_stats = req.want_stats in
+  let use_cache = t.cfg.use_cache in
+  match[@warning "-4"] req.payload with
+  | Protocol.Stats -> Immediate (stats_doc t ~id)
+  | Protocol.Assert_re pat ->
+    session.asserted <- pat :: session.asserted;
+    Immediate
+      (Protocol.ok_response ~id
+         [ ("asserted", J.Int (List.length session.asserted)) ])
+  | Protocol.Solve_re pat ->
+    Queued
+      {
+        affinity = Hashtbl.hash pat;
+        job =
+          (fun ~respond ->
+            solve_job t ~id ~want_stats ~deadline ~budget ~use_cache ~respond
+              [ pat ]);
+      }
+  | Protocol.Check ->
+    let snapshot = List.rev session.asserted in
+    Queued
+      {
+        affinity = Hashtbl.hash snapshot;
+        job =
+          (fun ~respond ->
+            solve_job t ~id ~want_stats ~deadline ~budget ~use_cache ~respond
+              snapshot);
+      }
+  | Protocol.Match_re { pattern; input } ->
+    Queued
+      {
+        affinity = Hashtbl.hash pattern;
+        job =
+          (fun ~respond ->
+            match_job ~id ~want_stats ~deadline ~respond ~pattern ~input);
+      }
+  | Protocol.Analyze_re pat ->
+    Queued
+      {
+        affinity = Hashtbl.hash pat;
+        job = (fun ~respond -> analyze_job ~id ~deadline ~budget ~respond pat);
+      }
+  | Protocol.Subset_re { left; right } ->
+    Queued
+      {
+        affinity = Hashtbl.hash (left, right);
+        job =
+          (fun ~respond ->
+            contain_job t ~id ~want_stats ~deadline ~budget ~use_cache ~respond
+              ~equiv:false ~left ~right);
+      }
+  | Protocol.Equiv_re { left; right } ->
+    Queued
+      {
+        affinity = Hashtbl.hash (left, right);
+        job =
+          (fun ~respond ->
+            contain_job t ~id ~want_stats ~deadline ~budget ~use_cache ~respond
+              ~equiv:true ~left ~right);
+      }
+  | Protocol.Solve_smt2 script ->
+    Queued
+      {
+        affinity = Hashtbl.hash script;
+        job = (fun ~respond -> smt2_job ~id ~deadline ~budget ~respond script);
+      }
+  | Protocol.Shutdown | Protocol.Batch _ ->
+    (* both are intercepted by [handle_request] / refused by the parser
+       inside a batch *)
+    Immediate (Protocol.error_response ~id "internal: unclassifiable request")
+
+let dispatch_one t session ~id (d : dispatchable) =
+  match d with
+  | Immediate doc -> respond session doc
+  | Queued { affinity; job } ->
+    if Atomic.get t.stopping then
+      respond session (Protocol.error_response ~id "shutting down")
+    else if not (Pool.submit ~affinity t.pool (job ~respond:(respond session)))
+    then respond session (Protocol.overloaded_response ~id)
+
+(** Execute a validated batch envelope.  Reader-side responses (parse
+    errors of wrapped requests, [stats], [assert]) flush as one burst;
+    pool-bound requests are grouped by affinity — each group becomes
+    {e one} pool job that runs its requests in order and writes all
+    their responses with a single lock/flush.  Compared to one job and
+    one flush per request this amortizes the queue hand-off, wake-up,
+    and write syscall across the group, while out-of-order id
+    correlation lets independent groups run on different workers. *)
+let handle_batch t session (reqs : (Protocol.request, J.t * string) result list)
+    =
+  let immediate = ref [] in
+  (* per-deque groups in arrival order: route -> (affinity, id, job)s
+     (newest first); grouping by [Pool.route] rather than the raw
+     affinity merges requests that would land on the same worker *)
+  let groups :
+      (int, (int * J.t * (respond:(J.t -> unit) -> Pool.job)) list ref) Hashtbl.t
+      =
+    Hashtbl.create 8
+  in
+  let order = ref [] in
+  List.iter
+    (fun item ->
+      match item with
+      | Error (id, msg) ->
+        immediate := Protocol.error_response ~id msg :: !immediate
+      | Ok req -> (
+        match classify t session req with
+        | Immediate doc -> immediate := doc :: !immediate
+        | Queued { affinity; job } -> (
+          let key = Pool.route t.pool affinity in
+          match Hashtbl.find_opt groups key with
+          | Some cell -> cell := (affinity, req.Protocol.id, job) :: !cell
+          | None ->
+            Hashtbl.add groups key (ref [ (affinity, req.Protocol.id, job) ]);
+            order := key :: !order)))
+    reqs;
+  respond_many session (List.rev !immediate);
+  List.iter
+    (fun key ->
+      let jobs =
+        List.rev_map (fun (a, id, job) -> (a, (id, job))) !(Hashtbl.find groups key)
+      in
+      let affinity = match jobs with (a, _) :: _ -> a | [] -> 0 in
+      let jobs = List.map snd jobs in
+      if Atomic.get t.stopping then
+        respond_many session
+          (List.map
+             (fun (id, _) -> Protocol.error_response ~id "shutting down")
+             jobs)
+      else begin
+        let group_job (worker : (module Worker.WORKER)) =
+          let out = ref [] in
+          let buffer doc = out := doc :: !out in
+          List.iter (fun (_, job) -> (job ~respond:buffer) worker) jobs;
+          respond_many session (List.rev !out)
+        in
+        if not (Pool.submit ~affinity t.pool group_job) then
+          respond_many session
+            (List.map (fun (id, _) -> Protocol.overloaded_response ~id) jobs)
+      end)
+    (List.rev !order)
+
+(** Handle one parsed request; [`Shutdown] ends the whole server. *)
+let handle_request t session (parsed : (Protocol.request, J.t * string) result)
+    : [ `Continue | `Shutdown ] =
+  match parsed with
   | Error (id, msg) ->
     respond session (Protocol.error_response ~id msg);
     `Continue
   | Ok req -> (
-    let id = req.Protocol.id in
-    let deadline =
-      match req.deadline_s with
-      | Some _ as d -> d
-      | None -> t.cfg.default_deadline
-    in
-    let budget = Option.value req.budget ~default:t.cfg.default_budget in
-    let dispatch job =
-      if Atomic.get t.stopping then
-        respond session (Protocol.error_response ~id "shutting down")
-      else if not (Pool.submit t.pool job) then
-        respond session (Protocol.overloaded_response ~id)
-    in
-    let respond_cb = respond session in
-    match req.payload with
-    | Protocol.Stats ->
-      respond session (stats_doc t ~id);
-      `Continue
+    match[@warning "-4"] req.Protocol.payload with
     | Protocol.Shutdown ->
+      let id = req.Protocol.id in
       Atomic.set t.stopping true;
       Pool.drain t.pool;
       respond session (Protocol.ok_response ~id [ ("drained", J.Bool true) ]);
       `Shutdown
-    | Protocol.Assert_re pat ->
-      session.asserted <- pat :: session.asserted;
-      respond session
-        (Protocol.ok_response ~id
-           [ ("asserted", J.Int (List.length session.asserted)) ]);
+    | Protocol.Batch reqs ->
+      handle_batch t session reqs;
       `Continue
-    | Protocol.Solve_re pat ->
-      dispatch
-        (solve_job t ~id ~want_stats:req.want_stats ~deadline ~budget
-           ~use_cache:t.cfg.use_cache ~respond:respond_cb [ pat ]);
-      `Continue
-    | Protocol.Check ->
-      let snapshot = List.rev session.asserted in
-      dispatch
-        (solve_job t ~id ~want_stats:req.want_stats ~deadline ~budget
-           ~use_cache:t.cfg.use_cache ~respond:respond_cb snapshot);
-      `Continue
-    | Protocol.Match_re { pattern; input } ->
-      dispatch
-        (match_job ~id ~want_stats:req.want_stats ~deadline
-           ~respond:respond_cb ~pattern ~input);
-      `Continue
-    | Protocol.Analyze_re pat ->
-      dispatch (analyze_job ~id ~deadline ~budget ~respond:respond_cb pat);
-      `Continue
-    | Protocol.Subset_re { left; right } ->
-      dispatch
-        (contain_job t ~id ~want_stats:req.want_stats ~deadline ~budget
-           ~use_cache:t.cfg.use_cache ~respond:respond_cb ~equiv:false ~left
-           ~right);
-      `Continue
-    | Protocol.Equiv_re { left; right } ->
-      dispatch
-        (contain_job t ~id ~want_stats:req.want_stats ~deadline ~budget
-           ~use_cache:t.cfg.use_cache ~respond:respond_cb ~equiv:true ~left
-           ~right);
-      `Continue
-    | Protocol.Solve_smt2 script ->
-      dispatch (smt2_job ~id ~deadline ~budget ~respond:respond_cb script);
+    | _ ->
+      dispatch_one t session ~id:req.Protocol.id (classify t session req);
       `Continue)
 
-(** Serve one channel pair until EOF or [shutdown]. *)
+let handle_line t session line : [ `Continue | `Shutdown ] =
+  handle_request t session (Protocol.parse_request line)
+
+(** Serve one channel pair until EOF or [shutdown].  The reader drains
+    every complete line available per read ({!Jsonin.Lines}), so a
+    pipelining client pays one syscall per burst, and because every
+    solve runs on the pool, the reader loops straight back into [read]
+    — a request in flight never blocks the next line. *)
 let serve_channel t ic oc : [ `Eof | `Shutdown ] =
   let session = make_session oc in
+  let reader = Jsonin.Lines.create ic in
   let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> `Eof
-    | line when String.trim line = "" -> loop ()
-    | line -> (
-      match handle_line t session line with
-      | `Continue -> loop ()
-      | `Shutdown -> `Shutdown)
+    match Jsonin.Lines.read reader with
+    | None -> `Eof
+    | Some lines -> burst lines
+  and burst = function
+    | [] -> loop ()
+    | line :: rest ->
+      if String.trim line = "" then burst rest
+      else (
+        match handle_line t session line with
+        | `Continue -> burst rest
+        | `Shutdown -> `Shutdown)
   in
   loop ()
 
@@ -389,7 +558,162 @@ type self_result = {
       (** engine vs reference-matcher disagreements in the match phase *)
   pool_rps : float;
   seq_rps : float;
+  p50_ms : float;
+  p99_ms : float;
+  cache_hit_rate : float;
+  unbatched_rps : float;  (** protocol A/B: one request per line, pipelined *)
+  batched_rps : float;  (** protocol A/B: same stream in batch envelopes *)
+  batch_ratio : float;  (** batched / unbatched throughput *)
+  protocol_errors : int;
+      (** missing, duplicate, or error responses in the protocol phase *)
 }
+
+(** Protocol A/B measurement: replay [reqs] over an in-process pipe
+    session — once pipelined one-request-per-line, once wrapped in
+    batch envelopes — after a warm-up pass that fills the result cache,
+    so both timed passes are cache hits and the difference isolates
+    protocol overhead (syscalls, queue hand-offs, response flushes).
+    Every response is correlated by its client-assigned id; a missing,
+    duplicated, or error response counts as a protocol error.  Returns
+    [(unbatched_rps, batched_rps, protocol_errors)]. *)
+let protocol_phase ~(cfg : config) ~deadline ~budget (reqs : string array) =
+  let pn = Array.length reqs in
+  let t = create { cfg with use_cache = true } in
+  (* client -> server and server -> client pipes; the server side runs
+     the real [serve_channel] loop in its own thread *)
+  let c2s_r, c2s_w = Unix.pipe () in
+  let s2c_r, s2c_w = Unix.pipe () in
+  let sic = Unix.in_channel_of_descr c2s_r in
+  let soc = Unix.out_channel_of_descr s2c_w in
+  let server = Thread.create (fun () -> ignore (serve_channel t sic soc)) () in
+  let coc = Unix.out_channel_of_descr c2s_w in
+  let cic = Unix.in_channel_of_descr s2c_r in
+  let protocol_errors = ref 0 in
+  let seen = Hashtbl.create (8 * pn) in
+  let read_response () =
+    match input_line cic with
+    | exception End_of_file -> incr protocol_errors
+    | line -> (
+      match Jsonin.parse line with
+      | Error _ -> incr protocol_errors
+      | Ok doc -> (
+        (match Jsonin.member "error" doc with
+        | Some _ -> incr protocol_errors
+        | None -> ());
+        match[@warning "-4"] Jsonin.member "id" doc with
+        | Some (J.Int i) ->
+          if Hashtbl.mem seen i then incr protocol_errors
+          else Hashtbl.add seen i ()
+        | _ -> incr protocol_errors))
+  in
+  let solve_doc ~id pat =
+    J.Obj
+      ([ ("id", J.Int id); ("op", J.Str "solve"); ("re", J.Str pat) ]
+      @ (match deadline with
+        | Some d -> [ ("deadline_s", J.Float d) ]
+        | None -> [])
+      @ [ ("budget", J.Int budget) ])
+  in
+  let send_str line =
+    output_string coc line;
+    output_char coc '\n'
+  in
+  (* Keep at most [window] requests in flight: deep enough to pipeline,
+     shallow enough that neither pipe's kernel buffer can fill up and
+     deadlock writer against writer, and comfortably inside the pool's
+     queue capacity so a burst never draws [overloaded] responses. *)
+  let window = max 8 (min 64 (cfg.queue_cap / 4)) in
+  (* One envelope per window keeps the batched arm's peak in-flight at
+     [2 * window - 1], inside the queue capacity. *)
+  let batch_size = window in
+  let next_id = ref 0 in
+  (* Request serialization happens on the client; do it before starting
+     the timer so both arms measure wire + server cost, not the
+     client's JSON rendering. *)
+  let unbatched_lines () =
+    Array.map
+      (fun pat ->
+        let id = !next_id in
+        incr next_id;
+        J.to_string (solve_doc ~id pat))
+      reqs
+  in
+  let batched_lines () =
+    let out = ref [] in
+    let i = ref 0 in
+    while !i < pn do
+      let j = min pn (!i + batch_size) in
+      let items =
+        List.init (j - !i) (fun k -> solve_doc ~id:(!next_id + k) reqs.(!i + k))
+      in
+      next_id := !next_id + (j - !i);
+      let line =
+        J.to_string (J.Obj [ ("op", J.Str "batch"); ("reqs", J.Arr items) ])
+      in
+      out := (line, j - !i) :: !out;
+      i := j
+    done;
+    Array.of_list (List.rev !out)
+  in
+  let run_unbatched () =
+    let lines = unbatched_lines () in
+    let t0 = Obs.now () in
+    let in_flight = ref 0 in
+    Array.iter
+      (fun line ->
+        send_str line;
+        incr in_flight;
+        if !in_flight >= window then begin
+          flush coc;
+          read_response ();
+          decr in_flight
+        end)
+      lines;
+    flush coc;
+    while !in_flight > 0 do
+      read_response ();
+      decr in_flight
+    done;
+    Obs.now () -. t0
+  in
+  let run_batched () =
+    let envelopes = batched_lines () in
+    let t0 = Obs.now () in
+    let in_flight = ref 0 in
+    Array.iter
+      (fun (line, count) ->
+        send_str line;
+        in_flight := !in_flight + count;
+        while !in_flight > window do
+          flush coc;
+          read_response ();
+          decr in_flight
+        done)
+      envelopes;
+    flush coc;
+    while !in_flight > 0 do
+      read_response ();
+      decr in_flight
+    done;
+    Obs.now () -. t0
+  in
+  (* warm: fill the result cache so the timed passes are hits *)
+  ignore (run_unbatched ());
+  (* two timed rounds each, interleaved; best-of to shed scheduler noise *)
+  let u1 = run_unbatched () in
+  let b1 = run_batched () in
+  let u2 = run_unbatched () in
+  let b2 = run_batched () in
+  close_out coc;
+  (* EOF ends the server loop *)
+  Thread.join server;
+  Atomic.set t.stopping true;
+  Pool.shutdown t.pool;
+  (try close_in cic with _ -> ());
+  (try close_in sic with _ -> ());
+  (try close_out soc with _ -> ());
+  let rps s = float_of_int pn /. Float.max s 1e-9 in
+  (rps (Float.min u1 u2), rps (Float.min b1 b2), !protocol_errors)
 
 (** Replay the mix through the pool and compare with sequential
     solving on a single worker: verdicts must agree (sat/unsat), pool
@@ -458,7 +782,7 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
         latencies.(i) <- Obs.now () -. submitted;
         ignore (Atomic.fetch_and_add completed 1)
       in
-      ignore (Pool.submit_wait t.pool job))
+      ignore (Pool.submit_wait ~affinity:(Hashtbl.hash pat) t.pool job))
     patterns;
   while Atomic.get completed < n do
     Unix.sleepf 0.001
@@ -492,7 +816,7 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
         | Error _ -> ());
         ignore (Atomic.fetch_and_add mcompleted 1)
       in
-      ignore (Pool.submit_wait t.pool job))
+      ignore (Pool.submit_wait ~affinity:(Hashtbl.hash pat) t.pool job))
     match_cases;
   while Atomic.get mcompleted < m do
     Unix.sleepf 0.001
@@ -531,17 +855,35 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
     | _ -> ()
   done;
   phase "validate";
+  (* Protocol A/B over the deterministically-solvable slice of the mix
+     (cached verdicts make both timed passes pure cache hits, so the
+     ratio isolates batching's syscall/hand-off amortization). *)
+  let det_patterns =
+    let keep = ref [] in
+    for i = n - 1 downto 0 do
+      match[@warning "-4"] seq_verdicts.(i) with
+      | Some (Protocol.Sat _ | Protocol.Unsat) ->
+        keep := patterns.(i) :: !keep
+      | _ -> ()
+    done;
+    let arr = Array.of_list !keep in
+    if Array.length arr >= 32 then arr else patterns
+  in
+  let proto_slice =
+    Array.sub det_patterns 0 (min (Array.length det_patterns) 400)
+  in
+  let unbatched_rps, batched_rps, protocol_errors =
+    protocol_phase ~cfg ~deadline ~budget proto_slice
+  in
+  let batch_ratio = batched_rps /. Float.max unbatched_rps 1e-9 in
+  phase "protocol";
   let sorted = Array.copy latencies in
   Array.sort compare sorted;
   let seq_rps = float_of_int n /. max seq_s 1e-9 in
   let pool_rps = float_of_int n /. max pool_s 1e-9 in
   (* Measured shared-LRU hit rate over the Zipfian replay (0 with the
      cache off): the service-bench gauge for ROADMAP item 2. *)
-  let cache_hit_rate =
-    let h = float_of_int (Lru.hits t.cache)
-    and m = float_of_int (Lru.misses t.cache) in
-    h /. Float.max (h +. m) 1.0
-  in
+  let cache_hit_rate = Lru.hit_rate t.cache in
   let report =
     J.Obj
       [
@@ -560,6 +902,14 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
         ("match_checked", J.Int !match_checked);
         ("match_mismatches", J.Int !match_mismatches);
         ("cache_hit_rate", J.Float cache_hit_rate);
+        ( "cache_shard_hit_rates",
+          J.Arr (List.map (fun f -> J.Float f) (Lru.shard_hit_rates t.cache)) );
+        ("steals", J.Int (Pool.steals t.pool));
+        ("spills", J.Int (Pool.spills t.pool));
+        ("unbatched_req_s", J.Float unbatched_rps);
+        ("batched_req_s", J.Float batched_rps);
+        ("batch_ratio", J.Float batch_ratio);
+        ("protocol_errors", J.Int protocol_errors);
         ("cache_stats", Protocol.json_of_stats (Lru.stats t.cache));
       ]
   in
@@ -570,6 +920,13 @@ let selftest ?(use_cache = false) ?(verbose = true) ~(cfg : config) ~n () :
     match_mismatches = !match_mismatches;
     pool_rps;
     seq_rps;
+    p50_ms = percentile sorted 50.0 *. 1000.0;
+    p99_ms = percentile sorted 99.0 *. 1000.0;
+    cache_hit_rate;
+    unbatched_rps;
+    batched_rps;
+    batch_ratio;
+    protocol_errors;
   }
 
 (* -- BENCH_<date>.json trajectory ---------------------------------------- *)

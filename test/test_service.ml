@@ -1,14 +1,16 @@
-(* Tests for the concurrent solver service (lib/service, DESIGN.md §9):
-   wire-protocol parsing, a full session round-trip over pipes (including
-   malformed input and per-request deadlines), work-queue backpressure,
-   LRU accounting, and pool-vs-sequential agreement with reference-matcher
+(* Tests for the concurrent solver service (lib/service, DESIGN.md §9,
+   §17): wire-protocol parsing (including batch envelopes), a full
+   session round-trip over pipes (including malformed input,
+   per-request deadlines and batch robustness), work-stealing scheduler
+   backpressure and drain, sharded-LRU accounting under multi-domain
+   churn, and pool-vs-sequential agreement with reference-matcher
    witness validation. *)
 
 module Obs = Sbd_obs.Obs
 module J = Obs.Json
 module Jsonin = Sbd_service.Jsonin
 module Protocol = Sbd_service.Protocol
-module Wq = Sbd_service.Wq
+module Sched = Sbd_service.Sched
 module Lru = Sbd_service.Lru
 module Worker = Sbd_service.Worker
 module Pool = Sbd_service.Pool
@@ -63,28 +65,76 @@ let test_parse_request () =
   | Error (J.Int 1, _) -> ()
   | _ -> Alcotest.fail "assert without re must fail"
 
-(* -- work queue backpressure --------------------------------------------- *)
+(* -- scheduler backpressure and drain ------------------------------------ *)
 
-let test_wq_backpressure () =
-  let q = Wq.create ~cap:2 in
-  check "push 1" true (Wq.try_push q 1);
-  check "push 2" true (Wq.try_push q 2);
-  check "push beyond cap refused" false (Wq.try_push q 3);
-  check_int "length" 2 (Wq.length q);
-  (match Wq.pop q with
+let test_sched_backpressure () =
+  (* one worker: a single deque, exactly the old shared-queue contract *)
+  let q = Sched.create ~workers:1 ~cap:2 in
+  check "push 1" true (Sched.try_push q 1);
+  check "push 2" true (Sched.try_push q 2);
+  check "push beyond cap refused" false (Sched.try_push q 3);
+  check_int "length" 2 (Sched.length q);
+  (match Sched.pop q ~me:0 with
   | Some 1 -> ()
   | _ -> Alcotest.fail "FIFO order");
-  check "slot freed" true (Wq.try_push q 4);
-  Wq.close q;
-  check "push after close refused" false (Wq.try_push q 5);
-  check "drains after close" true (Wq.pop q = Some 2);
-  check "drains after close" true (Wq.pop q = Some 4);
-  check "None once drained" true (Wq.pop q = None)
+  check "slot freed" true (Sched.try_push q 4);
+  Sched.close q;
+  check "push after close refused" false (Sched.try_push q 5);
+  check "drains after close" true (Sched.pop q ~me:0 = Some 2);
+  check "drains after close" true (Sched.pop q ~me:0 = Some 4);
+  check "None once drained" true (Sched.pop q ~me:0 = None)
+
+let test_sched_spill () =
+  (* a full affinity target spills to the least-loaded deque instead of
+     shedding, and the spill is counted *)
+  let q = Sched.create ~workers:2 ~cap:4 in
+  (* per-deque cap is 2; all pushes target deque 0 *)
+  check "push 1" true (Sched.try_push ~affinity:0 q 1);
+  check "push 2" true (Sched.try_push ~affinity:0 q 2);
+  check "spilled to deque 1" true (Sched.try_push ~affinity:0 q 3);
+  check_int "one spill" 1 (Sched.spills q);
+  check "spill target fills too" true (Sched.try_push ~affinity:0 q 4);
+  check "both deques full" false (Sched.try_push ~affinity:0 q 5);
+  check_int "length" 4 (Sched.length q);
+  Sched.close q
+
+(* Multi-domain churn: every item routed to deque 0, consumed only by
+   workers 1..3 — each delivery is necessarily a steal.  Checks no item
+   is lost or duplicated and that close lets consumers drain cleanly. *)
+let test_sched_steal_stress () =
+  let n = 1_000 in
+  let workers = 4 in
+  let q = Sched.create ~workers ~cap:64 in
+  let got = Array.make workers [] in
+  let consumers =
+    List.init (workers - 1) (fun k ->
+        let me = k + 1 in
+        Domain.spawn (fun () ->
+            let rec go () =
+              match Sched.pop q ~me with
+              | Some x ->
+                got.(me) <- x :: got.(me);
+                go ()
+              | None -> ()
+            in
+            go ()))
+  in
+  for i = 0 to n - 1 do
+    check "push_wait accepted" true (Sched.push_wait ~affinity:0 q i)
+  done;
+  Sched.close q;
+  List.iter Domain.join consumers;
+  check "push after close refused" false (Sched.push_wait ~affinity:0 q n);
+  let all = Array.to_list got |> List.concat |> List.sort compare in
+  check_int "no lost or duplicated items" n (List.length all);
+  check "exactly the pushed items" true (all = List.init n Fun.id);
+  check_int "every delivery was a steal" n (Sched.steals q);
+  check_int "drained empty" 0 (Sched.length q)
 
 (* -- LRU accounting ------------------------------------------------------ *)
 
 let test_lru () =
-  let c : int Lru.t = Lru.create ~cap:2 in
+  let c : int Lru.t = Lru.create ~cap:2 () in
   check "cold miss" true (Lru.find c "a" = None);
   Lru.put c "a" 1;
   Lru.put c "b" 2;
@@ -98,6 +148,61 @@ let test_lru () =
   check_int "hits" 3 (Lru.hits c);
   check_int "misses" 2 (Lru.misses c);
   check_int "evictions" 1 (Lru.evictions c)
+
+let test_lru_shards () =
+  (* shard count rounds up to a power of two; cap splits across shards *)
+  let c : int Lru.t = Lru.create ~shards:3 ~cap:16 () in
+  check_int "rounded to power of two" 4 (Lru.num_shards c);
+  check_int "per-shard cap" 4 (Lru.shard_cap c);
+  for i = 0 to 63 do
+    Lru.put c (string_of_int i) i
+  done;
+  check "size bounded by total cap" true (Lru.size c <= 16);
+  List.iter
+    (fun (size, _, _, _) -> check "shard within its cap" true (size <= 4))
+    (Lru.shard_rows c);
+  (* per-shard rows surface in stats *)
+  let stats = Lru.stats c in
+  check "per-shard gauges present" true
+    (List.mem_assoc "service.cache.shard0.size" stats
+    && List.mem_assoc "service.cache.shard3.hits" stats)
+
+(* Multi-domain churn over the sharded cache: concurrent get/put/evict
+   with per-shard invariants (size never exceeds the shard cap) and
+   exact aggregate accounting (hits + misses = finds issued). *)
+let test_lru_sharded_stress () =
+  let c : int Lru.t = Lru.create ~shards:8 ~cap:64 () in
+  let domains = 4 and ops = 5_000 and keyspace = 200 in
+  let finds = Atomic.make 0 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let seed = ref ((d * 7919) + 1) in
+            let rand m =
+              seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+              !seed mod m
+            in
+            for _ = 1 to ops do
+              let key = string_of_int (rand keyspace) in
+              if rand 3 = 0 then Lru.put c key (int_of_string key)
+              else begin
+                ignore (Atomic.fetch_and_add finds 1);
+                match Lru.find c key with
+                | Some v -> assert (v = int_of_string key)
+                | None -> ()
+              end
+            done))
+  in
+  List.iter Domain.join workers;
+  check "size bounded by total cap" true (Lru.size c <= 64);
+  List.iter
+    (fun (size, _, _, _) ->
+      check "shard within its cap" true (size <= Lru.shard_cap c))
+    (Lru.shard_rows c);
+  check_int "exact hit+miss accounting" (Atomic.get finds)
+    (Lru.hits c + Lru.misses c);
+  check "hit rate in range" true
+    (Lru.hit_rate c >= 0.0 && Lru.hit_rate c <= 1.0)
 
 (* -- worker: canonical cache keys and witness checking -------------------- *)
 
@@ -198,6 +303,89 @@ let test_parse_match_request () =
   match Protocol.parse_request {|{"id": 4, "op": "match", "re": "ab*c"}|} with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "match without input accepted"
+
+(* -- batch envelope parsing ----------------------------------------------- *)
+
+let test_parse_batch () =
+  (* a valid envelope preserves order and per-request parse errors *)
+  (match
+     Protocol.parse_request
+       {|{"op":"batch","reqs":[{"id":1,"op":"solve","re":"a"},{"id":2,"op":"frobnicate"},{"id":3,"op":"assert","re":"b"}]}|}
+   with
+  | Ok { payload = Protocol.Batch [ Ok r1; Error (J.Int 2, _); Ok r3 ]; _ } ->
+    check "first is solve" true (r1.Protocol.payload = Protocol.Solve_re "a");
+    check "third is assert" true (r3.Protocol.payload = Protocol.Assert_re "b")
+  | Ok _ -> Alcotest.fail "wrong batch shape"
+  | Error (_, msg) -> Alcotest.fail msg);
+  let must_fail label line =
+    match Protocol.parse_request line with
+    | Error (_, msg) -> check (label ^ " reported") true (msg <> "")
+    | Ok _ -> Alcotest.fail (label ^ " accepted")
+  in
+  must_fail "missing reqs" {|{"op":"batch"}|};
+  must_fail "reqs not an array" {|{"op":"batch","reqs":7}|};
+  must_fail "empty batch" {|{"op":"batch","reqs":[]}|};
+  must_fail "missing inner id"
+    {|{"op":"batch","reqs":[{"op":"solve","re":"a"}]}|};
+  must_fail "duplicate ids"
+    {|{"op":"batch","reqs":[{"id":1,"op":"solve","re":"a"},{"id":1,"op":"solve","re":"b"}]}|};
+  (* nested batches and shutdown degrade to per-request errors: the
+     envelope stays valid and the other requests still run *)
+  let per_item_error label line =
+    match Protocol.parse_request line with
+    | Ok { payload = Protocol.Batch [ Error (J.Int 1, msg); Ok _ ]; _ } ->
+      check (label ^ " reported") true (msg <> "")
+    | Ok _ -> Alcotest.fail (label ^ ": wrong shape")
+    | Error (_, msg) -> Alcotest.fail (label ^ ": envelope rejected: " ^ msg)
+  in
+  per_item_error "nested batch"
+    {|{"op":"batch","reqs":[{"id":1,"op":"batch","reqs":[]},{"id":2,"op":"solve","re":"a"}]}|};
+  per_item_error "shutdown inside batch"
+    {|{"op":"batch","reqs":[{"id":1,"op":"shutdown"},{"id":2,"op":"solve","re":"a"}]}|};
+  (* an oversized envelope is refused with a structured error *)
+  let big =
+    String.concat ","
+      (List.init
+         (Protocol.max_batch + 1)
+         (fun i -> Printf.sprintf {|{"id":%d,"op":"solve","re":"a"}|} i))
+  in
+  must_fail "oversized batch"
+    (Printf.sprintf {|{"op":"batch","reqs":[%s]}|} big);
+  (* exactly max_batch is fine *)
+  let ok =
+    String.concat ","
+      (List.init Protocol.max_batch (fun i ->
+           Printf.sprintf {|{"id":%d,"op":"solve","re":"a"}|} i))
+  in
+  match
+    Protocol.parse_request (Printf.sprintf {|{"op":"batch","reqs":[%s]}|} ok)
+  with
+  | Ok { payload = Protocol.Batch reqs; _ } ->
+    check_int "max_batch accepted" Protocol.max_batch (List.length reqs)
+  | Ok _ -> Alcotest.fail "wrong max-batch shape"
+  | Error (_, msg) -> Alcotest.fail msg
+
+(* -- draining line reader ------------------------------------------------- *)
+
+let test_lines_reader () =
+  let path = Filename.temp_file "sbd_lines" ".txt" in
+  let oc = open_out_bin path in
+  output_string oc "one\ntwo\nthree";
+  close_out oc;
+  let ic = open_in_bin path in
+  let t = Jsonin.Lines.create ic in
+  (* the whole file arrives in one read: both complete lines at once *)
+  (match Jsonin.Lines.read t with
+  | Some [ "one"; "two" ] -> ()
+  | Some _ -> Alcotest.fail "wrong first burst"
+  | None -> Alcotest.fail "premature EOF");
+  (* the unterminated tail is delivered once EOF is seen *)
+  (match Jsonin.Lines.read t with
+  | Some [ "three" ] -> ()
+  | _ -> Alcotest.fail "missing final unterminated line");
+  check "eof" true (Jsonin.Lines.read t = None);
+  close_in ic;
+  Sys.remove path
 
 (* -- full session over pipes --------------------------------------------- *)
 
@@ -311,6 +499,77 @@ let test_session_roundtrip () =
       check "shutdown ok" true (status r = Some "ok");
       check "drained" true (Jsonin.bool_member "drained" r = Some true))
 
+(* -- batch protocol over a live session ----------------------------------- *)
+
+let test_batch_roundtrip () =
+  with_session small_cfg (fun ~send ~recv ->
+      (* mixed batch: solves, an assert (answered by the reader), and a
+         bad pattern; responses are correlated by id, order free *)
+      send
+        {|{"op":"batch","reqs":[{"id":"b1","op":"solve","re":"ab*c"},{"id":"b2","op":"assert","re":".*a"},{"id":"b3","op":"solve","re":"a{2}&a{3}"},{"id":"b4","op":"solve","re":"a|("}]}|};
+      let responses = List.init 4 (fun _ -> recv ()) in
+      let by_id want =
+        match
+          List.find_opt
+            (fun r -> Jsonin.member "id" r = Some (J.Str want))
+            responses
+        with
+        | Some r -> r
+        | None -> Alcotest.fail ("no response for id " ^ want)
+      in
+      check "b1 sat" true (status (by_id "b1") = Some "sat");
+      check "b2 ok" true (status (by_id "b2") = Some "ok");
+      check "b3 unsat" true (status (by_id "b3") = Some "unsat");
+      check "b4 structured error" true
+        (Jsonin.str_member "error" (by_id "b4") <> None);
+      (* the asserted pattern took effect for the rest of the session *)
+      send {|{"id": 5, "op": "check"}|};
+      check "conjunction sat" true (status (recv ()) = Some "sat");
+      (* repeats of a batched solve hit the shared cache *)
+      send {|{"op":"batch","reqs":[{"id":"c1","op":"solve","re":"ab*c"}]}|};
+      let r = recv () in
+      check "batched repeat cached" true
+        (Jsonin.bool_member "cached" r = Some true);
+      send {|{"id": 6, "op": "shutdown"}|};
+      ignore (recv ()))
+
+let test_batch_robustness () =
+  with_session small_cfg (fun ~send ~recv ->
+      let expect_error label =
+        let r = recv () in
+        check (label ^ " is an error") true (Jsonin.str_member "error" r <> None);
+        r
+      in
+      (* envelope violations: one structured error each, session alive *)
+      send {|{"id": "e1", "op": "batch"}|};
+      let r = expect_error "missing reqs" in
+      check "envelope id echoed" true
+        (Jsonin.member "id" r = Some (J.Str "e1"));
+      send {|{"op": "batch", "reqs": []}|};
+      ignore (expect_error "empty batch");
+      send {|{"op": "batch", "reqs": 42}|};
+      ignore (expect_error "non-array reqs");
+      send
+        {|{"op":"batch","reqs":[{"id":1,"op":"solve","re":"a"},{"id":1,"op":"solve","re":"b"}]}|};
+      ignore (expect_error "duplicate ids");
+      send {|{"op":"batch","reqs":[{"op":"solve","re":"a"}]}|};
+      ignore (expect_error "missing inner id");
+      (* oversized: max_batch + 1 requests *)
+      send
+        (Printf.sprintf {|{"op":"batch","reqs":[%s]}|}
+           (String.concat ","
+              (List.init
+                 (Protocol.max_batch + 1)
+                 (fun i -> Printf.sprintf {|{"id":%d,"op":"solve","re":"a"}|} i))));
+      ignore (expect_error "oversized batch");
+      (* after all that abuse the session still answers *)
+      send {|{"id": "alive", "op": "solve", "re": "ab*c"}|};
+      let r = recv () in
+      check "session survived" true (status r = Some "sat");
+      check "id correlated" true (Jsonin.member "id" r = Some (J.Str "alive"));
+      send {|{"id": 0, "op": "shutdown"}|};
+      ignore (recv ()))
+
 (* An intersection of alternations that clean-DNF pruning cannot
    collapse (see test_obs.ml): the first transition computation builds
    8^8 meets, so only the deadline can stop it. *)
@@ -392,7 +651,9 @@ let test_pool_agreement () =
   in
   check_int "verdict mismatches" 0 r.Server.mismatches;
   check_int "invalid witnesses" 0 r.Server.bad_witnesses;
-  check "throughput measured" true (r.Server.pool_rps > 0.0)
+  check_int "protocol errors" 0 r.Server.protocol_errors;
+  check "throughput measured" true (r.Server.pool_rps > 0.0);
+  check "batch throughput measured" true (r.Server.batched_rps > 0.0)
 
 let suite =
   ( "service",
@@ -400,11 +661,19 @@ let suite =
       Alcotest.test_case "jsonin round-trip" `Quick test_jsonin
     ; Alcotest.test_case "request parsing" `Quick test_parse_request
     ; Alcotest.test_case "match request parsing" `Quick test_parse_match_request
-    ; Alcotest.test_case "work-queue backpressure" `Quick test_wq_backpressure
+    ; Alcotest.test_case "batch envelope parsing" `Quick test_parse_batch
+    ; Alcotest.test_case "draining line reader" `Quick test_lines_reader
+    ; Alcotest.test_case "sched backpressure" `Quick test_sched_backpressure
+    ; Alcotest.test_case "sched spill-over" `Quick test_sched_spill
+    ; Alcotest.test_case "sched steal stress" `Quick test_sched_steal_stress
     ; Alcotest.test_case "lru accounting" `Quick test_lru
+    ; Alcotest.test_case "lru shard layout" `Quick test_lru_shards
+    ; Alcotest.test_case "lru sharded stress" `Quick test_lru_sharded_stress
     ; Alcotest.test_case "canonical cache keys" `Quick test_worker_keys
     ; Alcotest.test_case "worker witness validation" `Quick test_worker_witness
     ; Alcotest.test_case "session round-trip" `Quick test_session_roundtrip
+    ; Alcotest.test_case "batch round-trip" `Quick test_batch_roundtrip
+    ; Alcotest.test_case "batch robustness" `Quick test_batch_robustness
     ; Alcotest.test_case "analyze op" `Quick test_analyze_op
     ; Alcotest.test_case "contain ops" `Quick test_contain_op
     ; Alcotest.test_case "deadline isolation" `Quick test_deadline_isolation
